@@ -1,0 +1,58 @@
+// Shared plumbing for the figure-reproduction benches: flag definitions,
+// stdout table formatting, and CSV emission.
+
+#ifndef NELA_BENCH_BENCH_COMMON_H_
+#define NELA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace nela::bench {
+
+// Writes `csv` to <output_dir>/<name>.csv (best effort; a failure is
+// reported but does not abort the bench).
+inline void EmitCsv(const util::CsvWriter& csv, const std::string& output_dir,
+                    const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories(output_dir, ec);  // best effort
+  const std::string path = output_dir + "/" + name + ".csv";
+  util::Status status = csv.WriteToFile(path);
+  if (status.ok()) {
+    std::printf("  -> %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "  (csv not written: %s)\n",
+                 status.ToString().c_str());
+  }
+}
+
+// Prints a row of cells with fixed column width; numeric cells are
+// reformatted to 5 significant digits for readability (the CSVs keep full
+// precision).
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    char* end = nullptr;
+    const double value = std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() && end != nullptr && *end == '\0') {
+      std::printf("%-22.5g", value);
+    } else {
+      std::printf("%-22s", cell.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(size_t columns) {
+  for (size_t i = 0; i < columns * 22; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+}  // namespace nela::bench
+
+#endif  // NELA_BENCH_BENCH_COMMON_H_

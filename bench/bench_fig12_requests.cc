@@ -1,0 +1,83 @@
+// Figure 12 (a, b): average communication cost and cloaked-region size of
+// the three k-clustering algorithms as the number of requesting users S
+// varies.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/clustering_experiment.h"
+#include "sim/scenario.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace {
+
+using nela::sim::ClusteringAlgorithm;
+
+int Run(int argc, char** argv) {
+  int64_t users = 104770;
+  int64_t k = 10;
+  std::string output_dir = "bench_results";
+  nela::util::FlagParser flags;
+  flags.AddInt64("users", &users, "population size");
+  flags.AddInt64("k", &k, "anonymity requirement");
+  flags.AddString("output_dir", &output_dir, "where CSVs are written");
+  nela::util::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    return status.code() == nela::util::StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  std::printf("=== Fig. 12: performance under various # of requests ===\n");
+  std::printf("users=%lld k=%lld (default M, delta)\n\n",
+              static_cast<long long>(users), static_cast<long long>(k));
+
+  nela::sim::ScenarioConfig scenario_config;
+  scenario_config.user_count = static_cast<uint32_t>(users);
+  auto scenario = nela::sim::BuildScenario(scenario_config);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  nela::util::CsvWriter csv;
+  csv.SetHeader({"S", "algorithm", "avg_comm_cost", "avg_cloaked_area"});
+  nela::bench::PrintRow(
+      {"S", "algorithm", "comm cost", "cloaked size (1e-4)"});
+  nela::bench::PrintRule(4);
+  const ClusteringAlgorithm algorithms[] = {
+      ClusteringAlgorithm::kDistributedTConn, ClusteringAlgorithm::kKnn,
+      ClusteringAlgorithm::kCentralizedTConn};
+  for (uint32_t requests : {1000u, 2000u, 4000u, 8000u}) {
+    for (ClusteringAlgorithm algorithm : algorithms) {
+      nela::sim::ClusteringExperimentConfig config;
+      config.k = static_cast<uint32_t>(k);
+      config.requests = requests;
+      auto result = nela::sim::RunClusteringExperiment(scenario.value(),
+                                                       algorithm, config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "experiment failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const char* name = nela::sim::ClusteringAlgorithmName(algorithm);
+      nela::bench::PrintRow(
+          {std::to_string(requests), name,
+           nela::util::CsvWriter::Cell(result.value().avg_comm_cost),
+           nela::util::CsvWriter::Cell(result.value().avg_cloaked_area *
+                                       1e4)});
+      csv.AddRow({std::to_string(requests), name,
+                  nela::util::CsvWriter::Cell(result.value().avg_comm_cost),
+                  nela::util::CsvWriter::Cell(
+                      result.value().avg_cloaked_area)});
+    }
+  }
+  nela::bench::EmitCsv(csv, output_dir, "fig12_requests");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,121 @@
+// Hot-path microbenchmarks (google-benchmark): WPG construction, merge
+// hierarchy, centralized partition, one distributed clustering request,
+// spatial index queries, and a secure bounding run.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bounding/increment_policy.h"
+#include "bounding/protocol.h"
+#include "bounding/secret.h"
+#include "cluster/centralized_tconn.h"
+#include "cluster/distributed_tconn.h"
+#include "data/generators.h"
+#include "graph/hierarchy.h"
+#include "graph/wpg_builder.h"
+#include "sim/scenario.h"
+#include "spatial/grid_index.h"
+#include "util/rng.h"
+
+namespace {
+
+const nela::sim::Scenario& SharedScenario(uint32_t users) {
+  static auto* cache =
+      new std::vector<std::pair<uint32_t, nela::sim::Scenario>>();
+  for (auto& [count, scenario] : *cache) {
+    if (count == users) return scenario;
+  }
+  nela::sim::ScenarioConfig config;
+  config.user_count = users;
+  config.delta = 2e-3 * std::sqrt(104770.0 / users);
+  auto built = nela::sim::BuildScenario(config);
+  NELA_CHECK(built.ok());
+  cache->emplace_back(users, std::move(built).value());
+  return cache->back().second;
+}
+
+void BM_WpgBuild(benchmark::State& state) {
+  const uint32_t users = static_cast<uint32_t>(state.range(0));
+  const nela::sim::Scenario& scenario = SharedScenario(users);
+  nela::graph::WpgBuildParams params;
+  params.delta = 2e-3 * std::sqrt(104770.0 / users);
+  for (auto _ : state) {
+    auto graph = nela::graph::BuildWpg(scenario.dataset, params);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(state.iterations() * users);
+}
+BENCHMARK(BM_WpgBuild)->Arg(5000)->Arg(20000);
+
+void BM_HierarchyBuild(benchmark::State& state) {
+  const nela::sim::Scenario& scenario =
+      SharedScenario(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    nela::graph::TConnHierarchy hierarchy(scenario.graph);
+    benchmark::DoNotOptimize(hierarchy.node_count());
+  }
+}
+BENCHMARK(BM_HierarchyBuild)->Arg(5000)->Arg(20000);
+
+void BM_CentralizedPartition(benchmark::State& state) {
+  const nela::sim::Scenario& scenario =
+      SharedScenario(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto partition =
+        nela::cluster::CentralizedKClustering(scenario.graph, 10);
+    benchmark::DoNotOptimize(partition.clusters.size());
+  }
+}
+BENCHMARK(BM_CentralizedPartition)->Arg(5000)->Arg(20000);
+
+void BM_DistributedClusterRequest(benchmark::State& state) {
+  const nela::sim::Scenario& scenario = SharedScenario(20000);
+  nela::util::Rng rng(11);
+  for (auto _ : state) {
+    // Fresh registry per request: measures a first (uncached) request.
+    nela::cluster::Registry registry(scenario.dataset.size());
+    nela::cluster::DistributedTConnClusterer clusterer(scenario.graph, 10,
+                                                       &registry);
+    const auto host = static_cast<nela::graph::VertexId>(
+        rng.NextUint64(scenario.dataset.size()));
+    auto outcome = clusterer.ClusterFor(host);
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+}
+BENCHMARK(BM_DistributedClusterRequest);
+
+void BM_GridRadiusQuery(benchmark::State& state) {
+  const nela::sim::Scenario& scenario = SharedScenario(20000);
+  const nela::spatial::GridIndex index(scenario.dataset.points(), 5e-3);
+  nela::util::Rng rng(13);
+  for (auto _ : state) {
+    const auto id =
+        static_cast<uint32_t>(rng.NextUint64(scenario.dataset.size()));
+    auto result = index.RadiusQuery(scenario.dataset.point(id), 5e-3, id);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_GridRadiusQuery);
+
+void BM_SecureBoundingRun(benchmark::State& state) {
+  nela::util::Rng rng(17);
+  const double extent = 0.01;
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) values.push_back(rng.NextDouble(0, extent));
+  const auto secrets = nela::bounding::MakePrivate(values);
+  const nela::bounding::UniformDistribution model(extent);
+  const nela::bounding::QuadraticCost cost(1000.0 * 104770.0);
+  for (auto _ : state) {
+    nela::bounding::SecureIncrementPolicy policy(model, cost, 1.0);
+    auto run =
+        nela::bounding::RunProgressiveUpperBounding(secrets, 0.0, policy);
+    benchmark::DoNotOptimize(run.bound);
+  }
+}
+BENCHMARK(BM_SecureBoundingRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

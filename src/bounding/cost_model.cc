@@ -1,0 +1,15 @@
+#include "bounding/cost_model.h"
+
+#include "util/check.h"
+
+namespace nela::bounding {
+
+QuadraticCost::QuadraticCost(double coefficient) : coefficient_(coefficient) {
+  NELA_CHECK_GT(coefficient, 0.0);
+}
+
+LinearCost::LinearCost(double coefficient) : coefficient_(coefficient) {
+  NELA_CHECK_GT(coefficient, 0.0);
+}
+
+}  // namespace nela::bounding

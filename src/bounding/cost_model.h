@@ -1,0 +1,56 @@
+// Communication cost of the subsequent service request as a function of the
+// bound size (the R(x) of §V).
+//
+// The paper's two instances: cost proportional to the area of the bound
+// (range queries -- R(x) = c * x^2) and to its length (R(x) = c * x).
+
+#ifndef NELA_BOUNDING_COST_MODEL_H_
+#define NELA_BOUNDING_COST_MODEL_H_
+
+namespace nela::bounding {
+
+class RequestCostModel {
+ public:
+  virtual ~RequestCostModel() = default;
+
+  virtual double R(double x) const = 0;
+  // dR/dx, needed by the optimality conditions (Eqs. 2 and 5).
+  virtual double RPrime(double x) const = 0;
+  virtual const char* name() const = 0;
+};
+
+// R(x) = coefficient * x^2 (area-proportional; Examples 5.1 / 5.3). For the
+// paper's range-query workload the coefficient is Cr * rho where rho is the
+// POI density: payload = (#POIs inside an x-by-x region) * Cr.
+class QuadraticCost : public RequestCostModel {
+ public:
+  explicit QuadraticCost(double coefficient);
+
+  double R(double x) const override { return coefficient_ * x * x; }
+  double RPrime(double x) const override { return 2.0 * coefficient_ * x; }
+  const char* name() const override { return "quadratic"; }
+
+  double coefficient() const { return coefficient_; }
+
+ private:
+  double coefficient_;
+};
+
+// R(x) = coefficient * x (length-proportional; Examples 5.2 / 5.4).
+class LinearCost : public RequestCostModel {
+ public:
+  explicit LinearCost(double coefficient);
+
+  double R(double x) const override { return coefficient_ * x; }
+  double RPrime(double) const override { return coefficient_; }
+  const char* name() const override { return "linear"; }
+
+  double coefficient() const { return coefficient_; }
+
+ private:
+  double coefficient_;
+};
+
+}  // namespace nela::bounding
+
+#endif  // NELA_BOUNDING_COST_MODEL_H_

@@ -1,0 +1,39 @@
+#include "bounding/distribution.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nela::bounding {
+
+UniformDistribution::UniformDistribution(double upper) : upper_(upper) {
+  NELA_CHECK_GT(upper, 0.0);
+}
+
+double UniformDistribution::Pdf(double x) const {
+  if (x <= 0.0 || x >= upper_) return 0.0;
+  return 1.0 / upper_;
+}
+
+double UniformDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= upper_) return 1.0;
+  return x / upper_;
+}
+
+ExponentialDistribution::ExponentialDistribution(double lambda)
+    : lambda_(lambda) {
+  NELA_CHECK_GT(lambda, 0.0);
+}
+
+double ExponentialDistribution::Pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return lambda_ * std::exp(-lambda_ * x);
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-lambda_ * x);
+}
+
+}  // namespace nela::bounding

@@ -1,0 +1,68 @@
+// Probability models for the disagreeing users' offsets (§V).
+//
+// In an iteration of progressive bounding, the offsets xi - X0 of the users
+// who rejected the previous bound X0 are modeled as i.i.d. positive random
+// variables. The cost derivations only need the pdf and cdf.
+//
+// Note on the exponential model: the paper writes p(x) = e^(-lambda*x)/lambda,
+// which does not integrate to 1; we implement the standard exponential
+// p(x) = lambda * e^(-lambda*x). The closed forms in nbound.cc are derived
+// for this corrected pdf (same functional shape, lambda moved across).
+
+#ifndef NELA_BOUNDING_DISTRIBUTION_H_
+#define NELA_BOUNDING_DISTRIBUTION_H_
+
+#include <limits>
+
+namespace nela::bounding {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  // Density at x > 0.
+  virtual double Pdf(double x) const = 0;
+  // P(offset <= x).
+  virtual double Cdf(double x) const = 0;
+  // Upper end of the support (+infinity when unbounded).
+  virtual double SupportMax() const = 0;
+  virtual const char* name() const = 0;
+};
+
+// Uniform on (0, U) -- Examples 5.1 / 5.3.
+class UniformDistribution : public Distribution {
+ public:
+  explicit UniformDistribution(double upper);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double SupportMax() const override { return upper_; }
+  const char* name() const override { return "uniform"; }
+
+  double upper() const { return upper_; }
+
+ private:
+  double upper_;
+};
+
+// Exponential with rate lambda -- Examples 5.2 / 5.4.
+class ExponentialDistribution : public Distribution {
+ public:
+  explicit ExponentialDistribution(double lambda);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double SupportMax() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+  const char* name() const override { return "exponential"; }
+
+  double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+}  // namespace nela::bounding
+
+#endif  // NELA_BOUNDING_DISTRIBUTION_H_

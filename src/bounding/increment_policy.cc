@@ -1,0 +1,54 @@
+#include "bounding/increment_policy.h"
+
+#include "util/check.h"
+
+namespace nela::bounding {
+
+LinearIncrementPolicy::LinearIncrementPolicy(double step) : step_(step) {
+  NELA_CHECK_GT(step, 0.0);
+}
+
+double LinearIncrementPolicy::NextIncrement(double /*covered*/,
+                                            uint32_t /*disagreeing*/,
+                                            uint32_t /*iteration*/) {
+  return step_;
+}
+
+ExponentialIncrementPolicy::ExponentialIncrementPolicy(double initial_step)
+    : initial_step_(initial_step) {
+  NELA_CHECK_GT(initial_step, 0.0);
+}
+
+double ExponentialIncrementPolicy::NextIncrement(double covered,
+                                                 uint32_t /*disagreeing*/,
+                                                 uint32_t iteration) {
+  if (iteration == 0 || covered <= 0.0) return initial_step_;
+  return covered;  // double the covered extent
+}
+
+SecureIncrementPolicy::SecureIncrementPolicy(const Distribution& distribution,
+                                             const RequestCostModel& cost,
+                                             double cb)
+    : distribution_(distribution), cost_(cost), cb_(cb),
+      unary_(SolveUnary(distribution, cost, cb)) {}
+
+SecureIncrementPolicy::SecureIncrementPolicy(const Distribution& distribution,
+                                             const RequestCostModel& cost,
+                                             double cb,
+                                             const ExactNBoundTable* table)
+    : SecureIncrementPolicy(distribution, cost, cb) {
+  NELA_CHECK(table != nullptr);
+  table_ = table;
+}
+
+double SecureIncrementPolicy::NextIncrement(double /*covered*/,
+                                            uint32_t disagreeing,
+                                            uint32_t /*iteration*/) {
+  NELA_CHECK_GE(disagreeing, 1u);
+  if (table_ != nullptr && disagreeing <= table_->max_n()) {
+    return table_->increment(disagreeing);
+  }
+  return SolveNBoundIncrement(distribution_, cost_, cb_, disagreeing, unary_);
+}
+
+}  // namespace nela::bounding

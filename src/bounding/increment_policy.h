@@ -1,0 +1,95 @@
+// Increment policies for progressive bounding (§V, §VI-D).
+//
+// All progressive algorithms share Algorithm 4's loop and differ only in
+// how far the hypothesized bound advances each iteration:
+//
+//  * linear      -- a fixed step (most conservative; most iterations);
+//  * exponential -- double the covered extent each iteration;
+//  * secure      -- the cost-model-optimal N-bounding increment (Eq. 5 or
+//                   the exact DP), recomputed from the number of users
+//                   still disagreeing.
+
+#ifndef NELA_BOUNDING_INCREMENT_POLICY_H_
+#define NELA_BOUNDING_INCREMENT_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "bounding/cost_model.h"
+#include "bounding/distribution.h"
+#include "bounding/nbound.h"
+#include "bounding/unary.h"
+
+namespace nela::bounding {
+
+class IncrementPolicy {
+ public:
+  virtual ~IncrementPolicy() = default;
+
+  // Amount to add to the current bound. `covered` is the extent already
+  // covered above the domain minimum (what the exponential policy doubles);
+  // `disagreeing` (>= 1) is the number of users that rejected the current
+  // bound; `iteration` is 0-based.
+  virtual double NextIncrement(double covered, uint32_t disagreeing,
+                               uint32_t iteration) = 0;
+  virtual const char* name() const = 0;
+};
+
+class LinearIncrementPolicy : public IncrementPolicy {
+ public:
+  explicit LinearIncrementPolicy(double step);
+
+  double NextIncrement(double covered, uint32_t disagreeing,
+                       uint32_t iteration) override;
+  const char* name() const override { return "linear"; }
+
+ private:
+  double step_;
+};
+
+class ExponentialIncrementPolicy : public IncrementPolicy {
+ public:
+  // First iteration advances by `initial_step`; afterwards the increment
+  // equals the covered extent (doubling).
+  explicit ExponentialIncrementPolicy(double initial_step);
+
+  double NextIncrement(double covered, uint32_t disagreeing,
+                       uint32_t iteration) override;
+  const char* name() const override { return "exponential"; }
+
+ private:
+  double initial_step_;
+};
+
+class SecureIncrementPolicy : public IncrementPolicy {
+ public:
+  // Closed-form / bisection mode (Equation 5). `distribution` and `cost`
+  // must outlive the policy. The unary solution is computed once here.
+  SecureIncrementPolicy(const Distribution& distribution,
+                        const RequestCostModel& cost, double cb);
+
+  // Exact-DP mode: increments come from `table` (not owned); used by the
+  // ablation bench. Offsets beyond table.max_n() fall back to Equation 5.
+  SecureIncrementPolicy(const Distribution& distribution,
+                        const RequestCostModel& cost, double cb,
+                        const ExactNBoundTable* table);
+
+  double NextIncrement(double covered, uint32_t disagreeing,
+                       uint32_t iteration) override;
+  const char* name() const override {
+    return table_ != nullptr ? "secure-dp" : "secure";
+  }
+
+  const UnarySolution& unary() const { return unary_; }
+
+ private:
+  const Distribution& distribution_;
+  const RequestCostModel& cost_;
+  double cb_;
+  UnarySolution unary_;
+  const ExactNBoundTable* table_ = nullptr;
+};
+
+}  // namespace nela::bounding
+
+#endif  // NELA_BOUNDING_INCREMENT_POLICY_H_

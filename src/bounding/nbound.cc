@@ -1,0 +1,180 @@
+#include "bounding/nbound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nela::bounding {
+
+namespace {
+
+// Residual of Equation 5; a root is the optimal N-bounding increment.
+double Residual(const Distribution& dist, const RequestCostModel& cost,
+                double gain, uint32_t n, double x) {
+  return cost.RPrime(x) - gain * static_cast<double>(n) * dist.Pdf(x);
+}
+
+}  // namespace
+
+double SolveNBoundIncrement(const Distribution& distribution,
+                            const RequestCostModel& cost, double cb,
+                            uint32_t n, const UnarySolution& unary,
+                            double floor_increment) {
+  NELA_CHECK_GT(cb, 0.0);
+  NELA_CHECK_GE(n, 1u);
+  if (n == 1) return std::max(unary.x, floor_increment);
+  const double gain = unary.total_cost - unary.request_cost;
+  NELA_CHECK_GT(gain, 0.0);
+  const double support = distribution.SupportMax();
+
+  double hi;
+  if (std::isfinite(support)) {
+    hi = support * (1.0 - 1e-12);
+    if (Residual(distribution, cost, gain, n, hi) <= 0.0) {
+      // Verification is so cheap relative to the request that covering the
+      // entire support at once is optimal.
+      return support;
+    }
+  } else {
+    hi = 1.0;
+    int expansions = 0;
+    while (Residual(distribution, cost, gain, n, hi) <= 0.0) {
+      hi *= 2.0;
+      NELA_CHECK_LT(++expansions, 1024);
+    }
+  }
+  if (Residual(distribution, cost, gain, n, floor_increment) >= 0.0) {
+    // R' already dominates at the floor: the unconstrained optimum is ~0,
+    // which would stall the protocol; advance by the floor instead.
+    return floor_increment;
+  }
+  double lo = floor_increment;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (Residual(distribution, cost, gain, n, mid) > 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return std::max(0.5 * (lo + hi), floor_increment);
+}
+
+double NBoundUniformQuadratic(double c_star, double r_star, uint32_t n,
+                              double c, double upper) {
+  NELA_CHECK_GT(c, 0.0);
+  NELA_CHECK_GT(upper, 0.0);
+  return static_cast<double>(n) * (c_star - r_star) / (2.0 * c * upper);
+}
+
+double NBoundExponentialLinear(double c_star, double r_star, uint32_t n,
+                               double c, double lambda) {
+  NELA_CHECK_GT(c, 0.0);
+  NELA_CHECK_GT(lambda, 0.0);
+  const double arg = (c_star - r_star) * static_cast<double>(n) * lambda / c;
+  if (arg <= 1.0) return 0.0;
+  return std::log(arg) / lambda;
+}
+
+ExactNBoundTable::ExactNBoundTable(const Distribution& distribution,
+                                   const RequestCostModel& cost, double cb,
+                                   uint32_t max_n)
+    : distribution_(distribution), cost_(cost), cb_(cb) {
+  NELA_CHECK_GT(cb, 0.0);
+  NELA_CHECK_GE(max_n, 1u);
+  const double support = distribution.SupportMax();
+  if (std::isfinite(support)) {
+    search_hi_ = support;
+  } else {
+    // 1 - 1e-12 quantile: offsets beyond it are effectively impossible.
+    double hi = 1.0;
+    while (distribution.Cdf(hi) < 1.0 - 1e-12) hi *= 2.0;
+    search_hi_ = hi;
+  }
+
+  x_.assign(max_n + 1, 0.0);
+  c_.assign(max_n + 1, 0.0);
+  for (uint32_t n = 1; n <= max_n; ++n) {
+    // Coarse scan, then golden-section refinement around the best cell.
+    constexpr int kGrid = 256;
+    double best_x = search_hi_;
+    double best_cost = CostAt(n, search_hi_);
+    for (int g = 1; g < kGrid; ++g) {
+      const double x = search_hi_ * static_cast<double>(g) / kGrid;
+      const double value = CostAt(n, x);
+      if (value < best_cost) {
+        best_cost = value;
+        best_x = x;
+      }
+    }
+    double lo = std::max(best_x - search_hi_ / kGrid, 1e-300);
+    double hi = std::min(best_x + search_hi_ / kGrid, search_hi_);
+    constexpr double kInvPhi = 0.6180339887498949;
+    double a = hi - (hi - lo) * kInvPhi;
+    double b = lo + (hi - lo) * kInvPhi;
+    double fa = CostAt(n, a);
+    double fb = CostAt(n, b);
+    for (int i = 0; i < 80; ++i) {
+      if (fa < fb) {
+        hi = b;
+        b = a;
+        fb = fa;
+        a = hi - (hi - lo) * kInvPhi;
+        fa = CostAt(n, a);
+      } else {
+        lo = a;
+        a = b;
+        fa = fb;
+        b = lo + (hi - lo) * kInvPhi;
+        fb = CostAt(n, b);
+      }
+    }
+    x_[n] = 0.5 * (lo + hi);
+    c_[n] = CostAt(n, x_[n]);
+  }
+}
+
+double ExactNBoundTable::CostAt(uint32_t n, double x) const {
+  const double p = distribution_.Cdf(x);   // P(x): one user agrees
+  const double q = 1.0 - p;                // one user disagrees
+  if (p <= 0.0) return std::numeric_limits<double>::infinity();
+  const double nd = static_cast<double>(n);
+  // Fixed charge: every disagreeing user verifies once, plus the request
+  // at the (eventually accepted) bound.
+  double fixed = nd * cb_ + cost_.R(x);
+  // Recurrence terms for 1 <= i <= n-1 disagreeing next round, computed in
+  // log space to stay stable for large n.
+  if (q > 0.0) {
+    const double log_q = std::log(q);
+    const double log_p = std::log(p);
+    double log_binom = std::log(nd);  // log C(n, 1)
+    for (uint32_t i = 1; i < n; ++i) {
+      const double log_term = log_binom + static_cast<double>(i) * log_q +
+                              static_cast<double>(n - i) * log_p;
+      fixed += std::exp(log_term) * c_[i];
+      // C(n, i+1) = C(n, i) * (n - i) / (i + 1).
+      log_binom += std::log(static_cast<double>(n - i) /
+                            static_cast<double>(i + 1));
+    }
+  }
+  // The i = n branch references C*(n) itself:
+  //   C = fixed + q^n C  =>  C = fixed / (1 - q^n).
+  const double q_pow_n = std::pow(q, static_cast<double>(n));
+  NELA_CHECK_LT(q_pow_n, 1.0);
+  return fixed / (1.0 - q_pow_n);
+}
+
+double ExactNBoundTable::increment(uint32_t n) const {
+  NELA_CHECK_GE(n, 1u);
+  NELA_CHECK_LT(n, x_.size());
+  return x_[n];
+}
+
+double ExactNBoundTable::expected_cost(uint32_t n) const {
+  NELA_CHECK_LT(n, c_.size());
+  return c_[n];
+}
+
+}  // namespace nela::bounding

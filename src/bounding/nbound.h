@@ -1,0 +1,77 @@
+// N-bounding (§V-B): the optimal bound increment when N users disagree.
+//
+// Two solvers are provided:
+//
+//  * SolveNBoundIncrement -- the paper's approximate optimality condition
+//    (Equation 5): R'(x) = (C* - R*) N p(x), with C*, R* from the unary
+//    solution. Closed forms exist for the two example settings (Examples
+//    5.3 / 5.4) and are exposed for cross-checking; the generic solver uses
+//    bisection on the residual.
+//
+//  * ExactNBoundTable -- the bottom-up dynamic program over Equation 3 the
+//    paper describes as "theoretically sound [but] CPU intensive". It is
+//    the reference for the ablation bench that quantifies what the
+//    closed-form approximation gives up.
+
+#ifndef NELA_BOUNDING_NBOUND_H_
+#define NELA_BOUNDING_NBOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounding/cost_model.h"
+#include "bounding/distribution.h"
+#include "bounding/unary.h"
+
+namespace nela::bounding {
+
+// Solves Equation 5 for `n` >= 1 disagreeing users. When the residual has
+// no root inside the support, returns the support extent (one-shot cover).
+// The result is clamped below by `floor_increment` to guarantee protocol
+// progress even for degenerate parameter choices.
+double SolveNBoundIncrement(const Distribution& distribution,
+                            const RequestCostModel& cost, double cb,
+                            uint32_t n, const UnarySolution& unary,
+                            double floor_increment = 1e-12);
+
+// Example 5.3 closed form (uniform(0,U) offsets, R(x) = c x^2):
+//   x = n (C* - R*) / (2 c U).
+double NBoundUniformQuadratic(double c_star, double r_star, uint32_t n,
+                              double c, double upper);
+
+// Example 5.4 closed form (exponential(lambda) offsets, R(x) = c x), for
+// the corrected pdf p(x) = lambda e^(-lambda x):
+//   x = ln((C* - R*) n lambda / c) / lambda   (clamped at 0).
+double NBoundExponentialLinear(double c_star, double r_star, uint32_t n,
+                               double c, double lambda);
+
+class ExactNBoundTable {
+ public:
+  // Precomputes optimal increments and expected costs for 1..max_n
+  // disagreeing users by minimizing Equation 3 numerically (grid scan plus
+  // golden-section refinement) with bottom-up reuse of C*(i), i < n.
+  ExactNBoundTable(const Distribution& distribution,
+                   const RequestCostModel& cost, double cb, uint32_t max_n);
+
+  uint32_t max_n() const { return static_cast<uint32_t>(x_.size()) - 1; }
+  // Optimal increment for n disagreeing users (1 <= n <= max_n).
+  double increment(uint32_t n) const;
+  // Expected total cost C*(n) when n users disagree.
+  double expected_cost(uint32_t n) const;
+
+ private:
+  // Expected cost with n disagreeing users when the next increment is x,
+  // folding the self-referential i = n term into a fixed point.
+  double CostAt(uint32_t n, double x) const;
+
+  const Distribution& distribution_;
+  const RequestCostModel& cost_;
+  double cb_;
+  double search_hi_;
+  std::vector<double> x_;  // x_[n], index 0 unused
+  std::vector<double> c_;  // C*(n), c_[0] = 0
+};
+
+}  // namespace nela::bounding
+
+#endif  // NELA_BOUNDING_NBOUND_H_

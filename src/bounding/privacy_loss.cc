@@ -1,0 +1,33 @@
+#include "bounding/privacy_loss.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nela::bounding {
+
+PrivacyLossReport AnalyzePrivacyLoss(const BoundingRunResult& run,
+                                     double domain_min) {
+  PrivacyLossReport report;
+  report.interval_width.reserve(run.agree_iteration.size());
+  for (uint32_t agree_at : run.agree_iteration) {
+    NELA_CHECK_LT(agree_at, run.bound_history.size());
+    const double hi = run.bound_history[agree_at];
+    const double lo =
+        agree_at == 0 ? domain_min : run.bound_history[agree_at - 1];
+    report.interval_width.push_back(hi - lo);
+  }
+  if (report.interval_width.empty()) return report;
+  double sum = 0.0;
+  report.min_width = report.interval_width.front();
+  report.max_width = report.interval_width.front();
+  for (double width : report.interval_width) {
+    sum += width;
+    report.min_width = std::min(report.min_width, width);
+    report.max_width = std::max(report.max_width, width);
+  }
+  report.mean_width = sum / static_cast<double>(report.interval_width.size());
+  return report;
+}
+
+}  // namespace nela::bounding

@@ -1,0 +1,34 @@
+// Privacy-loss metric for progressive bounding (the paper's §VII future
+// work): a user who rejects bound X and accepts the next bound X' tells the
+// protocol that its value lies in (X, X'] -- the narrower that interval,
+// the more the user exposed. This module turns a protocol run into
+// per-user exposure intervals and summary statistics, enabling the
+// tightness-vs-privacy ablation.
+
+#ifndef NELA_BOUNDING_PRIVACY_LOSS_H_
+#define NELA_BOUNDING_PRIVACY_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounding/protocol.h"
+
+namespace nela::bounding {
+
+struct PrivacyLossReport {
+  // interval_width[i]: width of the exposure interval of user i.
+  std::vector<double> interval_width;
+  double min_width = 0.0;   // the most-exposed user
+  double mean_width = 0.0;
+  double max_width = 0.0;
+};
+
+// `domain_min` must be the value passed to RunProgressiveUpperBounding.
+// A user that accepted the first hypothesis X_0 has interval
+// (domain_min, X_0]; one that first accepted X_j has (X_{j-1}, X_j].
+PrivacyLossReport AnalyzePrivacyLoss(const BoundingRunResult& run,
+                                     double domain_min);
+
+}  // namespace nela::bounding
+
+#endif  // NELA_BOUNDING_PRIVACY_LOSS_H_

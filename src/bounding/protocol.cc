@@ -1,0 +1,180 @@
+#include "bounding/protocol.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace nela::bounding {
+
+namespace {
+
+// Hard cap on protocol iterations; reaching it means a policy returned
+// non-advancing increments (a programming error, not an input error).
+constexpr uint32_t kMaxIterations = 10'000'000;
+
+void AccountRoundTrip(const NetworkBinding& binding, size_t user_index) {
+  if (binding.network == nullptr) return;
+  NELA_CHECK(binding.node_ids != nullptr);
+  const net::NodeId peer = (*binding.node_ids)[user_index];
+  // On a lossy link the host retransmits the proposal until it observes the
+  // vote (semi-honest users always answer what they receive). A retry cap
+  // keeps pathological loss rates from spinning; an abandoned round trip is
+  // visible through the network's dropped-message counter.
+  constexpr int kMaxRetries = 64;
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    const bool proposal_delivered = binding.network->Send(
+        binding.host, peer, net::MessageKind::kBoundProposal, /*bytes=*/16);
+    if (!proposal_delivered) continue;
+    const bool vote_delivered = binding.network->Send(
+        peer, binding.host, net::MessageKind::kBoundVote, /*bytes=*/8);
+    if (vote_delivered) return;
+  }
+}
+
+}  // namespace
+
+BoundingRunResult RunProgressiveUpperBounding(
+    const std::vector<PrivateScalar>& secrets, double domain_min,
+    IncrementPolicy& policy, const NetworkBinding& binding) {
+  NELA_CHECK(!secrets.empty());
+  if (binding.network != nullptr) {
+    NELA_CHECK(binding.node_ids != nullptr);
+    NELA_CHECK_EQ(binding.node_ids->size(), secrets.size());
+  }
+  util::WallTimer timer;
+  BoundingRunResult result;
+  result.agree_iteration.assign(secrets.size(), 0);
+
+  std::vector<size_t> disagreeing(secrets.size());
+  for (size_t i = 0; i < secrets.size(); ++i) disagreeing[i] = i;
+
+  double bound = domain_min;
+  uint32_t iteration = 0;
+  while (!disagreeing.empty()) {
+    NELA_CHECK_LT(iteration, kMaxIterations);
+    const double increment = policy.NextIncrement(
+        bound - domain_min, static_cast<uint32_t>(disagreeing.size()),
+        iteration);
+    NELA_CHECK_GT(increment, 0.0);
+    const double next_bound = bound + increment;
+    // Guard against increments below the floating-point resolution of the
+    // current bound, which would stall the loop.
+    NELA_CHECK_GT(next_bound, bound);
+    bound = next_bound;
+    result.bound_history.push_back(bound);
+
+    std::vector<size_t> still_disagreeing;
+    still_disagreeing.reserve(disagreeing.size());
+    for (size_t index : disagreeing) {
+      ++result.verifications;
+      AccountRoundTrip(binding, index);
+      if (secrets[index].AgreesWithUpperBound(bound)) {
+        result.agree_iteration[index] = iteration;
+      } else {
+        still_disagreeing.push_back(index);
+      }
+    }
+    disagreeing.swap(still_disagreeing);
+    ++iteration;
+  }
+  result.bound = bound;
+  result.iterations = iteration;
+  result.cpu_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+BoundingRunResult RunOptBounding(const std::vector<PrivateScalar>& secrets,
+                                 const NetworkBinding& binding) {
+  NELA_CHECK(!secrets.empty());
+  if (binding.network != nullptr) {
+    NELA_CHECK(binding.node_ids != nullptr);
+    NELA_CHECK_EQ(binding.node_ids->size(), secrets.size());
+  }
+  util::WallTimer timer;
+  BoundingRunResult result;
+  result.agree_iteration.assign(secrets.size(), 0);
+  double max_value = secrets.front().ExposeForOptBaseline();
+  for (size_t i = 0; i < secrets.size(); ++i) {
+    max_value = std::max(max_value, secrets[i].ExposeForOptBaseline());
+    ++result.verifications;  // one exposure message per user
+    if (binding.network != nullptr) {
+      binding.network->Send((*binding.node_ids)[i], binding.host,
+                            net::MessageKind::kBoundVote, /*bytes=*/8);
+    }
+  }
+  result.bound = max_value;
+  result.iterations = 1;
+  result.bound_history.push_back(max_value);
+  result.cpu_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+namespace {
+
+// One axis-direction run: upper-bounds `sign` * coordinate, starting from
+// domain minimum `lo`.
+BoundingRunResult RunAxis(const std::vector<geo::Point>& points, bool use_x,
+                          double sign, double lo, IncrementPolicy& policy,
+                          const NetworkBinding& binding) {
+  std::vector<PrivateScalar> secrets;
+  secrets.reserve(points.size());
+  for (const geo::Point& p : points) {
+    secrets.emplace_back(sign * (use_x ? p.x : p.y));
+  }
+  return RunProgressiveUpperBounding(secrets, lo, policy, binding);
+}
+
+}  // namespace
+
+RegionBoundingResult ComputeCloakedRegion(
+    const std::vector<geo::Point>& member_points, const geo::Point& reference,
+    IncrementPolicy& policy, const NetworkBinding& binding) {
+  NELA_CHECK(!member_points.empty());
+  // Each direction starts at the reference coordinate: member offsets from
+  // it are non-negative in the direction being bounded (the reference is
+  // the host's own position, which trivially satisfies every hypothesis).
+  const BoundingRunResult upper_x = RunAxis(member_points, /*use_x=*/true,
+                                            +1.0, reference.x, policy, binding);
+  const BoundingRunResult lower_x = RunAxis(
+      member_points, /*use_x=*/true, -1.0, -reference.x, policy, binding);
+  const BoundingRunResult upper_y = RunAxis(
+      member_points, /*use_x=*/false, +1.0, reference.y, policy, binding);
+  const BoundingRunResult lower_y = RunAxis(
+      member_points, /*use_x=*/false, -1.0, -reference.y, policy, binding);
+
+  RegionBoundingResult result;
+  result.region = geo::Rect(-lower_x.bound, -lower_y.bound, upper_x.bound,
+                            upper_y.bound);
+  for (const BoundingRunResult* run :
+       {&upper_x, &lower_x, &upper_y, &lower_y}) {
+    result.iterations += run->iterations;
+    result.verifications += run->verifications;
+    result.cpu_seconds += run->cpu_seconds;
+  }
+  return result;
+}
+
+RegionBoundingResult ComputeOptRegion(
+    const std::vector<geo::Point>& member_points,
+    const NetworkBinding& binding) {
+  NELA_CHECK(!member_points.empty());
+  geo::Rect box;
+  for (const geo::Point& p : member_points) box.ExpandToInclude(p);
+  RegionBoundingResult result;
+  result.region = box;
+  result.iterations = 1;
+  result.verifications = member_points.size();
+  result.cpu_seconds = 0.0;
+  if (binding.network != nullptr) {
+    NELA_CHECK(binding.node_ids != nullptr);
+    NELA_CHECK_EQ(binding.node_ids->size(), member_points.size());
+    for (size_t i = 0; i < member_points.size(); ++i) {
+      binding.network->Send((*binding.node_ids)[i], binding.host,
+                            net::MessageKind::kBoundVote, /*bytes=*/16);
+    }
+  }
+  return result;
+}
+
+}  // namespace nela::bounding

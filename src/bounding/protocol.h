@@ -1,0 +1,85 @@
+// Progressive secure bounding protocol (Algorithms 3 and 4).
+//
+// Hypothesis-verification: the host proposes a bound X; every user whose
+// private value still exceeds X says "disagree" (and nothing more); the
+// bound advances by the policy's increment and only the disagreeing users
+// verify again; the protocol ends when nobody disagrees. No party ever
+// learns a value -- only, per user, the interval between the last rejected
+// and the first accepted hypothesis (quantified in privacy_loss.h).
+
+#ifndef NELA_BOUNDING_PROTOCOL_H_
+#define NELA_BOUNDING_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounding/increment_policy.h"
+#include "bounding/secret.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "net/network.h"
+
+namespace nela::bounding {
+
+struct BoundingRunResult {
+  // Final accepted bound (for all users, value <= bound).
+  double bound = 0.0;
+  uint32_t iterations = 0;
+  // Total verification round trips; the paper charges Cb per entry.
+  uint64_t verifications = 0;
+  // Wall time of the run (increment computation dominates).
+  double cpu_seconds = 0.0;
+  // Hypothesis sequence X_0 < X_1 < ... (one entry per iteration).
+  std::vector<double> bound_history;
+  // agree_iteration[i]: index into bound_history of the first hypothesis
+  // user i accepted.
+  std::vector<uint32_t> agree_iteration;
+};
+
+// Optional network accounting hookup: messages flow between `host` and
+// node_ids[i] (parallel to the secrets vector).
+struct NetworkBinding {
+  net::Network* network = nullptr;
+  net::NodeId host = 0;
+  const std::vector<net::NodeId>* node_ids = nullptr;
+};
+
+// Runs Algorithm 4: upper-bounds all `secrets`, starting the hypothesis at
+// domain_min + first increment. Requires at least one secret. All secret
+// values must lie in [domain_min, +inf); the protocol never terminates
+// otherwise (guarded by an iteration-limit CHECK).
+BoundingRunResult RunProgressiveUpperBounding(
+    const std::vector<PrivateScalar>& secrets, double domain_min,
+    IncrementPolicy& policy, const NetworkBinding& binding = {});
+
+// OPT comparator (§VI): every user exposes the value, the bound is exact.
+// One message per user; zero slack. Not private -- benchmark only.
+BoundingRunResult RunOptBounding(const std::vector<PrivateScalar>& secrets,
+                                 const NetworkBinding& binding = {});
+
+// Phase-2 entry point for 2-D cloaking: four protocol runs (upper/lower per
+// axis) over the cluster members' coordinates. Each run starts its
+// hypothesis at the host's own coordinate (`reference`), so the offsets the
+// increment policies model are member distances from the host -- small,
+// cluster-local quantities -- rather than absolute positions. The host is a
+// member, so every starting hypothesis is a valid domain minimum for its
+// direction. Policies may be stateless across runs (all provided ones are).
+struct RegionBoundingResult {
+  geo::Rect region;
+  uint32_t iterations = 0;       // summed over the four runs
+  uint64_t verifications = 0;    // summed over the four runs
+  double cpu_seconds = 0.0;
+};
+
+RegionBoundingResult ComputeCloakedRegion(
+    const std::vector<geo::Point>& member_points, const geo::Point& reference,
+    IncrementPolicy& policy, const NetworkBinding& binding = {});
+
+// OPT region: the exact bounding box (exposes coordinates).
+RegionBoundingResult ComputeOptRegion(
+    const std::vector<geo::Point>& member_points,
+    const NetworkBinding& binding = {});
+
+}  // namespace nela::bounding
+
+#endif  // NELA_BOUNDING_PROTOCOL_H_

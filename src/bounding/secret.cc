@@ -1,0 +1,12 @@
+#include "bounding/secret.h"
+
+namespace nela::bounding {
+
+std::vector<PrivateScalar> MakePrivate(const std::vector<double>& values) {
+  std::vector<PrivateScalar> secrets;
+  secrets.reserve(values.size());
+  for (double v : values) secrets.emplace_back(v);
+  return secrets;
+}
+
+}  // namespace nela::bounding

@@ -1,0 +1,39 @@
+// Private scalar values for secure bounding.
+//
+// Non-exposure is enforced by construction: protocol code holds
+// PrivateScalar objects whose only query is a bound comparison (the
+// semi-honest model's single permitted primitive). The raw value is
+// reachable only through ExposeForOptBaseline(), which exists because the
+// paper's OPT comparator requires users to reveal their coordinates -- the
+// very thing OPT is criticized for.
+
+#ifndef NELA_BOUNDING_SECRET_H_
+#define NELA_BOUNDING_SECRET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nela::bounding {
+
+class PrivateScalar {
+ public:
+  explicit PrivateScalar(double value) : value_(value) {}
+
+  // The one legitimate protocol primitive: "is your value at most X?".
+  bool AgreesWithUpperBound(double bound) const { return value_ <= bound; }
+
+  // Deliberately loud escape hatch; used only by the OPT baseline and by
+  // test assertions.
+  double ExposeForOptBaseline() const { return value_; }
+
+ private:
+  double value_;
+};
+
+// Convenience: wraps raw values (e.g. one coordinate of each cluster
+// member) into private scalars.
+std::vector<PrivateScalar> MakePrivate(const std::vector<double>& values);
+
+}  // namespace nela::bounding
+
+#endif  // NELA_BOUNDING_SECRET_H_

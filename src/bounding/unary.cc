@@ -1,0 +1,74 @@
+#include "bounding/unary.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nela::bounding {
+
+namespace {
+
+// Residual of Equation 2; a root is the optimal unary increment.
+double Residual(const Distribution& dist, const RequestCostModel& cost,
+                double cb, double x) {
+  return dist.Cdf(x) * cost.RPrime(x) - (cb + cost.R(x)) * dist.Pdf(x);
+}
+
+}  // namespace
+
+UnarySolution SolveUnary(const Distribution& distribution,
+                         const RequestCostModel& cost, double cb) {
+  NELA_CHECK_GT(cb, 0.0);
+  const double support = distribution.SupportMax();
+
+  // Find an upper bracket with positive residual. For finite support stop
+  // just inside it; for infinite support expand geometrically (the residual
+  // eventually turns positive because p(x) decays while R'(x) does not).
+  double hi;
+  if (std::isfinite(support)) {
+    hi = support * (1.0 - 1e-12);
+    if (Residual(distribution, cost, cb, hi) <= 0.0) {
+      // No interior root: the optimum covers the whole support in one step.
+      UnarySolution solution;
+      solution.x = support;
+      solution.request_cost = cost.R(support);
+      solution.total_cost = cb + solution.request_cost;
+      return solution;
+    }
+  } else {
+    hi = 1.0;
+    int expansions = 0;
+    while (Residual(distribution, cost, cb, hi) <= 0.0) {
+      hi *= 2.0;
+      NELA_CHECK_LT(++expansions, 1024);
+    }
+  }
+
+  // The residual is negative near 0 (P -> 0 while p stays positive);
+  // bisect.
+  double lo = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (Residual(distribution, cost, cb, mid) > 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  UnarySolution solution;
+  solution.x = 0.5 * (lo + hi);
+  solution.request_cost = cost.R(solution.x);
+  const double p_agree = distribution.Cdf(solution.x);
+  NELA_CHECK_GT(p_agree, 0.0);
+  // From C* = Cb + R(x*) + (1 - P(x*)) C*.
+  solution.total_cost = (cb + solution.request_cost) / p_agree;
+  return solution;
+}
+
+double OptimalUnaryUniformQuadratic(double cb, double c) {
+  NELA_CHECK_GT(cb, 0.0);
+  NELA_CHECK_GT(c, 0.0);
+  return std::sqrt(cb / c);
+}
+
+}  // namespace nela::bounding

@@ -1,0 +1,37 @@
+// Unary bounding (§V-A): the optimal bound increment when a single user
+// still disagrees, i.e. the x solving Equation 2,
+//
+//    P(x) R'(x) = (Cb + R(x)) p(x),
+//
+// together with the resulting expected total cost C* and request cost R*
+// (both are inputs to N-bounding).
+
+#ifndef NELA_BOUNDING_UNARY_H_
+#define NELA_BOUNDING_UNARY_H_
+
+#include "bounding/cost_model.h"
+#include "bounding/distribution.h"
+
+namespace nela::bounding {
+
+struct UnarySolution {
+  double x = 0.0;             // optimal increment
+  double total_cost = 0.0;    // C* = expected total cost at the optimum
+  double request_cost = 0.0;  // R* = R(x*)
+};
+
+// Solves Equation 2 numerically (bisection on its residual). When the
+// residual has no root inside the distribution's support the optimum is to
+// cover the whole support in one step (x* = SupportMax, C* = Cb + R(x*)).
+// `cb` is the per-user verification cost and must be positive.
+UnarySolution SolveUnary(const Distribution& distribution,
+                         const RequestCostModel& cost, double cb);
+
+// Closed form of Example 5.1 (uniform offsets, quadratic request cost):
+// x* = sqrt(cb / c). Note the solution is independent of U, as the paper
+// remarks. Used to cross-check the generic solver.
+double OptimalUnaryUniformQuadratic(double cb, double c);
+
+}  // namespace nela::bounding
+
+#endif  // NELA_BOUNDING_UNARY_H_

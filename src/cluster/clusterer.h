@@ -1,0 +1,39 @@
+// Phase-1 interface: produce (or reuse) the k-cluster of a host user.
+
+#ifndef NELA_CLUSTER_CLUSTERER_H_
+#define NELA_CLUSTER_CLUSTERER_H_
+
+#include <cstdint>
+
+#include "cluster/registry.h"
+#include "graph/wpg.h"
+#include "util/status.h"
+
+namespace nela::cluster {
+
+struct ClusteringOutcome {
+  ClusterId cluster_id = kNoCluster;
+  // Number of users that participated in this request (the paper's
+  // communication-cost unit: each involved user ships one adjacency
+  // message). 0 when the host already had a cluster.
+  uint64_t involved_users = 0;
+  // True when the request was answered from the registry without running
+  // the algorithm (step 3 of Fig. 3).
+  bool reused = false;
+};
+
+class Clusterer {
+ public:
+  virtual ~Clusterer() = default;
+
+  // Finds or reuses the cluster of `host`, registering every newly formed
+  // cluster in the registry given at construction.
+  virtual util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) = 0;
+
+  // Short identifier used in benchmark tables ("t-Conn", "kNN", ...).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace nela::cluster
+
+#endif  // NELA_CLUSTER_CLUSTERER_H_

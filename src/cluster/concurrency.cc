@@ -1,0 +1,190 @@
+#include "cluster/concurrency.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "cluster/distributed_tconn.h"
+
+namespace nela::cluster {
+
+ClaimCoordinator::ClaimCoordinator(uint32_t user_count)
+    : holder_(user_count, kNoTicket) {}
+
+Ticket ClaimCoordinator::OpenRequest() {
+  const Ticket ticket = next_ticket_++;
+  if (wounded_.size() <= ticket) wounded_.resize(ticket + 1, 0);
+  return ticket;
+}
+
+bool ClaimCoordinator::TryClaim(Ticket ticket,
+                                const std::vector<graph::VertexId>& members) {
+  NELA_CHECK_NE(ticket, kNoTicket);
+  // Pass 1: inspect every contended member. An older holder anywhere means
+  // the whole claim fails; younger holders will be wounded.
+  std::vector<Ticket> to_wound;
+  for (graph::VertexId v : members) {
+    NELA_CHECK_LT(v, holder_.size());
+    const Ticket holder = holder_[v];
+    if (holder == kNoTicket || holder == ticket) continue;
+    ++conflicts_;
+    if (holder < ticket) return false;  // older wins; we retry
+    to_wound.push_back(holder);
+  }
+  // Pass 2: wound every younger holder (revoke all their claims).
+  std::sort(to_wound.begin(), to_wound.end());
+  to_wound.erase(std::unique(to_wound.begin(), to_wound.end()),
+                 to_wound.end());
+  for (Ticket victim : to_wound) {
+    ++wounds_;
+    wounded_[victim] = 1;
+    for (Ticket& h : holder_) {
+      if (h == victim) h = kNoTicket;
+    }
+  }
+  // Pass 3: take everything.
+  for (graph::VertexId v : members) holder_[v] = ticket;
+  return true;
+}
+
+bool ClaimCoordinator::WasWounded(Ticket ticket) {
+  NELA_CHECK_NE(ticket, kNoTicket);
+  if (ticket >= wounded_.size() || !wounded_[ticket]) return false;
+  wounded_[ticket] = 0;
+  return true;
+}
+
+void ClaimCoordinator::Release(Ticket ticket) {
+  NELA_CHECK_NE(ticket, kNoTicket);
+  for (Ticket& h : holder_) {
+    if (h == ticket) h = kNoTicket;
+  }
+}
+
+Ticket ClaimCoordinator::HolderOf(graph::VertexId v) const {
+  NELA_CHECK_LT(v, holder_.size());
+  return holder_[v];
+}
+
+ConcurrentCloakingSession::ConcurrentCloakingSession(const graph::Wpg& graph,
+                                                     uint32_t k,
+                                                     Registry* registry)
+    : graph_(graph), k_(k), registry_(registry),
+      coordinator_(graph.vertex_count()) {
+  NELA_CHECK(registry != nullptr);
+  NELA_CHECK_EQ(registry->user_count(), graph.vertex_count());
+}
+
+namespace {
+
+// Snapshot of the authoritative registry for a speculative phase-1 run.
+std::unique_ptr<Registry> SnapshotRegistry(const Registry& source) {
+  auto scratch = std::make_unique<Registry>(source.user_count());
+  for (ClusterId id = 0; id < source.cluster_count(); ++id) {
+    const ClusterInfo& info = source.info(id);
+    auto copied =
+        scratch->Register(info.members, info.connectivity, info.valid);
+    NELA_CHECK(copied.ok());
+  }
+  return scratch;
+}
+
+}  // namespace
+
+util::Result<std::vector<ConcurrentOutcome>>
+ConcurrentCloakingSession::RunAll(const std::vector<graph::VertexId>& hosts) {
+  enum class State { kIdle, kClaimed, kDone };
+  struct Pending {
+    graph::VertexId host;
+    Ticket ticket;
+    ConcurrentOutcome outcome;
+    State state = State::kIdle;
+    // Speculative partition held while claimed.
+    std::vector<ClusterInfo> new_clusters;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(hosts.size());
+  for (graph::VertexId host : hosts) {
+    if (host >= graph_.vertex_count()) {
+      return util::InvalidArgumentError("host out of range");
+    }
+    pending.push_back(Pending{host, coordinator_.OpenRequest(), {},
+                              State::kIdle, {}});
+  }
+
+  // Fair round-robin, one step per turn: an idle request computes its
+  // candidate and claims it; a claimed request commits on its NEXT turn --
+  // leaving a window in which contending requests genuinely wound each
+  // other. Wound-wait guarantees the oldest contending request always
+  // commits, so every full pass retires at least one request.
+  uint32_t remaining = static_cast<uint32_t>(pending.size());
+  // Generous safety bound: exceeding it would indicate a livelock bug.
+  uint64_t turn_budget =
+      32ull * (pending.size() + 1) * (pending.size() + 1) + 64;
+  while (remaining > 0) {
+    NELA_CHECK_GT(turn_budget--, 0u);
+    for (Pending& request : pending) {
+      if (request.state == State::kDone) continue;
+
+      if (request.state == State::kClaimed) {
+        if (coordinator_.WasWounded(request.ticket)) {
+          // An older request revoked our claims: drop the candidate.
+          request.new_clusters.clear();
+          request.state = State::kIdle;
+          ++request.outcome.retries;
+          continue;
+        }
+        // Commit the speculative partition into the authoritative
+        // registry (claims make overlapping commits impossible).
+        for (const ClusterInfo& info : request.new_clusters) {
+          auto committed = registry_->Register(info.members,
+                                               info.connectivity, info.valid);
+          if (!committed.ok()) return committed.status();
+        }
+        request.new_clusters.clear();
+        request.outcome.cluster_id = registry_->ClusterOf(request.host);
+        NELA_CHECK_NE(request.outcome.cluster_id, kNoCluster);
+        coordinator_.Release(request.ticket);
+        request.state = State::kDone;
+        --remaining;
+        continue;
+      }
+
+      // Idle: fast path first -- someone may have clustered this host.
+      if (registry_->IsClustered(request.host)) {
+        request.outcome.cluster_id = registry_->ClusterOf(request.host);
+        coordinator_.Release(request.ticket);
+        request.state = State::kDone;
+        --remaining;
+        continue;
+      }
+
+      // Speculative phase 1 on a snapshot.
+      std::unique_ptr<Registry> scratch = SnapshotRegistry(*registry_);
+      const ClusterId first_new = scratch->cluster_count();
+      DistributedTConnClusterer clusterer(graph_, k_, scratch.get());
+      auto speculative = clusterer.ClusterFor(request.host);
+      if (!speculative.ok()) return speculative.status();
+
+      std::vector<graph::VertexId> claim_set;
+      std::vector<ClusterInfo> new_clusters;
+      for (ClusterId id = first_new; id < scratch->cluster_count(); ++id) {
+        const ClusterInfo& info = scratch->info(id);
+        claim_set.insert(claim_set.end(), info.members.begin(),
+                         info.members.end());
+        new_clusters.push_back(info);
+      }
+      if (!coordinator_.TryClaim(request.ticket, claim_set)) {
+        ++request.outcome.retries;  // an older request holds users we need
+        continue;
+      }
+      request.new_clusters = std::move(new_clusters);
+      request.state = State::kClaimed;
+    }
+  }
+  std::vector<ConcurrentOutcome> outcomes;
+  outcomes.reserve(pending.size());
+  for (const Pending& request : pending) outcomes.push_back(request.outcome);
+  return outcomes;
+}
+
+}  // namespace nela::cluster

@@ -1,0 +1,121 @@
+// Concurrency control for simultaneous cloaking requests (the paper's §VII
+// future work: "a single user can only join one cluster but can participate
+// in the clustering process of multiple host users; our protocols must
+// prevent deadlocks while making the best clustering decision").
+//
+// Model: every clustering request must atomically claim the set of users it
+// intends to cluster. Requests that overlap contend; the coordinator grants
+// claims with two guarantees:
+//
+//  * safety -- a user is never part of two committed clusters (reciprocity
+//    survives concurrency);
+//  * liveness -- contention cannot deadlock: claims are acquired in one
+//    atomic all-or-nothing step, and losers abort-and-retry with a
+//    deterministic priority (older ticket wins), so some request always
+//    commits (wound-wait style, no circular waiting is even possible).
+//
+// The coordinator is deliberately decoupled from the clustering algorithms:
+// phase 1 computes a candidate membership from a registry snapshot, then
+// commits it through the coordinator; a conflict means another host claimed
+// an overlapping set first, and the request recomputes against the fresh
+// registry state. ConcurrentCloakingSession drives that loop.
+
+#ifndef NELA_CLUSTER_CONCURRENCY_H_
+#define NELA_CLUSTER_CONCURRENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clusterer.h"
+#include "cluster/registry.h"
+#include "graph/wpg.h"
+#include "util/status.h"
+
+namespace nela::cluster {
+
+// Ticket identifying one in-flight cloaking request; lower = older = higher
+// priority.
+using Ticket = uint64_t;
+inline constexpr Ticket kNoTicket = 0;
+
+class ClaimCoordinator {
+ public:
+  explicit ClaimCoordinator(uint32_t user_count);
+
+  ClaimCoordinator(const ClaimCoordinator&) = delete;
+  ClaimCoordinator& operator=(const ClaimCoordinator&) = delete;
+
+  // Registers a new request and returns its ticket (monotonically
+  // increasing; older tickets win conflicts).
+  Ticket OpenRequest();
+
+  // Attempts to claim every user in `members` for `ticket`, atomically:
+  // either all become held by `ticket`, or nothing changes.
+  //
+  // Conflict resolution (wound-wait): if some member is held by a YOUNGER
+  // ticket, that holder's claims are revoked ("wounded") and the claim
+  // succeeds -- the wounded request observes its loss via WasWounded() and
+  // must retry. If some member is held by an OLDER ticket, the claim fails
+  // and the caller should recompute/retry. Returns true on success.
+  bool TryClaim(Ticket ticket, const std::vector<graph::VertexId>& members);
+
+  // True when another (older) request revoked this ticket's claims; the
+  // wounded request must drop its candidate and retry with a fresh
+  // snapshot. Resets the flag.
+  bool WasWounded(Ticket ticket);
+
+  // Releases every claim of `ticket` (after commit or abort).
+  void Release(Ticket ticket);
+
+  // Holder of user `v`, or kNoTicket.
+  Ticket HolderOf(graph::VertexId v) const;
+
+  uint64_t conflicts_observed() const { return conflicts_; }
+  uint64_t wounds_inflicted() const { return wounds_; }
+
+ private:
+  std::vector<Ticket> holder_;
+  std::vector<uint8_t> wounded_;  // indexed by ticket (grown on demand)
+  Ticket next_ticket_ = 1;
+  uint64_t conflicts_ = 0;
+  uint64_t wounds_ = 0;
+};
+
+// Serializes concurrent cloaking requests on top of any Clusterer.
+//
+// Simulates R hosts whose requests arrive "almost at the same time": each
+// request repeatedly (a) snapshots the registry, (b) runs phase 1 on a
+// scratch registry to obtain a candidate partition, (c) claims the
+// candidate's users through the coordinator, and (d) commits into the real
+// registry -- retrying from (a) whenever it loses a claim or was wounded.
+// The commit order interleaves round-robin, so claims genuinely contend.
+struct ConcurrentOutcome {
+  ClusterId cluster_id = kNoCluster;
+  uint32_t retries = 0;
+};
+
+class ConcurrentCloakingSession {
+ public:
+  // `registry` is the authoritative store; must outlive the session.
+  ConcurrentCloakingSession(const graph::Wpg& graph, uint32_t k,
+                            Registry* registry);
+
+  // Runs all `hosts` "concurrently" (fair round-robin interleaving of
+  // claim attempts) and returns each host's final cluster. Guarantees:
+  // every user ends in at most one cluster; no deadlock (the oldest
+  // request in any conflict always makes progress).
+  util::Result<std::vector<ConcurrentOutcome>> RunAll(
+      const std::vector<graph::VertexId>& hosts);
+
+  const ClaimCoordinator& coordinator() const { return coordinator_; }
+
+ private:
+  const graph::Wpg& graph_;
+  uint32_t k_;
+  Registry* registry_;
+  ClaimCoordinator coordinator_;
+};
+
+}  // namespace nela::cluster
+
+#endif  // NELA_CLUSTER_CONCURRENCY_H_

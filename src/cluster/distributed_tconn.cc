@@ -1,0 +1,246 @@
+#include "cluster/distributed_tconn.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <queue>
+#include <tuple>
+#include <unordered_set>
+
+#include "cluster/centralized_tconn.h"
+#include "graph/connectivity.h"
+
+namespace nela::cluster {
+
+namespace {
+
+// Sentinel strictly above every real edge key.
+graph::EdgeKey InfiniteKey() {
+  return graph::EdgeKey{std::numeric_limits<double>::infinity(), 0, 0};
+}
+
+}  // namespace
+
+DistributedTConnClusterer::DistributedTConnClusterer(const graph::Wpg& graph,
+                                                     uint32_t k,
+                                                     Registry* registry,
+                                                     net::Network* network)
+    : graph_(graph), k_(k), registry_(registry), network_(network) {
+  NELA_CHECK(registry != nullptr);
+  NELA_CHECK_EQ(registry->user_count(), graph.vertex_count());
+  NELA_CHECK_GE(k, 1u);
+}
+
+uint32_t DistributedTConnClusterer::BorderComponentSize(
+    graph::VertexId start, graph::EdgeKey t,
+    const std::vector<uint8_t>& in_c, uint32_t stop_size,
+    std::vector<uint8_t>* involved, uint64_t* involved_count) {
+  const std::vector<bool>& active = registry_->active();
+  std::unordered_set<graph::VertexId> seen;
+  std::deque<graph::VertexId> queue;
+  seen.insert(start);
+  queue.push_back(start);
+  uint32_t size = 0;
+  while (!queue.empty()) {
+    const graph::VertexId u = queue.front();
+    queue.pop_front();
+    ++size;
+    if (!(*involved)[u]) {
+      (*involved)[u] = 1;
+      ++*involved_count;
+    }
+    if (size >= stop_size) break;
+    for (const graph::HalfEdge& edge : graph_.Neighbors(u)) {
+      if (edge.weight > t.weight) break;  // adjacency sorted by weight
+      if (KeyOf(u, edge) > t) continue;   // tie refinement
+      if (!active[edge.to] || in_c[edge.to]) continue;
+      if (seen.insert(edge.to).second) queue.push_back(edge.to);
+    }
+  }
+  return size;
+}
+
+util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
+    graph::VertexId host) {
+  const uint32_t n = graph_.vertex_count();
+  if (host >= n) {
+    return util::InvalidArgumentError("host vertex out of range");
+  }
+  if (registry_->IsClustered(host)) {
+    return ClusteringOutcome{registry_->ClusterOf(host), 0, true};
+  }
+  const std::vector<bool>& active = registry_->active();
+  trace_ = Trace{};
+
+  std::vector<uint8_t> in_c(n, 0);
+  std::vector<uint8_t> involved(n, 0);
+  uint64_t involved_count = 0;
+  auto mark_involved = [&](graph::VertexId v) {
+    if (!involved[v]) {
+      involved[v] = 1;
+      ++involved_count;
+    }
+  };
+
+  // --- Step 1: grow the smallest valid t-connectivity cluster. Prim adds
+  // vertices in order of bottleneck (minimax-key) distance from the host,
+  // so the k-th accepted key is the smallest threshold whose class has at
+  // least k members; the class itself is recovered by saturating.
+  std::vector<graph::VertexId> c_members = {host};
+  in_c[host] = 1;
+  mark_involved(host);
+  graph::EdgeKey t = graph::EdgeKey::Min();
+  {
+    using Item = std::pair<graph::EdgeKey, graph::VertexId>;
+    auto greater = [](const Item& a, const Item& b) {
+      return b.first < a.first ||
+             (a.first == b.first && a.second > b.second);
+    };
+    std::priority_queue<Item, std::vector<Item>, decltype(greater)> heap(
+        greater);
+    auto push_neighbors = [&](graph::VertexId v) {
+      for (const graph::HalfEdge& edge : graph_.Neighbors(v)) {
+        if (active[edge.to] && !in_c[edge.to]) {
+          heap.push({KeyOf(v, edge), edge.to});
+        }
+      }
+    };
+    push_neighbors(host);
+    while (c_members.size() < k_ && !heap.empty()) {
+      const auto [key, v] = heap.top();
+      heap.pop();
+      if (in_c[v]) continue;  // stale duplicate
+      in_c[v] = 1;
+      c_members.push_back(v);
+      mark_involved(v);
+      if (t < key) t = key;
+      push_neighbors(v);
+    }
+  }
+  const bool reached_k = c_members.size() >= k_;
+
+  auto respan = [&](graph::EdgeKey threshold) {
+    for (graph::VertexId v : c_members) in_c[v] = 0;
+    c_members = graph::ThresholdComponent(graph_, host, threshold, &active);
+    for (graph::VertexId v : c_members) {
+      in_c[v] = 1;
+      mark_involved(v);
+    }
+  };
+
+  if (reached_k) respan(t);
+  trace_.smallest_valid_cluster = c_members;
+  std::sort(trace_.smallest_valid_cluster.begin(),
+            trace_.smallest_valid_cluster.end());
+  trace_.initial_t = t.weight;
+
+  if (!reached_k) {
+    // The host's entire remaining component is smaller than k: k-anonymity
+    // is unachievable. Register the component as an invalid cluster so the
+    // caller can see the degraded guarantee.
+    auto registered = registry_->Register(c_members, t.weight,
+                                          /*valid=*/false);
+    if (!registered.ok()) return registered.status();
+    trace_.candidate = trace_.smallest_valid_cluster;
+    trace_.final_t = t.weight;
+    return ClusteringOutcome{registered.value(), involved_count, false};
+  }
+
+  // --- Step 2: border-vertex isolation checks (Theorem 4.4).
+  if (isolation_check_enabled_) {
+    std::deque<graph::VertexId> pending;
+    std::vector<uint8_t> enqueued(n, 0);
+    auto enqueue_border = [&]() {
+      for (graph::VertexId v : c_members) {
+        for (const graph::HalfEdge& edge : graph_.Neighbors(v)) {
+          const graph::VertexId u = edge.to;
+          if (active[u] && !in_c[u] && !enqueued[u]) {
+            enqueued[u] = 1;
+            pending.push_back(u);
+          }
+        }
+      }
+    };
+    enqueue_border();
+    while (!pending.empty()) {
+      const graph::VertexId v = pending.front();
+      pending.pop_front();
+      if (in_c[v]) continue;  // absorbed by an earlier re-span
+      ++trace_.border_checks;
+      const uint32_t size =
+          BorderComponentSize(v, t, in_c, k_, &involved, &involved_count);
+      if (size >= k_) continue;  // passes now, passes forever (t only grows)
+      ++trace_.border_failures;
+      // Absorb v: the new connectivity is the cheapest edge tying v to C
+      // (all of them exceed the old t, otherwise saturation would have
+      // included v already).
+      graph::EdgeKey t_new = InfiniteKey();
+      for (const graph::HalfEdge& edge : graph_.Neighbors(v)) {
+        if (in_c[edge.to]) {
+          const graph::EdgeKey key = KeyOf(v, edge);
+          if (key < t_new) t_new = key;
+        }
+      }
+      NELA_CHECK(!(t_new == InfiniteKey()));
+      NELA_CHECK(t < t_new);
+      t = t_new;
+      respan(t);
+      NELA_CHECK(in_c[v]);
+      enqueue_border();
+    }
+  }
+  trace_.candidate = c_members;
+  std::sort(trace_.candidate.begin(), trace_.candidate.end());
+  trace_.final_t = t.weight;
+
+  // --- Step 3: all edge weights inside C are known to the host now; run
+  // the centralized partition and register every resulting cluster.
+  // Production partitioner (Kruskal-freeze) restricted to C: filter the
+  // global partition is not possible locally, so run it on the induced
+  // subgraph by mapping C into a dense id space.
+  Partition partition = PartitionSubset(c_members);
+  for (size_t i = 0; i < partition.clusters.size(); ++i) {
+    const bool valid = partition.clusters[i].size() >= k_;
+    auto registered = registry_->Register(std::move(partition.clusters[i]),
+                                          partition.connectivity[i], valid);
+    if (!registered.ok()) return registered.status();
+  }
+
+  if (network_ != nullptr) {
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (involved[v] && v != host) {
+        network_->Send(v, host, net::MessageKind::kAdjacencyExchange,
+                       8ull * graph_.Degree(v));
+      }
+    }
+  }
+  return ClusteringOutcome{registry_->ClusterOf(host), involved_count, false};
+}
+
+Partition DistributedTConnClusterer::PartitionSubset(
+    std::vector<graph::VertexId> members) const {
+  // Build the induced subgraph with dense local ids, run the production
+  // centralized partitioner, and translate back. Sorting first makes the
+  // local id order agree with the global order, so EdgeKey tie-breaking --
+  // and therefore the partition -- matches what the centralized algorithm
+  // would produce on the full graph restricted to this subset.
+  std::sort(members.begin(), members.end());
+  std::unordered_map<graph::VertexId, uint32_t> local;
+  local.reserve(members.size());
+  for (uint32_t i = 0; i < members.size(); ++i) local[members[i]] = i;
+  graph::Wpg induced(static_cast<uint32_t>(members.size()));
+  for (const graph::Edge& e :
+       graph::InducedEdges(graph_, members)) {
+    induced.AddEdge(local.at(e.u), local.at(e.v), e.weight);
+  }
+  induced.SortAdjacencyByWeight();
+  Partition partition = CentralizedKClustering(induced, k_);
+  for (auto& cluster : partition.clusters) {
+    for (graph::VertexId& v : cluster) v = members[v];
+    std::sort(cluster.begin(), cluster.end());
+  }
+  return partition;
+}
+
+}  // namespace nela::cluster

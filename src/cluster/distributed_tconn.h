@@ -1,0 +1,83 @@
+// Distributed t-connectivity k-clustering (Algorithm 2).
+//
+// Runs at the host user against the *remaining WPG* (users not yet
+// clustered), in three steps:
+//
+//  1. Span from the host through minimum-weight frontier edges until the
+//     cluster reaches size k, then saturate to the full t-connectivity
+//     class -- the smallest valid t-connectivity cluster C of the host.
+//  2. Check every external border vertex v of C: if v cannot form its own
+//     valid t-connectivity cluster in the remaining WPG without C, absorb v
+//     (raising t to the cheapest (v, C) edge), re-span, and keep checking
+//     newly exposed border vertices. Theorem 4.4: when every border vertex
+//     passes, C is isolated -- removing it cannot change anyone else's
+//     future cluster.
+//  3. Partition C with the centralized algorithm and register every
+//     resulting cluster, so later requests from any user of C are free.
+
+#ifndef NELA_CLUSTER_DISTRIBUTED_TCONN_H_
+#define NELA_CLUSTER_DISTRIBUTED_TCONN_H_
+
+#include <vector>
+
+#include "cluster/centralized_tconn.h"
+#include "cluster/clusterer.h"
+#include "cluster/registry.h"
+#include "graph/wpg.h"
+#include "net/network.h"
+
+namespace nela::cluster {
+
+class DistributedTConnClusterer : public Clusterer {
+ public:
+  // `registry` and (optional) `network` must outlive the clusterer.
+  DistributedTConnClusterer(const graph::Wpg& graph, uint32_t k,
+                            Registry* registry,
+                            net::Network* network = nullptr);
+
+  util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) override;
+  const char* name() const override { return "t-Conn"; }
+
+  // Ablation hook: with the isolation check disabled the algorithm stops
+  // after step 1 + partition, i.e. it behaves like a local clustering that
+  // is *not* cluster-isolated (used by bench_ablation_isolation).
+  void set_isolation_check_enabled(bool enabled) {
+    isolation_check_enabled_ = enabled;
+  }
+
+  // Introspection of the most recent non-reused run, for tests that verify
+  // the worked example of Fig. 7.
+  struct Trace {
+    std::vector<graph::VertexId> smallest_valid_cluster;  // C after step 1
+    double initial_t = 0.0;
+    uint32_t border_checks = 0;
+    uint32_t border_failures = 0;
+    std::vector<graph::VertexId> candidate;  // C after step 2
+    double final_t = 0.0;
+  };
+  const Trace& last_trace() const { return trace_; }
+
+ private:
+  // BFS over edges with key <= t restricted to active, non-C vertices;
+  // stops at `stop_size`. Marks every visited vertex as involved.
+  uint32_t BorderComponentSize(graph::VertexId start, graph::EdgeKey t,
+                               const std::vector<uint8_t>& in_c,
+                               uint32_t stop_size,
+                               std::vector<uint8_t>* involved,
+                               uint64_t* involved_count);
+
+  // Step 3: the production centralized partition applied to the candidate
+  // set (with global-order-consistent tie-breaking).
+  Partition PartitionSubset(std::vector<graph::VertexId> members) const;
+
+  const graph::Wpg& graph_;
+  uint32_t k_;
+  Registry* registry_;
+  net::Network* network_;
+  bool isolation_check_enabled_ = true;
+  Trace trace_;
+};
+
+}  // namespace nela::cluster
+
+#endif  // NELA_CLUSTER_DISTRIBUTED_TCONN_H_

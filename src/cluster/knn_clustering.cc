@@ -1,0 +1,145 @@
+#include "cluster/knn_clustering.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nela::cluster {
+
+KnnClusterer::KnnClusterer(const graph::Wpg& graph, uint32_t k,
+                           Registry* registry, net::Network* network,
+                           KnnTieBreak tie_break, KnnReuse reuse,
+                           KnnExpansion expansion)
+    : graph_(graph), k_(k), registry_(registry), network_(network),
+      tie_break_(tie_break), reuse_(reuse), expansion_(expansion) {
+  NELA_CHECK(registry != nullptr);
+  NELA_CHECK_EQ(registry->user_count(), graph.vertex_count());
+  NELA_CHECK_GE(k, 1u);
+}
+
+util::Result<ClusteringOutcome> KnnClusterer::ClusterFor(
+    graph::VertexId host) {
+  if (host >= graph_.vertex_count()) {
+    return util::InvalidArgumentError("host vertex out of range");
+  }
+  if (reuse_ == KnnReuse::kReciprocal && registry_->IsClustered(host)) {
+    return ClusteringOutcome{registry_->ClusterOf(host), 0, true};
+  }
+  return expansion_ == KnnExpansion::kHopLayered ? HopLayered(host)
+                                                 : ShortestPath(host);
+}
+
+util::Result<ClusteringOutcome> KnnClusterer::Finish(
+    graph::VertexId host, std::vector<graph::VertexId> members, double reach,
+    const std::vector<graph::VertexId>& contacted) {
+  const bool valid = members.size() >= k_;
+  auto registered = registry_->Register(std::move(members), reach, valid);
+  if (!registered.ok()) return registered.status();
+  if (network_ != nullptr) {
+    for (graph::VertexId v : contacted) {
+      if (v != host) {
+        network_->Send(v, host, net::MessageKind::kAdjacencyExchange,
+                       8ull * graph_.Degree(v));
+      }
+    }
+  }
+  return ClusteringOutcome{registered.value(),
+                           static_cast<uint64_t>(contacted.size()), false};
+}
+
+util::Result<ClusteringOutcome> KnnClusterer::HopLayered(
+    graph::VertexId host) {
+  // Ring 0 is the host; each subsequent ring is discovered from the
+  // adjacency lists of the users contacted in the previous ring. Within a
+  // ring, users are contacted in (cheapest discovery edge, tie-break)
+  // order until k members are gathered.
+  std::vector<graph::VertexId> members = {host};
+  std::vector<graph::VertexId> contacted = {host};
+  std::unordered_set<graph::VertexId> seen = {host};
+  std::vector<graph::VertexId> frontier = {host};
+  double reach = 0.0;
+
+  while (members.size() < k_ && !frontier.empty()) {
+    // Discover the next ring.
+    std::unordered_map<graph::VertexId, double> discovery;
+    for (graph::VertexId v : frontier) {
+      for (const graph::HalfEdge& edge : graph_.Neighbors(v)) {
+        if (seen.count(edge.to) > 0) continue;
+        auto [it, inserted] = discovery.try_emplace(edge.to, edge.weight);
+        if (!inserted && edge.weight < it->second) it->second = edge.weight;
+      }
+    }
+    if (discovery.empty()) break;
+    using Key = std::tuple<double, uint32_t, graph::VertexId>;
+    std::vector<Key> ring;
+    ring.reserve(discovery.size());
+    for (const auto& [id, weight] : discovery) {
+      const uint32_t tie =
+          tie_break_ == KnnTieBreak::kSmallestDegree ? graph_.Degree(id) : id;
+      ring.push_back(Key{weight, tie, id});
+    }
+    std::sort(ring.begin(), ring.end());
+
+    frontier.clear();
+    for (const auto& [weight, tie, id] : ring) {
+      if (members.size() >= k_) break;  // stop contacting once satisfied
+      seen.insert(id);
+      contacted.push_back(id);
+      frontier.push_back(id);
+      if (!registry_->IsClustered(id)) {
+        members.push_back(id);
+        reach = std::max(reach, weight);
+      }
+    }
+  }
+  return Finish(host, std::move(members), reach, contacted);
+}
+
+util::Result<ClusteringOutcome> KnnClusterer::ShortestPath(
+    graph::VertexId host) {
+  // Dijkstra from the host; settle vertices in (distance, tie-break) order
+  // and harvest un-clustered ones until k are gathered (the host included).
+  using Key = std::tuple<double, uint32_t, graph::VertexId>;
+  auto key_of = [this](double dist, graph::VertexId v) {
+    const uint32_t tie =
+        tie_break_ == KnnTieBreak::kSmallestDegree ? graph_.Degree(v) : v;
+    return Key{dist, tie, v};
+  };
+
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> heap;
+  std::unordered_map<graph::VertexId, double> best;
+  std::unordered_set<graph::VertexId> settled;
+  heap.push(key_of(0.0, host));
+  best[host] = 0.0;
+
+  std::vector<graph::VertexId> members;
+  std::vector<graph::VertexId> contacted;
+  double reach = 0.0;
+  while (!heap.empty() && members.size() < k_) {
+    const auto [dist, tie, v] = heap.top();
+    heap.pop();
+    auto it = best.find(v);
+    if (it == best.end() || dist > it->second || settled.count(v) > 0) {
+      continue;
+    }
+    settled.insert(v);
+    contacted.push_back(v);
+    if (v == host || !registry_->IsClustered(v)) {
+      members.push_back(v);
+      reach = dist;
+    }
+    for (const graph::HalfEdge& edge : graph_.Neighbors(v)) {
+      const double next = dist + edge.weight;
+      auto found = best.find(edge.to);
+      if (found == best.end() || next < found->second) {
+        best[edge.to] = next;
+        heap.push(key_of(next, edge.to));
+      }
+    }
+  }
+  return Finish(host, std::move(members), reach, contacted);
+}
+
+}  // namespace nela::cluster

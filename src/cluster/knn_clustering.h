@@ -1,0 +1,84 @@
+// kNN clustering baseline (§IV, Fig. 4).
+//
+// Clusters the host with its k-1 nearest *un-clustered* users in the WPG.
+// The default expansion follows the paper's §VI-C narrative: take direct
+// neighbors in RSS-rank order; when too few of them are still unclustered,
+// "further span the WPG" hop by hop, grabbing whatever unclustered users
+// the next ring offers -- which "might be far away". A shortest-path
+// (Dijkstra) expansion is available for comparison; it picks spatially
+// better users at the same communication cost and is used by the ablation
+// benches. The baseline is intentionally NOT cluster-isolated: each request
+// consumes k users and can stretch what remains, which is the effect
+// Figs. 9, 11 and 12 quantify.
+
+#ifndef NELA_CLUSTER_KNN_CLUSTERING_H_
+#define NELA_CLUSTER_KNN_CLUSTERING_H_
+
+#include "cluster/clusterer.h"
+#include "cluster/registry.h"
+#include "graph/wpg.h"
+#include "net/network.h"
+
+namespace nela::cluster {
+
+// How equidistant candidates are ordered.
+enum class KnnTieBreak {
+  kVertexId,       // plain kNN of Fig. 4(a)
+  kSmallestDegree, // revised kNN of Fig. 4(b)
+};
+
+// Whether a previously clustered requester reuses its cluster.
+enum class KnnReuse {
+  // Reciprocal: a clustered requester is answered from the registry.
+  kReciprocal,
+  // The paper's experimental baseline (§VI): every request forms a fresh
+  // cluster of exactly k users ("increasing the number of cloaking
+  // requests cannot amortize the communication cost"), so a consumed
+  // requester ends up in more than one cluster. Requires a Registry built
+  // with allow_overlap = true.
+  kAlwaysFresh,
+};
+
+// How the search expands past the direct neighborhood.
+enum class KnnExpansion {
+  // Paper semantics: breadth-first rings; within a ring, users are
+  // contacted in (discovery edge weight, tie-break) order.
+  kHopLayered,
+  // Dijkstra by accumulated path weight: spatially tighter clusters from
+  // the same information; used by the ablation bench.
+  kShortestPath,
+};
+
+class KnnClusterer : public Clusterer {
+ public:
+  KnnClusterer(const graph::Wpg& graph, uint32_t k, Registry* registry,
+               net::Network* network = nullptr,
+               KnnTieBreak tie_break = KnnTieBreak::kVertexId,
+               KnnReuse reuse = KnnReuse::kReciprocal,
+               KnnExpansion expansion = KnnExpansion::kHopLayered);
+
+  util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) override;
+  const char* name() const override { return "kNN"; }
+
+ private:
+  util::Result<ClusteringOutcome> HopLayered(graph::VertexId host);
+  util::Result<ClusteringOutcome> ShortestPath(graph::VertexId host);
+
+  // Registers `members` and performs the shared accounting. `reach` is the
+  // weight measure of the farthest member; `involved` the users contacted.
+  util::Result<ClusteringOutcome> Finish(
+      graph::VertexId host, std::vector<graph::VertexId> members,
+      double reach, const std::vector<graph::VertexId>& contacted);
+
+  const graph::Wpg& graph_;
+  uint32_t k_;
+  Registry* registry_;
+  net::Network* network_;
+  KnnTieBreak tie_break_;
+  KnnReuse reuse_;
+  KnnExpansion expansion_;
+};
+
+}  // namespace nela::cluster
+
+#endif  // NELA_CLUSTER_KNN_CLUSTERING_H_

@@ -1,0 +1,49 @@
+#include "cluster/registry.h"
+
+#include <algorithm>
+
+namespace nela::cluster {
+
+Registry::Registry(uint32_t user_count, bool allow_overlap)
+    : allow_overlap_(allow_overlap), cluster_of_(user_count, kNoCluster),
+      active_(user_count, true) {}
+
+util::Result<ClusterId> Registry::Register(
+    std::vector<graph::VertexId> members, double connectivity, bool valid) {
+  if (members.empty()) {
+    return util::InvalidArgumentError("cluster must have members");
+  }
+  for (graph::VertexId v : members) {
+    if (v >= cluster_of_.size()) {
+      return util::InvalidArgumentError("member id out of range");
+    }
+    if (cluster_of_[v] != kNoCluster && !allow_overlap_) {
+      return util::FailedPreconditionError(
+          "user already clustered; reciprocity forbids reassignment");
+    }
+  }
+  std::sort(members.begin(), members.end());
+  for (size_t i = 1; i < members.size(); ++i) {
+    if (members[i] == members[i - 1]) {
+      return util::InvalidArgumentError("duplicate member");
+    }
+  }
+  const ClusterId id = static_cast<ClusterId>(clusters_.size());
+  for (graph::VertexId v : members) {
+    if (cluster_of_[v] == kNoCluster) ++clustered_users_;
+    cluster_of_[v] = id;
+    active_[v] = false;
+  }
+  clusters_.push_back(
+      ClusterInfo{std::move(members), connectivity, valid, std::nullopt});
+  return id;
+}
+
+void Registry::SetRegion(ClusterId id, const geo::Rect& region) {
+  NELA_CHECK_LT(id, clusters_.size());
+  NELA_CHECK(!clusters_[id].region.has_value());
+  NELA_CHECK(!region.empty());
+  clusters_[id].region = region;
+}
+
+}  // namespace nela::cluster

@@ -1,0 +1,97 @@
+// Cluster registry: the authoritative record of which users are clustered
+// together and which cloaked region each cluster uses.
+//
+// Location k-anonymity requires the *reciprocity property* (§IV): every user
+// of a cluster maps to the same cluster. The registry enforces it by
+// construction -- a user belongs to at most one cluster, membership is
+// immutable once registered, and the region is stored per cluster, so
+// S(v) = S(u) for all members.
+
+#ifndef NELA_CLUSTER_REGISTRY_H_
+#define NELA_CLUSTER_REGISTRY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/rect.h"
+#include "graph/wpg.h"
+#include "util/status.h"
+
+namespace nela::cluster {
+
+using ClusterId = uint32_t;
+inline constexpr ClusterId kNoCluster = 0xffffffffu;
+
+struct ClusterInfo {
+  std::vector<graph::VertexId> members;  // sorted ascending
+  // Smallest t for which the members form one t-connectivity class (0 for
+  // singletons; the MEW objective the algorithms minimize).
+  double connectivity = 0.0;
+  // False when the cluster could not reach size k (host's whole remaining
+  // component was smaller) -- anonymity is degraded and callers must know.
+  bool valid = true;
+  // The shared cloaked region, set after phase 2 runs once for the cluster.
+  std::optional<geo::Rect> region;
+};
+
+class Registry {
+ public:
+  // `allow_overlap` relaxes the uniqueness invariant for baseline studies:
+  // a user may then appear in several clusters (ClusterOf reports the most
+  // recent). The paper's kNN experiment needs this -- its requests always
+  // form a fresh k-cluster, so a previously consumed requester ends up in
+  // two clusters, which is exactly the reciprocity violation the paper
+  // criticizes. Production cloaking must use the default (strict) mode.
+  explicit Registry(uint32_t user_count, bool allow_overlap = false);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  uint32_t user_count() const {
+    return static_cast<uint32_t>(cluster_of_.size());
+  }
+  uint32_t cluster_count() const {
+    return static_cast<uint32_t>(clusters_.size());
+  }
+  uint32_t clustered_user_count() const { return clustered_users_; }
+
+  bool IsClustered(graph::VertexId v) const {
+    NELA_CHECK_LT(v, cluster_of_.size());
+    return cluster_of_[v] != kNoCluster;
+  }
+
+  // kNoCluster when v is not yet clustered.
+  ClusterId ClusterOf(graph::VertexId v) const {
+    NELA_CHECK_LT(v, cluster_of_.size());
+    return cluster_of_[v];
+  }
+
+  const ClusterInfo& info(ClusterId id) const {
+    NELA_CHECK_LT(id, clusters_.size());
+    return clusters_[id];
+  }
+
+  // Registers a new cluster. Fails when `members` is empty or any member is
+  // already clustered (that would break reciprocity).
+  util::Result<ClusterId> Register(std::vector<graph::VertexId> members,
+                                   double connectivity, bool valid);
+
+  // Stores the cloaked region computed by phase 2. May be set exactly once.
+  void SetRegion(ClusterId id, const geo::Rect& region);
+
+  // active()[v] is true while v is unclustered -- the "remaining WPG" mask
+  // the distributed algorithms operate on.
+  const std::vector<bool>& active() const { return active_; }
+
+ private:
+  bool allow_overlap_;
+  std::vector<ClusterId> cluster_of_;
+  std::vector<bool> active_;
+  std::vector<ClusterInfo> clusters_;
+  uint32_t clustered_users_ = 0;
+};
+
+}  // namespace nela::cluster
+
+#endif  // NELA_CLUSTER_REGISTRY_H_

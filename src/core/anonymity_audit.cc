@@ -1,0 +1,55 @@
+#include "core/anonymity_audit.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace nela::core {
+
+AuditReport AuditAnonymity(const cluster::Registry& registry,
+                           const data::Dataset& dataset, uint32_t k) {
+  NELA_CHECK_EQ(registry.user_count(), dataset.size());
+  AuditReport report;
+  std::vector<uint8_t> member_seen(dataset.size(), 0);
+  for (cluster::ClusterId id = 0; id < registry.cluster_count(); ++id) {
+    const cluster::ClusterInfo& info = registry.info(id);
+    ++report.clusters_checked;
+
+    // (c) reciprocity: one cluster per user. (The strict registry enforces
+    // this; the overlap-tolerant baseline mode can violate it, and the
+    // audit is how those violations become visible.)
+    for (graph::VertexId member : info.members) {
+      if (member_seen[member]) {
+        report.violations.push_back(AuditViolation{
+            id, "user " + std::to_string(member) +
+                    " appears in more than one cluster"});
+      }
+      member_seen[member] = 1;
+    }
+
+    // (b) k-anonymity cardinality for clusters that claim validity.
+    if (info.valid && info.members.size() < k) {
+      ++report.undersized_clusters;
+      report.violations.push_back(AuditViolation{
+          id, "valid cluster has only " +
+                  std::to_string(info.members.size()) + " members (k=" +
+                  std::to_string(k) + ")"});
+    }
+
+    // (a) geometric containment of every member in the shared region.
+    if (info.region.has_value()) {
+      ++report.regions_checked;
+      for (graph::VertexId member : info.members) {
+        if (!info.region->Contains(dataset.point(member))) {
+          ++report.exposed_members;
+          report.violations.push_back(AuditViolation{
+              id, "member " + std::to_string(member) +
+                      " lies outside the cluster's cloaked region"});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace nela::core

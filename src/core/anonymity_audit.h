@@ -1,0 +1,47 @@
+// Anonymity audit: the adversary's-eye check of the system's guarantees.
+//
+// Location k-anonymity holds when (a) every published cloaked region
+// contains all of its cluster's members -- so an adversary intercepting a
+// request cannot exclude any member by geometry -- and (b) every cluster
+// that claims validity has at least k members, and (c) membership is
+// reciprocal (one cluster per user; the registry enforces this, the audit
+// re-verifies). The audit walks a registry + dataset after any workload and
+// reports every violation, making end-to-end privacy regressions testable.
+
+#ifndef NELA_CORE_ANONYMITY_AUDIT_H_
+#define NELA_CORE_ANONYMITY_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/registry.h"
+#include "data/dataset.h"
+
+namespace nela::core {
+
+struct AuditViolation {
+  cluster::ClusterId cluster_id = cluster::kNoCluster;
+  std::string description;
+};
+
+struct AuditReport {
+  uint32_t clusters_checked = 0;
+  uint32_t regions_checked = 0;
+  // Valid clusters whose member count is below k.
+  uint32_t undersized_clusters = 0;
+  // Members outside their cluster's published region.
+  uint32_t exposed_members = 0;
+  std::vector<AuditViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Audits every cluster of `registry` against `dataset` for anonymity level
+// `k`. Clusters without a region yet are checked for membership rules only.
+AuditReport AuditAnonymity(const cluster::Registry& registry,
+                           const data::Dataset& dataset, uint32_t k);
+
+}  // namespace nela::core
+
+#endif  // NELA_CORE_ANONYMITY_AUDIT_H_

@@ -1,0 +1,80 @@
+#include "core/cloaking_engine.h"
+
+#include "bounding/protocol.h"
+
+namespace nela::core {
+
+CloakingEngine::CloakingEngine(const data::Dataset& dataset,
+                               std::unique_ptr<cluster::Clusterer> clusterer,
+                               cluster::Registry* registry,
+                               PolicyFactory policy_factory,
+                               BoundingMode mode, net::Network* network)
+    : dataset_(dataset), clusterer_(std::move(clusterer)),
+      registry_(registry), policy_factory_(std::move(policy_factory)),
+      mode_(mode), network_(network) {
+  NELA_CHECK(clusterer_ != nullptr);
+  NELA_CHECK(registry_ != nullptr);
+  NELA_CHECK_EQ(registry_->user_count(), dataset.size());
+  NELA_CHECK(policy_factory_ != nullptr);
+}
+
+util::Result<CloakingOutcome> CloakingEngine::RequestCloaking(
+    data::UserId host) {
+  if (host >= dataset_.size()) {
+    return util::InvalidArgumentError("host out of range");
+  }
+  CloakingOutcome outcome;
+
+  // Phase 1: k-clustering. Reciprocal clusterers answer a previously
+  // clustered host from the registry at zero cost (step (1) of Fig. 3);
+  // baseline clusterers may always form a fresh cluster.
+  auto clustering = clusterer_->ClusterFor(host);
+  if (!clustering.ok()) return clustering.status();
+  outcome.cluster_id = clustering.value().cluster_id;
+  outcome.cluster_reused = clustering.value().reused;
+  outcome.clustering_messages = clustering.value().involved_users;
+  const cluster::ClusterInfo& info = registry_->info(outcome.cluster_id);
+  outcome.anonymity_satisfied = info.valid;
+
+  if (info.region.has_value()) {
+    // Phase 2 already ran for this cluster (the host, or another member,
+    // triggered it earlier) -- the shared region is reused as is.
+    outcome.region = *info.region;
+    outcome.region_reused = outcome.cluster_reused;
+    return outcome;
+  }
+
+  // Phase 2: secure bounding over the members' private coordinates.
+  std::vector<geo::Point> member_points;
+  member_points.reserve(info.members.size());
+  std::vector<net::NodeId> node_ids;
+  node_ids.reserve(info.members.size());
+  for (graph::VertexId member : info.members) {
+    member_points.push_back(dataset_.point(member));
+    node_ids.push_back(member);
+  }
+  bounding::NetworkBinding binding;
+  if (network_ != nullptr) {
+    binding.network = network_;
+    binding.host = host;
+    binding.node_ids = &node_ids;
+  }
+
+  bounding::RegionBoundingResult bounded;
+  if (mode_ == BoundingMode::kOptBaseline) {
+    bounded = bounding::ComputeOptRegion(member_points, binding);
+  } else {
+    std::unique_ptr<bounding::IncrementPolicy> policy =
+        policy_factory_(static_cast<uint32_t>(member_points.size()));
+    bounded = bounding::ComputeCloakedRegion(
+        member_points, dataset_.point(host), *policy, binding);
+  }
+  registry_->SetRegion(outcome.cluster_id, bounded.region);
+  outcome.region = bounded.region;
+  outcome.bounding_verifications = bounded.verifications;
+  outcome.bounding_iterations = bounded.iterations;
+  outcome.bounding_cpu_seconds = bounded.cpu_seconds;
+  return outcome;
+}
+
+}  // namespace nela::core

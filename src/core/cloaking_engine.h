@@ -1,0 +1,86 @@
+// The non-exposure cloaking engine: the complete host-user workflow of
+// Fig. 3.
+//
+//   (1) If the host already has a cloaked region (it participated in an
+//       earlier cloaking), skip everything and reuse it.
+//   (2) Phase 1 -- proximity k-clustering via the configured Clusterer
+//       (distributed t-Conn, centralized t-Conn at an anonymizer, or the
+//       kNN baseline).
+//   (3) Phase 2 -- secure bounding over the cluster members' coordinates
+//       via the configured increment policy; the resulting box becomes the
+//       shared cloaked region of every member.
+//
+// The engine never reads a member coordinate directly during phase 2: the
+// points are wrapped into bounding::PrivateScalar per axis run (OPT mode is
+// explicit and exists for benchmarking only).
+
+#ifndef NELA_CORE_CLOAKING_ENGINE_H_
+#define NELA_CORE_CLOAKING_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/clusterer.h"
+#include "cluster/registry.h"
+#include "core/policy_factory.h"
+#include "data/dataset.h"
+#include "geo/rect.h"
+#include "net/network.h"
+#include "util/status.h"
+
+namespace nela::core {
+
+struct CloakingOutcome {
+  cluster::ClusterId cluster_id = cluster::kNoCluster;
+  geo::Rect region;
+  // Step (1): both phases skipped, region served from the registry.
+  bool region_reused = false;
+  // Phase 1 answered from the registry (cluster formed earlier, but its
+  // region had not been computed yet).
+  bool cluster_reused = false;
+  // k-anonymity satisfied (false when the host's remaining component was
+  // smaller than k).
+  bool anonymity_satisfied = true;
+  // Phase-1 communication cost: involved users (adjacency messages).
+  uint64_t clustering_messages = 0;
+  // Phase-2 cost: verification round trips across the four axis runs.
+  uint64_t bounding_verifications = 0;
+  uint32_t bounding_iterations = 0;
+  double bounding_cpu_seconds = 0.0;
+};
+
+// How phase 2 computes the box.
+enum class BoundingMode {
+  kSecureProtocol,  // progressive bounding with the configured policy
+  kOptBaseline,     // exact box; exposes coordinates (benchmark only)
+};
+
+class CloakingEngine {
+ public:
+  // `dataset` is the user population (coordinates are private inputs to
+  // phase 2); `clusterer` runs phase 1 against `registry`. All referenced
+  // objects must outlive the engine.
+  CloakingEngine(const data::Dataset& dataset,
+                 std::unique_ptr<cluster::Clusterer> clusterer,
+                 cluster::Registry* registry, PolicyFactory policy_factory,
+                 BoundingMode mode = BoundingMode::kSecureProtocol,
+                 net::Network* network = nullptr);
+
+  // Executes the workflow for one host request.
+  util::Result<CloakingOutcome> RequestCloaking(data::UserId host);
+
+  const cluster::Registry& registry() const { return *registry_; }
+  cluster::Clusterer& clusterer() { return *clusterer_; }
+
+ private:
+  const data::Dataset& dataset_;
+  std::unique_ptr<cluster::Clusterer> clusterer_;
+  cluster::Registry* registry_;
+  PolicyFactory policy_factory_;
+  BoundingMode mode_;
+  net::Network* network_;
+};
+
+}  // namespace nela::core
+
+#endif  // NELA_CORE_CLOAKING_ENGINE_H_

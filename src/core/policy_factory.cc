@@ -1,0 +1,93 @@
+#include "core/policy_factory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "bounding/cost_model.h"
+#include "bounding/distribution.h"
+#include "bounding/nbound.h"
+#include "bounding/unary.h"
+#include "util/check.h"
+
+namespace nela::core {
+
+namespace {
+
+// Secure policy with the per-round model of Table I: the offsets of the N
+// users still disagreeing are Uniform(0, U) with U = N / density, re-read
+// each round from the current disagreeing count. Increments therefore
+// taper as users agree, which is what keeps the final overshoot -- and so
+// the request-cost ratio -- near the optimal bounding.
+class PerRoundSecurePolicy : public bounding::IncrementPolicy {
+ public:
+  PerRoundSecurePolicy(double density, double cost_coefficient, double cb)
+      : density_(density), cost_(cost_coefficient), cb_(cb) {}
+
+  double NextIncrement(double /*covered*/, uint32_t disagreeing,
+                       uint32_t /*iteration*/) override {
+    NELA_CHECK_GE(disagreeing, 1u);
+    auto it = cache_.find(disagreeing);
+    if (it == cache_.end()) {
+      // Floor the model width: with one or two stragglers left the pure
+      // N/density support collapses and the schedule would crawl through
+      // many near-empty rounds; three users' worth of width keeps the tail
+      // overshoot negligible at a handful of rounds.
+      const double width =
+          std::max<double>(disagreeing, 3.0) / density_;
+      const bounding::UniformDistribution distribution(width);
+      const bounding::UnarySolution unary =
+          bounding::SolveUnary(distribution, cost_, cb_);
+      const double increment =
+          disagreeing == 1
+              ? unary.x
+              : bounding::SolveNBoundIncrement(distribution, cost_, cb_,
+                                               disagreeing, unary);
+      it = cache_.emplace(disagreeing, increment).first;
+    }
+    return it->second;
+  }
+  const char* name() const override { return "secure"; }
+
+ private:
+  double density_;
+  bounding::QuadraticCost cost_;
+  double cb_;
+  std::unordered_map<uint32_t, double> cache_;
+};
+
+}  // namespace
+
+PolicyFactory MakeSecurePolicyFactory(const BoundingParams& params) {
+  NELA_CHECK_GT(params.density, 0.0);
+  return [params](uint32_t cluster_size)
+             -> std::unique_ptr<bounding::IncrementPolicy> {
+    NELA_CHECK_GE(cluster_size, 1u);
+    const double coefficient = params.cr * params.density;
+    return std::make_unique<PerRoundSecurePolicy>(params.density,
+                                                  coefficient, params.cb);
+  };
+}
+
+PolicyFactory MakeLinearPolicyFactory(const BoundingParams& params) {
+  NELA_CHECK_GT(params.density, 0.0);
+  return [params](uint32_t cluster_size)
+             -> std::unique_ptr<bounding::IncrementPolicy> {
+    NELA_CHECK_GE(cluster_size, 1u);
+    const double step =
+        0.5 * static_cast<double>(cluster_size) / params.density;
+    return std::make_unique<bounding::LinearIncrementPolicy>(step);
+  };
+}
+
+PolicyFactory MakeExponentialPolicyFactory(const BoundingParams& params) {
+  NELA_CHECK_GT(params.density, 0.0);
+  return [params](uint32_t cluster_size)
+             -> std::unique_ptr<bounding::IncrementPolicy> {
+    NELA_CHECK_GE(cluster_size, 1u);
+    const double step = static_cast<double>(cluster_size) / params.density;
+    return std::make_unique<bounding::ExponentialIncrementPolicy>(step);
+  };
+}
+
+}  // namespace nela::core

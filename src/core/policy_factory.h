@@ -1,0 +1,53 @@
+// Self-contained increment-policy bundles for the cloaking engine.
+//
+// SecureIncrementPolicy holds references to a distribution and a cost
+// model; when the engine builds a policy per cluster (the model parameters
+// depend on the cluster size), something must own those pieces. These
+// factories return owning wrappers.
+
+#ifndef NELA_CORE_POLICY_FACTORY_H_
+#define NELA_CORE_POLICY_FACTORY_H_
+
+#include <functional>
+#include <memory>
+
+#include "bounding/increment_policy.h"
+
+namespace nela::core {
+
+// Builds the increment policy for a cluster of `cluster_size` users.
+using PolicyFactory =
+    std::function<std::unique_ptr<bounding::IncrementPolicy>(
+        uint32_t cluster_size)>;
+
+// Parameters shared by the factories (paper Table I defaults).
+struct BoundingParams {
+  // Per-user verification cost Cb, in clustering-message units.
+  double cb = 1.0;
+  // POI payload / clustering message size ratio Cr.
+  double cr = 1000.0;
+  // User/POI density: points per unit area (|D| on the unit square).
+  double density = 104770.0;
+};
+
+// Secure policy of §V: offsets of a cluster of n users are modeled as
+// Uniform(0, U) with the paper's Table-I value U = n / density, and the
+// request cost is quadratic with coefficient cr * density (payload = POIs
+// inside the bound * cr). Note U deliberately underestimates the cluster
+// extent; the unary optimum then caps at the support (C* - R* = Cb) and
+// Equation 5 yields increments N*Cb / (2 c U), the gentle multi-round
+// schedule behind Fig. 13 (see EXPERIMENTS.md for the unit discussion).
+PolicyFactory MakeSecurePolicyFactory(const BoundingParams& params);
+
+// Linear policy: fixed step of half the initial bound (n / density) per
+// iteration -- the most conservative schedule of the three, matching the
+// paper's characterization (most iterations, tightest final bound).
+PolicyFactory MakeLinearPolicyFactory(const BoundingParams& params);
+
+// Exponential policy: first step n / density, then double the covered
+// extent each iteration.
+PolicyFactory MakeExponentialPolicyFactory(const BoundingParams& params);
+
+}  // namespace nela::core
+
+#endif  // NELA_CORE_POLICY_FACTORY_H_

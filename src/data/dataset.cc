@@ -1,0 +1,22 @@
+#include "data/dataset.h"
+
+namespace nela::data {
+
+geo::Rect Dataset::BoundingBox() const {
+  geo::Rect box;
+  for (const geo::Point& p : points_) box.ExpandToInclude(p);
+  return box;
+}
+
+void Dataset::NormalizeToUnitSquare() {
+  if (points_.empty()) return;
+  const geo::Rect box = BoundingBox();
+  const double width = box.Width();
+  const double height = box.Height();
+  for (geo::Point& p : points_) {
+    p.x = width > 0.0 ? (p.x - box.min_x()) / width : 0.0;
+    p.y = height > 0.0 ? (p.y - box.min_y()) / height : 0.0;
+  }
+}
+
+}  // namespace nela::data

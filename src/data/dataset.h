@@ -1,0 +1,52 @@
+// The user population: each record is one mobile user standing at a point
+// (§VI: "each POI represents a user who is standing right at its
+// coordinates").
+
+#ifndef NELA_DATA_DATASET_H_
+#define NELA_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "util/check.h"
+
+namespace nela::data {
+
+// Dense user identifier: index into the dataset, 0-based.
+using UserId = uint32_t;
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<geo::Point> points)
+      : points_(std::move(points)) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(points_.size()); }
+  bool empty() const { return points_.empty(); }
+
+  const geo::Point& point(UserId id) const {
+    NELA_CHECK_LT(id, points_.size());
+    return points_[id];
+  }
+
+  const std::vector<geo::Point>& points() const { return points_; }
+
+  void Add(const geo::Point& p) { points_.push_back(p); }
+
+  // Bounding box of all points (empty Rect for an empty dataset).
+  geo::Rect BoundingBox() const;
+
+  // Affinely rescales all coordinates into the unit square [0,1]^2 (the
+  // paper normalizes the POI dataset the same way). Degenerate extents
+  // collapse that axis to 0. No-op on an empty dataset.
+  void NormalizeToUnitSquare();
+
+ private:
+  std::vector<geo::Point> points_;
+};
+
+}  // namespace nela::data
+
+#endif  // NELA_DATA_DATASET_H_

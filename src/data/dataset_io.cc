@@ -1,0 +1,73 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace nela::data {
+
+namespace {
+
+// Parses "x,y". Returns false on malformed input.
+bool ParseRow(const char* line, geo::Point* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double x = std::strtod(line, &end);
+  if (errno != 0 || end == line || *end != ',') return false;
+  const char* rest = end + 1;
+  errno = 0;
+  const double y = std::strtod(rest, &end);
+  if (errno != 0 || end == rest) return false;
+  while (*end == '\r' || *end == '\n' || *end == ' ') ++end;
+  if (*end != '\0') return false;
+  *out = geo::Point{x, y};
+  return true;
+}
+
+}  // namespace
+
+util::Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::UnavailableError("cannot open for writing: " + path);
+  }
+  bool ok = std::fputs("x,y\n", file) >= 0;
+  for (const geo::Point& p : dataset.points()) {
+    if (!ok) break;
+    ok = std::fprintf(file, "%.17g,%.17g\n", p.x, p.y) > 0;
+  }
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) return util::UnavailableError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<Dataset> LoadCsv(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return util::NotFoundError("cannot open: " + path);
+  }
+  std::vector<geo::Point> points;
+  char line[256];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    // Skip blank lines.
+    if (line[0] == '\n' || line[0] == '\r' || line[0] == '\0') continue;
+    geo::Point p;
+    if (!ParseRow(line, &p)) {
+      if (first) {
+        first = false;  // Header line.
+        continue;
+      }
+      std::fclose(file);
+      return util::InvalidArgumentError("malformed CSV row in " + path +
+                                        ": " + line);
+    }
+    first = false;
+    points.push_back(p);
+  }
+  std::fclose(file);
+  return Dataset(std::move(points));
+}
+
+}  // namespace nela::data

@@ -1,0 +1,22 @@
+// Dataset persistence: two-column CSV ("x,y" with a header line), so users
+// who do have the original USGS POI file can load it directly.
+
+#ifndef NELA_DATA_DATASET_IO_H_
+#define NELA_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace nela::data {
+
+util::Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+// Loads "x,y" rows; a first line that does not parse as numbers is treated
+// as a header and skipped.
+util::Result<Dataset> LoadCsv(const std::string& path);
+
+}  // namespace nela::data
+
+#endif  // NELA_DATA_DATASET_IO_H_

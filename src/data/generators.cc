@@ -1,0 +1,221 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nela::data {
+
+Dataset GenerateUniform(uint32_t count, util::Rng& rng) {
+  std::vector<geo::Point> points;
+  points.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    points.push_back(geo::Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  return Dataset(std::move(points));
+}
+
+Dataset GenerateClustered(const ClusteredParams& params, util::Rng& rng) {
+  NELA_CHECK_GT(params.num_clusters, 0u);
+  NELA_CHECK_GE(params.background_fraction, 0.0);
+  NELA_CHECK_LE(params.background_fraction, 1.0);
+  NELA_CHECK_LE(params.min_sigma, params.max_sigma);
+
+  struct HotSpot {
+    geo::Point center;
+    double sigma;
+    double weight;
+  };
+  std::vector<HotSpot> spots;
+  spots.reserve(params.num_clusters);
+  double total_weight = 0.0;
+  for (uint32_t i = 0; i < params.num_clusters; ++i) {
+    // Zipf-like popularity: a few large metros, many small towns.
+    const double weight = 1.0 / static_cast<double>(i + 1);
+    total_weight += weight;
+    spots.push_back(HotSpot{
+        geo::Point{rng.NextDouble(), rng.NextDouble()},
+        rng.NextDouble(params.min_sigma, params.max_sigma), weight});
+  }
+
+  std::vector<geo::Point> points;
+  points.reserve(params.count);
+  for (uint32_t i = 0; i < params.count; ++i) {
+    if (rng.NextBernoulli(params.background_fraction)) {
+      points.push_back(geo::Point{rng.NextDouble(), rng.NextDouble()});
+      continue;
+    }
+    // Pick a hot spot proportionally to its weight.
+    double pick = rng.NextDouble() * total_weight;
+    const HotSpot* spot = &spots.back();
+    for (const HotSpot& candidate : spots) {
+      pick -= candidate.weight;
+      if (pick <= 0.0) {
+        spot = &candidate;
+        break;
+      }
+    }
+    points.push_back(
+        geo::Point{rng.NextGaussian(spot->center.x, spot->sigma),
+                   rng.NextGaussian(spot->center.y, spot->sigma)});
+  }
+  Dataset dataset(std::move(points));
+  dataset.NormalizeToUnitSquare();
+  return dataset;
+}
+
+Dataset GenerateRoadNetwork(const RoadNetworkParams& params, util::Rng& rng) {
+  NELA_CHECK_GT(params.num_cities, 1u);
+  NELA_CHECK_GE(params.roads_per_city, 1u);
+  NELA_CHECK_GE(params.city_fraction, 0.0);
+  NELA_CHECK_GE(params.road_fraction, 0.0);
+  NELA_CHECK_LE(params.city_fraction + params.road_fraction, 1.0);
+  NELA_CHECK_LE(params.min_city_sigma, params.max_city_sigma);
+
+  // Cities with Zipf-like popularity.
+  struct City {
+    geo::Point center;
+    double sigma;
+    double weight;
+  };
+  std::vector<City> cities;
+  cities.reserve(params.num_cities);
+  double total_city_weight = 0.0;
+  for (uint32_t i = 0; i < params.num_cities; ++i) {
+    // Mild popularity skew: a few larger towns, a long tail of hamlets.
+    const double weight = 1.0 / std::sqrt(static_cast<double>(i + 1));
+    total_city_weight += weight;
+    cities.push_back(
+        City{geo::Point{rng.NextDouble(), rng.NextDouble()},
+             rng.NextDouble(params.min_city_sigma, params.max_city_sigma),
+             weight});
+  }
+  auto pick_city = [&]() -> const City& {
+    double pick = rng.NextDouble() * total_city_weight;
+    for (const City& city : cities) {
+      pick -= city.weight;
+      if (pick <= 0.0) return city;
+    }
+    return cities.back();
+  };
+
+  // Roads: each city connects to its `roads_per_city` nearest cities, plus
+  // the Euclidean MST over all city centers so the road network is one
+  // connected web (local nearest-neighbor links alone fragment into
+  // islands). Longer roads carry proportionally more POIs (uniform density
+  // along the whole network).
+  struct Road {
+    geo::Point a;
+    geo::Point b;
+    double length;
+  };
+  std::vector<Road> roads;
+  double total_length = 0.0;
+  std::unordered_set<uint64_t> road_set;
+  auto add_road = [&](uint32_t i, uint32_t j) {
+    const uint64_t key =
+        (static_cast<uint64_t>(std::min(i, j)) << 32) | std::max(i, j);
+    if (!road_set.insert(key).second) return;
+    const double length = geo::Distance(cities[i].center, cities[j].center);
+    roads.push_back(Road{cities[i].center, cities[j].center, length});
+    total_length += length;
+  };
+  for (uint32_t i = 0; i < params.num_cities; ++i) {
+    std::vector<std::pair<double, uint32_t>> order;
+    order.reserve(params.num_cities - 1);
+    for (uint32_t j = 0; j < params.num_cities; ++j) {
+      if (j == i) continue;
+      order.push_back(
+          {geo::SquaredDistance(cities[i].center, cities[j].center), j});
+    }
+    std::sort(order.begin(), order.end());
+    const uint32_t degree = std::min<uint32_t>(
+        params.roads_per_city, static_cast<uint32_t>(order.size()));
+    for (uint32_t r = 0; r < degree; ++r) {
+      add_road(i, order[r].second);
+    }
+  }
+  {
+    // Prim's MST over city centers (dense O(C^2); C is a few thousand).
+    const uint32_t c = params.num_cities;
+    std::vector<double> best(c, std::numeric_limits<double>::infinity());
+    std::vector<uint32_t> link(c, 0);
+    std::vector<uint8_t> in_tree(c, 0);
+    best[0] = 0.0;
+    for (uint32_t step = 0; step < c; ++step) {
+      uint32_t next = c;
+      for (uint32_t i = 0; i < c; ++i) {
+        if (!in_tree[i] && (next == c || best[i] < best[next])) next = i;
+      }
+      in_tree[next] = 1;
+      if (next != 0) add_road(next, link[next]);
+      for (uint32_t i = 0; i < c; ++i) {
+        if (in_tree[i]) continue;
+        const double d2 =
+            geo::SquaredDistance(cities[next].center, cities[i].center);
+        if (d2 < best[i]) {
+          best[i] = d2;
+          link[i] = next;
+        }
+      }
+    }
+  }
+  NELA_CHECK(!roads.empty());
+
+  std::vector<geo::Point> points;
+  points.reserve(params.count);
+  for (uint32_t i = 0; i < params.count; ++i) {
+    const double what = rng.NextDouble();
+    if (what < params.city_fraction) {
+      const City& city = pick_city();
+      points.push_back(geo::Point{rng.NextGaussian(city.center.x, city.sigma),
+                                  rng.NextGaussian(city.center.y, city.sigma)});
+    } else if (what < params.city_fraction + params.road_fraction) {
+      // Pick a road proportionally to its length, then a point along it.
+      double pick = rng.NextDouble() * total_length;
+      const Road* road = &roads.back();
+      for (const Road& candidate : roads) {
+        pick -= candidate.length;
+        if (pick <= 0.0) {
+          road = &candidate;
+          break;
+        }
+      }
+      const double s = rng.NextDouble();
+      points.push_back(geo::Point{
+          road->a.x + s * (road->b.x - road->a.x) +
+              rng.NextGaussian(0.0, params.road_sigma),
+          road->a.y + s * (road->b.y - road->a.y) +
+              rng.NextGaussian(0.0, params.road_sigma)});
+    } else {
+      points.push_back(geo::Point{rng.NextDouble(), rng.NextDouble()});
+    }
+  }
+  Dataset dataset(std::move(points));
+  dataset.NormalizeToUnitSquare();
+  return dataset;
+}
+
+Dataset GenerateCaliforniaLike(util::Rng& rng) {
+  return GenerateRoadNetwork(RoadNetworkParams{}, rng);
+}
+
+Dataset GenerateGrid(uint32_t count) {
+  const uint32_t side = static_cast<uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  std::vector<geo::Point> points;
+  points.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t row = i / side;
+    const uint32_t col = i % side;
+    const double step = side > 1 ? 1.0 / static_cast<double>(side - 1) : 0.0;
+    points.push_back(geo::Point{static_cast<double>(col) * step,
+                                static_cast<double>(row) * step});
+  }
+  return Dataset(std::move(points));
+}
+
+}  // namespace nela::data

@@ -1,0 +1,31 @@
+// Planar points in the normalized unit square used throughout the library.
+
+#ifndef NELA_GEO_POINT_H_
+#define NELA_GEO_POINT_H_
+
+#include <cmath>
+
+namespace nela::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace nela::geo
+
+#endif  // NELA_GEO_POINT_H_

@@ -1,0 +1,66 @@
+#include "geo/rect.h"
+
+namespace nela::geo {
+
+Rect::Rect() : empty_(true), min_x_(0), min_y_(0), max_x_(0), max_y_(0) {}
+
+Rect::Rect(double min_x, double min_y, double max_x, double max_y)
+    : empty_(false), min_x_(min_x), min_y_(min_y), max_x_(max_x),
+      max_y_(max_y) {
+  NELA_CHECK_LE(min_x, max_x);
+  NELA_CHECK_LE(min_y, max_y);
+}
+
+Rect Rect::FromPoint(const Point& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  if (a.empty_) return b;
+  if (b.empty_) return a;
+  return Rect(std::min(a.min_x_, b.min_x_), std::min(a.min_y_, b.min_y_),
+              std::max(a.max_x_, b.max_x_), std::max(a.max_y_, b.max_y_));
+}
+
+Point Rect::Center() const {
+  NELA_CHECK(!empty_);
+  return Point{(min_x_ + max_x_) / 2.0, (min_y_ + max_y_) / 2.0};
+}
+
+bool Rect::Contains(const Point& p) const {
+  if (empty_) return false;
+  return p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ && p.y <= max_y_;
+}
+
+bool Rect::Contains(const Rect& other) const {
+  if (other.empty_) return true;
+  if (empty_) return false;
+  return other.min_x_ >= min_x_ && other.max_x_ <= max_x_ &&
+         other.min_y_ >= min_y_ && other.max_y_ <= max_y_;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  if (empty_ || other.empty_) return false;
+  return min_x_ <= other.max_x_ && other.min_x_ <= max_x_ &&
+         min_y_ <= other.max_y_ && other.min_y_ <= max_y_;
+}
+
+void Rect::ExpandToInclude(const Point& p) {
+  if (empty_) {
+    empty_ = false;
+    min_x_ = max_x_ = p.x;
+    min_y_ = max_y_ = p.y;
+    return;
+  }
+  min_x_ = std::min(min_x_, p.x);
+  max_x_ = std::max(max_x_, p.x);
+  min_y_ = std::min(min_y_, p.y);
+  max_y_ = std::max(max_y_, p.y);
+}
+
+Rect Rect::Inflated(double margin) const {
+  NELA_CHECK_GE(margin, 0.0);
+  if (empty_) return *this;
+  return Rect(min_x_ - margin, min_y_ - margin, max_x_ + margin,
+              max_y_ + margin);
+}
+
+}  // namespace nela::geo

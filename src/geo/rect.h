@@ -1,0 +1,66 @@
+// Axis-aligned rectangles: the shape of a cloaked region and of range
+// queries against the POI database.
+
+#ifndef NELA_GEO_RECT_H_
+#define NELA_GEO_RECT_H_
+
+#include <algorithm>
+
+#include "geo/point.h"
+#include "util/check.h"
+
+namespace nela::geo {
+
+class Rect {
+ public:
+  // The empty rectangle: contains nothing; Union with it is identity.
+  Rect();
+
+  // Requires min_x <= max_x and min_y <= max_y.
+  Rect(double min_x, double min_y, double max_x, double max_y);
+
+  // The degenerate rectangle covering exactly `p`.
+  static Rect FromPoint(const Point& p);
+
+  // Smallest rectangle covering both operands.
+  static Rect Union(const Rect& a, const Rect& b);
+
+  bool empty() const { return empty_; }
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+  double Width() const { return empty_ ? 0.0 : max_x_ - min_x_; }
+  double Height() const { return empty_ ? 0.0 : max_y_ - min_y_; }
+  double Area() const { return Width() * Height(); }
+  // Half of the perimeter; a useful 1-D size proxy.
+  double SemiPerimeter() const { return Width() + Height(); }
+
+  Point Center() const;
+
+  bool Contains(const Point& p) const;
+  bool Contains(const Rect& other) const;
+  bool Intersects(const Rect& other) const;
+
+  // Grows to cover `p` (in place).
+  void ExpandToInclude(const Point& p);
+
+  // Rectangle grown by `margin` on every side. Requires margin >= 0.
+  Rect Inflated(double margin) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    if (a.empty_ != b.empty_) return false;
+    if (a.empty_) return true;
+    return a.min_x_ == b.min_x_ && a.min_y_ == b.min_y_ &&
+           a.max_x_ == b.max_x_ && a.max_y_ == b.max_y_;
+  }
+
+ private:
+  bool empty_;
+  double min_x_, min_y_, max_x_, max_y_;
+};
+
+}  // namespace nela::geo
+
+#endif  // NELA_GEO_RECT_H_

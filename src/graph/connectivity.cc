@@ -1,0 +1,83 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace nela::graph {
+
+std::vector<VertexId> ThresholdComponent(const Wpg& graph, VertexId start,
+                                         EdgeKey t,
+                                         const std::vector<bool>* active,
+                                         uint32_t stop_size) {
+  NELA_CHECK_LT(start, graph.vertex_count());
+  if (active != nullptr) {
+    NELA_CHECK_EQ(active->size(), graph.vertex_count());
+    NELA_CHECK((*active)[start]);
+  }
+  std::vector<VertexId> component;
+  std::unordered_set<VertexId> seen;
+  std::deque<VertexId> queue;
+  seen.insert(start);
+  queue.push_back(start);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    component.push_back(u);
+    if (stop_size > 0 && component.size() >= stop_size) break;
+    for (const HalfEdge& edge : graph.Neighbors(u)) {
+      if (edge.weight > t.weight) break;  // adjacency sorted by weight
+      if (KeyOf(u, edge) > t) continue;   // tie refinement
+      if (active != nullptr && !(*active)[edge.to]) continue;
+      if (seen.insert(edge.to).second) queue.push_back(edge.to);
+    }
+  }
+  return component;
+}
+
+bool IsInducedConnected(const Wpg& graph,
+                        const std::vector<VertexId>& vertices) {
+  if (vertices.empty()) return true;
+  const auto components = InducedComponents(graph, vertices);
+  return components.size() == 1;
+}
+
+std::vector<std::vector<VertexId>> InducedComponents(
+    const Wpg& graph, const std::vector<VertexId>& vertices) {
+  std::unordered_set<VertexId> in_set(vertices.begin(), vertices.end());
+  std::unordered_set<VertexId> seen;
+  std::vector<std::vector<VertexId>> components;
+  // Iterate over a sorted copy so the component order is deterministic.
+  std::vector<VertexId> ordered(vertices);
+  std::sort(ordered.begin(), ordered.end());
+  for (VertexId root : ordered) {
+    if (seen.count(root) > 0) continue;
+    std::vector<VertexId> component;
+    std::deque<VertexId> queue = {root};
+    seen.insert(root);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      component.push_back(u);
+      for (const HalfEdge& edge : graph.Neighbors(u)) {
+        if (in_set.count(edge.to) == 0) continue;
+        if (seen.insert(edge.to).second) queue.push_back(edge.to);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+std::vector<Edge> InducedEdges(const Wpg& graph,
+                               const std::vector<VertexId>& vertices) {
+  std::unordered_set<VertexId> in_set(vertices.begin(), vertices.end());
+  std::vector<Edge> out;
+  for (const Edge& e : graph.edges()) {
+    if (in_set.count(e.u) > 0 && in_set.count(e.v) > 0) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace nela::graph

@@ -1,0 +1,84 @@
+#include "graph/hierarchy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/union_find.h"
+
+namespace nela::graph {
+
+TConnHierarchy::TConnHierarchy(const Wpg& graph)
+    : vertex_count_(graph.vertex_count()) {
+  nodes_.resize(vertex_count_);
+  for (uint32_t v = 0; v < vertex_count_; ++v) {
+    nodes_[v] = Node{EdgeKey::Min(), 1, -1, {}};
+  }
+
+  // Kruskal over the strict total order; each effective union creates one
+  // binary internal node.
+  std::vector<uint32_t> order(graph.edge_count());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::vector<Edge>& edges = graph.edges();
+  std::sort(order.begin(), order.end(), [&edges](uint32_t a, uint32_t b) {
+    return KeyOf(edges[a]) < KeyOf(edges[b]);
+  });
+
+  UnionFind dsu(vertex_count_);
+  // Hierarchy node of each current component, keyed by DSU root.
+  std::unordered_map<uint32_t, uint32_t> comp_node;
+  comp_node.reserve(vertex_count_);
+  for (uint32_t v = 0; v < vertex_count_; ++v) comp_node.emplace(v, v);
+
+  for (uint32_t index : order) {
+    const Edge& e = edges[index];
+    const uint32_t ru = dsu.Find(e.u);
+    const uint32_t rv = dsu.Find(e.v);
+    if (ru == rv) continue;
+    const uint32_t left = comp_node.at(ru);
+    const uint32_t right = comp_node.at(rv);
+    dsu.Union(ru, rv);
+    const uint32_t id = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{KeyOf(e), nodes_[left].size + nodes_[right].size,
+                          -1,
+                          {std::min(left, right), std::max(left, right)}});
+    nodes_[left].parent = static_cast<int32_t>(id);
+    nodes_[right].parent = static_cast<int32_t>(id);
+    comp_node.erase(ru);
+    comp_node.erase(rv);
+    comp_node[dsu.Find(e.u)] = id;
+  }
+
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].parent < 0) roots_.push_back(id);
+  }
+}
+
+std::vector<VertexId> TConnHierarchy::VerticesOf(uint32_t id) const {
+  NELA_CHECK_LT(id, nodes_.size());
+  std::vector<VertexId> out;
+  out.reserve(nodes_[id].size);
+  std::vector<uint32_t> stack = {id};
+  while (!stack.empty()) {
+    const uint32_t top = stack.back();
+    stack.pop_back();
+    if (top < vertex_count_) {
+      out.push_back(top);
+      continue;
+    }
+    for (uint32_t child : nodes_[top].children) stack.push_back(child);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int32_t TConnHierarchy::SmallestValidAncestor(VertexId v, uint32_t k) const {
+  NELA_CHECK_LT(v, vertex_count_);
+  int32_t current = static_cast<int32_t>(v);
+  while (current >= 0) {
+    if (nodes_[current].size >= k) return current;
+    current = nodes_[current].parent;
+  }
+  return -1;
+}
+
+}  // namespace nela::graph

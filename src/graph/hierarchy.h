@@ -1,0 +1,67 @@
+// Single-linkage merge hierarchy of refined t-connectivity components.
+//
+// Under the strict total edge order (EdgeKey), sweeping the threshold
+// upward over edges yields a binary merge forest: leaves are vertices; an
+// internal node records the edge at which its two children become one
+// component. For every threshold key t, the refined t-connectivity classes
+// of Definition 4.1 are exactly the maximal subtrees formed at keys <= t.
+// The refinement matters in practice: the experiments' RSS-rank weights are
+// small integers with pervasive ties, and an unrefined sweep produces giant
+// unsplittable equal-weight classes (see DESIGN.md).
+
+#ifndef NELA_GRAPH_HIERARCHY_H_
+#define NELA_GRAPH_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/wpg.h"
+
+namespace nela::graph {
+
+class TConnHierarchy {
+ public:
+  struct Node {
+    // Key of the merging edge (EdgeKey::Min() for leaves). Children always
+    // form at strictly smaller keys.
+    EdgeKey key;
+    uint32_t size = 1;
+    int32_t parent = -1;  // -1 for roots
+    // Empty for leaves; exactly 2 entries for internal nodes.
+    std::vector<uint32_t> children;
+  };
+
+  explicit TConnHierarchy(const Wpg& graph);
+
+  TConnHierarchy(const TConnHierarchy&) = delete;
+  TConnHierarchy& operator=(const TConnHierarchy&) = delete;
+
+  uint32_t vertex_count() const { return vertex_count_; }
+  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+
+  // Nodes 0 .. vertex_count-1 are the leaves (node id == vertex id).
+  const Node& node(uint32_t id) const {
+    NELA_CHECK_LT(id, nodes_.size());
+    return nodes_[id];
+  }
+
+  // One root per connected component of the graph.
+  const std::vector<uint32_t>& roots() const { return roots_; }
+
+  // Vertex ids in the subtree of `id`, ascending.
+  std::vector<VertexId> VerticesOf(uint32_t id) const;
+
+  // Lowest ancestor of leaf `v` with size >= k: the smallest valid
+  // t-connectivity cluster of v. Returns -1 when even v's whole connected
+  // component is smaller than k.
+  int32_t SmallestValidAncestor(VertexId v, uint32_t k) const;
+
+ private:
+  uint32_t vertex_count_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> roots_;
+};
+
+}  // namespace nela::graph
+
+#endif  // NELA_GRAPH_HIERARCHY_H_

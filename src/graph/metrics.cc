@@ -1,0 +1,73 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "graph/connectivity.h"
+
+namespace nela::graph {
+
+double MaxEdgeWeightWithin(const Wpg& graph,
+                           const std::vector<VertexId>& vertices) {
+  double mew = 0.0;
+  for (const Edge& e : InducedEdges(graph, vertices)) {
+    mew = std::max(mew, e.weight);
+  }
+  return mew;
+}
+
+double WeightedDiameter(const Wpg& graph,
+                        const std::vector<VertexId>& vertices) {
+  if (vertices.size() <= 1) return 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::unordered_map<VertexId, uint32_t> index;
+  index.reserve(vertices.size());
+  for (uint32_t i = 0; i < vertices.size(); ++i) index[vertices[i]] = i;
+
+  double diameter = 0.0;
+  std::vector<double> dist(vertices.size());
+  using Item = std::pair<double, VertexId>;  // (distance, vertex)
+  for (VertexId source : vertices) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[index[source]] = 0.0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    heap.push({0.0, source});
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[index[u]]) continue;
+      for (const HalfEdge& edge : graph.Neighbors(u)) {
+        auto it = index.find(edge.to);
+        if (it == index.end()) continue;  // outside the induced subgraph
+        const double next = d + edge.weight;
+        if (next < dist[it->second]) {
+          dist[it->second] = next;
+          heap.push({next, edge.to});
+        }
+      }
+    }
+    for (double d : dist) {
+      if (d == kInf) return kInf;  // disconnected
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+double RegularGraphDiameterBound(uint32_t k, uint32_t d, double w,
+                                 double eps) {
+  NELA_CHECK_GE(k, 2u);
+  NELA_CHECK_GE(d, 3u);
+  NELA_CHECK_GT(eps, 0.0);
+  NELA_CHECK_GT(w, 0.0);
+  const double kd = static_cast<double>(k);
+  const double inner = (2.0 + eps) * static_cast<double>(d) * kd * std::log(kd);
+  const double hops =
+      1.0 + std::ceil(std::log(inner) / std::log(static_cast<double>(d - 1)));
+  return w * hops;
+}
+
+}  // namespace nela::graph

@@ -1,0 +1,35 @@
+// Graph measurements used by the paper's analysis: maximum edge weight
+// (MEW), weighted diameter, and the Corollary 4.2 diameter bound that
+// justifies substituting MEW for the diameter.
+
+#ifndef NELA_GRAPH_METRICS_H_
+#define NELA_GRAPH_METRICS_H_
+
+#include <vector>
+
+#include "graph/wpg.h"
+
+namespace nela::graph {
+
+// Largest edge weight of the subgraph induced by `vertices`; 0 when that
+// subgraph has no edges.
+double MaxEdgeWeightWithin(const Wpg& graph,
+                           const std::vector<VertexId>& vertices);
+
+// Weighted diameter of the subgraph induced by `vertices`: the maximum over
+// vertex pairs of the shortest-path distance. Returns +infinity when the
+// induced subgraph is disconnected, 0 for <= 1 vertex. Runs Dijkstra from
+// every vertex of the set -- intended for cluster-sized inputs.
+double WeightedDiameter(const Wpg& graph,
+                        const std::vector<VertexId>& vertices);
+
+// Corollary 4.2: the diameter of a weighted regular graph with k vertices,
+// degree d and maximum edge weight w is at most
+//   w * (1 + ceil(log_{d-1}((2 + eps) * d * k * log k))).
+// Requires k >= 2 and d >= 3 (log base d-1 must exceed 1). `eps` > 0.
+double RegularGraphDiameterBound(uint32_t k, uint32_t d, double w,
+                                 double eps = 0.01);
+
+}  // namespace nela::graph
+
+#endif  // NELA_GRAPH_METRICS_H_

@@ -1,0 +1,30 @@
+#include "graph/union_find.h"
+
+namespace nela::graph {
+
+UnionFind::UnionFind(uint32_t count)
+    : parent_(count), size_(count, 1), set_count_(count) {
+  for (uint32_t i = 0; i < count; ++i) parent_[i] = i;
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  NELA_CHECK_LT(x, parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --set_count_;
+  return true;
+}
+
+}  // namespace nela::graph

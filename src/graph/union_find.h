@@ -1,0 +1,38 @@
+// Disjoint-set union with union by size and path halving.
+
+#ifndef NELA_GRAPH_UNION_FIND_H_
+#define NELA_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nela::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t count);
+
+  // Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  // Merges the sets of a and b; returns true when they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  // Size of x's set.
+  uint32_t SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+  uint32_t set_count() const { return set_count_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  uint32_t set_count_;
+};
+
+}  // namespace nela::graph
+
+#endif  // NELA_GRAPH_UNION_FIND_H_

@@ -1,0 +1,68 @@
+#include "graph/wpg.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace nela::graph {
+
+Wpg::Wpg(uint32_t vertex_count) : adjacency_(vertex_count) {}
+
+util::Result<Wpg> Wpg::FromEdges(uint32_t vertex_count,
+                                 const std::vector<Edge>& edges) {
+  Wpg graph(vertex_count);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    if (e.u >= vertex_count || e.v >= vertex_count) {
+      return util::InvalidArgumentError("edge endpoint out of range");
+    }
+    if (e.u == e.v) {
+      return util::InvalidArgumentError("self edge not allowed");
+    }
+    if (e.weight <= 0.0) {
+      return util::InvalidArgumentError("edge weight must be positive");
+    }
+    const uint64_t key = (static_cast<uint64_t>(std::min(e.u, e.v)) << 32) |
+                         std::max(e.u, e.v);
+    if (!seen.insert(key).second) {
+      return util::InvalidArgumentError("duplicate edge");
+    }
+    graph.AddEdge(e.u, e.v, e.weight);
+  }
+  graph.SortAdjacencyByWeight();
+  return graph;
+}
+
+void Wpg::AddEdge(VertexId u, VertexId v, double weight) {
+  NELA_CHECK_LT(u, adjacency_.size());
+  NELA_CHECK_LT(v, adjacency_.size());
+  NELA_CHECK_NE(u, v);
+  NELA_CHECK_GT(weight, 0.0);
+  adjacency_[u].push_back(HalfEdge{v, weight});
+  adjacency_[v].push_back(HalfEdge{u, weight});
+  edges_.push_back(Edge{u, v, weight});
+}
+
+double Wpg::AverageDegree() const {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         static_cast<double>(adjacency_.size());
+}
+
+double Wpg::MaxEdgeWeight() const {
+  double max_weight = 0.0;
+  for (const Edge& e : edges_) max_weight = std::max(max_weight, e.weight);
+  return max_weight;
+}
+
+void Wpg::SortAdjacencyByWeight() {
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end(),
+              [](const HalfEdge& a, const HalfEdge& b) {
+                return a.weight < b.weight ||
+                       (a.weight == b.weight && a.to < b.to);
+              });
+  }
+}
+
+}  // namespace nela::graph

@@ -1,0 +1,124 @@
+// Weighted proximity graph (WPG), §IV.
+//
+// Vertices are users; an edge (u, v) means u and v are in radio proximity,
+// and its weight is a symmetric relative-distance measure agreed by both
+// endpoints (in the experiments: the minimum of the two mutual RSS ranks).
+
+#ifndef NELA_GRAPH_WPG_H_
+#define NELA_GRAPH_WPG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace nela::graph {
+
+using VertexId = uint32_t;
+
+struct HalfEdge {
+  VertexId to = 0;
+  double weight = 0.0;
+};
+
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  double weight = 0.0;
+};
+
+// Strict total order over edges: weight first, endpoint ids as the
+// tie-break. The proximity experiments use small-integer RSS ranks as
+// weights, so ties are pervasive; every t-connectivity computation in the
+// library refines the threshold to an EdgeKey so that "remove edges in
+// descending order" (Algorithm 1) and all derived notions are
+// deterministic and mutually consistent. A threshold EdgeKey admits an
+// edge e iff KeyOf(e) <= threshold.
+struct EdgeKey {
+  double weight = 0.0;
+  VertexId lo = 0;
+  VertexId hi = 0;
+
+  // Sentinel below every real edge (real edges have weight > 0).
+  static EdgeKey Min() { return EdgeKey{0.0, 0, 0}; }
+  // Threshold admitting every edge of weight <= w regardless of ids.
+  static EdgeKey UpTo(double w) {
+    return EdgeKey{w, 0xffffffffu, 0xffffffffu};
+  }
+
+  friend bool operator==(const EdgeKey& a, const EdgeKey& b) {
+    return a.weight == b.weight && a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator<(const EdgeKey& a, const EdgeKey& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.hi < b.hi;
+  }
+  friend bool operator<=(const EdgeKey& a, const EdgeKey& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const EdgeKey& a, const EdgeKey& b) { return b < a; }
+};
+
+inline EdgeKey KeyOf(const Edge& e) {
+  return EdgeKey{e.weight, e.u < e.v ? e.u : e.v, e.u < e.v ? e.v : e.u};
+}
+
+inline EdgeKey KeyOf(VertexId from, const HalfEdge& half) {
+  return EdgeKey{half.weight, from < half.to ? from : half.to,
+                 from < half.to ? half.to : from};
+}
+
+class Wpg {
+ public:
+  // An empty graph with `vertex_count` isolated vertices.
+  explicit Wpg(uint32_t vertex_count);
+
+  // Builds from an explicit edge list (used by tests mirroring the paper's
+  // worked examples). Duplicate or self edges are rejected.
+  static util::Result<Wpg> FromEdges(uint32_t vertex_count,
+                                     const std::vector<Edge>& edges);
+
+  uint32_t vertex_count() const {
+    return static_cast<uint32_t>(adjacency_.size());
+  }
+  uint32_t edge_count() const { return static_cast<uint32_t>(edges_.size()); }
+
+  // Adds an undirected edge. Requires u != v, weight > 0, and that the edge
+  // does not already exist (checked only in the FromEdges path; AddEdge
+  // trusts the builder for speed).
+  void AddEdge(VertexId u, VertexId v, double weight);
+
+  const std::vector<HalfEdge>& Neighbors(VertexId v) const {
+    NELA_CHECK_LT(v, adjacency_.size());
+    return adjacency_[v];
+  }
+
+  uint32_t Degree(VertexId v) const {
+    NELA_CHECK_LT(v, adjacency_.size());
+    return static_cast<uint32_t>(adjacency_[v].size());
+  }
+
+  // All edges, in insertion order.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Mean vertex degree (0 for an empty graph).
+  double AverageDegree() const;
+
+  // Largest edge weight in the whole graph; 0 when edgeless.
+  double MaxEdgeWeight() const;
+
+  // Sorts every adjacency list by ascending weight (ties by vertex id).
+  // The distributed algorithms rely on this ordering; the builder calls it
+  // once after construction.
+  void SortAdjacencyByWeight();
+
+ private:
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace nela::graph
+
+#endif  // NELA_GRAPH_WPG_H_

@@ -1,0 +1,105 @@
+#include "graph/wpg_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "spatial/grid_index.h"
+
+namespace nela::graph {
+
+util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
+                           const WpgBuildParams& params) {
+  if (params.delta <= 0.0) {
+    return util::InvalidArgumentError("delta must be positive");
+  }
+  if (params.cap_peers && params.max_peers == 0) {
+    return util::InvalidArgumentError("max_peers must be positive");
+  }
+  if (params.measure == ProximityMeasure::kTdoaBucket &&
+      params.tdoa_levels == 0) {
+    return util::InvalidArgumentError("tdoa_levels must be positive");
+  }
+
+  const uint32_t n = dataset.size();
+  const spatial::GridIndex index(dataset.points(), params.delta);
+
+  // Step 1: per-user candidate peer list — the (at most M) nearest
+  // delta-neighbors, ascending by distance.
+  std::vector<std::vector<uint32_t>> candidates(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    std::vector<spatial::Neighbor> near =
+        index.RadiusQuery(dataset.point(u), params.delta, u);
+    if (params.cap_peers && near.size() > params.max_peers) {
+      near.resize(params.max_peers);
+    }
+    candidates[u].reserve(near.size());
+    for (const spatial::Neighbor& nb : near) candidates[u].push_back(nb.id);
+  }
+
+  // Step 2: keep mutual links only; a device cannot hold a point-to-point
+  // connection its peer refused.
+  std::vector<std::vector<uint32_t>> peers(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : candidates[u]) {
+      if (v < u) continue;  // handle each unordered pair once
+      const auto& back = candidates[v];
+      if (std::find(back.begin(), back.end(), u) != back.end()) {
+        peers[u].push_back(v);
+        peers[v].push_back(u);
+      }
+    }
+  }
+
+  // Step 3: RSS rank of each peer. peers[u] preserves ascending-distance
+  // order for v > u but appended v < u entries break it, so re-sort by
+  // distance (ties by id for determinism).
+  std::vector<std::vector<uint32_t>> rank(n);  // rank[u][i]: rank of peers[u][i]
+  for (uint32_t u = 0; u < n; ++u) {
+    auto& list = peers[u];
+    std::sort(list.begin(), list.end(), [&](uint32_t a, uint32_t b) {
+      const double da = geo::SquaredDistance(dataset.point(u), dataset.point(a));
+      const double db = geo::SquaredDistance(dataset.point(u), dataset.point(b));
+      return da < db || (da == db && a < b);
+    });
+  }
+
+  // rank_of[u] maps peer id -> 1-based rank in u's sorted list. Use a flat
+  // lookup per vertex pass to stay O(sum deg).
+  auto rank_of = [&](uint32_t u, uint32_t v) -> uint32_t {
+    const auto& list = peers[u];
+    for (uint32_t i = 0; i < list.size(); ++i) {
+      if (list[i] == v) return i + 1;
+    }
+    NELA_CHECK(false);  // mutual link must appear in both lists
+    return 0;
+  };
+
+  Wpg graph(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t i = 0; i < peers[u].size(); ++i) {
+      const uint32_t v = peers[u][i];
+      if (v < u) continue;
+      double weight;
+      if (params.measure == ProximityMeasure::kTdoaBucket) {
+        // Time-difference-of-arrival resolves distance directly; quantize
+        // it into 1..tdoa_levels buckets (symmetric, so both devices agree
+        // without negotiation).
+        const double distance =
+            geo::Distance(dataset.point(u), dataset.point(v));
+        const double fraction = std::min(distance / params.delta, 1.0);
+        weight = std::max<double>(
+            1.0, std::ceil(fraction * params.tdoa_levels));
+      } else {
+        const uint32_t weight_u = i + 1;          // rank of v in u's list
+        const uint32_t weight_v = rank_of(v, u);  // rank of u in v's list
+        weight = static_cast<double>(std::min(weight_u, weight_v));
+      }
+      graph.AddEdge(u, v, weight);
+    }
+  }
+  graph.SortAdjacencyByWeight();
+  return graph;
+}
+
+}  // namespace nela::graph

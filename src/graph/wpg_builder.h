@@ -1,0 +1,52 @@
+// Builds the weighted proximity graph from a user dataset, following the
+// experimental setup of §VI:
+//
+//  * two users are in proximity when their distance is at most `delta`;
+//  * every device connects to at most `max_peers` (M) peers — we keep the M
+//    nearest, and require the link to be mutual (point-to-point connections
+//    need both endpoints to accept);
+//  * RSS is modeled as inversely correlated with distance, so a peer's RSS
+//    rank equals its distance rank. The weight of edge (a, b) is the minimum
+//    of a's rank in b's sorted peer list and b's rank in a's list (this is
+//    what makes the weight symmetric and "agreed by both").
+
+#ifndef NELA_GRAPH_WPG_BUILDER_H_
+#define NELA_GRAPH_WPG_BUILDER_H_
+
+#include "data/dataset.h"
+#include "graph/wpg.h"
+#include "util/status.h"
+
+namespace nela::graph {
+
+// How edge weights are derived from the physical measurement (§III: a
+// device can measure proximity by RSS or by TDOA of beacon signals).
+enum class ProximityMeasure {
+  // Weight = min of the two mutual RSS ranks (the paper's experiments).
+  kRssRank,
+  // Weight = distance quantized into `tdoa_levels` buckets over [0, delta]
+  // (time-of-flight resolution); symmetric by construction.
+  kTdoaBucket,
+};
+
+struct WpgBuildParams {
+  // Proximity (radio range) threshold in unit-square coordinates.
+  double delta = 2e-3;
+  // Maximum number of connected peers per device (M in the paper).
+  uint32_t max_peers = 10;
+  // When false, peer lists keep every delta-neighbor (no resource cap) —
+  // used by ablations.
+  bool cap_peers = true;
+  // Weight model.
+  ProximityMeasure measure = ProximityMeasure::kRssRank;
+  // Quantization levels for kTdoaBucket (weights 1..tdoa_levels).
+  uint32_t tdoa_levels = 16;
+};
+
+// Deterministic given the dataset and params.
+util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
+                           const WpgBuildParams& params);
+
+}  // namespace nela::graph
+
+#endif  // NELA_GRAPH_WPG_BUILDER_H_

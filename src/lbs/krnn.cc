@@ -1,0 +1,68 @@
+#include "lbs/krnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nela::lbs {
+
+namespace {
+
+// Euclidean distance from a point to a rectangle (0 when inside).
+double DistanceToRect(const geo::Point& p, const geo::Rect& rect) {
+  const double dx =
+      std::max({rect.min_x() - p.x, 0.0, p.x - rect.max_x()});
+  const double dy =
+      std::max({rect.min_y() - p.y, 0.0, p.y - rect.max_y()});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+KrnnResult RangeKnnCandidates(const PoiDatabase& database,
+                              const data::Dataset& pois,
+                              const geo::Rect& region, uint32_t k) {
+  NELA_CHECK_GE(k, 1u);
+  NELA_CHECK(!region.empty());
+  KrnnResult result;
+  if (database.size() <= k) {
+    result.candidates.resize(database.size());
+    for (uint32_t id = 0; id < database.size(); ++id) {
+      result.candidates[id] = id;
+    }
+    result.radius = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // Largest k-th-NN distance over the four corners.
+  const geo::Point corners[4] = {
+      {region.min_x(), region.min_y()},
+      {region.min_x(), region.max_y()},
+      {region.max_x(), region.min_y()},
+      {region.max_x(), region.max_y()},
+  };
+  double worst_knn = 0.0;
+  for (const geo::Point& corner : corners) {
+    const auto neighbors = database.NearestNeighbors(corner, k);
+    NELA_CHECK_EQ(neighbors.size(), k);
+    worst_knn = std::max(
+        worst_knn, std::sqrt(neighbors.back().squared_distance));
+  }
+  const double diagonal = std::sqrt(region.Width() * region.Width() +
+                                    region.Height() * region.Height());
+  result.radius = worst_knn + diagonal;
+
+  // Every POI within `radius` of the rectangle is a candidate.
+  const geo::Rect inflated = region.Inflated(result.radius);
+  for (uint32_t id : database.RangeQuery(inflated)) {
+    if (DistanceToRect(pois.point(id), region) <= result.radius) {
+      result.candidates.push_back(id);
+    }
+  }
+  std::sort(result.candidates.begin(), result.candidates.end());
+  return result;
+}
+
+}  // namespace nela::lbs

@@ -1,0 +1,41 @@
+// k-range-nearest-neighbor (kRNN) candidate computation (§II, server
+// side): a cloaked kNN query sends a rectangle instead of a point, and the
+// server must return a superset of results that contains the k nearest
+// POIs of EVERY possible position inside the rectangle -- the client
+// filters locally to its true answer.
+//
+// Candidate rule (conservative, provably sufficient): let D be the largest
+// k-th-nearest-neighbor distance over the rectangle's corners and G its
+// diagonal. For any query point q in R, the nearest corner c satisfies
+// |q - c| <= G, and c's k nearest POIs lie within D of c, hence within
+// D + G of q -- so q's k-th-NN distance is at most D + G and every true
+// result lies within D + G of the rectangle. Returning all POIs within
+// that distance of R is therefore a correct superset.
+
+#ifndef NELA_LBS_KRNN_H_
+#define NELA_LBS_KRNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/rect.h"
+#include "lbs/poi_database.h"
+
+namespace nela::lbs {
+
+struct KrnnResult {
+  // Candidate POI ids (superset of the kNN of every point in the region).
+  std::vector<uint32_t> candidates;
+  // The certified search radius around the region (D + G above).
+  double radius = 0.0;
+};
+
+// `k` >= 1; `region` non-empty. When the database holds fewer than k POIs,
+// every POI is returned.
+KrnnResult RangeKnnCandidates(const PoiDatabase& database,
+                              const data::Dataset& pois,
+                              const geo::Rect& region, uint32_t k);
+
+}  // namespace nela::lbs
+
+#endif  // NELA_LBS_KRNN_H_

@@ -1,0 +1,23 @@
+#include "lbs/poi_database.h"
+
+namespace nela::lbs {
+
+PoiDatabase::PoiDatabase(const data::Dataset& dataset, double cell_size)
+    : dataset_(&dataset), index_(dataset.points(), cell_size) {}
+
+std::vector<uint32_t> PoiDatabase::RangeQuery(const geo::Rect& region) const {
+  return index_.RangeQuery(region);
+}
+
+uint64_t PoiDatabase::CountInRange(const geo::Rect& region) const {
+  return index_.RangeQuery(region).size();
+}
+
+std::vector<spatial::Neighbor> PoiDatabase::NearestNeighbors(
+    const geo::Point& query, uint32_t count) const {
+  // The spatial index excludes a "self" id; pass an out-of-range id so
+  // every POI is a candidate.
+  return index_.NearestNeighbors(query, count, dataset_->size());
+}
+
+}  // namespace nela::lbs

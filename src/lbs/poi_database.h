@@ -1,0 +1,49 @@
+// POI database: the server-side content store that cloaked range queries
+// run against (§VI models the service request as a range query over the
+// same POI dataset the users stand on).
+
+#ifndef NELA_LBS_POI_DATABASE_H_
+#define NELA_LBS_POI_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/rect.h"
+#include "spatial/grid_index.h"
+
+namespace nela::lbs {
+
+class PoiDatabase {
+ public:
+  // Indexes `dataset` (not owned; must outlive the database). `cell_size`
+  // tunes the spatial index granularity.
+  explicit PoiDatabase(const data::Dataset& dataset, double cell_size = 1e-2);
+
+  PoiDatabase(const PoiDatabase&) = delete;
+  PoiDatabase& operator=(const PoiDatabase&) = delete;
+
+  uint32_t size() const { return dataset_->size(); }
+
+  // Ids of POIs inside `region`.
+  std::vector<uint32_t> RangeQuery(const geo::Rect& region) const;
+
+  // Number of POIs inside `region` (cheaper than materializing ids when
+  // only the payload size matters).
+  uint64_t CountInRange(const geo::Rect& region) const;
+
+  // The `count` nearest POIs to `query` (ascending by distance).
+  std::vector<spatial::Neighbor> NearestNeighbors(const geo::Point& query,
+                                                  uint32_t count) const;
+
+  // Position of POI `id`.
+  const geo::Point& point(uint32_t id) const { return dataset_->point(id); }
+
+ private:
+  const data::Dataset* dataset_;
+  spatial::GridIndex index_;
+};
+
+}  // namespace nela::lbs
+
+#endif  // NELA_LBS_POI_DATABASE_H_

@@ -1,0 +1,34 @@
+#include "lbs/server.h"
+
+#include "util/check.h"
+
+namespace nela::lbs {
+
+LbsServer::LbsServer(const PoiDatabase* database, double poi_payload_ratio)
+    : database_(database), poi_payload_ratio_(poi_payload_ratio) {
+  NELA_CHECK(database != nullptr);
+  NELA_CHECK_GT(poi_payload_ratio, 0.0);
+}
+
+ServiceReply LbsServer::RangeQuery(const geo::Rect& cloaked_region,
+                                   net::Network* network,
+                                   net::NodeId client) const {
+  ServiceReply reply;
+  reply.candidate_count = database_->CountInRange(cloaked_region);
+  reply.reply_cost =
+      static_cast<double>(reply.candidate_count) * poi_payload_ratio_;
+  ++queries_served_;
+  if (network != nullptr) {
+    // The request carries the region (4 doubles); the reply one POI record
+    // per candidate. Client node doubles as the server endpoint because the
+    // network models only the user population; what matters is the counted
+    // cost, not the topology of the wired side.
+    network->Send(client, client, net::MessageKind::kServiceRequest,
+                  /*bytes=*/32);
+    network->Send(client, client, net::MessageKind::kServiceReply,
+                  /*bytes=*/reply.candidate_count * 64);
+  }
+  return reply;
+}
+
+}  // namespace nela::lbs

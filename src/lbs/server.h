@@ -1,0 +1,50 @@
+// LBS server front end (the query processor of Fig. 3).
+//
+// A client sends its cloaked region instead of its position; the server
+// answers a range request with the superset of POIs intersecting the region
+// and the client filters locally. The communication cost of the reply is
+// what the bounding algorithms trade against verification rounds:
+// cost = (#candidate POIs) * poi_payload_ratio, with a clustering message
+// as the cost unit (Cr in Table I).
+
+#ifndef NELA_LBS_SERVER_H_
+#define NELA_LBS_SERVER_H_
+
+#include <cstdint>
+
+#include "geo/rect.h"
+#include "lbs/poi_database.h"
+#include "net/network.h"
+
+namespace nela::lbs {
+
+struct ServiceReply {
+  uint64_t candidate_count = 0;  // POIs in the cloaked region
+  // Reply cost in clustering-message units: candidate_count * Cr.
+  double reply_cost = 0.0;
+};
+
+class LbsServer {
+ public:
+  // `database` is not owned. `poi_payload_ratio` is Cr: how many
+  // clustering-message units one POI object costs to ship.
+  LbsServer(const PoiDatabase* database, double poi_payload_ratio);
+
+  // Serves a cloaked range query. With a network binding the request/reply
+  // message pair is accounted between `client` and a virtual server node.
+  ServiceReply RangeQuery(const geo::Rect& cloaked_region,
+                          net::Network* network = nullptr,
+                          net::NodeId client = 0) const;
+
+  double poi_payload_ratio() const { return poi_payload_ratio_; }
+  uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  const PoiDatabase* database_;
+  double poi_payload_ratio_;
+  mutable uint64_t queries_served_ = 0;
+};
+
+}  // namespace nela::lbs
+
+#endif  // NELA_LBS_SERVER_H_

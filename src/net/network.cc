@@ -1,0 +1,72 @@
+#include "net/network.h"
+
+namespace nela::net {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kAdjacencyExchange:
+      return "adjacency_exchange";
+    case MessageKind::kClusterAssignment:
+      return "cluster_assignment";
+    case MessageKind::kBoundProposal:
+      return "bound_proposal";
+    case MessageKind::kBoundVote:
+      return "bound_vote";
+    case MessageKind::kServiceRequest:
+      return "service_request";
+    case MessageKind::kServiceReply:
+      return "service_reply";
+    case MessageKind::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+Network::Network(uint32_t node_count)
+    : node_count_(node_count), sent_(node_count, 0), received_(node_count, 0) {}
+
+bool Network::Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes) {
+  NELA_CHECK_LT(from, node_count_);
+  NELA_CHECK_LT(to, node_count_);
+  if (loss_probability_ > 0.0 && loss_rng_ != nullptr &&
+      loss_rng_->NextBernoulli(loss_probability_)) {
+    ++dropped_;
+    return false;
+  }
+  ++total_.messages;
+  total_.bytes += bytes;
+  TrafficCounter& kind_counter = by_kind_[static_cast<size_t>(kind)];
+  ++kind_counter.messages;
+  kind_counter.bytes += bytes;
+  ++sent_[from];
+  ++received_[to];
+  return true;
+}
+
+void Network::SetLossProbability(double loss_probability, util::Rng* rng) {
+  NELA_CHECK_GE(loss_probability, 0.0);
+  NELA_CHECK_LE(loss_probability, 1.0);
+  NELA_CHECK(loss_probability == 0.0 || rng != nullptr);
+  loss_probability_ = loss_probability;
+  loss_rng_ = rng;
+}
+
+uint64_t Network::SentBy(NodeId node) const {
+  NELA_CHECK_LT(node, node_count_);
+  return sent_[node];
+}
+
+uint64_t Network::ReceivedBy(NodeId node) const {
+  NELA_CHECK_LT(node, node_count_);
+  return received_[node];
+}
+
+void Network::ResetCounters() {
+  total_ = TrafficCounter{};
+  by_kind_.fill(TrafficCounter{});
+  std::fill(sent_.begin(), sent_.end(), 0);
+  std::fill(received_.begin(), received_.end(), 0);
+  dropped_ = 0;
+}
+
+}  // namespace nela::net

@@ -1,0 +1,87 @@
+// Simulated peer-to-peer message layer.
+//
+// The paper's evaluation metric is communication cost in number of messages
+// (and, for Fig. 10, message payload size). This substrate gives every
+// protocol a common place to record traffic: protocols call Send() for each
+// point-to-point message, and the harness reads the counters. A configurable
+// drop probability supports the failure-injection tests motivated by the
+// paper's §VII robustness discussion.
+
+#ifndef NELA_NET_NETWORK_H_
+#define NELA_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace nela::net {
+
+using NodeId = uint32_t;
+
+enum class MessageKind : uint8_t {
+  kAdjacencyExchange = 0,  // a user's adjacency list sent to a host/anonymizer
+  kClusterAssignment,      // final cluster membership notification
+  kBoundProposal,          // secure bounding: hypothesized bound broadcast
+  kBoundVote,              // secure bounding: agree/disagree reply
+  kServiceRequest,         // cloaked region sent to the LBS server
+  kServiceReply,           // candidate POIs returned by the LBS server
+  kControl,                // anything else (handshakes, retries)
+};
+inline constexpr int kMessageKindCount = 7;
+
+const char* MessageKindName(MessageKind kind);
+
+struct TrafficCounter {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  explicit Network(uint32_t node_count);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  uint32_t node_count() const { return node_count_; }
+
+  // Records one message. Returns false when the message is dropped by the
+  // injected loss process (callers model their retry policy on top).
+  bool Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes);
+
+  // Failure injection: every subsequent Send is dropped with probability
+  // `loss_probability` using `rng` (not owned; must outlive the network).
+  // Pass 0 to disable.
+  void SetLossProbability(double loss_probability, util::Rng* rng);
+
+  // Global counters (delivered messages only).
+  const TrafficCounter& total() const { return total_; }
+  const TrafficCounter& of_kind(MessageKind kind) const {
+    return by_kind_[static_cast<size_t>(kind)];
+  }
+  uint64_t dropped_messages() const { return dropped_; }
+
+  // Per-node counters.
+  uint64_t SentBy(NodeId node) const;
+  uint64_t ReceivedBy(NodeId node) const;
+
+  // Zeroes every counter (keeps the loss configuration).
+  void ResetCounters();
+
+ private:
+  uint32_t node_count_;
+  TrafficCounter total_;
+  std::array<TrafficCounter, kMessageKindCount> by_kind_{};
+  std::vector<uint64_t> sent_;
+  std::vector<uint64_t> received_;
+  uint64_t dropped_ = 0;
+  double loss_probability_ = 0.0;
+  util::Rng* loss_rng_ = nullptr;
+};
+
+}  // namespace nela::net
+
+#endif  // NELA_NET_NETWORK_H_

@@ -1,0 +1,134 @@
+#include "sim/bounding_experiment.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "bounding/protocol.h"
+#include "cluster/distributed_tconn.h"
+#include "lbs/poi_database.h"
+#include "lbs/server.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace nela::sim {
+
+const char* BoundingAlgorithmName(BoundingAlgorithm algorithm) {
+  switch (algorithm) {
+    case BoundingAlgorithm::kLinear:
+      return "Linear";
+    case BoundingAlgorithm::kExponential:
+      return "Exponential";
+    case BoundingAlgorithm::kSecure:
+      return "Secure";
+    case BoundingAlgorithm::kOptimal:
+      return "Optimal";
+  }
+  return "unknown";
+}
+
+util::Result<BoundingExperimentResult> RunBoundingExperiment(
+    const Scenario& scenario, const BoundingExperimentConfig& config) {
+  if (config.requests == 0 || config.requests > scenario.dataset.size()) {
+    return util::InvalidArgumentError("bad request count");
+  }
+
+  cluster::Registry registry(scenario.dataset.size());
+  cluster::DistributedTConnClusterer clusterer(scenario.graph, config.k,
+                                               &registry);
+  const lbs::PoiDatabase database(scenario.dataset);
+  const lbs::LbsServer server(&database, config.params.cr);
+
+  const core::PolicyFactory factories[3] = {
+      core::MakeLinearPolicyFactory(config.params),
+      core::MakeExponentialPolicyFactory(config.params),
+      core::MakeSecurePolicyFactory(config.params),
+  };
+
+  util::Rng workload_rng(config.workload_seed);
+  const std::vector<data::UserId> hosts = SampleWorkload(
+      scenario.dataset.size(), config.requests, workload_rng);
+
+  struct Accumulator {
+    double bounding = 0.0;
+    double request = 0.0;
+    double ratio = 0.0;
+    double total = 0.0;
+    double cpu_ms = 0.0;
+    double area = 0.0;
+    uint32_t runs = 0;
+  };
+  Accumulator acc[kBoundingAlgorithmCount];
+
+  std::unordered_set<cluster::ClusterId> bounded_clusters;
+  for (data::UserId host : hosts) {
+    auto clustering = clusterer.ClusterFor(host);
+    if (!clustering.ok()) return clustering.status();
+    const cluster::ClusterId id = clustering.value().cluster_id;
+    if (!bounded_clusters.insert(id).second) continue;  // already measured
+
+    const cluster::ClusterInfo& info = registry.info(id);
+    std::vector<geo::Point> points;
+    points.reserve(info.members.size());
+    for (graph::VertexId member : info.members) {
+      points.push_back(scenario.dataset.point(member));
+    }
+    const geo::Point reference = scenario.dataset.point(host);
+    const uint32_t n = static_cast<uint32_t>(points.size());
+
+    // Optimal first: its request cost is the ratio denominator.
+    const bounding::RegionBoundingResult opt =
+        bounding::ComputeOptRegion(points);
+    const double opt_request = server.RangeQuery(opt.region).reply_cost;
+    {
+      Accumulator& a = acc[static_cast<size_t>(BoundingAlgorithm::kOptimal)];
+      const double bounding_cost =
+          static_cast<double>(opt.verifications) * config.params.cb;
+      a.bounding += bounding_cost;
+      a.request += opt_request;
+      a.ratio += 1.0;
+      a.total += bounding_cost + opt_request;
+      a.cpu_ms += opt.cpu_seconds * 1e3;
+      a.area += opt.region.Area();
+      ++a.runs;
+    }
+
+    const BoundingAlgorithm progressive[3] = {BoundingAlgorithm::kLinear,
+                                              BoundingAlgorithm::kExponential,
+                                              BoundingAlgorithm::kSecure};
+    for (int p = 0; p < 3; ++p) {
+      std::unique_ptr<bounding::IncrementPolicy> policy = factories[p](n);
+      const bounding::RegionBoundingResult run =
+          bounding::ComputeCloakedRegion(points, reference, *policy);
+      const double request = server.RangeQuery(run.region).reply_cost;
+      Accumulator& a = acc[static_cast<size_t>(progressive[p])];
+      const double bounding_cost =
+          static_cast<double>(run.verifications) * config.params.cb;
+      a.bounding += bounding_cost;
+      a.request += request;
+      a.ratio += opt_request > 0.0 ? request / opt_request : 1.0;
+      a.total += bounding_cost + request;
+      a.cpu_ms += run.cpu_seconds * 1e3;
+      a.area += run.region.Area();
+      ++a.runs;
+    }
+  }
+
+  BoundingExperimentResult result;
+  for (int i = 0; i < kBoundingAlgorithmCount; ++i) {
+    const Accumulator& a = acc[i];
+    BoundingAlgorithmResult& out = result.per_algorithm[i];
+    out.bounding_runs = a.runs;
+    if (a.runs == 0) continue;
+    const double runs = static_cast<double>(a.runs);
+    out.avg_bounding_cost = a.bounding / runs;
+    out.avg_request_cost = a.request / runs;
+    out.avg_request_ratio = a.ratio / runs;
+    out.avg_total_cost = a.total / runs;
+    out.avg_cpu_ms = a.cpu_ms / runs;
+    out.avg_region_area = a.area / runs;
+  }
+  return result;
+}
+
+}  // namespace nela::sim

@@ -1,0 +1,63 @@
+// Driver for the secure-bounding experiments (Fig. 13).
+//
+// Phase 1 is fixed (distributed t-Conn); every bounding algorithm then
+// computes a cloaked region for the same sequence of freshly formed
+// clusters, so the comparison isolates phase-2 behaviour. Metrics follow
+// §VI-D: bounding communication cost (verification round trips * Cb),
+// service-request cost (candidate POIs * Cr, reported both absolutely and
+// as a ratio of the optimal bounding), their sum, and CPU time.
+
+#ifndef NELA_SIM_BOUNDING_EXPERIMENT_H_
+#define NELA_SIM_BOUNDING_EXPERIMENT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "core/policy_factory.h"
+#include "sim/scenario.h"
+#include "util/status.h"
+
+namespace nela::sim {
+
+enum class BoundingAlgorithm : uint8_t {
+  kLinear = 0,
+  kExponential,
+  kSecure,
+  kOptimal,
+};
+inline constexpr int kBoundingAlgorithmCount = 4;
+
+const char* BoundingAlgorithmName(BoundingAlgorithm algorithm);
+
+struct BoundingExperimentConfig {
+  uint32_t k = 10;
+  uint32_t requests = 2000;  // S
+  uint64_t workload_seed = 7;
+  core::BoundingParams params;  // Cb, Cr, density
+};
+
+struct BoundingAlgorithmResult {
+  // Averages are per bounding run (one per newly formed cluster).
+  double avg_bounding_cost = 0.0;   // verifications * Cb
+  double avg_request_cost = 0.0;    // candidate POIs * Cr
+  double avg_request_ratio = 0.0;   // request cost / optimal request cost
+  double avg_total_cost = 0.0;      // bounding + request
+  double avg_cpu_ms = 0.0;
+  double avg_region_area = 0.0;
+  uint32_t bounding_runs = 0;
+};
+
+struct BoundingExperimentResult {
+  std::array<BoundingAlgorithmResult, kBoundingAlgorithmCount> per_algorithm;
+
+  const BoundingAlgorithmResult& of(BoundingAlgorithm algorithm) const {
+    return per_algorithm[static_cast<size_t>(algorithm)];
+  }
+};
+
+util::Result<BoundingExperimentResult> RunBoundingExperiment(
+    const Scenario& scenario, const BoundingExperimentConfig& config);
+
+}  // namespace nela::sim
+
+#endif  // NELA_SIM_BOUNDING_EXPERIMENT_H_

@@ -1,0 +1,54 @@
+// Driver for the k-clustering experiments (Figs. 9-12).
+//
+// Runs a workload of S cloaking requests through the engine with the
+// chosen phase-1 algorithm and *optimal* bounding (the paper isolates
+// clustering quality from bounding error this way), and reports the two
+// §VI metrics -- average communication cost (involved users per request)
+// and average cloaked-region area -- plus the ingredients of Fig. 10's
+// total-cost model.
+
+#ifndef NELA_SIM_CLUSTERING_EXPERIMENT_H_
+#define NELA_SIM_CLUSTERING_EXPERIMENT_H_
+
+#include <cstdint>
+
+#include "sim/scenario.h"
+#include "util/status.h"
+
+namespace nela::sim {
+
+enum class ClusteringAlgorithm {
+  kDistributedTConn,
+  kCentralizedTConn,
+  kKnn,
+};
+
+const char* ClusteringAlgorithmName(ClusteringAlgorithm algorithm);
+
+struct ClusteringExperimentConfig {
+  uint32_t k = 10;
+  uint32_t requests = 2000;  // S
+  uint64_t workload_seed = 7;
+};
+
+struct ClusteringExperimentResult {
+  // Averages over all S requests (reused requests cost 0), as in §VI.
+  double avg_comm_cost = 0.0;
+  double avg_cloaked_area = 0.0;
+  // POIs inside the cloaked region, averaged over requests: the request
+  // payload driver of Fig. 10 (total cost = comm + candidates * ratio).
+  double avg_candidates = 0.0;
+  double avg_cluster_size = 0.0;
+  uint64_t total_clustering_messages = 0;
+  uint32_t reused_requests = 0;
+  // Requests whose cluster could not reach size k.
+  uint32_t invalid_requests = 0;
+};
+
+util::Result<ClusteringExperimentResult> RunClusteringExperiment(
+    const Scenario& scenario, ClusteringAlgorithm algorithm,
+    const ClusteringExperimentConfig& config);
+
+}  // namespace nela::sim
+
+#endif  // NELA_SIM_CLUSTERING_EXPERIMENT_H_

@@ -1,0 +1,38 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+#include "graph/wpg_builder.h"
+#include "util/rng.h"
+
+namespace nela::sim {
+
+util::Result<Scenario> BuildScenario(const ScenarioConfig& config) {
+  if (config.user_count == 0) {
+    return util::InvalidArgumentError("user_count must be positive");
+  }
+  util::Rng rng(config.seed);
+  data::Dataset dataset;
+  if (config.clustered_dataset) {
+    data::RoadNetworkParams params;
+    params.count = config.user_count;
+    // Scale the town count with the population so scaled-down scenarios
+    // keep the default per-town population (and therefore the same local
+    // dynamics) as the full-size one.
+    params.num_cities = std::max<uint32_t>(
+        2, static_cast<uint32_t>(
+               static_cast<uint64_t>(params.num_cities) * config.user_count /
+               data::kCaliforniaPoiCount));
+    dataset = data::GenerateRoadNetwork(params, rng);
+  } else {
+    dataset = data::GenerateUniform(config.user_count, rng);
+  }
+  graph::WpgBuildParams build;
+  build.delta = config.delta;
+  build.max_peers = config.max_peers;
+  auto graph = graph::BuildWpg(dataset, build);
+  if (!graph.ok()) return graph.status();
+  return Scenario{std::move(dataset), std::move(graph).value()};
+}
+
+}  // namespace nela::sim

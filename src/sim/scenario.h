@@ -1,0 +1,38 @@
+// Experiment scenario: the user population and its proximity graph, built
+// from the Table I parameters.
+
+#ifndef NELA_SIM_SCENARIO_H_
+#define NELA_SIM_SCENARIO_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "graph/wpg.h"
+#include "util/status.h"
+
+namespace nela::sim {
+
+struct ScenarioConfig {
+  // Population size (|D|; Table I: 104,770).
+  uint32_t user_count = data::kCaliforniaPoiCount;
+  // Proximity threshold delta (Table I: 2e-3).
+  double delta = 2e-3;
+  // Max connected peers M (Table I: 10).
+  uint32_t max_peers = 10;
+  // Dataset shape: clustered "California-like" (default) or uniform.
+  bool clustered_dataset = true;
+  // Seed for dataset generation (fixed => reproducible scenarios).
+  uint64_t seed = 42;
+};
+
+struct Scenario {
+  data::Dataset dataset;
+  graph::Wpg graph;
+};
+
+util::Result<Scenario> BuildScenario(const ScenarioConfig& config);
+
+}  // namespace nela::sim
+
+#endif  // NELA_SIM_SCENARIO_H_

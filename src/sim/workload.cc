@@ -1,0 +1,14 @@
+#include "sim/workload.h"
+
+#include "util/check.h"
+
+namespace nela::sim {
+
+std::vector<data::UserId> SampleWorkload(uint32_t user_count,
+                                         uint32_t request_count,
+                                         util::Rng& rng) {
+  NELA_CHECK_LE(request_count, user_count);
+  return rng.SampleWithoutReplacement(user_count, request_count);
+}
+
+}  // namespace nela::sim

@@ -1,0 +1,22 @@
+// Workload sampling: the S distinct users that issue cloaking requests.
+
+#ifndef NELA_SIM_WORKLOAD_H_
+#define NELA_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace nela::sim {
+
+// `request_count` distinct hosts drawn uniformly from [0, user_count) in
+// random order. Requires request_count <= user_count.
+std::vector<data::UserId> SampleWorkload(uint32_t user_count,
+                                         uint32_t request_count,
+                                         util::Rng& rng);
+
+}  // namespace nela::sim
+
+#endif  // NELA_SIM_WORKLOAD_H_

@@ -1,0 +1,124 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nela::spatial {
+
+GridIndex::GridIndex(const std::vector<geo::Point>& points, double cell_size)
+    : points_(&points), cell_size_(cell_size) {
+  NELA_CHECK_GT(cell_size, 0.0);
+  // Grid extent from the data's bounding box so out-of-square points work.
+  double min_x = 0.0, min_y = 0.0, max_x = 1.0, max_y = 1.0;
+  for (const geo::Point& p : points) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  origin_x_ = min_x;
+  origin_y_ = min_y;
+  cols_ = static_cast<uint32_t>((max_x - min_x) / cell_size_) + 1;
+  rows_ = static_cast<uint32_t>((max_y - min_y) / cell_size_) + 1;
+
+  // Counting sort of point ids into cells (CSR).
+  const uint32_t cell_count = cols_ * rows_;
+  cell_start_.assign(cell_count + 1, 0);
+  std::vector<uint32_t> cell_of(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    const uint32_t c = CellOf(CellCoord(points[i].x - origin_x_),
+                              CellCoord(points[i].y - origin_y_));
+    cell_of[i] = c;
+    ++cell_start_[c + 1];
+  }
+  for (uint32_t c = 0; c < cell_count; ++c) {
+    cell_start_[c + 1] += cell_start_[c];
+  }
+  cell_ids_.resize(points.size());
+  std::vector<uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    cell_ids_[cursor[cell_of[i]]++] = i;
+  }
+}
+
+int32_t GridIndex::CellCoord(double v) const {
+  int32_t c = static_cast<int32_t>(std::floor(v / cell_size_));
+  return std::max(c, 0);
+}
+
+std::vector<Neighbor> GridIndex::RadiusQuery(const geo::Point& query,
+                                             double radius,
+                                             uint32_t self) const {
+  NELA_CHECK_GE(radius, 0.0);
+  std::vector<Neighbor> out;
+  const double r2 = radius * radius;
+  const int32_t span = static_cast<int32_t>(radius / cell_size_) + 1;
+  const int32_t qx = CellCoord(query.x - origin_x_);
+  const int32_t qy = CellCoord(query.y - origin_y_);
+  const int32_t x_lo = std::max(qx - span, 0);
+  const int32_t x_hi = std::min<int32_t>(qx + span, cols_ - 1);
+  const int32_t y_lo = std::max(qy - span, 0);
+  const int32_t y_hi = std::min<int32_t>(qy + span, rows_ - 1);
+  for (int32_t cy = y_lo; cy <= y_hi; ++cy) {
+    for (int32_t cx = x_lo; cx <= x_hi; ++cx) {
+      const uint32_t c = CellOf(cx, cy);
+      for (uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const uint32_t id = cell_ids_[k];
+        if (id == self) continue;
+        const double d2 = geo::SquaredDistance(query, (*points_)[id]);
+        if (d2 <= r2) out.push_back(Neighbor{id, d2});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.squared_distance < b.squared_distance ||
+           (a.squared_distance == b.squared_distance && a.id < b.id);
+  });
+  return out;
+}
+
+std::vector<Neighbor> GridIndex::NearestNeighbors(const geo::Point& query,
+                                                  uint32_t count,
+                                                  uint32_t self) const {
+  std::vector<Neighbor> result;
+  if (count == 0 || points_->empty()) return result;
+  // Expanding ring search: double the radius until enough candidates whose
+  // distance is certified (<= current radius) are found.
+  double radius = cell_size_;
+  const double max_radius = 2.0 * (cell_size_ * std::max(cols_, rows_) + 1.0);
+  for (;;) {
+    result = RadiusQuery(query, radius, self);
+    // Neighbors within `radius` are exact; check we have enough.
+    if (result.size() >= count || radius > max_radius) break;
+    radius *= 2.0;
+  }
+  if (result.size() > count) result.resize(count);
+  return result;
+}
+
+std::vector<uint32_t> GridIndex::RangeQuery(const geo::Rect& box) const {
+  std::vector<uint32_t> out;
+  if (box.empty()) return out;
+  const int32_t x_lo =
+      std::max(CellCoord(box.min_x() - origin_x_), 0);
+  const int32_t x_hi = std::min<int32_t>(
+      CellCoord(box.max_x() - origin_x_), cols_ - 1);
+  const int32_t y_lo =
+      std::max(CellCoord(box.min_y() - origin_y_), 0);
+  const int32_t y_hi = std::min<int32_t>(
+      CellCoord(box.max_y() - origin_y_), rows_ - 1);
+  for (int32_t cy = y_lo; cy <= y_hi; ++cy) {
+    for (int32_t cx = x_lo; cx <= x_hi; ++cx) {
+      const uint32_t c = CellOf(cx, cy);
+      for (uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const uint32_t id = cell_ids_[k];
+        if (box.Contains((*points_)[id])) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nela::spatial

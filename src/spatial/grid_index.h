@@ -1,0 +1,68 @@
+// Uniform grid index over points in the unit square.
+//
+// The WPG builder needs, for each of ~10^5 users, the peers within the
+// distance threshold delta and the M nearest among them; a uniform grid with
+// cell size on the order of delta answers both in near-constant time for the
+// paper's parameter regime.
+
+#ifndef NELA_SPATIAL_GRID_INDEX_H_
+#define NELA_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace nela::spatial {
+
+// A point id paired with its (squared) distance from a query point.
+struct Neighbor {
+  uint32_t id = 0;
+  double squared_distance = 0.0;
+};
+
+class GridIndex {
+ public:
+  // Indexes `points` (ids are indices into the vector). `cell_size` > 0 is
+  // the grid pitch; pick it near the typical query radius. Points may lie
+  // outside the unit square; cells are clamped at the boundary.
+  GridIndex(const std::vector<geo::Point>& points, double cell_size);
+
+  GridIndex(const GridIndex&) = delete;
+  GridIndex& operator=(const GridIndex&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(points_->size()); }
+
+  // All ids (excluding `self`, pass size() to keep all) within `radius` of
+  // `query`, sorted by ascending distance.
+  std::vector<Neighbor> RadiusQuery(const geo::Point& query, double radius,
+                                    uint32_t self) const;
+
+  // The `count` nearest ids to `query` (excluding `self`), sorted by
+  // ascending distance; fewer if the dataset is smaller.
+  std::vector<Neighbor> NearestNeighbors(const geo::Point& query,
+                                         uint32_t count, uint32_t self) const;
+
+  // Ids of all points inside `box` (inclusive borders).
+  std::vector<uint32_t> RangeQuery(const geo::Rect& box) const;
+
+ private:
+  int32_t CellCoord(double v) const;
+  uint32_t CellOf(int32_t cx, int32_t cy) const {
+    return static_cast<uint32_t>(cy) * cols_ + static_cast<uint32_t>(cx);
+  }
+
+  const std::vector<geo::Point>* points_;
+  double cell_size_;
+  double origin_x_, origin_y_;
+  uint32_t cols_ = 0, rows_ = 0;
+  // CSR layout: ids of cell c are cell_ids_[cell_start_[c] ..
+  // cell_start_[c+1]).
+  std::vector<uint32_t> cell_start_;
+  std::vector<uint32_t> cell_ids_;
+};
+
+}  // namespace nela::spatial
+
+#endif  // NELA_SPATIAL_GRID_INDEX_H_

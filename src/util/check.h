@@ -1,0 +1,34 @@
+// Invariant-checking macros.
+//
+// The library does not use C++ exceptions (see DESIGN.md). Programming errors
+// -- violated preconditions, broken invariants -- abort the process with a
+// diagnostic. Recoverable errors flow through util::Status instead.
+
+#ifndef NELA_UTIL_CHECK_H_
+#define NELA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `condition` is false. Always enabled, including
+// release builds: a cloaking library that silently corrupts a cluster is
+// worse than one that stops.
+#define NELA_CHECK(condition)                                           \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      std::fprintf(stderr, "NELA_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #condition);                               \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+// Binary comparison checks with both values printed via the format string
+// chosen by the caller site being unnecessary; keep the simple form.
+#define NELA_CHECK_EQ(a, b) NELA_CHECK((a) == (b))
+#define NELA_CHECK_NE(a, b) NELA_CHECK((a) != (b))
+#define NELA_CHECK_LT(a, b) NELA_CHECK((a) < (b))
+#define NELA_CHECK_LE(a, b) NELA_CHECK((a) <= (b))
+#define NELA_CHECK_GT(a, b) NELA_CHECK((a) > (b))
+#define NELA_CHECK_GE(a, b) NELA_CHECK((a) >= (b))
+
+#endif  // NELA_UTIL_CHECK_H_

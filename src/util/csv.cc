@@ -1,0 +1,72 @@
+#include "util/csv.h"
+
+#include <cinttypes>
+
+#include "util/check.h"
+
+namespace nela::util {
+
+void CsvWriter::SetHeader(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  if (!header_.empty()) NELA_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::AppendEscaped(const std::string& cell, std::string* out) {
+  const bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) {
+    out->append(cell);
+    return;
+  }
+  out->push_back('"');
+  for (char c : cell) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendEscaped(row[i], &out);
+    }
+    out.push_back('\n');
+  };
+  if (!header_.empty()) emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return UnavailableError("cannot open for writing: " + path);
+  }
+  const std::string content = ToString();
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const int close_result = std::fclose(file);
+  if (written != content.size() || close_result != 0) {
+    return UnavailableError("short write to: " + path);
+  }
+  return Status::Ok();
+}
+
+std::string CsvWriter::Cell(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+std::string CsvWriter::Cell(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  return buffer;
+}
+
+}  // namespace nela::util

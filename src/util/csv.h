@@ -1,0 +1,49 @@
+// CSV emission for benchmark results (one file per figure/table).
+
+#ifndef NELA_UTIL_CSV_H_
+#define NELA_UTIL_CSV_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nela::util {
+
+// Writes rows of mixed string/number cells. Quotes cells containing commas,
+// quotes, or newlines per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void SetHeader(std::vector<std::string> columns);
+
+  // Appends a row; cell count must match the header when one was set.
+  void AddRow(std::vector<std::string> cells);
+
+  // Serializes header + rows.
+  std::string ToString() const;
+
+  // Writes the serialized content to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Convenience numeric formatting with enough digits to round-trip.
+  static std::string Cell(double value);
+  static std::string Cell(int64_t value);
+
+ private:
+  static void AppendEscaped(const std::string& cell, std::string* out);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nela::util
+
+#endif  // NELA_UTIL_CSV_H_

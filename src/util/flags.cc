@@ -1,0 +1,142 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nela::util {
+
+namespace {
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void FlagParser::AddInt64(const std::string& name, int64_t* value,
+                          const std::string& description) {
+  entries_[name] = Entry{Type::kInt64, value, description,
+                         std::to_string(*value)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* value,
+                           const std::string& description) {
+  entries_[name] = Entry{Type::kDouble, value, description,
+                         std::to_string(*value)};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* value,
+                           const std::string& description) {
+  entries_[name] = Entry{Type::kString, value, description, *value};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* value,
+                         const std::string& description) {
+  entries_[name] =
+      Entry{Type::kBool, value, description, *value ? "true" : "false"};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& text) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return InvalidArgumentError("unknown flag --" + name);
+  }
+  Entry& entry = it->second;
+  bool parsed = false;
+  switch (entry.type) {
+    case Type::kInt64:
+      parsed = ParseInt64(text, static_cast<int64_t*>(entry.target));
+      break;
+    case Type::kDouble:
+      parsed = ParseDouble(text, static_cast<double*>(entry.target));
+      break;
+    case Type::kString:
+      *static_cast<std::string*>(entry.target) = text;
+      parsed = true;
+      break;
+    case Type::kBool:
+      parsed = ParseBool(text, static_cast<bool*>(entry.target));
+      break;
+  }
+  if (!parsed) {
+    return InvalidArgumentError("bad value for --" + name + ": '" + text +
+                                "'");
+  }
+  return Status::Ok();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return OutOfRangeError("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return InvalidArgumentError("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // A bool flag may appear bare: `--verbose`.
+      auto it = entries_.find(name);
+      if (it != entries_.end() && it->second.type == Type::kBool &&
+          (i + 1 >= argc ||
+           std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          return InvalidArgumentError("missing value for --" + name);
+        }
+        value = argv[++i];
+      }
+    }
+    Status status = SetValue(name, value);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+void FlagParser::PrintUsage(const std::string& program) const {
+  std::fprintf(stderr, "Usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, entry] : entries_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 entry.description.c_str(), entry.default_text.c_str());
+  }
+}
+
+}  // namespace nela::util

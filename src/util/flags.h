@@ -1,0 +1,58 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--name=value` and `--name value`. Unknown flags are an error so
+// typos do not silently run a default experiment.
+
+#ifndef NELA_UTIL_FLAGS_H_
+#define NELA_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nela::util {
+
+class FlagParser {
+ public:
+  FlagParser() = default;
+  FlagParser(const FlagParser&) = delete;
+  FlagParser& operator=(const FlagParser&) = delete;
+
+  // Registration. `description` is shown by PrintUsage. Each call binds a
+  // flag name to storage owned by the caller, which must outlive Parse.
+  void AddInt64(const std::string& name, int64_t* value,
+                const std::string& description);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& description);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& description);
+  void AddBool(const std::string& name, bool* value,
+               const std::string& description);
+
+  // Parses argv, writing through the registered pointers. Returns an error
+  // for unknown flags or malformed values. `--help` prints usage and returns
+  // an OutOfRange status the caller can treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  void PrintUsage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct Entry {
+    Type type;
+    void* target;
+    std::string description;
+    std::string default_text;
+  };
+
+  Status SetValue(const std::string& name, const std::string& text);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace nela::util
+
+#endif  // NELA_UTIL_FLAGS_H_

@@ -1,0 +1,134 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace nela::util {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : state_) word = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256**
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  NELA_CHECK_GT(bound, 0u);
+  // Rejection sampling: draw until the value falls below the largest
+  // multiple of `bound`, removing modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;  // 2^64 mod bound
+  for (;;) {
+    const uint64_t value = NextUint64();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  NELA_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  NELA_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Polar Box-Muller.
+  for (;;) {
+    const double u = 2.0 * NextDouble() - 1.0;
+    const double v = 2.0 * NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double factor = std::sqrt(-2.0 * std::log(s) / s);
+      cached_gaussian_ = v * factor;
+      has_cached_gaussian_ = true;
+      return u * factor;
+    }
+  }
+}
+
+double Rng::NextGaussian(double mean, double sigma) {
+  NELA_CHECK_GE(sigma, 0.0);
+  return mean + sigma * NextGaussian();
+}
+
+double Rng::NextExponential(double lambda) {
+  NELA_CHECK_GT(lambda, 0.0);
+  // Inverse CDF; 1 - NextDouble() is in (0, 1] so the log is finite.
+  return -std::log(1.0 - NextDouble()) / lambda;
+}
+
+bool Rng::NextBernoulli(double p) {
+  NELA_CHECK_GE(p, 0.0);
+  NELA_CHECK_LE(p, 1.0);
+  return NextDouble() < p;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t population,
+                                                    uint32_t count) {
+  NELA_CHECK_LE(count, population);
+  std::vector<uint32_t> sample;
+  sample.reserve(count);
+  if (count == 0) return sample;
+  // For dense samples a partial Fisher-Yates is cheaper; for sparse samples
+  // hash-set rejection avoids materializing the population.
+  if (count * 3 >= population) {
+    std::vector<uint32_t> all(population);
+    for (uint32_t i = 0; i < population; ++i) all[i] = i;
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint32_t j =
+          i + static_cast<uint32_t>(NextUint64(population - i));
+      std::swap(all[i], all[j]);
+      sample.push_back(all[i]);
+    }
+  } else {
+    std::unordered_set<uint32_t> seen;
+    seen.reserve(count * 2);
+    while (sample.size() < count) {
+      const uint32_t candidate = static_cast<uint32_t>(NextUint64(population));
+      if (seen.insert(candidate).second) sample.push_back(candidate);
+    }
+  }
+  return sample;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace nela::util

@@ -1,0 +1,47 @@
+// Streaming and batch summary statistics used by the benchmark harness.
+
+#ifndef NELA_UTIL_STATS_H_
+#define NELA_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nela::util {
+
+// Single-pass accumulator for mean/variance/min/max (Welford's method).
+class OnlineStats {
+ public:
+  OnlineStats() = default;
+
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  // Mean of the added values; 0 when empty.
+  double Mean() const;
+  // Unbiased sample variance; 0 with fewer than two values.
+  double Variance() const;
+  double StdDev() const;
+  // Min/max; 0 when empty.
+  double Min() const;
+  double Max() const;
+
+  // Merges another accumulator into this one.
+  void Merge(const OnlineStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Linearly interpolated percentile of `values` (copied and sorted inside).
+// `q` in [0, 1]. Returns 0 for an empty input.
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace nela::util
+
+#endif  // NELA_UTIL_STATS_H_

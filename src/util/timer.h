@@ -1,0 +1,30 @@
+// Simple wall-clock timer for the CPU-time measurements of Fig. 13(d).
+
+#ifndef NELA_UTIL_TIMER_H_
+#define NELA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace nela::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nela::util
+
+#endif  // NELA_UTIL_TIMER_H_

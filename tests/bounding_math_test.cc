@@ -1,0 +1,227 @@
+// Tests for the §V cost-model machinery: distributions, request cost
+// models, the unary optimum (Equation 2), the N-bounding optimum
+// (Equation 5, closed forms of Examples 5.1-5.4), and the exact DP.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bounding/cost_model.h"
+#include "bounding/distribution.h"
+#include "bounding/nbound.h"
+#include "bounding/unary.h"
+
+namespace nela::bounding {
+namespace {
+
+// ---------------------------------------------------------- distributions
+
+TEST(UniformDistributionTest, PdfCdf) {
+  const UniformDistribution dist(4.0);
+  EXPECT_DOUBLE_EQ(dist.Pdf(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(dist.Pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Pdf(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(dist.Cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(9.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.SupportMax(), 4.0);
+}
+
+TEST(ExponentialDistributionTest, PdfCdf) {
+  const ExponentialDistribution dist(2.0);
+  EXPECT_DOUBLE_EQ(dist.Pdf(1.0), 2.0 * std::exp(-2.0));
+  EXPECT_DOUBLE_EQ(dist.Cdf(1.0), 1.0 - std::exp(-2.0));
+  EXPECT_DOUBLE_EQ(dist.Cdf(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(dist.SupportMax()));
+  // pdf integrates to ~1 (trapezoid sanity check).
+  double integral = 0.0;
+  const double dx = 1e-3;
+  for (double x = dx / 2; x < 20.0; x += dx) integral += dist.Pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(CostModelTest, QuadraticAndLinear) {
+  const QuadraticCost quad(3.0);
+  EXPECT_DOUBLE_EQ(quad.R(2.0), 12.0);
+  EXPECT_DOUBLE_EQ(quad.RPrime(2.0), 12.0);
+  const LinearCost lin(5.0);
+  EXPECT_DOUBLE_EQ(lin.R(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(lin.RPrime(100.0), 5.0);
+}
+
+// ------------------------------------------------------------- Equation 2
+
+TEST(UnaryTest, Example51ClosedForm) {
+  // Uniform(0,U), R = Cr x^2: x* = sqrt(Cb/Cr), independent of U.
+  const double cb = 1.0;
+  const double cr = 1000.0;
+  const double expected = OptimalUnaryUniformQuadratic(cb, cr);
+  EXPECT_DOUBLE_EQ(expected, std::sqrt(cb / cr));
+  for (double upper : {1.0, 2.0, 10.0}) {
+    const UniformDistribution dist(upper);
+    const QuadraticCost cost(cr);
+    const UnarySolution solution = SolveUnary(dist, cost, cb);
+    EXPECT_NEAR(solution.x, expected, 1e-9) << "U=" << upper;
+    EXPECT_NEAR(solution.request_cost, cb, 1e-6);  // Cr x*^2 = Cb
+    // C* = (Cb + R(x*)) / P(x*) = 2 Cb U / x*.
+    EXPECT_NEAR(solution.total_cost, 2.0 * cb * upper / expected, 1e-6);
+  }
+}
+
+TEST(UnaryTest, SupportCapWhenVerificationDominates) {
+  // If sqrt(Cb/Cr) exceeds the support, cover everything at once.
+  const UniformDistribution dist(0.01);
+  const QuadraticCost cost(1.0);  // x* would be 1.0 >> 0.01
+  const UnarySolution solution = SolveUnary(dist, cost, 1.0);
+  EXPECT_DOUBLE_EQ(solution.x, 0.01);
+  EXPECT_DOUBLE_EQ(solution.total_cost, 1.0 + cost.R(0.01));
+}
+
+TEST(UnaryTest, Example52ExponentialLinearSatisfiesEquation2) {
+  // No closed form; verify the solver's root actually satisfies Eq. 2.
+  const ExponentialDistribution dist(3.0);
+  const LinearCost cost(10.0);
+  const double cb = 2.0;
+  const UnarySolution solution = SolveUnary(dist, cost, cb);
+  EXPECT_GT(solution.x, 0.0);
+  const double lhs = dist.Cdf(solution.x) * cost.RPrime(solution.x);
+  const double rhs = (cb + cost.R(solution.x)) * dist.Pdf(solution.x);
+  EXPECT_NEAR(lhs, rhs, 1e-6 * std::max(lhs, rhs));
+  EXPECT_DOUBLE_EQ(solution.request_cost, cost.R(solution.x));
+}
+
+TEST(UnaryTest, TotalCostIsSelfConsistent) {
+  // C* must satisfy C* = Cb + R(x*) + (1 - P(x*)) C*.
+  const ExponentialDistribution dist(1.0);
+  const QuadraticCost cost(4.0);
+  const double cb = 0.5;
+  const UnarySolution s = SolveUnary(dist, cost, cb);
+  EXPECT_NEAR(s.total_cost,
+              cb + s.request_cost + (1.0 - dist.Cdf(s.x)) * s.total_cost,
+              1e-6 * s.total_cost);
+}
+
+// ------------------------------------------------------------- Equation 5
+
+TEST(NBoundTest, Example53ClosedFormMatchesSolver) {
+  const double upper = 2.0;
+  const double cr = 100.0;
+  const double cb = 1.0;
+  const UniformDistribution dist(upper);
+  const QuadraticCost cost(cr);
+  const UnarySolution unary = SolveUnary(dist, cost, cb);
+  for (uint32_t n : {2u, 5u, 10u, 50u}) {
+    const double closed = NBoundUniformQuadratic(
+        unary.total_cost, unary.request_cost, n, cr, upper);
+    const double solved = SolveNBoundIncrement(dist, cost, cb, n, unary);
+    if (closed < upper) {
+      EXPECT_NEAR(solved, closed, 1e-9 * closed) << "n=" << n;
+    } else {
+      EXPECT_DOUBLE_EQ(solved, upper);  // capped at the support
+    }
+  }
+}
+
+TEST(NBoundTest, Example54ClosedFormMatchesSolver) {
+  const double lambda = 2.0;
+  const double cr = 1.0;
+  const double cb = 5.0;
+  const ExponentialDistribution dist(lambda);
+  const LinearCost cost(cr);
+  const UnarySolution unary = SolveUnary(dist, cost, cb);
+  for (uint32_t n : {2u, 4u, 16u}) {
+    const double closed = NBoundExponentialLinear(
+        unary.total_cost, unary.request_cost, n, cr, lambda);
+    const double solved = SolveNBoundIncrement(dist, cost, cb, n, unary);
+    EXPECT_NEAR(solved, closed, 1e-6 * std::max(1.0, closed)) << "n=" << n;
+  }
+}
+
+TEST(NBoundTest, IncrementGrowsWithN) {
+  // More disagreeing users => each verification round is more expensive
+  // => advance further per round.
+  const UniformDistribution dist(10.0);
+  const QuadraticCost cost(50.0);
+  const UnarySolution unary = SolveUnary(dist, cost, 1.0);
+  double previous = 0.0;
+  for (uint32_t n = 1; n <= 6; ++n) {
+    const double x = SolveNBoundIncrement(dist, cost, 1.0, n, unary);
+    EXPECT_GT(x, previous) << "n=" << n;
+    previous = x;
+  }
+}
+
+TEST(NBoundTest, NOneEqualsUnary) {
+  const UniformDistribution dist(1.0);
+  const QuadraticCost cost(100.0);
+  const UnarySolution unary = SolveUnary(dist, cost, 1.0);
+  EXPECT_DOUBLE_EQ(SolveNBoundIncrement(dist, cost, 1.0, 1, unary), unary.x);
+}
+
+TEST(NBoundTest, FloorGuaranteesProgress) {
+  // Degenerate setting where the unconstrained optimum is ~0: the floor
+  // must still be returned.
+  const UniformDistribution dist(1.0);
+  const LinearCost cost(1e9);  // request cost enormous vs verification
+  const UnarySolution unary = SolveUnary(dist, cost, 1e-6);
+  const double x = SolveNBoundIncrement(dist, cost, 1e-6, 2, unary, 1e-9);
+  EXPECT_GE(x, 1e-9);
+}
+
+// --------------------------------------------------------------- exact DP
+
+TEST(ExactNBoundTest, UnaryRowMatchesEquation2Solution) {
+  const UniformDistribution dist(1.0);
+  const QuadraticCost cost(200.0);
+  const double cb = 1.0;
+  const ExactNBoundTable table(dist, cost, cb, 8);
+  const UnarySolution unary = SolveUnary(dist, cost, cb);
+  // The DP's n = 1 row minimizes the same functional as Equation 2.
+  EXPECT_NEAR(table.increment(1), unary.x, 0.02 * unary.x);
+  EXPECT_NEAR(table.expected_cost(1), unary.total_cost,
+              0.01 * unary.total_cost);
+}
+
+TEST(ExactNBoundTest, CostsIncreaseWithN) {
+  const UniformDistribution dist(1.0);
+  const QuadraticCost cost(200.0);
+  const ExactNBoundTable table(dist, cost, 1.0, 10);
+  for (uint32_t n = 2; n <= 10; ++n) {
+    EXPECT_GT(table.expected_cost(n), table.expected_cost(n - 1));
+  }
+  EXPECT_EQ(table.expected_cost(0), 0.0);
+  EXPECT_EQ(table.max_n(), 10u);
+}
+
+TEST(ExactNBoundTest, ApproximationIsNearExactForSmallN) {
+  // Equation 5 is derived from Equation 3 by approximation; for moderate
+  // parameters the two increments should be within a small factor.
+  const UniformDistribution dist(1.0);
+  const QuadraticCost cost(500.0);
+  const double cb = 1.0;
+  const ExactNBoundTable table(dist, cost, cb, 6);
+  const UnarySolution unary = SolveUnary(dist, cost, cb);
+  for (uint32_t n = 2; n <= 6; ++n) {
+    const double approx = SolveNBoundIncrement(dist, cost, cb, n, unary);
+    const double exact = table.increment(n);
+    EXPECT_GT(approx, 0.2 * exact) << "n=" << n;
+    EXPECT_LT(approx, 5.0 * exact) << "n=" << n;
+  }
+}
+
+TEST(ExactNBoundTest, ExactCostNoWorseThanOneShot) {
+  // The DP optimum can never exceed the trivial strategy of covering the
+  // whole support in one round (cost n*Cb + R(U)).
+  const UniformDistribution dist(2.0);
+  const QuadraticCost cost(100.0);
+  const double cb = 1.0;
+  const ExactNBoundTable table(dist, cost, cb, 8);
+  for (uint32_t n = 1; n <= 8; ++n) {
+    const double one_shot = n * cb + cost.R(2.0);
+    EXPECT_LE(table.expected_cost(n), one_shot * (1.0 + 1e-9)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace nela::bounding

@@ -1,0 +1,147 @@
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/metrics.h"
+#include "graph/wpg.h"
+
+namespace nela::graph {
+namespace {
+
+Wpg PathGraph() {
+  // 0 -1- 1 -2- 2 -3- 3 -4- 4
+  auto graph = Wpg::FromEdges(
+      5, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {3, 4, 4.0}});
+  NELA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(ThresholdComponentTest, RespectsThreshold) {
+  const Wpg graph = PathGraph();
+  EXPECT_EQ(ThresholdComponent(graph, 0, 0.5, nullptr),
+            (std::vector<VertexId>{0}));
+  EXPECT_EQ(ThresholdComponent(graph, 0, 1.0, nullptr),
+            (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(ThresholdComponent(graph, 0, 2.5, nullptr),
+            (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(ThresholdComponent(graph, 0, 10.0, nullptr).size(), 5u);
+}
+
+TEST(ThresholdComponentTest, StartsAnywhere) {
+  const Wpg graph = PathGraph();
+  const auto component = ThresholdComponent(graph, 2, 3.0, nullptr);
+  std::vector<VertexId> sorted(component);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(ThresholdComponentTest, ActiveMaskExcludesVertices) {
+  const Wpg graph = PathGraph();
+  std::vector<bool> active(5, true);
+  active[1] = false;  // cut the path at vertex 1
+  EXPECT_EQ(ThresholdComponent(graph, 0, 10.0, &active),
+            (std::vector<VertexId>{0}));
+  const auto right = ThresholdComponent(graph, 2, 10.0, &active);
+  std::vector<VertexId> sorted(right);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{2, 3, 4}));
+}
+
+TEST(ThresholdComponentTest, StopSizeTerminatesEarly) {
+  const Wpg graph = PathGraph();
+  EXPECT_EQ(ThresholdComponent(graph, 0, 10.0, nullptr, 2).size(), 2u);
+  EXPECT_EQ(ThresholdComponent(graph, 0, 10.0, nullptr, 1).size(), 1u);
+  // stop_size beyond the component returns the whole component.
+  EXPECT_EQ(ThresholdComponent(graph, 0, 10.0, nullptr, 99).size(), 5u);
+}
+
+TEST(InducedTest, Connectivity) {
+  const Wpg graph = PathGraph();
+  EXPECT_TRUE(IsInducedConnected(graph, {0, 1, 2}));
+  EXPECT_FALSE(IsInducedConnected(graph, {0, 2}));  // 1 missing
+  EXPECT_TRUE(IsInducedConnected(graph, {3}));
+  EXPECT_TRUE(IsInducedConnected(graph, {}));
+}
+
+TEST(InducedTest, Components) {
+  const Wpg graph = PathGraph();
+  const auto components = InducedComponents(graph, {0, 1, 3, 4});
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(components[1], (std::vector<VertexId>{3, 4}));
+}
+
+TEST(InducedTest, Edges) {
+  const Wpg graph = PathGraph();
+  const auto edges = InducedEdges(graph, {1, 2, 3});
+  ASSERT_EQ(edges.size(), 2u);
+  double total = 0.0;
+  for (const Edge& e : edges) total += e.weight;
+  EXPECT_DOUBLE_EQ(total, 5.0);  // weights 2 and 3
+}
+
+TEST(MetricsTest, MaxEdgeWeightWithin) {
+  const Wpg graph = PathGraph();
+  EXPECT_DOUBLE_EQ(MaxEdgeWeightWithin(graph, {0, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(MaxEdgeWeightWithin(graph, {0, 1, 2, 3, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(MaxEdgeWeightWithin(graph, {0, 2}), 0.0);  // no edges
+}
+
+TEST(MetricsTest, WeightedDiameterOfPath) {
+  const Wpg graph = PathGraph();
+  EXPECT_DOUBLE_EQ(WeightedDiameter(graph, {0, 1, 2}), 3.0);     // 1+2
+  EXPECT_DOUBLE_EQ(WeightedDiameter(graph, {0, 1, 2, 3, 4}), 10.0);
+  EXPECT_DOUBLE_EQ(WeightedDiameter(graph, {2}), 0.0);
+  EXPECT_EQ(WeightedDiameter(graph, {0, 2}),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(MetricsTest, DiameterUsesShortcuts) {
+  // Triangle where the direct edge is longer than the detour.
+  auto graph =
+      Wpg::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(WeightedDiameter(graph.value(), {0, 1, 2}), 2.0);
+}
+
+TEST(MetricsTest, DiameterIgnoresOutsideVertices) {
+  // 0-1 direct weight 5; a shortcut through 2 exists in the full graph but
+  // 2 is outside the induced set.
+  auto graph =
+      Wpg::FromEdges(3, {{0, 1, 5.0}, {0, 2, 1.0}, {1, 2, 1.0}});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(WeightedDiameter(graph.value(), {0, 1}), 5.0);
+}
+
+TEST(MetricsTest, RegularGraphDiameterBound) {
+  // Corollary 4.2 with w = 1: bound in hops; must upper-bound the true
+  // diameter of e.g. a 3-regular ring of triangles and scale linearly in w.
+  const double bound1 = RegularGraphDiameterBound(12, 3, 1.0);
+  EXPECT_GT(bound1, 0.0);
+  const double bound5 = RegularGraphDiameterBound(12, 3, 5.0);
+  EXPECT_DOUBLE_EQ(bound5, 5.0 * bound1);
+  // Larger k can only increase (or keep) the bound.
+  EXPECT_GE(RegularGraphDiameterBound(100, 3, 1.0), bound1);
+  // Higher degree shrinks the log base term.
+  EXPECT_LE(RegularGraphDiameterBound(100, 10, 1.0),
+            RegularGraphDiameterBound(100, 3, 1.0));
+}
+
+TEST(MetricsTest, BoundDominatesActualDiameterOnCompleteGraph) {
+  // Complete graph K6 with unit weights: diameter 1, degree 5.
+  std::vector<Edge> edges;
+  for (uint32_t a = 0; a < 6; ++a) {
+    for (uint32_t b = a + 1; b < 6; ++b) edges.push_back({a, b, 1.0});
+  }
+  auto graph = Wpg::FromEdges(6, edges);
+  ASSERT_TRUE(graph.ok());
+  const double diameter =
+      WeightedDiameter(graph.value(), {0, 1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(diameter, 1.0);
+  EXPECT_GE(RegularGraphDiameterBound(6, 5, 1.0), diameter);
+}
+
+}  // namespace
+}  // namespace nela::graph

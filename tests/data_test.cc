@@ -1,0 +1,140 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "util/rng.h"
+
+namespace nela::data {
+namespace {
+
+TEST(DatasetTest, BoundingBoxAndNormalize) {
+  Dataset dataset({{2.0, 10.0}, {4.0, 30.0}, {3.0, 20.0}});
+  EXPECT_EQ(dataset.BoundingBox(), geo::Rect(2.0, 10.0, 4.0, 30.0));
+  dataset.NormalizeToUnitSquare();
+  EXPECT_EQ(dataset.BoundingBox(), geo::Rect(0.0, 0.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(dataset.point(2).x, 0.5);
+  EXPECT_DOUBLE_EQ(dataset.point(2).y, 0.5);
+}
+
+TEST(DatasetTest, NormalizeDegenerateAxis) {
+  Dataset dataset({{1.0, 5.0}, {2.0, 5.0}});
+  dataset.NormalizeToUnitSquare();
+  EXPECT_DOUBLE_EQ(dataset.point(0).y, 0.0);
+  EXPECT_DOUBLE_EQ(dataset.point(1).y, 0.0);
+  EXPECT_DOUBLE_EQ(dataset.point(0).x, 0.0);
+  EXPECT_DOUBLE_EQ(dataset.point(1).x, 1.0);
+}
+
+TEST(DatasetTest, NormalizeEmptyIsNoop) {
+  Dataset dataset;
+  dataset.NormalizeToUnitSquare();
+  EXPECT_TRUE(dataset.empty());
+}
+
+TEST(GeneratorsTest, UniformCountAndRange) {
+  util::Rng rng(1);
+  const Dataset dataset = GenerateUniform(5000, rng);
+  ASSERT_EQ(dataset.size(), 5000u);
+  for (const geo::Point& p : dataset.points()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+TEST(GeneratorsTest, UniformIsDeterministicPerSeed) {
+  util::Rng a(5);
+  util::Rng b(5);
+  const Dataset da = GenerateUniform(100, a);
+  const Dataset db = GenerateUniform(100, b);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(da.point(i), db.point(i));
+  }
+}
+
+TEST(GeneratorsTest, ClusteredIsNormalizedAndSkewed) {
+  util::Rng rng(2);
+  ClusteredParams params;
+  params.count = 20000;
+  const Dataset dataset = GenerateClustered(params, rng);
+  ASSERT_EQ(dataset.size(), 20000u);
+  const geo::Rect box = dataset.BoundingBox();
+  EXPECT_TRUE(geo::Rect(0.0, 0.0, 1.0, 1.0).Contains(box));
+
+  // Density skew: split the square into a 10x10 grid; a clustered dataset
+  // must have some cells far above the uniform expectation.
+  int cells[100] = {};
+  for (const geo::Point& p : dataset.points()) {
+    const int cx = std::min(9, static_cast<int>(p.x * 10));
+    const int cy = std::min(9, static_cast<int>(p.y * 10));
+    ++cells[cy * 10 + cx];
+  }
+  int max_cell = 0;
+  for (int c : cells) max_cell = std::max(max_cell, c);
+  EXPECT_GT(max_cell, 3 * 200);  // >3x the uniform per-cell expectation
+}
+
+TEST(GeneratorsTest, CaliforniaLikeHasPaperCardinality) {
+  util::Rng rng(3);
+  ClusteredParams params;  // default count = paper's POI count
+  EXPECT_EQ(params.count, kCaliforniaPoiCount);
+  EXPECT_EQ(kCaliforniaPoiCount, 104770u);
+}
+
+TEST(GeneratorsTest, GridIsRegular) {
+  const Dataset dataset = GenerateGrid(9);
+  ASSERT_EQ(dataset.size(), 9u);
+  EXPECT_EQ(dataset.point(0), (geo::Point{0.0, 0.0}));
+  EXPECT_EQ(dataset.point(4), (geo::Point{0.5, 0.5}));
+  EXPECT_EQ(dataset.point(8), (geo::Point{1.0, 1.0}));
+}
+
+TEST(GeneratorsTest, GridPartialLastRow) {
+  const Dataset dataset = GenerateGrid(7);  // 3x3 grid, 7 occupied
+  ASSERT_EQ(dataset.size(), 7u);
+  EXPECT_EQ(dataset.point(6), (geo::Point{0.0, 1.0}));
+}
+
+TEST(DatasetIoTest, SaveLoadRoundTrip) {
+  Dataset dataset({{0.125, 0.25}, {0.5, 0.75}});
+  const std::string path = ::testing::TempDir() + "/nela_dataset.csv";
+  ASSERT_TRUE(SaveCsv(dataset, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().point(0), dataset.point(0));
+  EXPECT_EQ(loaded.value().point(1), dataset.point(1));
+}
+
+TEST(DatasetIoTest, LoadMissingFileFails) {
+  auto loaded = LoadCsv("/definitely/not/here.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, LoadRejectsMalformedBody) {
+  const std::string path = ::testing::TempDir() + "/nela_bad.csv";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("x,y\n0.1,0.2\nbroken_line\n", file);
+  std::fclose(file);
+  EXPECT_FALSE(LoadCsv(path).ok());
+}
+
+TEST(DatasetIoTest, HeaderlessFileLoads) {
+  const std::string path = ::testing::TempDir() + "/nela_headerless.csv";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("0.1,0.2\n0.3,0.4\n", file);
+  std::fclose(file);
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace nela::data

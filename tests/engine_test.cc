@@ -1,0 +1,244 @@
+// End-to-end cloaking engine tests: the Fig. 3 workflow on small scenarios
+// -- region reuse, phase-1/phase-2 composition, reciprocity of the shared
+// region, and both bounding modes.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/distributed_tconn.h"
+#include "cluster/knn_clustering.h"
+#include "core/cloaking_engine.h"
+#include "core/policy_factory.h"
+#include "data/generators.h"
+#include "graph/wpg_builder.h"
+#include "util/rng.h"
+
+namespace nela::core {
+namespace {
+
+struct SmallWorld {
+  data::Dataset dataset;
+  graph::Wpg graph;
+};
+
+// ~200 users in a unit square dense enough for k=4 clusters.
+SmallWorld MakeWorld(uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset dataset = data::GenerateUniform(200, rng);
+  graph::WpgBuildParams params;
+  params.delta = 0.12;
+  params.max_peers = 8;
+  auto graph = graph::BuildWpg(dataset, params);
+  NELA_CHECK(graph.ok());
+  return SmallWorld{std::move(dataset), std::move(graph).value()};
+}
+
+BoundingParams SmallWorldBounding() {
+  BoundingParams params;
+  params.density = 200.0;
+  return params;
+}
+
+TEST(CloakingEngineTest, FreshRequestProducesRegionCoveringCluster) {
+  SmallWorld world = MakeWorld(1);
+  cluster::Registry registry(world.dataset.size());
+  CloakingEngine engine(
+      world.dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(world.graph, 4,
+                                                           &registry),
+      &registry, MakeSecurePolicyFactory(SmallWorldBounding()));
+
+  auto outcome = engine.RequestCloaking(17);
+  ASSERT_TRUE(outcome.ok());
+  const CloakingOutcome& o = outcome.value();
+  EXPECT_FALSE(o.region_reused);
+  EXPECT_FALSE(o.cluster_reused);
+  EXPECT_GT(o.clustering_messages, 0u);
+  EXPECT_GT(o.bounding_verifications, 0u);
+  // k-anonymity: the region covers every member of the host's cluster.
+  const cluster::ClusterInfo& info = registry.info(o.cluster_id);
+  EXPECT_TRUE(info.valid);
+  EXPECT_GE(info.members.size(), 4u);
+  for (graph::VertexId member : info.members) {
+    EXPECT_TRUE(o.region.Contains(world.dataset.point(member)));
+  }
+}
+
+TEST(CloakingEngineTest, SecondRequestFromSameUserReusesRegion) {
+  SmallWorld world = MakeWorld(2);
+  cluster::Registry registry(world.dataset.size());
+  CloakingEngine engine(
+      world.dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(world.graph, 4,
+                                                           &registry),
+      &registry, MakeSecurePolicyFactory(SmallWorldBounding()));
+
+  auto first = engine.RequestCloaking(10);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.RequestCloaking(10);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().region_reused);
+  EXPECT_EQ(second.value().clustering_messages, 0u);
+  EXPECT_EQ(second.value().bounding_verifications, 0u);
+  EXPECT_EQ(second.value().region, first.value().region);
+}
+
+TEST(CloakingEngineTest, ClusterMatesShareTheRegion) {
+  // Reciprocity end-to-end: every member of the host's cluster must be
+  // served the identical region.
+  SmallWorld world = MakeWorld(3);
+  cluster::Registry registry(world.dataset.size());
+  CloakingEngine engine(
+      world.dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(world.graph, 4,
+                                                           &registry),
+      &registry, MakeSecurePolicyFactory(SmallWorldBounding()));
+
+  auto first = engine.RequestCloaking(50);
+  ASSERT_TRUE(first.ok());
+  const auto members = registry.info(first.value().cluster_id).members;
+  for (graph::VertexId member : members) {
+    auto outcome = engine.RequestCloaking(member);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().region_reused);
+    EXPECT_EQ(outcome.value().region, first.value().region);
+  }
+}
+
+TEST(CloakingEngineTest, SiblingClusterGetsItsOwnRegionLazily) {
+  // The distributed clusterer registers several clusters per candidate;
+  // only the host's cluster gets a region immediately. A later host from a
+  // sibling cluster reuses the cluster but must run phase 2.
+  SmallWorld world = MakeWorld(4);
+  cluster::Registry registry(world.dataset.size());
+  CloakingEngine engine(
+      world.dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(world.graph, 4,
+                                                           &registry),
+      &registry, MakeSecurePolicyFactory(SmallWorldBounding()));
+
+  ASSERT_TRUE(engine.RequestCloaking(0).ok());
+  // Find a clustered user whose cluster has no region yet.
+  graph::VertexId sibling = graph::VertexId(-1);
+  for (graph::VertexId v = 0; v < world.dataset.size(); ++v) {
+    if (registry.IsClustered(v) &&
+        !registry.info(registry.ClusterOf(v)).region.has_value()) {
+      sibling = v;
+      break;
+    }
+  }
+  if (sibling == graph::VertexId(-1)) {
+    GTEST_SKIP() << "candidate partition produced a single cluster";
+  }
+  auto outcome = engine.RequestCloaking(sibling);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.value().cluster_reused);
+  EXPECT_FALSE(outcome.value().region_reused);
+  EXPECT_EQ(outcome.value().clustering_messages, 0u);
+  EXPECT_GT(outcome.value().bounding_verifications, 0u);
+}
+
+TEST(CloakingEngineTest, OptModeMatchesExactBoundingBox) {
+  SmallWorld world = MakeWorld(5);
+  cluster::Registry registry(world.dataset.size());
+  CloakingEngine engine(
+      world.dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(world.graph, 4,
+                                                           &registry),
+      &registry, MakeSecurePolicyFactory(SmallWorldBounding()),
+      BoundingMode::kOptBaseline);
+  auto outcome = engine.RequestCloaking(99);
+  ASSERT_TRUE(outcome.ok());
+  geo::Rect expected;
+  for (graph::VertexId member :
+       registry.info(outcome.value().cluster_id).members) {
+    expected.ExpandToInclude(world.dataset.point(member));
+  }
+  EXPECT_EQ(outcome.value().region, expected);
+}
+
+TEST(CloakingEngineTest, SecureRegionContainsOptRegion) {
+  SmallWorld world = MakeWorld(6);
+  // Two engines over identical worlds: secure overshoots, never undershoots.
+  cluster::Registry registry_secure(world.dataset.size());
+  CloakingEngine secure(
+      world.dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(
+          world.graph, 4, &registry_secure),
+      &registry_secure, MakeSecurePolicyFactory(SmallWorldBounding()));
+  cluster::Registry registry_opt(world.dataset.size());
+  CloakingEngine opt(
+      world.dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(world.graph, 4,
+                                                           &registry_opt),
+      &registry_opt, MakeSecurePolicyFactory(SmallWorldBounding()),
+      BoundingMode::kOptBaseline);
+  auto a = secure.RequestCloaking(123);
+  auto b = opt.RequestCloaking(123);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value().region.Contains(b.value().region));
+}
+
+TEST(CloakingEngineTest, WorksWithKnnClusterer) {
+  SmallWorld world = MakeWorld(7);
+  cluster::Registry registry(world.dataset.size());
+  CloakingEngine engine(
+      world.dataset,
+      std::make_unique<cluster::KnnClusterer>(world.graph, 4, &registry),
+      &registry, MakeSecurePolicyFactory(SmallWorldBounding()));
+  auto outcome = engine.RequestCloaking(11);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(registry.info(outcome.value().cluster_id).members.size(), 4u);
+}
+
+TEST(CloakingEngineTest, RejectsBadHost) {
+  SmallWorld world = MakeWorld(8);
+  cluster::Registry registry(world.dataset.size());
+  CloakingEngine engine(
+      world.dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(world.graph, 4,
+                                                           &registry),
+      &registry, MakeSecurePolicyFactory(SmallWorldBounding()));
+  EXPECT_FALSE(engine.RequestCloaking(world.dataset.size()).ok());
+}
+
+// ------------------------------------------------------- policy factories
+
+TEST(PolicyFactoryTest, SecureFactoryTapersWithDisagreeing) {
+  BoundingParams params;
+  params.density = 1000.0;
+  PolicyFactory factory = MakeSecurePolicyFactory(params);
+  auto policy = factory(16);
+  ASSERT_NE(policy, nullptr);
+  const double big = policy->NextIncrement(0.0, 16, 0);
+  const double small = policy->NextIncrement(0.0, 4, 3);
+  EXPECT_GT(big, 0.0);
+  EXPECT_GT(small, 0.0);
+  // Fewer disagreeing users => narrower per-round model => no larger step.
+  EXPECT_LE(small, big);
+}
+
+TEST(PolicyFactoryTest, LinearFactoryUsesHalfDensityStep) {
+  BoundingParams params;
+  params.density = 1000.0;
+  PolicyFactory factory = MakeLinearPolicyFactory(params);
+  auto policy = factory(10);
+  EXPECT_DOUBLE_EQ(policy->NextIncrement(0.0, 10, 0), 0.5 * 10.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(policy->NextIncrement(0.5, 1, 5), 0.5 * 10.0 / 1000.0);
+}
+
+TEST(PolicyFactoryTest, ExponentialFactoryDoubles) {
+  BoundingParams params;
+  params.density = 1000.0;
+  PolicyFactory factory = MakeExponentialPolicyFactory(params);
+  auto policy = factory(10);
+  const double first = policy->NextIncrement(0.0, 10, 0);
+  EXPECT_DOUBLE_EQ(first, 0.01);
+  EXPECT_DOUBLE_EQ(policy->NextIncrement(0.02, 5, 1), 0.02);
+}
+
+}  // namespace
+}  // namespace nela::core

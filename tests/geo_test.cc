@@ -1,0 +1,106 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace nela::geo {
+namespace {
+
+TEST(PointTest, DistanceIsEuclidean) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  const Point a{0.1, 0.9};
+  const Point b{0.7, 0.2};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(RectTest, EmptyRect) {
+  const Rect empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.Area(), 0.0);
+  EXPECT_EQ(empty.Width(), 0.0);
+  EXPECT_FALSE(empty.Contains(Point{0.0, 0.0}));
+}
+
+TEST(RectTest, BasicGeometry) {
+  const Rect rect(0.0, 0.0, 2.0, 3.0);
+  EXPECT_FALSE(rect.empty());
+  EXPECT_DOUBLE_EQ(rect.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(rect.Height(), 3.0);
+  EXPECT_DOUBLE_EQ(rect.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(rect.SemiPerimeter(), 5.0);
+  EXPECT_EQ(rect.Center(), (Point{1.0, 1.5}));
+}
+
+TEST(RectTest, ContainsIsInclusive) {
+  const Rect rect(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(rect.Contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(rect.Contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(rect.Contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(rect.Contains(Point{1.0001, 0.5}));
+  EXPECT_FALSE(rect.Contains(Point{0.5, -0.0001}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(outer.Contains(Rect(0.2, 0.2, 0.8, 0.8)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(0.5, 0.5, 1.5, 0.9)));
+  EXPECT_TRUE(outer.Contains(Rect()));   // empty is inside everything
+  EXPECT_FALSE(Rect().Contains(outer));  // nothing is inside empty
+}
+
+TEST(RectTest, Intersects) {
+  const Rect a(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(a.Intersects(Rect(0.5, 0.5, 2.0, 2.0)));
+  EXPECT_TRUE(a.Intersects(Rect(1.0, 1.0, 2.0, 2.0)));  // touching corner
+  EXPECT_FALSE(a.Intersects(Rect(1.1, 1.1, 2.0, 2.0)));
+  EXPECT_FALSE(a.Intersects(Rect()));
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  const Rect a(0.0, 0.0, 1.0, 1.0);
+  const Rect b(2.0, -1.0, 3.0, 0.5);
+  const Rect u = Rect::Union(a, b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_EQ(u, Rect(0.0, -1.0, 3.0, 1.0));
+  EXPECT_EQ(Rect::Union(a, Rect()), a);
+  EXPECT_EQ(Rect::Union(Rect(), b), b);
+}
+
+TEST(RectTest, ExpandToInclude) {
+  Rect rect;
+  rect.ExpandToInclude(Point{0.5, 0.5});
+  EXPECT_EQ(rect, Rect::FromPoint(Point{0.5, 0.5}));
+  EXPECT_DOUBLE_EQ(rect.Area(), 0.0);
+  rect.ExpandToInclude(Point{0.0, 1.0});
+  EXPECT_EQ(rect, Rect(0.0, 0.5, 0.5, 1.0));
+  rect.ExpandToInclude(Point{0.25, 0.75});  // interior: no change
+  EXPECT_EQ(rect, Rect(0.0, 0.5, 0.5, 1.0));
+}
+
+TEST(RectTest, Inflated) {
+  const Rect rect(0.5, 0.5, 1.0, 1.5);
+  EXPECT_EQ(rect.Inflated(0.5), Rect(0.0, 0.0, 1.5, 2.0));
+  EXPECT_EQ(rect.Inflated(0.0), rect);
+  EXPECT_TRUE(Rect().Inflated(1.0).empty());
+}
+
+TEST(RectTest, DegenerateRectHasZeroArea) {
+  const Rect line(0.0, 0.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(line.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(line.SemiPerimeter(), 1.0);
+  EXPECT_TRUE(line.Contains(Point{0.5, 0.0}));
+}
+
+}  // namespace
+}  // namespace nela::geo

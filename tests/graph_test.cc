@@ -1,0 +1,214 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "graph/union_find.h"
+#include "graph/wpg.h"
+#include "graph/wpg_builder.h"
+#include "util/rng.h"
+
+namespace nela::graph {
+namespace {
+
+TEST(WpgTest, EmptyGraph) {
+  const Wpg graph(5);
+  EXPECT_EQ(graph.vertex_count(), 5u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.AverageDegree(), 0.0);
+  EXPECT_EQ(graph.MaxEdgeWeight(), 0.0);
+  EXPECT_TRUE(graph.Neighbors(0).empty());
+}
+
+TEST(WpgTest, AddEdgeUpdatesBothEndpoints) {
+  Wpg graph(3);
+  graph.AddEdge(0, 1, 2.5);
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_EQ(graph.Degree(0), 1u);
+  EXPECT_EQ(graph.Degree(1), 1u);
+  EXPECT_EQ(graph.Degree(2), 0u);
+  EXPECT_EQ(graph.Neighbors(0)[0].to, 1u);
+  EXPECT_EQ(graph.Neighbors(1)[0].to, 0u);
+  EXPECT_DOUBLE_EQ(graph.MaxEdgeWeight(), 2.5);
+  EXPECT_DOUBLE_EQ(graph.AverageDegree(), 2.0 / 3.0);
+}
+
+TEST(WpgTest, FromEdgesValidates) {
+  EXPECT_FALSE(Wpg::FromEdges(2, {{0, 2, 1.0}}).ok());  // out of range
+  EXPECT_FALSE(Wpg::FromEdges(2, {{0, 0, 1.0}}).ok());  // self edge
+  EXPECT_FALSE(Wpg::FromEdges(2, {{0, 1, 0.0}}).ok());  // non-positive weight
+  EXPECT_FALSE(
+      Wpg::FromEdges(2, {{0, 1, 1.0}, {1, 0, 2.0}}).ok());  // duplicate
+  EXPECT_TRUE(Wpg::FromEdges(2, {{0, 1, 1.0}}).ok());
+}
+
+TEST(WpgTest, AdjacencySortedByWeight) {
+  auto graph = Wpg::FromEdges(
+      4, {{0, 1, 3.0}, {0, 2, 1.0}, {0, 3, 2.0}});
+  ASSERT_TRUE(graph.ok());
+  const auto& neighbors = graph.value().Neighbors(0);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].to, 2u);
+  EXPECT_EQ(neighbors[1].to, 3u);
+  EXPECT_EQ(neighbors[2].to, 1u);
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind dsu(5);
+  EXPECT_EQ(dsu.set_count(), 5u);
+  EXPECT_TRUE(dsu.Union(0, 1));
+  EXPECT_FALSE(dsu.Union(1, 0));  // already merged
+  EXPECT_TRUE(dsu.Union(2, 3));
+  EXPECT_EQ(dsu.set_count(), 3u);
+  EXPECT_TRUE(dsu.Connected(0, 1));
+  EXPECT_FALSE(dsu.Connected(0, 2));
+  EXPECT_EQ(dsu.SizeOf(0), 2u);
+  EXPECT_EQ(dsu.SizeOf(4), 1u);
+  dsu.Union(0, 2);
+  EXPECT_EQ(dsu.SizeOf(3), 4u);
+  EXPECT_EQ(dsu.set_count(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind dsu(100);
+  for (uint32_t i = 0; i + 1 < 100; ++i) dsu.Union(i, i + 1);
+  EXPECT_EQ(dsu.set_count(), 1u);
+  EXPECT_TRUE(dsu.Connected(0, 99));
+  EXPECT_EQ(dsu.SizeOf(50), 100u);
+}
+
+// ------------------------------------------------------------ WPG builder
+
+TEST(WpgBuilderTest, RejectsBadParams) {
+  const data::Dataset dataset = data::GenerateGrid(4);
+  WpgBuildParams params;
+  params.delta = 0.0;
+  EXPECT_FALSE(BuildWpg(dataset, params).ok());
+  params.delta = 0.1;
+  params.max_peers = 0;
+  EXPECT_FALSE(BuildWpg(dataset, params).ok());
+}
+
+TEST(WpgBuilderTest, DeltaLimitsEdges) {
+  // 3x3 unit grid scaled: spacing 0.5.
+  const data::Dataset dataset = data::GenerateGrid(9);
+  WpgBuildParams params;
+  params.delta = 0.6;  // connects orthogonal (0.5) but not diagonal (0.707)
+  params.max_peers = 8;
+  auto graph = BuildWpg(dataset, params);
+  ASSERT_TRUE(graph.ok());
+  // Grid adjacency: 12 orthogonal pairs.
+  EXPECT_EQ(graph.value().edge_count(), 12u);
+}
+
+TEST(WpgBuilderTest, WeightsAreMutualRanks) {
+  // Three collinear users: a --0.1-- b --0.12-- c.
+  const data::Dataset dataset({{0.0, 0.5}, {0.1, 0.5}, {0.22, 0.5}});
+  WpgBuildParams params;
+  params.delta = 0.15;
+  params.max_peers = 5;
+  auto built = BuildWpg(dataset, params);
+  ASSERT_TRUE(built.ok());
+  const Wpg& graph = built.value();
+  ASSERT_EQ(graph.edge_count(), 2u);
+  // Edge (a,b): a is b's rank-1 (closest), b is a's rank-1 -> weight 1.
+  // Edge (b,c): c is b's rank-2, b is c's rank-1 -> weight min(2,1) = 1.
+  for (const Edge& e : graph.edges()) {
+    EXPECT_DOUBLE_EQ(e.weight, 1.0);
+  }
+}
+
+TEST(WpgBuilderTest, RankWeightReflectsOrdering) {
+  // Hub at origin with three spokes at increasing distance; spokes only see
+  // the hub. From each spoke the hub is rank 1; from the hub the spokes are
+  // ranks 1..3 -> weights all min(rank, 1) = 1. To get a weight > 1 the
+  // pair must be mutually non-closest: use two hubs.
+  const data::Dataset dataset(
+      {{0.5, 0.5}, {0.53, 0.5}, {0.5, 0.54}, {0.56, 0.5}});
+  WpgBuildParams params;
+  params.delta = 0.2;
+  params.max_peers = 5;
+  auto built = BuildWpg(dataset, params);
+  ASSERT_TRUE(built.ok());
+  const Wpg& graph = built.value();
+  // Vertex 3 (0.56): distances to 0 = 0.06, to 1 = 0.03, to 2 ~ 0.072.
+  // In 3's list: 1 (rank 1), 0 (rank 2), 2 (rank 3).
+  // In 0's list: 1 (0.03, rank 1), 2 (0.04, rank 2), 3 (0.06, rank 3).
+  // Weight(0,3) = min(rank of 3 in 0's list, rank of 0 in 3's list)
+  //             = min(3, 2) = 2.
+  double weight_03 = 0.0;
+  for (const Edge& e : graph.edges()) {
+    if ((e.u == 0 && e.v == 3) || (e.u == 3 && e.v == 0)) {
+      weight_03 = e.weight;
+    }
+  }
+  EXPECT_DOUBLE_EQ(weight_03, 2.0);
+}
+
+TEST(WpgBuilderTest, MaxPeersCapsDegree) {
+  util::Rng rng(77);
+  const data::Dataset dataset = data::GenerateUniform(500, rng);
+  WpgBuildParams params;
+  params.delta = 0.2;  // dense: many delta-neighbors
+  params.max_peers = 4;
+  auto built = BuildWpg(dataset, params);
+  ASSERT_TRUE(built.ok());
+  const Wpg& graph = built.value();
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    EXPECT_LE(graph.Degree(v), 4u);
+  }
+  // Mutuality trims links, so the average degree sits below the cap.
+  EXPECT_LT(graph.AverageDegree(), 4.0);
+  EXPECT_GT(graph.AverageDegree(), 1.0);
+}
+
+TEST(WpgBuilderTest, LargerMIncreasesDensity) {
+  util::Rng rng(78);
+  const data::Dataset dataset = data::GenerateUniform(2000, rng);
+  double previous = 0.0;
+  for (uint32_t m : {4u, 8u, 16u}) {
+    WpgBuildParams params;
+    params.delta = 0.05;
+    params.max_peers = m;
+    auto built = BuildWpg(dataset, params);
+    ASSERT_TRUE(built.ok());
+    const double degree = built.value().AverageDegree();
+    EXPECT_GT(degree, previous);
+    previous = degree;
+  }
+}
+
+TEST(WpgBuilderTest, UncappedKeepsAllDeltaNeighbors) {
+  util::Rng rng(79);
+  const data::Dataset dataset = data::GenerateUniform(300, rng);
+  WpgBuildParams capped;
+  capped.delta = 0.1;
+  capped.max_peers = 3;
+  WpgBuildParams uncapped;
+  uncapped.delta = 0.1;
+  uncapped.cap_peers = false;
+  auto g1 = BuildWpg(dataset, capped);
+  auto g2 = BuildWpg(dataset, uncapped);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_GT(g2.value().edge_count(), g1.value().edge_count());
+}
+
+TEST(WpgBuilderTest, EdgeWeightsArePositiveIntegerRanks) {
+  util::Rng rng(80);
+  const data::Dataset dataset = data::GenerateUniform(400, rng);
+  WpgBuildParams params;
+  params.delta = 0.06;
+  params.max_peers = 6;
+  auto built = BuildWpg(dataset, params);
+  ASSERT_TRUE(built.ok());
+  for (const Edge& e : built.value().edges()) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 6.0);
+    EXPECT_DOUBLE_EQ(e.weight, std::floor(e.weight));  // integral rank
+  }
+}
+
+}  // namespace
+}  // namespace nela::graph

@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/hierarchy.h"
+#include "graph/wpg.h"
+#include "util/rng.h"
+
+namespace nela::graph {
+namespace {
+
+// The running example of Fig. 6 (see centralized_tconn_test.cc for its
+// construction rationale): two communities joined by heavy edges.
+Wpg Fig6Graph() {
+  auto graph = Wpg::FromEdges(7, {{0, 1, 3.0},
+                                  {1, 2, 5.0},
+                                  {0, 2, 6.0},
+                                  {3, 4, 3.0},
+                                  {5, 6, 3.0},
+                                  {4, 5, 6.0},
+                                  {3, 6, 4.0},
+                                  {2, 3, 7.0},
+                                  {0, 5, 8.0}});
+  NELA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(HierarchyTest, LeavesMatchVertices) {
+  const Wpg graph = Fig6Graph();
+  const TConnHierarchy hierarchy(graph);
+  EXPECT_EQ(hierarchy.vertex_count(), 7u);
+  for (uint32_t v = 0; v < 7; ++v) {
+    EXPECT_EQ(hierarchy.node(v).size, 1u);
+    EXPECT_TRUE(hierarchy.node(v).children.empty());
+    EXPECT_EQ(hierarchy.node(v).key, EdgeKey::Min());
+  }
+}
+
+TEST(HierarchyTest, Fig6MergeStructure) {
+  const Wpg graph = Fig6Graph();
+  const TConnHierarchy hierarchy(graph);
+  ASSERT_EQ(hierarchy.roots().size(), 1u);
+  const auto& root = hierarchy.node(hierarchy.roots()[0]);
+  EXPECT_EQ(root.size, 7u);
+  EXPECT_DOUBLE_EQ(root.key.weight, 7.0);  // (2,3) joins the halves at 7
+  ASSERT_EQ(root.children.size(), 2u);
+
+  // Children: {0,1,2} formed at 5, {3,4,5,6} formed at 4.
+  std::set<std::pair<double, uint32_t>> child_signatures;
+  for (uint32_t child : root.children) {
+    child_signatures.insert(
+        {hierarchy.node(child).key.weight, hierarchy.node(child).size});
+  }
+  EXPECT_TRUE(child_signatures.count({5.0, 3u}) == 1);
+  EXPECT_TRUE(child_signatures.count({4.0, 4u}) == 1);
+}
+
+TEST(HierarchyTest, VerticesOfSubtree) {
+  const Wpg graph = Fig6Graph();
+  const TConnHierarchy hierarchy(graph);
+  const uint32_t root = hierarchy.roots()[0];
+  EXPECT_EQ(hierarchy.VerticesOf(root),
+            (std::vector<VertexId>{0, 1, 2, 3, 4, 5, 6}));
+  for (uint32_t child : hierarchy.node(root).children) {
+    if (hierarchy.node(child).size == 3) {
+      EXPECT_EQ(hierarchy.VerticesOf(child), (std::vector<VertexId>{0, 1, 2}));
+    } else {
+      EXPECT_EQ(hierarchy.VerticesOf(child),
+                (std::vector<VertexId>{3, 4, 5, 6}));
+    }
+  }
+}
+
+TEST(HierarchyTest, SmallestValidAncestor) {
+  const Wpg graph = Fig6Graph();
+  const TConnHierarchy hierarchy(graph);
+  // Vertex 0: leaf(1) -> {0,1} @3 -> {0,1,2} @5 -> root @7.
+  const int32_t k1 = hierarchy.SmallestValidAncestor(0, 1);
+  EXPECT_EQ(k1, 0);  // the leaf itself
+  const int32_t k2 = hierarchy.SmallestValidAncestor(0, 2);
+  ASSERT_GE(k2, 0);
+  EXPECT_EQ(hierarchy.node(k2).size, 2u);
+  EXPECT_DOUBLE_EQ(hierarchy.node(k2).key.weight, 3.0);
+  const int32_t k3 = hierarchy.SmallestValidAncestor(0, 3);
+  ASSERT_GE(k3, 0);
+  EXPECT_EQ(hierarchy.node(k3).size, 3u);
+  EXPECT_DOUBLE_EQ(hierarchy.node(k3).key.weight, 5.0);
+  const int32_t k5 = hierarchy.SmallestValidAncestor(0, 5);
+  ASSERT_GE(k5, 0);
+  EXPECT_EQ(hierarchy.node(k5).size, 7u);
+  const int32_t k8 = hierarchy.SmallestValidAncestor(0, 8);
+  EXPECT_EQ(k8, -1);  // whole graph is smaller than 8
+}
+
+TEST(HierarchyTest, DisconnectedGraphHasMultipleRoots) {
+  auto graph = Wpg::FromEdges(5, {{0, 1, 1.0}, {2, 3, 2.0}});
+  ASSERT_TRUE(graph.ok());
+  const TConnHierarchy hierarchy(graph.value());
+  EXPECT_EQ(hierarchy.roots().size(), 3u);  // {0,1}, {2,3}, {4}
+}
+
+TEST(HierarchyTest, EqualWeightsRefineByEndpointIds) {
+  // A triangle of equal weights: the strict total order (weight, lo, hi)
+  // merges (0,1) first, then (0,2) joins vertex 2; (1,2) is redundant.
+  auto graph = Wpg::FromEdges(3, {{0, 1, 2.0}, {1, 2, 2.0}, {0, 2, 2.0}});
+  ASSERT_TRUE(graph.ok());
+  const TConnHierarchy hierarchy(graph.value());
+  ASSERT_EQ(hierarchy.roots().size(), 1u);
+  const auto& root = hierarchy.node(hierarchy.roots()[0]);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.key, (EdgeKey{2.0, 0, 2}));
+  // One child is the {0,1} pair formed at key (2,0,1); the other is leaf 2.
+  std::set<uint32_t> child_sizes;
+  for (uint32_t child : root.children) {
+    child_sizes.insert(hierarchy.node(child).size);
+  }
+  EXPECT_EQ(child_sizes, (std::set<uint32_t>{1u, 2u}));
+}
+
+TEST(HierarchyTest, EdgelessGraph) {
+  const Wpg graph(4);
+  const TConnHierarchy hierarchy(graph);
+  EXPECT_EQ(hierarchy.roots().size(), 4u);
+  EXPECT_EQ(hierarchy.node_count(), 4u);
+}
+
+TEST(EdgeKeyTest, TotalOrder) {
+  const EdgeKey a{1.0, 0, 1};
+  const EdgeKey b{1.0, 0, 2};
+  const EdgeKey c{1.0, 1, 2};
+  const EdgeKey d{2.0, 0, 1};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(c < d);
+  EXPECT_TRUE(a < d);
+  EXPECT_TRUE(a <= a);
+  EXPECT_FALSE(a < a);
+  EXPECT_TRUE(d > a);
+  EXPECT_TRUE(EdgeKey::Min() < a);
+  EXPECT_TRUE(a < EdgeKey::UpTo(1.0));  // UpTo admits all weight-1 edges
+  EXPECT_TRUE(c < EdgeKey::UpTo(1.0));
+}
+
+TEST(EdgeKeyTest, KeyOfNormalizesEndpoints) {
+  const Edge e{5, 2, 3.0};
+  EXPECT_EQ(KeyOf(e), (EdgeKey{3.0, 2, 5}));
+  const HalfEdge half{7, 4.0};
+  EXPECT_EQ(KeyOf(3, half), (EdgeKey{4.0, 3, 7}));
+  EXPECT_EQ(KeyOf(9, HalfEdge{7, 4.0}), (EdgeKey{4.0, 7, 9}));
+}
+
+// Property: for random graphs, the subtree at each internal node must be
+// exactly the refined t-connectivity class of its members at the node's
+// key, and children partition the node.
+class HierarchyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HierarchyPropertyTest, NodesAreThresholdComponents) {
+  util::Rng rng(GetParam());
+  const uint32_t n = 20 + static_cast<uint32_t>(rng.NextUint64(30));
+  Wpg graph(n);
+  // Random connected-ish graph with small integer weights (ties likely).
+  for (uint32_t v = 1; v < n; ++v) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextUint64(v));
+    graph.AddEdge(u, v, static_cast<double>(1 + rng.NextUint64(5)));
+  }
+  for (uint32_t extra = 0; extra < n; ++extra) {
+    const uint32_t a = static_cast<uint32_t>(rng.NextUint64(n));
+    const uint32_t b = static_cast<uint32_t>(rng.NextUint64(n));
+    if (a == b) continue;
+    bool exists = false;
+    for (const HalfEdge& e : graph.Neighbors(a)) {
+      if (e.to == b) exists = true;
+    }
+    if (!exists) {
+      graph.AddEdge(a, b, static_cast<double>(1 + rng.NextUint64(5)));
+    }
+  }
+  graph.SortAdjacencyByWeight();
+
+  const TConnHierarchy hierarchy(graph);
+  for (uint32_t id = n; id < hierarchy.node_count(); ++id) {
+    const auto& node = hierarchy.node(id);
+    const std::vector<VertexId> members = hierarchy.VerticesOf(id);
+    ASSERT_EQ(members.size(), node.size);
+    // The subtree equals the refined t-connectivity class of its first
+    // member at the formation key.
+    const std::vector<VertexId> component =
+        ThresholdComponent(graph, members.front(), node.key, nullptr);
+    std::vector<VertexId> sorted_component(component);
+    std::sort(sorted_component.begin(), sorted_component.end());
+    EXPECT_EQ(sorted_component, members);
+    // Exactly two children, strictly older, partitioning the node.
+    ASSERT_EQ(node.children.size(), 2u);
+    uint32_t total = 0;
+    for (uint32_t child : node.children) {
+      total += hierarchy.node(child).size;
+      EXPECT_TRUE(hierarchy.node(child).key < node.key);
+    }
+    EXPECT_EQ(total, node.size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace nela::graph

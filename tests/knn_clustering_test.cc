@@ -1,0 +1,158 @@
+// kNN baseline tests: the Fig. 4 worked example (plain and revised
+// tie-break), the non-isolation behaviour the paper criticizes, and
+// multi-hop spanning for later requests.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/knn_clustering.h"
+#include "graph/wpg.h"
+
+namespace nela::cluster {
+namespace {
+
+using graph::VertexId;
+using graph::Wpg;
+
+// Fig. 4 weighted proximity graph. Vertex i = u_{i+1}:
+//   u1-u2 = 1, u1-u3 = 1, u2-u3 = 2, u4-u3 = 2, u4-u5 = 2, u4-u6 = 2,
+//   u5-u6 = 1.
+Wpg Fig4Graph() {
+  auto graph = Wpg::FromEdges(6, {{0, 1, 1.0},
+                                  {0, 2, 1.0},
+                                  {1, 2, 2.0},
+                                  {3, 2, 2.0},
+                                  {3, 4, 2.0},
+                                  {3, 5, 2.0},
+                                  {4, 5, 1.0}});
+  NELA_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(KnnClustererTest, Fig4aPlainKnnPicksByVertexId) {
+  const Wpg graph = Fig4Graph();
+  Registry registry(6);
+  KnnClusterer clusterer(graph, 3, &registry, nullptr,
+                         KnnTieBreak::kVertexId);
+  auto outcome = clusterer.ClusterFor(3);  // host u4
+  ASSERT_TRUE(outcome.ok());
+  // u3, u5, u6 are all at distance 2; id order picks u3 (2) and u5 (4).
+  EXPECT_EQ(registry.info(outcome.value().cluster_id).members,
+            (std::vector<VertexId>{2, 3, 4}));
+}
+
+TEST(KnnClustererTest, Fig4bRevisedKnnPicksSmallestDegree) {
+  const Wpg graph = Fig4Graph();
+  Registry registry(6);
+  KnnClusterer clusterer(graph, 3, &registry, nullptr,
+                         KnnTieBreak::kSmallestDegree);
+  auto outcome = clusterer.ClusterFor(3);
+  ASSERT_TRUE(outcome.ok());
+  // Degrees: u3 has 3, u5 and u6 have 2 -> {u4, u5, u6}.
+  EXPECT_EQ(registry.info(outcome.value().cluster_id).members,
+            (std::vector<VertexId>{3, 4, 5}));
+}
+
+// The paper's Fig. 4(a) complaint: after plain kNN serves u4, the leftover
+// {u1, u2, u6} must form the next 3-cluster, whose extent spans the whole
+// graph.
+TEST(KnnClustererTest, Fig4aLeftoverClusterIsStretched) {
+  const Wpg graph = Fig4Graph();
+  Registry registry(6);
+  KnnClusterer clusterer(graph, 3, &registry, nullptr,
+                         KnnTieBreak::kVertexId);
+  ASSERT_TRUE(clusterer.ClusterFor(3).ok());  // consumes {u3, u4, u5}
+  auto outcome = clusterer.ClusterFor(0);     // host u1
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(registry.info(outcome.value().cluster_id).members,
+            (std::vector<VertexId>{0, 1, 5}));  // u6 dragged in from afar
+  // Multi-hop: reaching u6 required relaying through clustered vertices.
+  EXPECT_GT(outcome.value().involved_users, 3u);
+}
+
+// With the revised tie-break the same graph splits into the two natural
+// triangles -- the cluster-isolated outcome of Fig. 4(b).
+TEST(KnnClustererTest, Fig4bProducesIsolatedClusters) {
+  const Wpg graph = Fig4Graph();
+  Registry registry(6);
+  KnnClusterer clusterer(graph, 3, &registry, nullptr,
+                         KnnTieBreak::kSmallestDegree);
+  ASSERT_TRUE(clusterer.ClusterFor(3).ok());
+  auto outcome = clusterer.ClusterFor(0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(registry.info(outcome.value().cluster_id).members,
+            (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(KnnClustererTest, ReusesExistingCluster) {
+  const Wpg graph = Fig4Graph();
+  Registry registry(6);
+  KnnClusterer clusterer(graph, 3, &registry);
+  auto first = clusterer.ClusterFor(3);
+  ASSERT_TRUE(first.ok());
+  auto again = clusterer.ClusterFor(2);  // u3 was clustered with u4
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().reused);
+  EXPECT_EQ(again.value().cluster_id, first.value().cluster_id);
+  EXPECT_EQ(again.value().involved_users, 0u);
+}
+
+TEST(KnnClustererTest, UsesPathDistanceNotHopCount) {
+  // Host 0: direct neighbor 1 at weight 5; two-hop 0-2-3 costs 2. kNN for
+  // k=2 must pick vertex 3's side first.
+  auto built = Wpg::FromEdges(
+      4, {{0, 1, 5.0}, {0, 2, 1.0}, {2, 3, 1.0}});
+  ASSERT_TRUE(built.ok());
+  Registry registry(4);
+  KnnClusterer clusterer(built.value(), 2, &registry);
+  auto outcome = clusterer.ClusterFor(0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(registry.info(outcome.value().cluster_id).members,
+            (std::vector<VertexId>{0, 2}));
+}
+
+TEST(KnnClustererTest, InsufficientUsersYieldInvalidCluster) {
+  auto built = Wpg::FromEdges(3, {{0, 1, 1.0}});
+  ASSERT_TRUE(built.ok());
+  Registry registry(3);
+  KnnClusterer clusterer(built.value(), 3, &registry);
+  auto outcome = clusterer.ClusterFor(0);  // only {0,1} reachable
+  ASSERT_TRUE(outcome.ok());
+  const ClusterInfo& info = registry.info(outcome.value().cluster_id);
+  EXPECT_FALSE(info.valid);
+  EXPECT_EQ(info.members, (std::vector<VertexId>{0, 1}));
+}
+
+TEST(KnnClustererTest, ExactlyKUsersPerFreshCluster) {
+  const Wpg graph = Fig4Graph();
+  Registry registry(6);
+  KnnClusterer clusterer(graph, 2, &registry);
+  auto a = clusterer.ClusterFor(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(registry.info(a.value().cluster_id).members.size(), 2u);
+  auto b = clusterer.ClusterFor(3);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(registry.info(b.value().cluster_id).members.size(), 2u);
+  EXPECT_NE(a.value().cluster_id, b.value().cluster_id);
+}
+
+TEST(KnnClustererTest, RejectsBadHost) {
+  const Wpg graph = Fig4Graph();
+  Registry registry(6);
+  KnnClusterer clusterer(graph, 2, &registry);
+  EXPECT_FALSE(clusterer.ClusterFor(6).ok());
+}
+
+TEST(KnnClustererTest, NetworkAccountsInvolvedUsers) {
+  const Wpg graph = Fig4Graph();
+  Registry registry(6);
+  net::Network network(6);
+  KnnClusterer clusterer(graph, 3, &registry, &network);
+  auto outcome = clusterer.ClusterFor(3);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(network.total().messages, outcome.value().involved_users - 1);
+}
+
+}  // namespace
+}  // namespace nela::cluster

@@ -1,0 +1,225 @@
+// Tests for the kRNN candidate computation, the TDOA weight model, and the
+// anonymity auditor.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/distributed_tconn.h"
+#include "core/anonymity_audit.h"
+#include "core/cloaking_engine.h"
+#include "core/policy_factory.h"
+#include "data/generators.h"
+#include "graph/wpg_builder.h"
+#include "lbs/krnn.h"
+#include "lbs/poi_database.h"
+#include "util/rng.h"
+
+namespace nela {
+namespace {
+
+// ------------------------------------------------------------------ kRNN
+
+// Brute-force k nearest POIs to a point.
+std::vector<uint32_t> BruteKnn(const data::Dataset& pois,
+                               const geo::Point& q, uint32_t k) {
+  std::vector<std::pair<double, uint32_t>> ranked;
+  for (uint32_t id = 0; id < pois.size(); ++id) {
+    ranked.push_back({geo::SquaredDistance(q, pois.point(id)), id});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < k && i < ranked.size(); ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+TEST(KrnnTest, CandidatesCoverKnnOfEveryPointInRegion) {
+  util::Rng rng(5);
+  const data::Dataset pois = data::GenerateUniform(2000, rng);
+  const lbs::PoiDatabase database(pois, 0.02);
+  const geo::Rect region(0.4, 0.55, 0.47, 0.6);
+  const uint32_t k = 6;
+  const lbs::KrnnResult result =
+      lbs::RangeKnnCandidates(database, pois, region, k);
+  ASSERT_GE(result.candidates.size(), k);
+  const std::set<uint32_t> candidate_set(result.candidates.begin(),
+                                         result.candidates.end());
+  // Sample query points across the region (grid + random) and verify the
+  // true kNN of each is inside the candidate superset.
+  for (int gx = 0; gx <= 4; ++gx) {
+    for (int gy = 0; gy <= 4; ++gy) {
+      const geo::Point q{region.min_x() + region.Width() * gx / 4.0,
+                         region.min_y() + region.Height() * gy / 4.0};
+      for (uint32_t id : BruteKnn(pois, q, k)) {
+        EXPECT_TRUE(candidate_set.count(id) > 0)
+            << "missing kNN candidate for q=(" << q.x << "," << q.y << ")";
+      }
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    const geo::Point q{rng.NextDouble(region.min_x(), region.max_x()),
+                       rng.NextDouble(region.min_y(), region.max_y())};
+    for (uint32_t id : BruteKnn(pois, q, k)) {
+      EXPECT_TRUE(candidate_set.count(id) > 0);
+    }
+  }
+}
+
+TEST(KrnnTest, CandidateSetIsMuchSmallerThanDatabase) {
+  util::Rng rng(7);
+  const data::Dataset pois = data::GenerateUniform(5000, rng);
+  const lbs::PoiDatabase database(pois, 0.02);
+  const geo::Rect region(0.5, 0.5, 0.52, 0.52);
+  const lbs::KrnnResult result =
+      lbs::RangeKnnCandidates(database, pois, region, 4);
+  EXPECT_LT(result.candidates.size(), pois.size() / 10);
+  EXPECT_GT(result.radius, 0.0);
+}
+
+TEST(KrnnTest, TinyDatabaseReturnsEverything) {
+  const data::Dataset pois({{0.1, 0.1}, {0.9, 0.9}});
+  const lbs::PoiDatabase database(pois);
+  const lbs::KrnnResult result = lbs::RangeKnnCandidates(
+      database, pois, geo::Rect(0.4, 0.4, 0.6, 0.6), 5);
+  EXPECT_EQ(result.candidates.size(), 2u);
+}
+
+// ------------------------------------------------------------------ TDOA
+
+TEST(TdoaWeightTest, WeightsAreQuantizedDistances) {
+  const data::Dataset dataset({{0.0, 0.5}, {0.04, 0.5}, {0.1, 0.5}});
+  graph::WpgBuildParams params;
+  params.delta = 0.12;
+  params.measure = graph::ProximityMeasure::kTdoaBucket;
+  params.tdoa_levels = 12;
+  auto built = graph::BuildWpg(dataset, params);
+  ASSERT_TRUE(built.ok());
+  for (const graph::Edge& e : built.value().edges()) {
+    const double distance =
+        geo::Distance(dataset.point(e.u), dataset.point(e.v));
+    const double expected =
+        std::max(1.0, std::ceil(distance / params.delta * 12));
+    EXPECT_DOUBLE_EQ(e.weight, expected);
+  }
+}
+
+TEST(TdoaWeightTest, MonotoneInDistance) {
+  // Farther pairs never get a smaller TDOA weight (unlike RSS ranks, which
+  // are relative to each endpoint's neighborhood).
+  util::Rng rng(11);
+  const data::Dataset dataset = data::GenerateUniform(300, rng);
+  graph::WpgBuildParams params;
+  params.delta = 0.1;
+  params.measure = graph::ProximityMeasure::kTdoaBucket;
+  auto built = graph::BuildWpg(dataset, params);
+  ASSERT_TRUE(built.ok());
+  for (const graph::Edge& a : built.value().edges()) {
+    for (const graph::Edge& b : built.value().edges()) {
+      const double da = geo::Distance(dataset.point(a.u), dataset.point(a.v));
+      const double db = geo::Distance(dataset.point(b.u), dataset.point(b.v));
+      if (da < db) EXPECT_LE(a.weight, b.weight);
+    }
+    if (&a - &built.value().edges()[0] > 40) break;  // keep it quick
+  }
+}
+
+TEST(TdoaWeightTest, RejectsZeroLevels) {
+  const data::Dataset dataset({{0.0, 0.0}, {0.01, 0.0}});
+  graph::WpgBuildParams params;
+  params.measure = graph::ProximityMeasure::kTdoaBucket;
+  params.tdoa_levels = 0;
+  EXPECT_FALSE(graph::BuildWpg(dataset, params).ok());
+}
+
+TEST(TdoaWeightTest, ClusteringWorksOnTdoaGraph) {
+  util::Rng rng(13);
+  const data::Dataset dataset = data::GenerateUniform(400, rng);
+  graph::WpgBuildParams params;
+  params.delta = 0.08;
+  params.measure = graph::ProximityMeasure::kTdoaBucket;
+  auto built = graph::BuildWpg(dataset, params);
+  ASSERT_TRUE(built.ok());
+  cluster::Registry registry(dataset.size());
+  cluster::DistributedTConnClusterer clusterer(built.value(), 5, &registry);
+  auto outcome = clusterer.ClusterFor(17);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(registry.info(outcome.value().cluster_id).members.size(), 5u);
+}
+
+// ----------------------------------------------------------------- audit
+
+TEST(AnonymityAuditTest, CleanWorkloadPasses) {
+  util::Rng rng(17);
+  const data::Dataset dataset = data::GenerateUniform(500, rng);
+  graph::WpgBuildParams params;
+  params.delta = 0.08;
+  auto built = graph::BuildWpg(dataset, params);
+  ASSERT_TRUE(built.ok());
+  cluster::Registry registry(dataset.size());
+  core::BoundingParams bounding;
+  bounding.density = 500.0;
+  core::CloakingEngine engine(
+      dataset,
+      std::make_unique<cluster::DistributedTConnClusterer>(built.value(), 5,
+                                                           &registry),
+      &registry, core::MakeSecurePolicyFactory(bounding));
+  for (data::UserId host : {3u, 77u, 200u, 331u, 499u}) {
+    ASSERT_TRUE(engine.RequestCloaking(host).ok());
+  }
+  const core::AuditReport report =
+      core::AuditAnonymity(registry, dataset, 5);
+  EXPECT_TRUE(report.ok()) << report.violations.size() << " violations";
+  EXPECT_GT(report.clusters_checked, 0u);
+  EXPECT_GE(report.regions_checked, 5u);
+  EXPECT_EQ(report.exposed_members, 0u);
+}
+
+TEST(AnonymityAuditTest, DetectsUndersizedValidCluster) {
+  const data::Dataset dataset({{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}});
+  cluster::Registry registry(3);
+  ASSERT_TRUE(registry.Register({0, 1}, 1.0, /*valid=*/true).ok());
+  const core::AuditReport report =
+      core::AuditAnonymity(registry, dataset, 3);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.undersized_clusters, 1u);
+}
+
+TEST(AnonymityAuditTest, DetectsMemberOutsideRegion) {
+  const data::Dataset dataset({{0.1, 0.1}, {0.9, 0.9}});
+  cluster::Registry registry(2);
+  auto id = registry.Register({0, 1}, 1.0, true);
+  ASSERT_TRUE(id.ok());
+  registry.SetRegion(id.value(), geo::Rect(0.0, 0.0, 0.5, 0.5));  // misses 1
+  const core::AuditReport report =
+      core::AuditAnonymity(registry, dataset, 2);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.exposed_members, 1u);
+}
+
+TEST(AnonymityAuditTest, DetectsOverlappingClusters) {
+  const data::Dataset dataset({{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}});
+  cluster::Registry registry(3, /*allow_overlap=*/true);
+  ASSERT_TRUE(registry.Register({0, 1}, 1.0, true).ok());
+  ASSERT_TRUE(registry.Register({1, 2}, 1.0, true).ok());
+  const core::AuditReport report =
+      core::AuditAnonymity(registry, dataset, 2);
+  EXPECT_FALSE(report.ok());  // user 1 in two clusters
+}
+
+TEST(AnonymityAuditTest, InvalidClustersAreNotCountedAsUndersized) {
+  const data::Dataset dataset({{0.1, 0.1}});
+  cluster::Registry registry(1);
+  ASSERT_TRUE(registry.Register({0}, 0.0, /*valid=*/false).ok());
+  const core::AuditReport report =
+      core::AuditAnonymity(registry, dataset, 5);
+  EXPECT_TRUE(report.ok());  // flagged invalid => not a violation
+  EXPECT_EQ(report.undersized_clusters, 0u);
+}
+
+}  // namespace
+}  // namespace nela

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "lbs/poi_database.h"
+#include "lbs/server.h"
+
+namespace nela::lbs {
+namespace {
+
+data::Dataset FourCorners() {
+  return data::Dataset({{0.1, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.9, 0.9}});
+}
+
+TEST(PoiDatabaseTest, RangeQueryFindsContainedPois) {
+  const data::Dataset dataset = FourCorners();
+  const PoiDatabase database(dataset, 0.2);
+  auto hits = database.RangeQuery(geo::Rect(0.0, 0.0, 0.5, 0.5));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(database.CountInRange(geo::Rect(0.0, 0.0, 1.0, 1.0)), 4u);
+  EXPECT_EQ(database.CountInRange(geo::Rect(0.4, 0.4, 0.6, 0.6)), 0u);
+  EXPECT_EQ(database.CountInRange(geo::Rect()), 0u);
+}
+
+TEST(PoiDatabaseTest, BorderInclusive) {
+  const data::Dataset dataset = FourCorners();
+  const PoiDatabase database(dataset);
+  EXPECT_EQ(database.CountInRange(geo::Rect(0.1, 0.1, 0.9, 0.1)), 2u);
+}
+
+TEST(LbsServerTest, ReplyCostScalesWithCandidates) {
+  const data::Dataset dataset = FourCorners();
+  const PoiDatabase database(dataset);
+  const LbsServer server(&database, 1000.0);
+  const ServiceReply all = server.RangeQuery(geo::Rect(0.0, 0.0, 1.0, 1.0));
+  EXPECT_EQ(all.candidate_count, 4u);
+  EXPECT_DOUBLE_EQ(all.reply_cost, 4000.0);
+  const ServiceReply one = server.RangeQuery(geo::Rect(0.0, 0.0, 0.2, 0.2));
+  EXPECT_EQ(one.candidate_count, 1u);
+  EXPECT_DOUBLE_EQ(one.reply_cost, 1000.0);
+  EXPECT_EQ(server.queries_served(), 2u);
+}
+
+TEST(LbsServerTest, LargerCloakedRegionCostsMore) {
+  // The privacy/service-cost trade-off the paper centers on: growing the
+  // cloaked region can only grow the reply.
+  const data::Dataset dataset = FourCorners();
+  const PoiDatabase database(dataset);
+  const LbsServer server(&database, 10.0);
+  const geo::Rect small(0.05, 0.05, 0.15, 0.15);
+  const geo::Rect large = small.Inflated(0.9);
+  EXPECT_LE(server.RangeQuery(small).reply_cost,
+            server.RangeQuery(large).reply_cost);
+}
+
+TEST(LbsServerTest, NetworkAccounting) {
+  const data::Dataset dataset = FourCorners();
+  const PoiDatabase database(dataset);
+  const LbsServer server(&database, 10.0);
+  net::Network network(4);
+  server.RangeQuery(geo::Rect(0.0, 0.0, 1.0, 1.0), &network, 2);
+  EXPECT_EQ(network.of_kind(net::MessageKind::kServiceRequest).messages, 1u);
+  EXPECT_EQ(network.of_kind(net::MessageKind::kServiceReply).messages, 1u);
+  EXPECT_EQ(network.of_kind(net::MessageKind::kServiceReply).bytes,
+            4u * 64u);
+}
+
+}  // namespace
+}  // namespace nela::lbs

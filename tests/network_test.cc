@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace nela::net {
+namespace {
+
+TEST(NetworkTest, CountsMessagesAndBytes) {
+  Network network(3);
+  EXPECT_TRUE(network.Send(0, 1, MessageKind::kAdjacencyExchange, 100));
+  EXPECT_TRUE(network.Send(1, 2, MessageKind::kBoundProposal, 16));
+  EXPECT_TRUE(network.Send(2, 1, MessageKind::kBoundVote, 8));
+  EXPECT_EQ(network.total().messages, 3u);
+  EXPECT_EQ(network.total().bytes, 124u);
+  EXPECT_EQ(network.of_kind(MessageKind::kAdjacencyExchange).messages, 1u);
+  EXPECT_EQ(network.of_kind(MessageKind::kBoundProposal).bytes, 16u);
+  EXPECT_EQ(network.of_kind(MessageKind::kServiceReply).messages, 0u);
+}
+
+TEST(NetworkTest, PerNodeCounters) {
+  Network network(3);
+  network.Send(0, 1, MessageKind::kControl, 1);
+  network.Send(0, 2, MessageKind::kControl, 1);
+  network.Send(1, 0, MessageKind::kControl, 1);
+  EXPECT_EQ(network.SentBy(0), 2u);
+  EXPECT_EQ(network.SentBy(1), 1u);
+  EXPECT_EQ(network.SentBy(2), 0u);
+  EXPECT_EQ(network.ReceivedBy(0), 1u);
+  EXPECT_EQ(network.ReceivedBy(1), 1u);
+  EXPECT_EQ(network.ReceivedBy(2), 1u);
+}
+
+TEST(NetworkTest, ResetClearsCounters) {
+  Network network(2);
+  network.Send(0, 1, MessageKind::kControl, 10);
+  network.ResetCounters();
+  EXPECT_EQ(network.total().messages, 0u);
+  EXPECT_EQ(network.total().bytes, 0u);
+  EXPECT_EQ(network.SentBy(0), 0u);
+  EXPECT_EQ(network.of_kind(MessageKind::kControl).messages, 0u);
+}
+
+TEST(NetworkTest, LossDropsApproximatelyAtRate) {
+  Network network(2);
+  util::Rng rng(5);
+  network.SetLossProbability(0.25, &rng);
+  int delivered = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (network.Send(0, 1, MessageKind::kControl, 1)) ++delivered;
+  }
+  EXPECT_NEAR(delivered / 10000.0, 0.75, 0.02);
+  EXPECT_EQ(network.dropped_messages() + delivered, 10000u);
+  // Dropped messages are not counted as traffic.
+  EXPECT_EQ(network.total().messages, static_cast<uint64_t>(delivered));
+}
+
+TEST(NetworkTest, ZeroLossDeliversEverything) {
+  Network network(2);
+  util::Rng rng(6);
+  network.SetLossProbability(0.0, &rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(network.Send(0, 1, MessageKind::kControl, 1));
+  }
+  EXPECT_EQ(network.dropped_messages(), 0u);
+}
+
+TEST(NetworkTest, KindNamesAreStable) {
+  EXPECT_STREQ(MessageKindName(MessageKind::kAdjacencyExchange),
+               "adjacency_exchange");
+  EXPECT_STREQ(MessageKindName(MessageKind::kServiceReply), "service_reply");
+}
+
+}  // namespace
+}  // namespace nela::net

@@ -1,0 +1,104 @@
+// Parameterized property sweeps over the progressive bounding protocol:
+// for random private inputs and every policy, the protocol must terminate
+// with a correct, boundedly-loose upper bound at predictable cost.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bounding/increment_policy.h"
+#include "bounding/privacy_loss.h"
+#include "bounding/protocol.h"
+#include "bounding/secret.h"
+#include "core/policy_factory.h"
+#include "util/rng.h"
+
+namespace nela::bounding {
+namespace {
+
+struct SweepParam {
+  uint64_t seed;
+  uint32_t cluster_size;
+  double extent;
+  int policy;  // 0 linear, 1 exponential, 2 secure, 3 engine-secure
+};
+
+class ProtocolPropertyTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ProtocolPropertyTest, BoundIsCorrectAndBoundedlyLoose) {
+  const SweepParam param = GetParam();
+  util::Rng rng(param.seed);
+  std::vector<double> values;
+  double max_value = 0.0;
+  for (uint32_t i = 0; i < param.cluster_size; ++i) {
+    values.push_back(rng.NextDouble(0.0, param.extent));
+    max_value = std::max(max_value, values.back());
+  }
+  const std::vector<PrivateScalar> secrets = MakePrivate(values);
+
+  const UniformDistribution model(param.extent);
+  const QuadraticCost cost(1000.0);
+  LinearIncrementPolicy linear(param.extent / 40.0);
+  ExponentialIncrementPolicy exponential(param.extent / 40.0);
+  SecureIncrementPolicy secure(model, cost, 1.0);
+  core::BoundingParams engine_params;
+  engine_params.density = param.cluster_size / param.extent;
+  std::unique_ptr<IncrementPolicy> engine_secure =
+      core::MakeSecurePolicyFactory(engine_params)(param.cluster_size);
+  IncrementPolicy* policies[4] = {&linear, &exponential, &secure,
+                                  engine_secure.get()};
+  IncrementPolicy& policy = *policies[param.policy];
+
+  const BoundingRunResult run =
+      RunProgressiveUpperBounding(secrets, 0.0, policy);
+
+  // Correctness: the final bound dominates every value.
+  EXPECT_GE(run.bound, max_value);
+  // Monotone hypotheses.
+  for (size_t i = 1; i < run.bound_history.size(); ++i) {
+    EXPECT_GT(run.bound_history[i], run.bound_history[i - 1]);
+  }
+  // Cost sanity: at least one verification per user, at most one per user
+  // per iteration.
+  EXPECT_GE(run.verifications, param.cluster_size);
+  EXPECT_LE(run.verifications,
+            static_cast<uint64_t>(param.cluster_size) * run.iterations);
+  // Looseness: the overshoot never exceeds the final (accepted) increment.
+  if (run.bound_history.size() >= 2) {
+    const double last_increment =
+        run.bound_history.back() -
+        run.bound_history[run.bound_history.size() - 2];
+    EXPECT_LE(run.bound - max_value, last_increment + 1e-12);
+  } else {
+    EXPECT_LE(run.bound - max_value, run.bound_history.front() + 1e-12);
+  }
+  // Privacy-loss intervals tile sanely: widths positive, each at most the
+  // whole covered extent.
+  const PrivacyLossReport report = AnalyzePrivacyLoss(run, 0.0);
+  ASSERT_EQ(report.interval_width.size(), values.size());
+  for (double width : report.interval_width) {
+    EXPECT_GT(width, 0.0);
+    EXPECT_LE(width, run.bound + 1e-12);
+  }
+}
+
+std::vector<SweepParam> MakeSweep() {
+  std::vector<SweepParam> params;
+  uint64_t seed = 1000;
+  for (uint32_t cluster_size : {1u, 2u, 7u, 25u, 60u}) {
+    for (double extent : {1e-3, 1.0, 250.0}) {
+      for (int policy = 0; policy < 4; ++policy) {
+        params.push_back(SweepParam{seed++, cluster_size, extent, policy});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProtocolPropertyTest,
+                         ::testing::ValuesIn(MakeSweep()));
+
+}  // namespace
+}  // namespace nela::bounding

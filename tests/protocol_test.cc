@@ -1,0 +1,280 @@
+// Progressive bounding protocol tests: correctness of the bound, policy
+// behaviours, region computation, privacy-loss analysis, non-exposure
+// semantics, and network accounting.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bounding/increment_policy.h"
+#include "bounding/privacy_loss.h"
+#include "bounding/protocol.h"
+#include "bounding/secret.h"
+#include "util/rng.h"
+
+namespace nela::bounding {
+namespace {
+
+TEST(ProtocolTest, LinearPolicyFindsUpperBound) {
+  const std::vector<PrivateScalar> secrets = MakePrivate({0.3, 0.7, 0.1});
+  LinearIncrementPolicy policy(0.25);
+  const BoundingRunResult result =
+      RunProgressiveUpperBounding(secrets, 0.0, policy);
+  // Hypotheses: 0.25, 0.5, 0.75 -> everyone agrees at 0.75.
+  EXPECT_DOUBLE_EQ(result.bound, 0.75);
+  EXPECT_EQ(result.iterations, 3u);
+  // Verifications: 3 users at 0.25, two survivors at 0.5, one at 0.75.
+  EXPECT_EQ(result.verifications, 6u);
+  EXPECT_EQ(result.agree_iteration[0], 1u);  // 0.3 <= 0.5
+  EXPECT_EQ(result.agree_iteration[1], 2u);  // 0.7 <= 0.75
+  EXPECT_EQ(result.agree_iteration[2], 0u);  // 0.1 <= 0.25
+}
+
+TEST(ProtocolTest, BoundUpperBoundsEveryValue) {
+  util::Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 40; ++i) values.push_back(rng.NextDouble(0.0, 5.0));
+  const std::vector<PrivateScalar> secrets = MakePrivate(values);
+  ExponentialIncrementPolicy policy(0.01);
+  const BoundingRunResult result =
+      RunProgressiveUpperBounding(secrets, 0.0, policy);
+  for (double v : values) EXPECT_LE(v, result.bound);
+  // Exponential doubling: overshoot at most 2x the true maximum extent.
+  const double max_value = *std::max_element(values.begin(), values.end());
+  EXPECT_LE(result.bound, std::max(2.0 * max_value, 0.02));
+}
+
+TEST(ProtocolTest, NonzeroDomainMin) {
+  const std::vector<PrivateScalar> secrets = MakePrivate({-0.4, -0.2});
+  LinearIncrementPolicy policy(0.5);
+  const BoundingRunResult result =
+      RunProgressiveUpperBounding(secrets, -1.0, policy);
+  // Hypotheses: -0.5 (both still above it), then 0.0 (both agree).
+  EXPECT_DOUBLE_EQ(result.bound, 0.0);
+  EXPECT_EQ(result.iterations, 2u);
+  EXPECT_EQ(result.verifications, 4u);
+}
+
+TEST(ProtocolTest, ValuesEqualToDomainMinAgreeOnFirstHypothesis) {
+  const std::vector<PrivateScalar> secrets = MakePrivate({0.0, 0.0});
+  LinearIncrementPolicy policy(0.1);
+  const BoundingRunResult result =
+      RunProgressiveUpperBounding(secrets, 0.0, policy);
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_EQ(result.verifications, 2u);
+}
+
+TEST(ProtocolTest, SecurePolicyTerminatesAndIsBounded) {
+  util::Rng rng(11);
+  std::vector<double> values;
+  const double upper = 0.01;
+  for (int i = 0; i < 10; ++i) values.push_back(rng.NextDouble(0.0, upper));
+  const std::vector<PrivateScalar> secrets = MakePrivate(values);
+  UniformDistribution dist(upper);
+  QuadraticCost cost(1000.0 * 104770.0);
+  SecureIncrementPolicy policy(dist, cost, 1.0);
+  const BoundingRunResult result =
+      RunProgressiveUpperBounding(secrets, 0.0, policy);
+  const double max_value = *std::max_element(values.begin(), values.end());
+  EXPECT_GE(result.bound, max_value);
+  EXPECT_GT(result.iterations, 1u);  // progressive, not one-shot
+  EXPECT_LT(result.bound, 3.0 * upper);
+}
+
+TEST(ProtocolTest, OptBoundingIsExact) {
+  const std::vector<PrivateScalar> secrets = MakePrivate({0.3, 0.9, 0.5});
+  const BoundingRunResult result = RunOptBounding(secrets);
+  EXPECT_DOUBLE_EQ(result.bound, 0.9);
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_EQ(result.verifications, 3u);  // one exposure message per user
+}
+
+TEST(ProtocolTest, NetworkAccountingCountsRoundTrips) {
+  const std::vector<PrivateScalar> secrets = MakePrivate({0.3, 0.7});
+  const std::vector<net::NodeId> nodes = {1, 2};
+  net::Network network(3);
+  NetworkBinding binding{&network, 0, &nodes};
+  LinearIncrementPolicy policy(0.5);
+  const BoundingRunResult result =
+      RunProgressiveUpperBounding(secrets, 0.0, policy, binding);
+  // Each verification = proposal + vote.
+  EXPECT_EQ(network.of_kind(net::MessageKind::kBoundProposal).messages,
+            result.verifications);
+  EXPECT_EQ(network.of_kind(net::MessageKind::kBoundVote).messages,
+            result.verifications);
+}
+
+TEST(ProtocolTest, LossyLinkRetriesUntilDelivered) {
+  // Failure injection (the paper's SVII robustness concern): with message
+  // loss the host retransmits; every verification round trip eventually
+  // completes, so the protocol result is unchanged while the network shows
+  // the retry traffic.
+  const std::vector<PrivateScalar> secrets = MakePrivate({0.3, 0.7});
+  const std::vector<net::NodeId> nodes = {1, 2};
+  util::Rng loss_rng(5);
+  net::Network network(3);
+  network.SetLossProbability(0.3, &loss_rng);
+  NetworkBinding binding{&network, 0, &nodes};
+  LinearIncrementPolicy policy(0.5);
+  const BoundingRunResult lossy =
+      RunProgressiveUpperBounding(secrets, 0.0, policy, binding);
+  // Identical protocol outcome to the lossless run.
+  EXPECT_DOUBLE_EQ(lossy.bound, 1.0);
+  EXPECT_EQ(lossy.iterations, 2u);
+  // Retries: delivered votes equal the verifications; proposals exceed
+  // them (each dropped proposal or vote forces a re-send), and drops are
+  // recorded.
+  EXPECT_EQ(network.of_kind(net::MessageKind::kBoundVote).messages,
+            lossy.verifications);
+  EXPECT_GE(network.of_kind(net::MessageKind::kBoundProposal).messages,
+            lossy.verifications);
+  EXPECT_GT(network.dropped_messages(), 0u);
+}
+
+// ----------------------------------------------------------- region runs
+
+TEST(RegionTest, OptRegionIsTightBoundingBox) {
+  const std::vector<geo::Point> points = {
+      {0.2, 0.3}, {0.5, 0.1}, {0.4, 0.6}};
+  const RegionBoundingResult result = ComputeOptRegion(points);
+  EXPECT_EQ(result.region, geo::Rect(0.2, 0.1, 0.5, 0.6));
+  EXPECT_EQ(result.verifications, 3u);
+}
+
+TEST(RegionTest, SecureRegionContainsAllMembers) {
+  util::Rng rng(17);
+  std::vector<geo::Point> points;
+  for (int i = 0; i < 12; ++i) {
+    points.push_back(
+        geo::Point{0.4 + rng.NextDouble() * 0.02, 0.6 + rng.NextDouble() * 0.02});
+  }
+  UniformDistribution dist(0.02);
+  QuadraticCost cost(1000.0 * 104770.0);
+  SecureIncrementPolicy policy(dist, cost, 1.0);
+  const RegionBoundingResult result =
+      ComputeCloakedRegion(points, points.front(), policy);
+  for (const geo::Point& p : points) {
+    EXPECT_TRUE(result.region.Contains(p));
+  }
+  // The region must stay cluster-sized (not overshoot wildly).
+  EXPECT_LT(result.region.Width(), 0.1);
+  EXPECT_LT(result.region.Height(), 0.1);
+  EXPECT_GT(result.verifications, 0u);
+}
+
+TEST(RegionTest, ProgressiveRegionContainsOptRegion) {
+  // Progressive bounds only ever overshoot, never undershoot.
+  util::Rng rng(19);
+  std::vector<geo::Point> points;
+  for (int i = 0; i < 8; ++i) {
+    points.push_back(geo::Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  ExponentialIncrementPolicy policy(0.001);
+  const RegionBoundingResult secure =
+      ComputeCloakedRegion(points, points.front(), policy);
+  const RegionBoundingResult opt = ComputeOptRegion(points);
+  EXPECT_TRUE(secure.region.Contains(opt.region));
+}
+
+TEST(RegionTest, SingleMemberRegionIsPointLike) {
+  const std::vector<geo::Point> points = {{0.5, 0.5}};
+  LinearIncrementPolicy policy(1e-4);
+  const RegionBoundingResult result =
+      ComputeCloakedRegion(points, points.front(), policy);
+  EXPECT_TRUE(result.region.Contains(points[0]));
+  EXPECT_LT(result.region.Width(), 1e-3);
+}
+
+// ------------------------------------------------------------ secrecy API
+
+TEST(SecretTest, OnlyComparisonIsExposed) {
+  const PrivateScalar secret(0.42);
+  EXPECT_TRUE(secret.AgreesWithUpperBound(0.42));
+  EXPECT_TRUE(secret.AgreesWithUpperBound(0.5));
+  EXPECT_FALSE(secret.AgreesWithUpperBound(0.41));
+  // The loud escape hatch exists solely for the OPT baseline.
+  EXPECT_DOUBLE_EQ(secret.ExposeForOptBaseline(), 0.42);
+}
+
+// ----------------------------------------------------------- privacy loss
+
+TEST(PrivacyLossTest, IntervalsMatchAgreePoints) {
+  const std::vector<PrivateScalar> secrets = MakePrivate({0.3, 0.7, 0.1});
+  LinearIncrementPolicy policy(0.25);
+  const BoundingRunResult run =
+      RunProgressiveUpperBounding(secrets, 0.0, policy);
+  const PrivacyLossReport report = AnalyzePrivacyLoss(run, 0.0);
+  ASSERT_EQ(report.interval_width.size(), 3u);
+  // Every user's exposure interval is one linear step wide.
+  for (double width : report.interval_width) {
+    EXPECT_NEAR(width, 0.25, 1e-12);
+  }
+  EXPECT_NEAR(report.mean_width, 0.25, 1e-12);
+}
+
+TEST(PrivacyLossTest, TighterIncrementsExposeMore) {
+  util::Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) values.push_back(rng.NextDouble(0.0, 1.0));
+  const std::vector<PrivateScalar> secrets = MakePrivate(values);
+
+  LinearIncrementPolicy fine(0.01);
+  LinearIncrementPolicy coarse(0.2);
+  const PrivacyLossReport fine_report = AnalyzePrivacyLoss(
+      RunProgressiveUpperBounding(secrets, 0.0, fine), 0.0);
+  const PrivacyLossReport coarse_report = AnalyzePrivacyLoss(
+      RunProgressiveUpperBounding(secrets, 0.0, coarse), 0.0);
+  // Finer steps => narrower exposure intervals => more privacy lost.
+  EXPECT_LT(fine_report.mean_width, coarse_report.mean_width);
+}
+
+TEST(PrivacyLossTest, ExponentialExposureGrowsWithValue) {
+  // Doubling bounds: users agreeing later have wider (safer) intervals.
+  const std::vector<PrivateScalar> secrets = MakePrivate({0.05, 0.8});
+  ExponentialIncrementPolicy policy(0.05);
+  const BoundingRunResult run =
+      RunProgressiveUpperBounding(secrets, 0.0, policy);
+  const PrivacyLossReport report = AnalyzePrivacyLoss(run, 0.0);
+  EXPECT_LT(report.interval_width[0], report.interval_width[1]);
+}
+
+// ------------------------------------------------------ policy unit tests
+
+TEST(PolicyTest, LinearIsConstant) {
+  LinearIncrementPolicy policy(0.3);
+  EXPECT_DOUBLE_EQ(policy.NextIncrement(0.0, 5, 0), 0.3);
+  EXPECT_DOUBLE_EQ(policy.NextIncrement(10.0, 1, 7), 0.3);
+}
+
+TEST(PolicyTest, ExponentialDoublesCoveredExtent) {
+  ExponentialIncrementPolicy policy(0.1);
+  EXPECT_DOUBLE_EQ(policy.NextIncrement(0.0, 5, 0), 0.1);
+  EXPECT_DOUBLE_EQ(policy.NextIncrement(0.1, 5, 1), 0.1);
+  EXPECT_DOUBLE_EQ(policy.NextIncrement(0.2, 4, 2), 0.2);
+  EXPECT_DOUBLE_EQ(policy.NextIncrement(0.4, 1, 3), 0.4);
+}
+
+TEST(PolicyTest, SecureShrinksWithFewerDisagreeing) {
+  UniformDistribution dist(1.0);
+  QuadraticCost cost(10000.0);
+  SecureIncrementPolicy policy(dist, cost, 1.0);
+  const double x10 = policy.NextIncrement(0.0, 10, 0);
+  const double x2 = policy.NextIncrement(0.5, 2, 3);
+  EXPECT_GT(x10, x2);
+  EXPECT_STREQ(policy.name(), "secure");
+}
+
+TEST(PolicyTest, SecureDpModeUsesTable) {
+  UniformDistribution dist(1.0);
+  QuadraticCost cost(10000.0);
+  const ExactNBoundTable table(dist, cost, 1.0, 4);
+  SecureIncrementPolicy policy(dist, cost, 1.0, &table);
+  EXPECT_STREQ(policy.name(), "secure-dp");
+  EXPECT_DOUBLE_EQ(policy.NextIncrement(0.0, 3, 0), table.increment(3));
+  // Beyond the table: falls back to Equation 5 (positive increment).
+  EXPECT_GT(policy.NextIncrement(0.0, 9, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace nela::bounding

@@ -1,0 +1,175 @@
+// Tests for the road-network dataset generator (the California-POI
+// stand-in) and for the MST refinement pass of the centralized partition.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/centralized_tconn.h"
+#include "data/generators.h"
+#include "graph/connectivity.h"
+#include "graph/metrics.h"
+#include "graph/wpg.h"
+#include "graph/wpg_builder.h"
+#include "util/rng.h"
+
+namespace nela {
+namespace {
+
+TEST(RoadNetworkTest, ProducesRequestedCount) {
+  util::Rng rng(1);
+  data::RoadNetworkParams params;
+  params.count = 5000;
+  params.num_cities = 50;
+  const data::Dataset dataset = data::GenerateRoadNetwork(params, rng);
+  EXPECT_EQ(dataset.size(), 5000u);
+  EXPECT_TRUE(geo::Rect(0, 0, 1, 1).Contains(dataset.BoundingBox()));
+}
+
+TEST(RoadNetworkTest, DeterministicPerSeed) {
+  data::RoadNetworkParams params;
+  params.count = 1000;
+  params.num_cities = 20;
+  util::Rng a(9);
+  util::Rng b(9);
+  const data::Dataset da = data::GenerateRoadNetwork(params, a);
+  const data::Dataset db = data::GenerateRoadNetwork(params, b);
+  for (uint32_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.point(i), db.point(i));
+  }
+}
+
+TEST(RoadNetworkTest, CaliforniaLikeUsesPaperCardinality) {
+  data::RoadNetworkParams params;
+  EXPECT_EQ(params.count, data::kCaliforniaPoiCount);
+}
+
+TEST(RoadNetworkTest, CorridorStructureIsDenserThanUniform) {
+  // Road/town concentration: the fraction of users whose nearest neighbor
+  // is very close must far exceed the uniform baseline.
+  util::Rng rng(3);
+  data::RoadNetworkParams params;
+  params.count = 8000;
+  params.num_cities = 80;
+  const data::Dataset roads = data::GenerateRoadNetwork(params, rng);
+  const data::Dataset uniform = data::GenerateUniform(8000, rng);
+  auto close_pairs = [](const data::Dataset& dataset) {
+    graph::WpgBuildParams build;
+    build.delta = 2e-3;
+    build.cap_peers = false;
+    auto graph = graph::BuildWpg(dataset, build);
+    NELA_CHECK(graph.ok());
+    return graph.value().edge_count();
+  };
+  EXPECT_GT(close_pairs(roads), 5 * close_pairs(uniform));
+}
+
+TEST(RoadNetworkTest, GraphHasDominantComponents) {
+  // The MST backbone keeps most users in sizable connected pieces at the
+  // (scaled) paper threshold.
+  util::Rng rng(5);
+  data::RoadNetworkParams params;
+  params.count = 10000;
+  params.num_cities = 100;
+  const data::Dataset dataset = data::GenerateRoadNetwork(params, rng);
+  graph::WpgBuildParams build;
+  build.delta = 2e-3 * 3.2;  // sqrt(104770/10000) scaling
+  auto built = graph::BuildWpg(dataset, build);
+  ASSERT_TRUE(built.ok());
+  const graph::Wpg& graph = built.value();
+  // Count users in components of size >= 10.
+  std::vector<bool> seen(graph.vertex_count(), false);
+  uint64_t in_big = 0;
+  for (graph::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    if (seen[v]) continue;
+    const auto component =
+        graph::ThresholdComponent(graph, v, 1e18, nullptr);
+    for (auto u : component) seen[u] = true;
+    if (component.size() >= 10) in_big += component.size();
+  }
+  EXPECT_GT(in_big, graph.vertex_count() * 7 / 10);
+}
+
+TEST(RoadNetworkTest, RejectsBadParams) {
+  util::Rng rng(1);
+  data::RoadNetworkParams params;
+  params.num_cities = 1;
+  EXPECT_DEATH(data::GenerateRoadNetwork(params, rng), "NELA_CHECK");
+}
+
+// ------------------------------------------------------- MST refinement
+
+TEST(RefinePartitionTest, SplitsLongChains) {
+  // A 12-vertex path with ascending weights freezes into one cluster for
+  // k=4 (each new vertex is a sub-k singleton when absorbed); refinement
+  // must cut it into valid pieces of near-k size.
+  graph::Wpg graph(12);
+  for (uint32_t v = 0; v + 1 < 12; ++v) {
+    graph.AddEdge(v, v + 1, static_cast<double>(v + 1));
+  }
+  graph.SortAdjacencyByWeight();
+  const cluster::Partition partition =
+      cluster::CentralizedKClustering(graph, 4);
+  ASSERT_GE(partition.clusters.size(), 2u);
+  for (const auto& members : partition.clusters) {
+    EXPECT_GE(members.size(), 4u);
+    EXPECT_LT(members.size(), 8u);
+    // Each piece stays a contiguous run of the path (connected).
+    EXPECT_TRUE(graph::IsInducedConnected(graph, members));
+  }
+}
+
+TEST(RefinePartitionTest, LeavesSmallClustersAlone) {
+  graph::Wpg graph(5);
+  for (uint32_t v = 0; v + 1 < 5; ++v) graph.AddEdge(v, v + 1, 1.0 + v);
+  graph.SortAdjacencyByWeight();
+  cluster::Partition partition;
+  partition.clusters.push_back({0, 1, 2, 3, 4});
+  partition.connectivity.push_back(4.0);
+  const cluster::Partition refined =
+      cluster::RefinePartition(graph, std::move(partition), 3);
+  // 5 < 2k = 6: untouched.
+  ASSERT_EQ(refined.clusters.size(), 1u);
+  EXPECT_EQ(refined.clusters[0].size(), 5u);
+}
+
+TEST(RefinePartitionTest, RefinementReducesMew) {
+  // Star-of-chains: refinement strictly reduces the per-cluster MEW.
+  graph::Wpg graph(16);
+  for (uint32_t v = 0; v + 1 < 16; ++v) {
+    graph.AddEdge(v, v + 1, static_cast<double>(1 + (v % 7)));
+  }
+  graph.SortAdjacencyByWeight();
+  const cluster::Partition partition =
+      cluster::CentralizedKClustering(graph, 4);
+  double max_mew = 0.0;
+  for (const auto& members : partition.clusters) {
+    max_mew = std::max(max_mew,
+                       graph::MaxEdgeWeightWithin(graph, members));
+  }
+  const double whole_mew = graph::MaxEdgeWeightWithin(
+      graph, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  EXPECT_LT(max_mew, whole_mew + 1e-12);
+}
+
+TEST(RefinePartitionTest, ConnectivityValuesMatchBottleneck) {
+  // After refinement every reported connectivity equals the cluster's MST
+  // bottleneck (its induced MEW can only be larger).
+  graph::Wpg graph(12);
+  for (uint32_t v = 0; v + 1 < 12; ++v) {
+    graph.AddEdge(v, v + 1, static_cast<double>(v + 1));
+  }
+  graph.SortAdjacencyByWeight();
+  const cluster::Partition partition =
+      cluster::CentralizedKClustering(graph, 4);
+  for (size_t i = 0; i < partition.clusters.size(); ++i) {
+    const auto& members = partition.clusters[i];
+    // On a path the induced subgraph IS the MST, so connectivity == MEW.
+    EXPECT_DOUBLE_EQ(partition.connectivity[i],
+                     graph::MaxEdgeWeightWithin(graph, members));
+  }
+}
+
+}  // namespace
+}  // namespace nela

@@ -1,0 +1,257 @@
+// Simulation harness tests on scaled-down scenarios: scenario building,
+// workload sampling, and both experiment drivers (including the headline
+// qualitative relationships the paper's figures rest on).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/bounding_experiment.h"
+#include "sim/clustering_experiment.h"
+#include "sim/scenario.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace nela::sim {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  // A 4000-user scale model of the paper's default scenario: delta grows
+  // by sqrt(104770 / 4000) so the WPG keeps the full-size local structure.
+  ScenarioConfig config;
+  config.user_count = 4000;
+  config.delta = 0.0102;
+  config.max_peers = 10;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ScenarioTest, BuildsDeterministically) {
+  auto a = BuildScenario(SmallConfig());
+  auto b = BuildScenario(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().dataset.size(), 4000u);
+  EXPECT_EQ(a.value().graph.edge_count(), b.value().graph.edge_count());
+  EXPECT_EQ(a.value().dataset.point(42), b.value().dataset.point(42));
+}
+
+TEST(ScenarioTest, MaxPeersControlsDensity) {
+  ScenarioConfig low = SmallConfig();
+  low.max_peers = 4;
+  ScenarioConfig high = SmallConfig();
+  high.max_peers = 16;
+  auto g_low = BuildScenario(low);
+  auto g_high = BuildScenario(high);
+  ASSERT_TRUE(g_low.ok());
+  ASSERT_TRUE(g_high.ok());
+  EXPECT_LT(g_low.value().graph.AverageDegree(),
+            g_high.value().graph.AverageDegree());
+}
+
+TEST(ScenarioTest, RejectsEmptyPopulation) {
+  ScenarioConfig config = SmallConfig();
+  config.user_count = 0;
+  EXPECT_FALSE(BuildScenario(config).ok());
+}
+
+TEST(WorkloadTest, DistinctHostsWithinRange) {
+  util::Rng rng(3);
+  const auto hosts = SampleWorkload(1000, 200, rng);
+  ASSERT_EQ(hosts.size(), 200u);
+  std::set<data::UserId> unique(hosts.begin(), hosts.end());
+  EXPECT_EQ(unique.size(), 200u);
+  for (data::UserId id : hosts) EXPECT_LT(id, 1000u);
+}
+
+class ClusteringExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto built = BuildScenario(SmallConfig());
+    NELA_CHECK(built.ok());
+    scenario_ = new Scenario(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static Scenario* scenario_;
+};
+
+Scenario* ClusteringExperimentTest::scenario_ = nullptr;
+
+TEST_F(ClusteringExperimentTest, RunsAllAlgorithms) {
+  ClusteringExperimentConfig config;
+  config.k = 5;
+  config.requests = 100;
+  for (ClusteringAlgorithm algorithm :
+       {ClusteringAlgorithm::kDistributedTConn,
+        ClusteringAlgorithm::kCentralizedTConn, ClusteringAlgorithm::kKnn}) {
+    auto result = RunClusteringExperiment(*scenario_, algorithm, config);
+    ASSERT_TRUE(result.ok()) << ClusteringAlgorithmName(algorithm);
+    EXPECT_GT(result.value().avg_comm_cost, 0.0);
+    EXPECT_GT(result.value().avg_cloaked_area, 0.0);
+    EXPECT_GE(result.value().avg_cluster_size, 1.0);
+  }
+}
+
+TEST_F(ClusteringExperimentTest, CentralizedCostIsPopulationOverRequests) {
+  ClusteringExperimentConfig config;
+  config.k = 5;
+  config.requests = 100;
+  auto result = RunClusteringExperiment(
+      *scenario_, ClusteringAlgorithm::kCentralizedTConn, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().avg_comm_cost, 4000.0 / 100.0);
+}
+
+TEST_F(ClusteringExperimentTest, KnnCostLowerThanDistributedTConn) {
+  // Fig. 9(a): kNN involves ~k users; distributed t-Conn involves the whole
+  // smallest valid cluster plus border checks.
+  ClusteringExperimentConfig config;
+  config.k = 5;
+  config.requests = 100;
+  auto tconn = RunClusteringExperiment(
+      *scenario_, ClusteringAlgorithm::kDistributedTConn, config);
+  auto knn =
+      RunClusteringExperiment(*scenario_, ClusteringAlgorithm::kKnn, config);
+  ASSERT_TRUE(tconn.ok());
+  ASSERT_TRUE(knn.ok());
+  EXPECT_LT(knn.value().avg_comm_cost, tconn.value().avg_comm_cost);
+}
+
+TEST_F(ClusteringExperimentTest, MoreRequestsAmortizeTConnCost) {
+  // Fig. 12(a): distributed t-Conn's per-request cost drops with S.
+  ClusteringExperimentConfig few;
+  few.k = 5;
+  few.requests = 50;
+  ClusteringExperimentConfig many;
+  many.k = 5;
+  many.requests = 800;
+  auto cost_few = RunClusteringExperiment(
+      *scenario_, ClusteringAlgorithm::kDistributedTConn, few);
+  auto cost_many = RunClusteringExperiment(
+      *scenario_, ClusteringAlgorithm::kDistributedTConn, many);
+  ASSERT_TRUE(cost_few.ok());
+  ASSERT_TRUE(cost_many.ok());
+  EXPECT_LT(cost_many.value().avg_comm_cost, cost_few.value().avg_comm_cost);
+}
+
+TEST_F(ClusteringExperimentTest, RejectsBadRequestCounts) {
+  ClusteringExperimentConfig config;
+  config.requests = 0;
+  EXPECT_FALSE(RunClusteringExperiment(*scenario_,
+                                       ClusteringAlgorithm::kKnn, config)
+                   .ok());
+  config.requests = 999999;
+  EXPECT_FALSE(RunClusteringExperiment(*scenario_,
+                                       ClusteringAlgorithm::kKnn, config)
+                   .ok());
+}
+
+// ----------------------------------------------------------- full scale
+//
+// The paper's headline trends only emerge at the full population (a
+// miniature world is exhausted by the request workload long before the
+// depletion dynamics set in), so these tests share one full-size scenario
+// built with the Table I defaults.
+class FullScaleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto built = BuildScenario(ScenarioConfig{});  // paper defaults
+    NELA_CHECK(built.ok());
+    scenario_ = new Scenario(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static Scenario* scenario_;
+};
+
+Scenario* FullScaleTest::scenario_ = nullptr;
+
+TEST_F(FullScaleTest, KnnDeterioratesWithRequestsWhileTConnHolds) {
+  // Fig. 12(b): kNN's cloaked size grows with S (consumed users accumulate
+  // and fresh clusters must stretch along the road corridors) while the
+  // cluster-isolated t-Conn is unaffected.
+  auto area = [&](ClusteringAlgorithm algorithm, uint32_t requests) {
+    ClusteringExperimentConfig config;
+    config.requests = requests;
+    auto result = RunClusteringExperiment(*scenario_, algorithm, config);
+    NELA_CHECK(result.ok());
+    return result.value().avg_cloaked_area;
+  };
+  const double knn_small = area(ClusteringAlgorithm::kKnn, 1000);
+  const double knn_large = area(ClusteringAlgorithm::kKnn, 8000);
+  const double tconn_small =
+      area(ClusteringAlgorithm::kDistributedTConn, 1000);
+  const double tconn_large =
+      area(ClusteringAlgorithm::kDistributedTConn, 8000);
+  EXPECT_GT(knn_large, 1.5 * knn_small);
+  EXPECT_LT(tconn_large, 1.3 * tconn_small);
+  EXPECT_GT(tconn_large, 0.7 * tconn_small);
+}
+
+TEST_F(FullScaleTest, KnnRelativeSizeGrowsWithK) {
+  // Fig. 11(b): the kNN / t-Conn cloaked-size ratio grows with k (the
+  // paper reports 2x at k=5 rising to 4x at k=50; our synthetic dataset
+  // shifts the absolute level but reproduces the trend -- EXPERIMENTS.md).
+  auto ratio_at = [&](uint32_t k) {
+    ClusteringExperimentConfig config;
+    config.k = k;
+    auto tconn = RunClusteringExperiment(
+        *scenario_, ClusteringAlgorithm::kDistributedTConn, config);
+    auto knn = RunClusteringExperiment(*scenario_,
+                                       ClusteringAlgorithm::kKnn, config);
+    NELA_CHECK(tconn.ok());
+    NELA_CHECK(knn.ok());
+    return knn.value().avg_cloaked_area / tconn.value().avg_cloaked_area;
+  };
+  EXPECT_GT(ratio_at(50), ratio_at(10));
+}
+
+TEST_F(FullScaleTest, BoundingExperimentOrderings) {
+  BoundingExperimentConfig config;  // k=10, S=2000, Table I costs
+  auto run = RunBoundingExperiment(*scenario_, config);
+  ASSERT_TRUE(run.ok());
+  const BoundingExperimentResult& result = run.value();
+
+  const auto& linear = result.of(BoundingAlgorithm::kLinear);
+  const auto& exponential = result.of(BoundingAlgorithm::kExponential);
+  const auto& secure = result.of(BoundingAlgorithm::kSecure);
+  const auto& optimal = result.of(BoundingAlgorithm::kOptimal);
+  ASSERT_GT(linear.bounding_runs, 0u);
+
+  // Fig. 13(a): the doubling policy is the most aggressive -> clearly the
+  // lowest bounding cost of the progressive algorithms.
+  EXPECT_GT(linear.avg_bounding_cost, exponential.avg_bounding_cost);
+  EXPECT_GT(secure.avg_bounding_cost, exponential.avg_bounding_cost);
+
+  // Fig. 13(b): ratios >= 1; exponential clearly loosest; linear and
+  // secure both near-optimal (within 5%).
+  EXPECT_GE(linear.avg_request_ratio, 1.0);
+  EXPECT_GE(secure.avg_request_ratio, 1.0);
+  EXPECT_LT(linear.avg_request_ratio, 1.05);
+  EXPECT_LT(secure.avg_request_ratio, 1.05);
+  EXPECT_GT(exponential.avg_request_ratio, 1.2);
+  EXPECT_DOUBLE_EQ(optimal.avg_request_ratio, 1.0);
+
+  // Fig. 13(c): secure ends within a whisker of the best progressive total
+  // (in this Cr-dominated regime secure and linear are near-ties, see
+  // EXPERIMENTS.md) and clearly beats exponential; nothing beats optimal.
+  EXPECT_LE(secure.avg_total_cost, 1.02 * linear.avg_total_cost);
+  EXPECT_LT(secure.avg_total_cost, 0.9 * exponential.avg_total_cost);
+  EXPECT_GE(secure.avg_total_cost, optimal.avg_total_cost);
+  EXPECT_GE(linear.avg_total_cost, optimal.avg_total_cost);
+
+  // Fig. 13(d): every progressive policy stays far under 1 ms of CPU per
+  // cloaking request.
+  EXPECT_LT(linear.avg_cpu_ms, 1.0);
+  EXPECT_LT(exponential.avg_cpu_ms, 1.0);
+  EXPECT_LT(secure.avg_cpu_ms, 1.0);
+}
+
+}  // namespace
+}  // namespace nela::sim

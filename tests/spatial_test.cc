@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "geo/point.h"
+#include "spatial/grid_index.h"
+#include "util/rng.h"
+
+namespace nela::spatial {
+namespace {
+
+// Brute-force oracle for radius queries.
+std::vector<Neighbor> BruteRadius(const std::vector<geo::Point>& points,
+                                  const geo::Point& query, double radius,
+                                  uint32_t self) {
+  std::vector<Neighbor> out;
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    if (i == self) continue;
+    const double d2 = geo::SquaredDistance(query, points[i]);
+    if (d2 <= radius * radius) out.push_back(Neighbor{i, d2});
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.squared_distance < b.squared_distance ||
+           (a.squared_distance == b.squared_distance && a.id < b.id);
+  });
+  return out;
+}
+
+TEST(GridIndexTest, RadiusQuerySimple) {
+  const std::vector<geo::Point> points = {
+      {0.5, 0.5}, {0.52, 0.5}, {0.5, 0.53}, {0.9, 0.9}};
+  const GridIndex index(points, 0.05);
+  const std::vector<Neighbor> near =
+      index.RadiusQuery(points[0], 0.05, /*self=*/0);
+  ASSERT_EQ(near.size(), 2u);
+  EXPECT_EQ(near[0].id, 1u);  // 0.02 away
+  EXPECT_EQ(near[1].id, 2u);  // 0.03 away
+}
+
+TEST(GridIndexTest, SelfIsExcluded) {
+  const std::vector<geo::Point> points = {{0.5, 0.5}, {0.5, 0.5}};
+  const GridIndex index(points, 0.1);
+  const std::vector<Neighbor> near = index.RadiusQuery(points[0], 0.1, 0);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0].id, 1u);
+}
+
+TEST(GridIndexTest, ZeroRadiusFindsCoincidentPoints) {
+  const std::vector<geo::Point> points = {{0.5, 0.5}, {0.5, 0.5}, {0.6, 0.5}};
+  const GridIndex index(points, 0.1);
+  const std::vector<Neighbor> near = index.RadiusQuery(points[0], 0.0, 0);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0].id, 1u);
+}
+
+TEST(GridIndexTest, NearestNeighborsOrdering) {
+  const std::vector<geo::Point> points = {
+      {0.5, 0.5}, {0.6, 0.5}, {0.55, 0.5}, {0.9, 0.9}, {0.51, 0.5}};
+  const GridIndex index(points, 0.02);
+  const std::vector<Neighbor> nn = index.NearestNeighbors(points[0], 3, 0);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 4u);
+  EXPECT_EQ(nn[1].id, 2u);
+  EXPECT_EQ(nn[2].id, 1u);
+}
+
+TEST(GridIndexTest, NearestNeighborsWhenFewerPointsExist) {
+  const std::vector<geo::Point> points = {{0.1, 0.1}, {0.9, 0.9}};
+  const GridIndex index(points, 0.1);
+  const std::vector<Neighbor> nn = index.NearestNeighbors(points[0], 10, 0);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 1u);
+}
+
+TEST(GridIndexTest, RangeQueryInclusiveBorders) {
+  const std::vector<geo::Point> points = {
+      {0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}, {0.5, 1.01}};
+  const GridIndex index(points, 0.25);
+  std::vector<uint32_t> hits = index.RangeQuery(geo::Rect(0.0, 0.0, 1.0, 1.0));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_TRUE(index.RangeQuery(geo::Rect()).empty());
+}
+
+// Property sweep: the grid index must agree with brute force for every
+// combination of dataset size and cell size.
+struct GridParam {
+  uint32_t count;
+  double cell_size;
+  double radius;
+};
+
+class GridIndexPropertyTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(GridIndexPropertyTest, RadiusAgreesWithBruteForce) {
+  const GridParam param = GetParam();
+  util::Rng rng(1234 + param.count);
+  const data::Dataset dataset = data::GenerateUniform(param.count, rng);
+  const GridIndex index(dataset.points(), param.cell_size);
+  for (uint32_t q = 0; q < std::min<uint32_t>(param.count, 25); ++q) {
+    const auto expected =
+        BruteRadius(dataset.points(), dataset.point(q), param.radius, q);
+    const auto actual = index.RadiusQuery(dataset.point(q), param.radius, q);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id);
+      EXPECT_DOUBLE_EQ(actual[i].squared_distance,
+                       expected[i].squared_distance);
+    }
+  }
+}
+
+TEST_P(GridIndexPropertyTest, KnnAgreesWithBruteForce) {
+  const GridParam param = GetParam();
+  util::Rng rng(99 + param.count);
+  const data::Dataset dataset = data::GenerateUniform(param.count, rng);
+  const GridIndex index(dataset.points(), param.cell_size);
+  const uint32_t kCount = 5;
+  for (uint32_t q = 0; q < std::min<uint32_t>(param.count, 10); ++q) {
+    auto all = BruteRadius(dataset.points(), dataset.point(q), 2.0, q);
+    const auto actual = index.NearestNeighbors(dataset.point(q), kCount, q);
+    const size_t expected_size =
+        std::min<size_t>(kCount, dataset.size() - 1);
+    ASSERT_EQ(actual.size(), expected_size);
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_DOUBLE_EQ(actual[i].squared_distance, all[i].squared_distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridIndexPropertyTest,
+    ::testing::Values(GridParam{1, 0.1, 0.2}, GridParam{10, 0.01, 0.05},
+                      GridParam{100, 0.05, 0.1}, GridParam{500, 0.002, 0.01},
+                      GridParam{1000, 0.5, 0.3}, GridParam{2000, 0.03, 0.02}));
+
+TEST(GridIndexTest, HandlesPointsOutsideUnitSquare) {
+  const std::vector<geo::Point> points = {{-0.5, -0.5}, {1.5, 1.5}, {0.5, 0.5}};
+  const GridIndex index(points, 0.1);
+  const auto near = index.RadiusQuery(points[0], 3.0, 0);
+  EXPECT_EQ(near.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nela::spatial

@@ -1,0 +1,325 @@
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace nela::util {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedDrawRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const double lambda = 4.0;
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextExponential(lambda));
+  EXPECT_NEAR(stats.Mean(), 1.0 / lambda, 0.01);
+  EXPECT_GE(stats.Min(), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(21);
+  for (uint32_t count : {0u, 1u, 5u, 50u, 100u}) {
+    std::vector<uint32_t> sample = rng.SampleWithoutReplacement(100, count);
+    std::set<uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), count);
+    for (uint32_t id : sample) EXPECT_LT(id, 100u);
+  }
+}
+
+TEST(RngTest, SampleFullPopulationIsPermutation) {
+  Rng rng(23);
+  std::vector<uint32_t> sample = rng.SampleWithoutReplacement(64, 64);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 64u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(25);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Child continues deterministically but differs from the parent stream.
+  EXPECT_NE(parent.NextUint64(), child.NextUint64());
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.Min(), 0.0);
+  EXPECT_EQ(stats.Max(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownSequence) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(stats.Min(), 2.0);
+  EXPECT_EQ(stats.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSinglePass) {
+  Rng rng(33);
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextGaussian(3.0, 2.0);
+    whole.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.Mean(), whole.Mean(), 1e-9);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-9);
+  EXPECT_EQ(left.Min(), whole.Min());
+  EXPECT_EQ(left.Max(), whole.Max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptyIsIdentity) {
+  OnlineStats stats;
+  stats.Add(1.0);
+  stats.Add(3.0);
+  OnlineStats empty;
+  stats.Merge(empty);
+  EXPECT_EQ(stats.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.0);
+  empty.Merge(stats);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+// ------------------------------------------------------------------ Csv
+
+TEST(CsvTest, HeaderAndRows) {
+  CsvWriter csv;
+  csv.SetHeader({"k", "cost"});
+  csv.AddRow({CsvWriter::Cell(int64_t{10}), CsvWriter::Cell(3.5)});
+  EXPECT_EQ(csv.ToString(), "k,cost\n10,3.5\n");
+  EXPECT_EQ(csv.row_count(), 1u);
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter csv;
+  csv.AddRow({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(csv.ToString(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvTest, WriteToFileRoundTrips) {
+  CsvWriter csv;
+  csv.SetHeader({"x"});
+  csv.AddRow({"1"});
+  const std::string path = ::testing::TempDir() + "/nela_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {};
+  const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buffer, read), "x\n1\n");
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  CsvWriter csv;
+  csv.AddRow({"1"});
+  EXPECT_FALSE(csv.WriteToFile("/nonexistent_dir_zz/x.csv").ok());
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesAllTypes) {
+  int64_t k = 10;
+  double delta = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  FlagParser parser;
+  parser.AddInt64("k", &k, "anonymity");
+  parser.AddDouble("delta", &delta, "threshold");
+  parser.AddString("name", &name, "label");
+  parser.AddBool("verbose", &verbose, "chatty");
+  const char* argv[] = {"prog",       "--k=20",        "--delta", "0.25",
+                        "--name=run", "--verbose"};
+  ASSERT_TRUE(parser.Parse(6, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(k, 20);
+  EXPECT_DOUBLE_EQ(delta, 0.25);
+  EXPECT_EQ(name, "run");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "--mystery=1"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, RejectsMalformedValue) {
+  int64_t k = 0;
+  FlagParser parser;
+  parser.AddInt64("k", &k, "anonymity");
+  const char* argv[] = {"prog", "--k=abc"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, RejectsMissingValue) {
+  int64_t k = 0;
+  FlagParser parser;
+  parser.AddInt64("k", &k, "anonymity");
+  const char* argv[] = {"prog", "--k"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, HelpReturnsOutOfRange) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EQ(parser.Parse(2, const_cast<char**>(argv)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FlagsTest, BoolAcceptsExplicitValues) {
+  bool flag = true;
+  FlagParser parser;
+  parser.AddBool("flag", &flag, "x");
+  const char* argv[] = {"prog", "--flag=false"};
+  ASSERT_TRUE(parser.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_FALSE(flag);
+}
+
+}  // namespace
+}  // namespace nela::util
