@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymity_audit.cc" "src/core/CMakeFiles/nela_core.dir/anonymity_audit.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/anonymity_audit.cc.o.d"
+  "/root/repo/src/core/cloaking_engine.cc" "src/core/CMakeFiles/nela_core.dir/cloaking_engine.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/cloaking_engine.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/nela_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/policy_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/nela_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounding/CMakeFiles/nela_bounding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nela_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nela_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nela_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nela_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/nela_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/nela_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
