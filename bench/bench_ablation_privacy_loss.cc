@@ -74,7 +74,7 @@ int Run(int argc, char** argv) {
       name = policies[policy_id]->name();
       const nela::bounding::BoundingRunResult run =
           nela::bounding::RunProgressiveUpperBounding(
-              secrets, 0.0, *policies[policy_id]);
+              secrets, 0.0, *policies[policy_id]).value();
       const nela::bounding::PrivacyLossReport report =
           nela::bounding::AnalyzePrivacyLoss(run, 0.0);
       overshoot.Add(run.bound - max_value);

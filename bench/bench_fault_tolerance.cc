@@ -1,0 +1,114 @@
+// Fault-tolerance bench: the robustness/overhead tradeoff of the cloaking
+// pipeline. Sweeps message loss in {0%, 1%, 5%, 10%} crossed with churn
+// rates, and reports per cell the request success rate, the traffic added
+// by retransmissions, and the anonymity level actually achieved -- so a
+// regression in either robustness or its bandwidth cost shows up in the
+// tracked CSV.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/chaos_experiment.h"
+#include "sim/scenario.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  int64_t users = 20000;
+  int64_t requests = 400;
+  int64_t k = 10;
+  int64_t fault_seed = 1234;
+  int64_t churn_spacing = 2000;
+  std::string output_dir = "bench_results";
+  nela::util::FlagParser flags;
+  flags.AddInt64("users", &users, "population size");
+  flags.AddInt64("requests", &requests, "cloaking requests S");
+  flags.AddInt64("k", &k, "anonymity requirement");
+  flags.AddInt64("fault_seed", &fault_seed, "fault-injection seed");
+  flags.AddInt64("churn_spacing", &churn_spacing,
+                 "send attempts between scheduled crashes");
+  flags.AddString("output_dir", &output_dir, "where CSVs are written");
+  nela::util::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    return status.code() == nela::util::StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  std::printf("=== Fault tolerance: success rate and retry overhead "
+              "under loss x churn ===\n");
+  std::printf("users=%lld S=%lld k=%lld fault_seed=%lld\n\n",
+              static_cast<long long>(users),
+              static_cast<long long>(requests), static_cast<long long>(k),
+              static_cast<long long>(fault_seed));
+
+  nela::sim::ScenarioConfig scenario_config;
+  scenario_config.user_count = static_cast<uint32_t>(users);
+  auto scenario = nela::sim::BuildScenario(scenario_config);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  nela::util::CsvWriter csv;
+  csv.SetHeader({"loss", "churn_rate", "success_rate", "succeeded",
+                 "degraded", "failed", "retries", "retransmitted_bytes",
+                 "dropped_messages", "dropped_bytes", "timed_out",
+                 "dead_endpoint_attempts", "members_lost", "phases_retried",
+                 "retry_overhead", "avg_achieved_anonymity",
+                 "avg_region_area"});
+  nela::bench::PrintRow({"loss", "churn", "success", "retries",
+                         "retx bytes", "members lost", "anonymity"});
+  nela::bench::PrintRule(7);
+  for (double loss : {0.0, 0.01, 0.05, 0.10}) {
+    for (double churn : {0.0, 0.001, 0.01}) {
+      nela::sim::ChaosExperimentConfig config;
+      config.k = static_cast<uint32_t>(k);
+      config.requests = static_cast<uint32_t>(requests);
+      config.fault_seed = static_cast<uint64_t>(fault_seed);
+      config.loss_probability = loss;
+      config.churn_rate = churn;
+      config.churn_attempt_spacing = static_cast<uint64_t>(churn_spacing);
+      auto result =
+          nela::sim::RunChaosExperiment(scenario.value(), config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "experiment failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const nela::sim::ChaosExperimentResult& r = result.value();
+      nela::bench::PrintRow(
+          {nela::util::CsvWriter::Cell(loss),
+           nela::util::CsvWriter::Cell(churn),
+           nela::util::CsvWriter::Cell(r.success_rate),
+           std::to_string(r.retries),
+           std::to_string(r.retransmitted_bytes),
+           std::to_string(r.members_lost),
+           nela::util::CsvWriter::Cell(r.avg_achieved_anonymity)});
+      csv.AddRow({nela::util::CsvWriter::Cell(loss),
+                  nela::util::CsvWriter::Cell(churn),
+                  nela::util::CsvWriter::Cell(r.success_rate),
+                  std::to_string(r.succeeded), std::to_string(r.degraded),
+                  std::to_string(r.failed), std::to_string(r.retries),
+                  std::to_string(r.retransmitted_bytes),
+                  std::to_string(r.dropped_messages),
+                  std::to_string(r.dropped_bytes),
+                  std::to_string(r.timed_out_messages),
+                  std::to_string(r.dead_endpoint_attempts),
+                  std::to_string(r.members_lost),
+                  std::to_string(r.phases_retried),
+                  nela::util::CsvWriter::Cell(r.retry_overhead),
+                  nela::util::CsvWriter::Cell(r.avg_achieved_anonymity),
+                  nela::util::CsvWriter::Cell(r.avg_region_area)});
+    }
+  }
+  nela::bench::EmitCsv(csv, output_dir, "fault_tolerance");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -110,7 +110,8 @@ void BM_SecureBoundingRun(benchmark::State& state) {
   for (auto _ : state) {
     nela::bounding::SecureIncrementPolicy policy(model, cost, 1.0);
     auto run =
-        nela::bounding::RunProgressiveUpperBounding(secrets, 0.0, policy);
+        nela::bounding::RunProgressiveUpperBounding(secrets, 0.0, policy)
+            .value();
     benchmark::DoNotOptimize(run.bound);
   }
 }

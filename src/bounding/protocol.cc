@@ -1,6 +1,7 @@
 #include "bounding/protocol.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.h"
 #include "util/timer.h"
@@ -9,35 +10,68 @@ namespace nela::bounding {
 
 namespace {
 
-// Hard cap on protocol iterations; reaching it means a policy returned
-// non-advancing increments (a programming error, not an input error).
+// Hard cap on protocol iterations; reaching it means either a policy that
+// returned non-advancing increments or secrets below the domain minimum.
+// Both are non-terminating, so they surface as kDeadlineExceeded.
 constexpr uint32_t kMaxIterations = 10'000'000;
 
-void AccountRoundTrip(const NetworkBinding& binding, size_t user_index) {
-  if (binding.network == nullptr) return;
+constexpr uint64_t kProposalBytes = 16;
+constexpr uint64_t kVoteBytes = 8;
+
+// One proposal/vote round trip between the host and node_ids[user_index],
+// with retransmission of whichever leg was lost. Accumulates retry
+// accounting into `result`. Failure statuses carry the peer id and attempt
+// counts -- never a coordinate or a bound.
+util::Status RoundTrip(const NetworkBinding& binding, size_t user_index,
+                       BoundingRunResult* result) {
+  if (binding.network == nullptr) return util::Status::Ok();
   NELA_CHECK(binding.node_ids != nullptr);
   const net::NodeId peer = (*binding.node_ids)[user_index];
-  // On a lossy link the host retransmits the proposal until it observes the
-  // vote (semi-honest users always answer what they receive). A retry cap
-  // keeps pathological loss rates from spinning; an abandoned round trip is
-  // visible through the network's dropped-message counter.
-  constexpr int kMaxRetries = 64;
-  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    const bool proposal_delivered = binding.network->Send(
-        binding.host, peer, net::MessageKind::kBoundProposal, /*bytes=*/16);
-    if (!proposal_delivered) continue;
-    const bool vote_delivered = binding.network->Send(
-        peer, binding.host, net::MessageKind::kBoundVote, /*bytes=*/8);
-    if (vote_delivered) return;
+
+  const net::SendOutcome proposal = net::SendWithRetry(
+      *binding.network, binding.host, peer, net::MessageKind::kBoundProposal,
+      kProposalBytes, binding.retry, binding.retry_rng);
+  result->retries += proposal.attempts > 0 ? proposal.attempts - 1 : 0;
+  result->retransmitted_bytes += proposal.retransmitted_bytes;
+  result->timeouts += proposal.attempts - (proposal.delivered ? 1 : 0);
+  if (proposal.peer_down) {
+    return util::UnavailableError(
+        "bounding peer " + std::to_string(peer) +
+        " crashed during proposal round trip");
   }
+  if (!proposal.delivered) {
+    return util::DeadlineExceededError(
+        "bound proposal to peer " + std::to_string(peer) +
+        " undelivered after " + std::to_string(proposal.attempts) +
+        " attempts");
+  }
+
+  const net::SendOutcome vote = net::SendWithRetry(
+      *binding.network, peer, binding.host, net::MessageKind::kBoundVote,
+      kVoteBytes, binding.retry, binding.retry_rng);
+  result->retries += vote.attempts > 0 ? vote.attempts - 1 : 0;
+  result->retransmitted_bytes += vote.retransmitted_bytes;
+  result->timeouts += vote.attempts - (vote.delivered ? 1 : 0);
+  if (vote.peer_down) {
+    return util::UnavailableError("bounding peer " + std::to_string(peer) +
+                                  " crashed during vote round trip");
+  }
+  if (!vote.delivered) {
+    return util::DeadlineExceededError(
+        "bound vote from peer " + std::to_string(peer) +
+        " undelivered after " + std::to_string(vote.attempts) + " attempts");
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace
 
-BoundingRunResult RunProgressiveUpperBounding(
+util::Result<BoundingRunResult> RunProgressiveUpperBounding(
     const std::vector<PrivateScalar>& secrets, double domain_min,
     IncrementPolicy& policy, const NetworkBinding& binding) {
-  NELA_CHECK(!secrets.empty());
+  if (secrets.empty()) {
+    return util::InvalidArgumentError("bounding requires at least one secret");
+  }
   if (binding.network != nullptr) {
     NELA_CHECK(binding.node_ids != nullptr);
     NELA_CHECK_EQ(binding.node_ids->size(), secrets.size());
@@ -52,15 +86,24 @@ BoundingRunResult RunProgressiveUpperBounding(
   double bound = domain_min;
   uint32_t iteration = 0;
   while (!disagreeing.empty()) {
-    NELA_CHECK_LT(iteration, kMaxIterations);
+    if (iteration >= kMaxIterations) {
+      return util::DeadlineExceededError(
+          "bounding exceeded the iteration cap without converging");
+    }
     const double increment = policy.NextIncrement(
         bound - domain_min, static_cast<uint32_t>(disagreeing.size()),
         iteration);
-    NELA_CHECK_GT(increment, 0.0);
+    if (increment <= 0.0) {
+      return util::InternalError("increment policy returned a non-positive "
+                                 "increment");
+    }
     const double next_bound = bound + increment;
     // Guard against increments below the floating-point resolution of the
     // current bound, which would stall the loop.
-    NELA_CHECK_GT(next_bound, bound);
+    if (next_bound <= bound) {
+      return util::DeadlineExceededError(
+          "increment fell below the floating-point resolution of the bound");
+    }
     bound = next_bound;
     result.bound_history.push_back(bound);
 
@@ -68,7 +111,8 @@ BoundingRunResult RunProgressiveUpperBounding(
     still_disagreeing.reserve(disagreeing.size());
     for (size_t index : disagreeing) {
       ++result.verifications;
-      AccountRoundTrip(binding, index);
+      util::Status delivered = RoundTrip(binding, index, &result);
+      if (!delivered.ok()) return delivered;
       if (secrets[index].AgreesWithUpperBound(bound)) {
         result.agree_iteration[index] = iteration;
       } else {
@@ -114,9 +158,10 @@ namespace {
 
 // One axis-direction run: upper-bounds `sign` * coordinate, starting from
 // domain minimum `lo`.
-BoundingRunResult RunAxis(const std::vector<geo::Point>& points, bool use_x,
-                          double sign, double lo, IncrementPolicy& policy,
-                          const NetworkBinding& binding) {
+util::Result<BoundingRunResult> RunAxis(const std::vector<geo::Point>& points,
+                                        bool use_x, double sign, double lo,
+                                        IncrementPolicy& policy,
+                                        const NetworkBinding& binding) {
   std::vector<PrivateScalar> secrets;
   secrets.reserve(points.size());
   for (const geo::Point& p : points) {
@@ -127,30 +172,44 @@ BoundingRunResult RunAxis(const std::vector<geo::Point>& points, bool use_x,
 
 }  // namespace
 
-RegionBoundingResult ComputeCloakedRegion(
+util::Result<RegionBoundingResult> ComputeCloakedRegion(
     const std::vector<geo::Point>& member_points, const geo::Point& reference,
     IncrementPolicy& policy, const NetworkBinding& binding) {
-  NELA_CHECK(!member_points.empty());
+  if (member_points.empty()) {
+    return util::InvalidArgumentError("cloaked region requires members");
+  }
   // Each direction starts at the reference coordinate: member offsets from
   // it are non-negative in the direction being bounded (the reference is
   // the host's own position, which trivially satisfies every hypothesis).
-  const BoundingRunResult upper_x = RunAxis(member_points, /*use_x=*/true,
-                                            +1.0, reference.x, policy, binding);
-  const BoundingRunResult lower_x = RunAxis(
-      member_points, /*use_x=*/true, -1.0, -reference.x, policy, binding);
-  const BoundingRunResult upper_y = RunAxis(
-      member_points, /*use_x=*/false, +1.0, reference.y, policy, binding);
-  const BoundingRunResult lower_y = RunAxis(
-      member_points, /*use_x=*/false, -1.0, -reference.y, policy, binding);
+  struct AxisSpec {
+    bool use_x;
+    double sign;
+    double lo;
+  };
+  const AxisSpec axes[4] = {
+      {/*use_x=*/true, +1.0, reference.x},
+      {/*use_x=*/true, -1.0, -reference.x},
+      {/*use_x=*/false, +1.0, reference.y},
+      {/*use_x=*/false, -1.0, -reference.y},
+  };
+  BoundingRunResult runs[4];
+  for (int i = 0; i < 4; ++i) {
+    auto run = RunAxis(member_points, axes[i].use_x, axes[i].sign, axes[i].lo,
+                       policy, binding);
+    if (!run.ok()) return run.status();
+    runs[i] = std::move(run).value();
+  }
 
   RegionBoundingResult result;
-  result.region = geo::Rect(-lower_x.bound, -lower_y.bound, upper_x.bound,
-                            upper_y.bound);
-  for (const BoundingRunResult* run :
-       {&upper_x, &lower_x, &upper_y, &lower_y}) {
-    result.iterations += run->iterations;
-    result.verifications += run->verifications;
-    result.cpu_seconds += run->cpu_seconds;
+  result.region =
+      geo::Rect(-runs[1].bound, -runs[3].bound, runs[0].bound, runs[2].bound);
+  for (const BoundingRunResult& run : runs) {
+    result.iterations += run.iterations;
+    result.verifications += run.verifications;
+    result.cpu_seconds += run.cpu_seconds;
+    result.retries += run.retries;
+    result.timeouts += run.timeouts;
+    result.retransmitted_bytes += run.retransmitted_bytes;
   }
   return result;
 }

@@ -6,6 +6,13 @@
 // verify again; the protocol ends when nobody disagrees. No party ever
 // learns a value -- only, per user, the interval between the last rejected
 // and the first accepted hypothesis (quantified in privacy_loss.h).
+//
+// Failure semantics: when a network binding is present, a dropped proposal
+// or vote is treated as a timeout and retransmitted with capped exponential
+// backoff (deterministic via the binding's util::Rng jitter). A peer that
+// crashes mid-protocol surfaces as kUnavailable; an exhausted retry budget
+// or the iteration cap surfaces as kDeadlineExceeded. No status message on
+// any failure path ever carries a coordinate or a bound value.
 
 #ifndef NELA_BOUNDING_PROTOCOL_H_
 #define NELA_BOUNDING_PROTOCOL_H_
@@ -18,6 +25,9 @@
 #include "geo/point.h"
 #include "geo/rect.h"
 #include "net/network.h"
+#include "net/retry.h"
+#include "util/rng.h"
+#include "util/status.h"
 
 namespace nela::bounding {
 
@@ -29,6 +39,10 @@ struct BoundingRunResult {
   uint64_t verifications = 0;
   // Wall time of the run (increment computation dominates).
   double cpu_seconds = 0.0;
+  // Fault-tolerance accounting of this run (0 on a clean network).
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t retransmitted_bytes = 0;
   // Hypothesis sequence X_0 < X_1 < ... (one entry per iteration).
   std::vector<double> bound_history;
   // agree_iteration[i]: index into bound_history of the first hypothesis
@@ -37,23 +51,30 @@ struct BoundingRunResult {
 };
 
 // Optional network accounting hookup: messages flow between `host` and
-// node_ids[i] (parallel to the secrets vector).
+// node_ids[i] (parallel to the secrets vector). `retry` governs how losses
+// are recovered; `retry_rng` (may be null) supplies deterministic backoff
+// jitter.
 struct NetworkBinding {
   net::Network* network = nullptr;
   net::NodeId host = 0;
   const std::vector<net::NodeId>* node_ids = nullptr;
+  net::BackoffPolicy retry;
+  util::Rng* retry_rng = nullptr;
 };
 
 // Runs Algorithm 4: upper-bounds all `secrets`, starting the hypothesis at
 // domain_min + first increment. Requires at least one secret. All secret
-// values must lie in [domain_min, +inf); the protocol never terminates
-// otherwise (guarded by an iteration-limit CHECK).
-BoundingRunResult RunProgressiveUpperBounding(
+// values must lie in [domain_min, +inf); otherwise the protocol cannot
+// terminate and fails with kDeadlineExceeded at the iteration cap. On a
+// faulty network, fails with kUnavailable (peer crashed) or
+// kDeadlineExceeded (retry budget exhausted).
+util::Result<BoundingRunResult> RunProgressiveUpperBounding(
     const std::vector<PrivateScalar>& secrets, double domain_min,
     IncrementPolicy& policy, const NetworkBinding& binding = {});
 
 // OPT comparator (§VI): every user exposes the value, the bound is exact.
-// One message per user; zero slack. Not private -- benchmark only.
+// One message per user; zero slack. Not private -- benchmark only, with no
+// failure semantics (losses silently undercount traffic).
 BoundingRunResult RunOptBounding(const std::vector<PrivateScalar>& secrets,
                                  const NetworkBinding& binding = {});
 
@@ -69,9 +90,16 @@ struct RegionBoundingResult {
   uint32_t iterations = 0;       // summed over the four runs
   uint64_t verifications = 0;    // summed over the four runs
   double cpu_seconds = 0.0;
+  // Fault-tolerance accounting summed over the four runs.
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t retransmitted_bytes = 0;
 };
 
-RegionBoundingResult ComputeCloakedRegion(
+// Fails like RunProgressiveUpperBounding; partial results of completed axis
+// runs are discarded (the region is all-or-nothing, so a failure can never
+// expose a partially bounded coordinate).
+util::Result<RegionBoundingResult> ComputeCloakedRegion(
     const std::vector<geo::Point>& member_points, const geo::Point& reference,
     IncrementPolicy& policy, const NetworkBinding& binding = {});
 

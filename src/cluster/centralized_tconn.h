@@ -89,6 +89,7 @@ class CentralizedTConnClusterer : public Clusterer {
 
   util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) override;
   const char* name() const override { return "centralized t-Conn"; }
+  uint32_t k() const override { return k_; }
 
  private:
   const graph::Wpg& graph_;

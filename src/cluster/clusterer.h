@@ -20,6 +20,10 @@ struct ClusteringOutcome {
   // True when the request was answered from the registry without running
   // the algorithm (step 3 of Fig. 3).
   bool reused = false;
+  // Users excluded mid-run because they crashed or their adjacency
+  // exchange could not be delivered within the retry budget (only nonzero
+  // for fault-tolerant clusterers running against a faulty network).
+  uint32_t members_lost = 0;
 };
 
 class Clusterer {
@@ -32,6 +36,10 @@ class Clusterer {
 
   // Short identifier used in benchmark tables ("t-Conn", "kNN", ...).
   virtual const char* name() const = 0;
+
+  // The anonymity requirement this clusterer was configured with; lets the
+  // engine re-validate a cluster whose membership shrank through churn.
+  virtual uint32_t k() const = 0;
 };
 
 }  // namespace nela::cluster

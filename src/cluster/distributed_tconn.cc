@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 #include <queue>
+#include <string>
 #include <tuple>
 #include <unordered_set>
 
@@ -32,35 +33,6 @@ DistributedTConnClusterer::DistributedTConnClusterer(const graph::Wpg& graph,
   NELA_CHECK_GE(k, 1u);
 }
 
-uint32_t DistributedTConnClusterer::BorderComponentSize(
-    graph::VertexId start, graph::EdgeKey t,
-    const std::vector<uint8_t>& in_c, uint32_t stop_size,
-    std::vector<uint8_t>* involved, uint64_t* involved_count) {
-  const std::vector<bool>& active = registry_->active();
-  std::unordered_set<graph::VertexId> seen;
-  std::deque<graph::VertexId> queue;
-  seen.insert(start);
-  queue.push_back(start);
-  uint32_t size = 0;
-  while (!queue.empty()) {
-    const graph::VertexId u = queue.front();
-    queue.pop_front();
-    ++size;
-    if (!(*involved)[u]) {
-      (*involved)[u] = 1;
-      ++*involved_count;
-    }
-    if (size >= stop_size) break;
-    for (const graph::HalfEdge& edge : graph_.Neighbors(u)) {
-      if (edge.weight > t.weight) break;  // adjacency sorted by weight
-      if (KeyOf(u, edge) > t) continue;   // tie refinement
-      if (!active[edge.to] || in_c[edge.to]) continue;
-      if (seen.insert(edge.to).second) queue.push_back(edge.to);
-    }
-  }
-  return size;
-}
-
 util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
     graph::VertexId host) {
   const uint32_t n = graph_.vertex_count();
@@ -70,17 +42,47 @@ util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
   if (registry_->IsClustered(host)) {
     return ClusteringOutcome{registry_->ClusterOf(host), 0, true};
   }
-  const std::vector<bool>& active = registry_->active();
+  if (network_ != nullptr && !network_->IsAlive(host)) {
+    return util::UnavailableError("host " + std::to_string(host) +
+                                  " is offline");
+  }
   trace_ = Trace{};
 
+  // Vertices this run may still use: unclustered (the remaining WPG) minus
+  // anyone excluded after a failed adjacency exchange or crash.
+  std::vector<bool> usable(registry_->active());
   std::vector<uint8_t> in_c(n, 0);
   std::vector<uint8_t> involved(n, 0);
+  std::vector<uint8_t> exchanged(n, 0);
   uint64_t involved_count = 0;
   auto mark_involved = [&](graph::VertexId v) {
     if (!involved[v]) {
       involved[v] = 1;
       ++involved_count;
     }
+  };
+
+  // The host pulls v's adjacency list, retransmitting lost exchanges.
+  // Returns false when v churned out (crashed, or undeliverable within the
+  // retry budget); v is then excluded from the rest of the run. A vertex
+  // that answered -- or at least was contacted -- counts as involved.
+  auto exchange = [&](graph::VertexId v) -> bool {
+    if (!usable[v]) return false;
+    if (v == host || network_ == nullptr || exchanged[v]) {
+      mark_involved(v);
+      return true;
+    }
+    const net::SendOutcome sent = net::SendWithRetry(
+        *network_, v, host, net::MessageKind::kAdjacencyExchange,
+        8ull * graph_.Degree(v), retry_policy_, retry_rng_);
+    if (sent.attempts > 0) mark_involved(v);
+    if (sent.delivered) {
+      exchanged[v] = 1;
+      return true;
+    }
+    usable[v] = false;
+    ++trace_.members_lost;
+    return false;
   };
 
   // --- Step 1: grow the smallest valid t-connectivity cluster. Prim adds
@@ -101,7 +103,7 @@ util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
         greater);
     auto push_neighbors = [&](graph::VertexId v) {
       for (const graph::HalfEdge& edge : graph_.Neighbors(v)) {
-        if (active[edge.to] && !in_c[edge.to]) {
+        if (usable[edge.to] && !in_c[edge.to]) {
           heap.push({KeyOf(v, edge), edge.to});
         }
       }
@@ -110,42 +112,81 @@ util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
     while (c_members.size() < k_ && !heap.empty()) {
       const auto [key, v] = heap.top();
       heap.pop();
-      if (in_c[v]) continue;  // stale duplicate
+      if (in_c[v] || !usable[v]) continue;  // stale duplicate or churned out
+      if (!exchange(v)) continue;           // lost mid-span: excluded
       in_c[v] = 1;
       c_members.push_back(v);
-      mark_involved(v);
       if (t < key) t = key;
       push_neighbors(v);
     }
   }
   const bool reached_k = c_members.size() >= k_;
 
-  auto respan = [&](graph::EdgeKey threshold) {
-    for (graph::VertexId v : c_members) in_c[v] = 0;
-    c_members = graph::ThresholdComponent(graph_, host, threshold, &active);
-    for (graph::VertexId v : c_members) {
-      in_c[v] = 1;
-      mark_involved(v);
+  // Saturates C to the full t-class over the usable vertices, re-pulling
+  // adjacency from every newly included member; members lost during that
+  // exchange shrink the usable set, so the span is recomputed until it is
+  // churn-consistent (the usable set only shrinks -- this terminates).
+  auto respan = [&](graph::EdgeKey threshold) -> bool {
+    for (;;) {
+      if (network_ != nullptr && !network_->IsAlive(host)) return false;
+      for (graph::VertexId v : c_members) in_c[v] = 0;
+      c_members = graph::ThresholdComponent(graph_, host, threshold, &usable);
+      bool lost_member = false;
+      for (graph::VertexId v : c_members) {
+        if (!exchange(v)) lost_member = true;
+      }
+      if (!lost_member) break;
     }
+    for (graph::VertexId v : c_members) in_c[v] = 1;
+    return true;
   };
+  const util::Status host_crashed = util::UnavailableError(
+      "host " + std::to_string(host) + " crashed during clustering");
 
-  if (reached_k) respan(t);
+  if (reached_k && !respan(t)) return host_crashed;
   trace_.smallest_valid_cluster = c_members;
   std::sort(trace_.smallest_valid_cluster.begin(),
             trace_.smallest_valid_cluster.end());
   trace_.initial_t = t.weight;
 
   if (!reached_k) {
-    // The host's entire remaining component is smaller than k: k-anonymity
-    // is unachievable. Register the component as an invalid cluster so the
-    // caller can see the degraded guarantee.
+    // The host's entire remaining component (surviving churn) is smaller
+    // than k: k-anonymity is unachievable. Register the component as an
+    // invalid cluster so the caller can see the degraded guarantee.
     auto registered = registry_->Register(c_members, t.weight,
                                           /*valid=*/false);
     if (!registered.ok()) return registered.status();
     trace_.candidate = trace_.smallest_valid_cluster;
     trace_.final_t = t.weight;
-    return ClusteringOutcome{registered.value(), involved_count, false};
+    return ClusteringOutcome{registered.value(), involved_count, false,
+                             trace_.members_lost};
   }
+
+  // BFS over edges with key <= t restricted to usable, non-C vertices;
+  // stops at `stop_size`. Every visited vertex exchanges adjacency with
+  // the host; vertices that churn out are skipped and not counted.
+  auto border_component_size = [&](graph::VertexId start, graph::EdgeKey t_cap,
+                                   uint32_t stop_size) -> uint32_t {
+    std::unordered_set<graph::VertexId> seen;
+    std::deque<graph::VertexId> queue;
+    seen.insert(start);
+    queue.push_back(start);
+    uint32_t size = 0;
+    while (!queue.empty()) {
+      const graph::VertexId u = queue.front();
+      queue.pop_front();
+      if (!exchange(u)) continue;  // churned out mid-check
+      ++size;
+      if (size >= stop_size) break;
+      for (const graph::HalfEdge& edge : graph_.Neighbors(u)) {
+        if (edge.weight > t_cap.weight) break;  // adjacency sorted by weight
+        if (KeyOf(u, edge) > t_cap) continue;   // tie refinement
+        if (!usable[edge.to] || in_c[edge.to]) continue;
+        if (seen.insert(edge.to).second) queue.push_back(edge.to);
+      }
+    }
+    return size;
+  };
 
   // --- Step 2: border-vertex isolation checks (Theorem 4.4).
   if (isolation_check_enabled_) {
@@ -155,7 +196,7 @@ util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
       for (graph::VertexId v : c_members) {
         for (const graph::HalfEdge& edge : graph_.Neighbors(v)) {
           const graph::VertexId u = edge.to;
-          if (active[u] && !in_c[u] && !enqueued[u]) {
+          if (usable[u] && !in_c[u] && !enqueued[u]) {
             enqueued[u] = 1;
             pending.push_back(u);
           }
@@ -166,33 +207,82 @@ util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
     while (!pending.empty()) {
       const graph::VertexId v = pending.front();
       pending.pop_front();
-      if (in_c[v]) continue;  // absorbed by an earlier re-span
+      if (in_c[v] || !usable[v]) continue;  // absorbed, or churned out
+      // Members of C may have crashed since the last re-span (crash events
+      // fire on unrelated sends); evict them first so the isolation check
+      // and the absorb threshold run against the surviving C.
+      if (network_ != nullptr) {
+        bool evicted = false;
+        for (graph::VertexId c : c_members) {
+          if (!network_->IsAlive(c) && usable[c]) {
+            if (c == host) return host_crashed;
+            usable[c] = false;
+            ++trace_.members_lost;
+            evicted = true;
+          }
+        }
+        if (evicted) {
+          if (!respan(t)) return host_crashed;
+          enqueue_border();
+          if (in_c[v]) continue;
+        }
+      }
       ++trace_.border_checks;
-      const uint32_t size =
-          BorderComponentSize(v, t, in_c, k_, &involved, &involved_count);
+      const uint32_t size = border_component_size(v, t, k_);
       if (size >= k_) continue;  // passes now, passes forever (t only grows)
+      if (!usable[v]) continue;  // v itself churned out during the check
       ++trace_.border_failures;
       // Absorb v: the new connectivity is the cheapest edge tying v to C
       // (all of them exceed the old t, otherwise saturation would have
       // included v already).
       graph::EdgeKey t_new = InfiniteKey();
       for (const graph::HalfEdge& edge : graph_.Neighbors(v)) {
-        if (in_c[edge.to]) {
+        if (in_c[edge.to] && usable[edge.to]) {
           const graph::EdgeKey key = KeyOf(v, edge);
           if (key < t_new) t_new = key;
         }
       }
-      NELA_CHECK(!(t_new == InfiniteKey()));
+      // Churn can detach v from C entirely (every C-neighbor crashed); it
+      // is then no longer a border vertex of C.
+      if (t_new == InfiniteKey()) continue;
       NELA_CHECK(t < t_new);
       t = t_new;
-      respan(t);
-      NELA_CHECK(in_c[v]);
+      // Churn during the re-span can disconnect v after all (a member on
+      // its only path crashed); isolation is then best-effort, which the
+      // final churn re-validation below accounts for.
+      if (!respan(t)) return host_crashed;
       enqueue_border();
     }
   }
   trace_.candidate = c_members;
   std::sort(trace_.candidate.begin(), trace_.candidate.end());
   trace_.final_t = t.weight;
+
+  // Final churn re-validation: drop members that crashed after their
+  // exchange, and if the surviving cluster fell below k, register it as
+  // invalid -- the caller sees the degraded guarantee instead of a
+  // silently under-anonymous cluster.
+  if (network_ != nullptr) {
+    if (!network_->IsAlive(host)) return host_crashed;
+    std::vector<graph::VertexId> survivors;
+    survivors.reserve(c_members.size());
+    for (graph::VertexId v : c_members) {
+      if (network_->IsAlive(v)) {
+        survivors.push_back(v);
+      } else {
+        usable[v] = false;
+        ++trace_.members_lost;
+      }
+    }
+    c_members.swap(survivors);
+    if (c_members.size() < k_) {
+      auto registered = registry_->Register(std::move(c_members), t.weight,
+                                            /*valid=*/false);
+      if (!registered.ok()) return registered.status();
+      return ClusteringOutcome{registered.value(), involved_count, false,
+                               trace_.members_lost};
+    }
+  }
 
   // --- Step 3: all edge weights inside C are known to the host now; run
   // the centralized partition and register every resulting cluster.
@@ -207,15 +297,8 @@ util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
     if (!registered.ok()) return registered.status();
   }
 
-  if (network_ != nullptr) {
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (involved[v] && v != host) {
-        network_->Send(v, host, net::MessageKind::kAdjacencyExchange,
-                       8ull * graph_.Degree(v));
-      }
-    }
-  }
-  return ClusteringOutcome{registry_->ClusterOf(host), involved_count, false};
+  return ClusteringOutcome{registry_->ClusterOf(host), involved_count, false,
+                           trace_.members_lost};
 }
 
 Partition DistributedTConnClusterer::PartitionSubset(

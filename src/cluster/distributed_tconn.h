@@ -14,6 +14,14 @@
 //     future cluster.
 //  3. Partition C with the centralized algorithm and register every
 //     resulting cluster, so later requests from any user of C are free.
+//
+// Fault tolerance: against a faulty network, every adjacency exchange is
+// retransmitted with the configured backoff; a peer whose exchange cannot
+// be delivered (crashed, or retry budget exhausted) is excluded from the
+// run as churned out, the span is recomputed over the survivors, and the
+// final cluster size is re-validated against k -- a shrunken cluster is
+// registered invalid rather than silently under-anonymous. A crashed host
+// fails the request with kUnavailable.
 
 #ifndef NELA_CLUSTER_DISTRIBUTED_TCONN_H_
 #define NELA_CLUSTER_DISTRIBUTED_TCONN_H_
@@ -25,6 +33,8 @@
 #include "cluster/registry.h"
 #include "graph/wpg.h"
 #include "net/network.h"
+#include "net/retry.h"
+#include "util/rng.h"
 
 namespace nela::cluster {
 
@@ -37,6 +47,15 @@ class DistributedTConnClusterer : public Clusterer {
 
   util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) override;
   const char* name() const override { return "t-Conn"; }
+  uint32_t k() const override { return k_; }
+
+  // Configures loss recovery for adjacency exchanges. `jitter_rng` (may be
+  // null, not owned) makes backoff jitter deterministic per seed.
+  void SetRetryPolicy(const net::BackoffPolicy& policy,
+                      util::Rng* jitter_rng) {
+    retry_policy_ = policy;
+    retry_rng_ = jitter_rng;
+  }
 
   // Ablation hook: with the isolation check disabled the algorithm stops
   // after step 1 + partition, i.e. it behaves like a local clustering that
@@ -54,18 +73,12 @@ class DistributedTConnClusterer : public Clusterer {
     uint32_t border_failures = 0;
     std::vector<graph::VertexId> candidate;  // C after step 2
     double final_t = 0.0;
+    // Fault-tolerance accounting of the run.
+    uint32_t members_lost = 0;
   };
   const Trace& last_trace() const { return trace_; }
 
  private:
-  // BFS over edges with key <= t restricted to active, non-C vertices;
-  // stops at `stop_size`. Marks every visited vertex as involved.
-  uint32_t BorderComponentSize(graph::VertexId start, graph::EdgeKey t,
-                               const std::vector<uint8_t>& in_c,
-                               uint32_t stop_size,
-                               std::vector<uint8_t>* involved,
-                               uint64_t* involved_count);
-
   // Step 3: the production centralized partition applied to the candidate
   // set (with global-order-consistent tie-breaking).
   Partition PartitionSubset(std::vector<graph::VertexId> members) const;
@@ -74,6 +87,8 @@ class DistributedTConnClusterer : public Clusterer {
   uint32_t k_;
   Registry* registry_;
   net::Network* network_;
+  net::BackoffPolicy retry_policy_;
+  util::Rng* retry_rng_ = nullptr;
   bool isolation_check_enabled_ = true;
   Trace trace_;
 };

@@ -59,6 +59,7 @@ class KnnClusterer : public Clusterer {
 
   util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) override;
   const char* name() const override { return "kNN"; }
+  uint32_t k() const override { return k_; }
 
  private:
   util::Result<ClusteringOutcome> HopLayered(graph::VertexId host);

@@ -13,11 +13,20 @@
 // The engine never reads a member coordinate directly during phase 2: the
 // points are wrapped into bounding::PrivateScalar per axis run (OPT mode is
 // explicit and exists for benchmarking only).
+//
+// Degradation semantics under churn and loss (see DESIGN.md "Fault model &
+// degradation semantics"): members that crash between phase 1 and phase 2
+// -- or mid-bounding -- are dropped and bounding re-runs over the
+// survivors as long as at least k of them remain; below k, or once the
+// bounding retry budget is exhausted, the outcome reports
+// anonymity_satisfied = false with a structured DegradationReport and an
+// empty region. No failure path ever exposes a member coordinate.
 
 #ifndef NELA_CORE_CLOAKING_ENGINE_H_
 #define NELA_CORE_CLOAKING_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/clusterer.h"
@@ -26,9 +35,36 @@
 #include "data/dataset.h"
 #include "geo/rect.h"
 #include "net/network.h"
+#include "net/retry.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace nela::core {
+
+// Structured account of everything fault tolerance had to do (or failed to
+// do) for one request. failure_reason never contains a coordinate or a
+// bound value -- only counters, node ids, and status text.
+struct DegradationReport {
+  // Message retransmissions and observed timeouts across both phases.
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t retransmitted_bytes = 0;
+  // Members that churned out of the cluster (phase 1 exclusions plus
+  // crashes between/within phases).
+  uint32_t members_lost = 0;
+  // Times phase 2 was re-run over the surviving members.
+  uint32_t phases_retried = 0;
+  // kOk on the happy path; kFailedPrecondition (survivors < k),
+  // kDeadlineExceeded (retry budget / iteration cap), or kUnavailable
+  // (irrecoverable churn) otherwise.
+  util::StatusCode failure_code = util::StatusCode::kOk;
+  std::string failure_reason;
+
+  bool degraded() const {
+    return failure_code != util::StatusCode::kOk || members_lost > 0 ||
+           phases_retried > 0 || retries > 0;
+  }
+};
 
 struct CloakingOutcome {
   cluster::ClusterId cluster_id = cluster::kNoCluster;
@@ -39,7 +75,8 @@ struct CloakingOutcome {
   // region had not been computed yet).
   bool cluster_reused = false;
   // k-anonymity satisfied (false when the host's remaining component was
-  // smaller than k).
+  // smaller than k, or churn/loss degraded the request -- see
+  // degradation.failure_code).
   bool anonymity_satisfied = true;
   // Phase-1 communication cost: involved users (adjacency messages).
   uint64_t clustering_messages = 0;
@@ -47,6 +84,7 @@ struct CloakingOutcome {
   uint64_t bounding_verifications = 0;
   uint32_t bounding_iterations = 0;
   double bounding_cpu_seconds = 0.0;
+  DegradationReport degradation;
 };
 
 // How phase 2 computes the box.
@@ -66,7 +104,15 @@ class CloakingEngine {
                  BoundingMode mode = BoundingMode::kSecureProtocol,
                  net::Network* network = nullptr);
 
-  // Executes the workflow for one host request.
+  // Configures loss recovery for phase 2 and how many times bounding is
+  // re-run over survivors after mid-protocol churn. `jitter_rng` (may be
+  // null, not owned) makes backoff jitter deterministic per seed.
+  void SetRetryPolicy(const net::BackoffPolicy& policy, util::Rng* jitter_rng,
+                      uint32_t max_phase_retries = 3);
+
+  // Executes the workflow for one host request. Fails with kUnavailable
+  // when the host itself is offline; cluster- or network-level degradation
+  // is reported inside the outcome instead (see DegradationReport).
   util::Result<CloakingOutcome> RequestCloaking(data::UserId host);
 
   const cluster::Registry& registry() const { return *registry_; }
@@ -79,6 +125,9 @@ class CloakingEngine {
   PolicyFactory policy_factory_;
   BoundingMode mode_;
   net::Network* network_;
+  net::BackoffPolicy retry_policy_;
+  util::Rng* retry_rng_ = nullptr;
+  uint32_t max_phase_retries_ = 3;
 };
 
 }  // namespace nela::core

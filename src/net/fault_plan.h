@@ -1,0 +1,54 @@
+// Deterministic fault-injection plan for the simulated network.
+//
+// A FaultPlan bundles every stochastic failure process the network can
+// apply -- message loss, per-link latency with a timeout threshold, and
+// scheduled node crashes -- behind one seed, so a chaos experiment is
+// reproducible bit-for-bit: the same plan against the same workload yields
+// the same drops, the same timeouts, and the same crash points.
+
+#ifndef NELA_NET_FAULT_PLAN_H_
+#define NELA_NET_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace nela::net {
+
+using NodeId = uint32_t;
+
+// Per-link delivery latency: every delivered message samples
+//   latency = base_ms + U[0, jitter_ms).
+// A sample above `timeout_ms` counts as a timeout: the sender observes the
+// message as lost (Send returns false) and the timeout is recorded, which
+// is how slow links surface as retries rather than as silent slowness.
+struct LatencyModel {
+  double base_ms = 0.0;
+  double jitter_ms = 0.0;
+  double timeout_ms = std::numeric_limits<double>::infinity();
+
+  bool enabled() const { return base_ms > 0.0 || jitter_ms > 0.0; }
+};
+
+// A node leaving the system (crash or churn-out). The event fires when the
+// network's cumulative send-attempt counter reaches `after_attempts`, which
+// ties the crash to a deterministic point in protocol execution instead of
+// wall time.
+struct CrashEvent {
+  NodeId node = 0;
+  uint64_t after_attempts = 0;
+};
+
+struct FaultPlan {
+  // Seeds the network-owned RNG driving loss and latency sampling.
+  uint64_t seed = 0;
+  // Probability in [0, 1] that any send attempt is dropped.
+  double loss_probability = 0.0;
+  LatencyModel latency;
+  // Crash schedule; need not be sorted (the network sorts a copy).
+  std::vector<CrashEvent> crashes;
+};
+
+}  // namespace nela::net
+
+#endif  // NELA_NET_FAULT_PLAN_H_

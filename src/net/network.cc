@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 namespace nela::net {
 
 const char* MessageKindName(MessageKind kind) {
@@ -23,18 +25,46 @@ const char* MessageKindName(MessageKind kind) {
 }
 
 Network::Network(uint32_t node_count)
-    : node_count_(node_count), sent_(node_count, 0), received_(node_count, 0) {}
+    : node_count_(node_count), sent_(node_count, 0), received_(node_count, 0),
+      alive_(node_count, true), alive_count_(node_count) {}
+
+void Network::AdvanceCrashSchedule() {
+  while (next_crash_ < crash_schedule_.size() &&
+         crash_schedule_[next_crash_].after_attempts <= send_attempts_) {
+    CrashNode(crash_schedule_[next_crash_].node);
+    ++next_crash_;
+  }
+}
 
 bool Network::Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes) {
   NELA_CHECK_LT(from, node_count_);
   NELA_CHECK_LT(to, node_count_);
+  ++send_attempts_;
+  AdvanceCrashSchedule();
+  if (!alive_[from] || !alive_[to]) {
+    ++dead_endpoint_attempts_;
+    return false;
+  }
   if (loss_probability_ > 0.0 && loss_rng_ != nullptr &&
       loss_rng_->NextBernoulli(loss_probability_)) {
     ++dropped_;
+    dropped_bytes_ += bytes;
     return false;
+  }
+  double latency_ms = 0.0;
+  if (latency_.enabled() && loss_rng_ != nullptr) {
+    latency_ms = latency_.base_ms;
+    if (latency_.jitter_ms > 0.0) {
+      latency_ms += loss_rng_->NextDouble(0.0, latency_.jitter_ms);
+    }
+    if (latency_ms > latency_.timeout_ms) {
+      ++timed_out_;
+      return false;
+    }
   }
   ++total_.messages;
   total_.bytes += bytes;
+  total_latency_ms_ += latency_ms;
   TrafficCounter& kind_counter = by_kind_[static_cast<size_t>(kind)];
   ++kind_counter.messages;
   kind_counter.bytes += bytes;
@@ -43,12 +73,76 @@ bool Network::Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes) {
   return true;
 }
 
-void Network::SetLossProbability(double loss_probability, util::Rng* rng) {
-  NELA_CHECK_GE(loss_probability, 0.0);
-  NELA_CHECK_LE(loss_probability, 1.0);
-  NELA_CHECK(loss_probability == 0.0 || rng != nullptr);
+util::Status Network::InstallFaultPlan(const FaultPlan& plan) {
+  if (plan.loss_probability < 0.0 || plan.loss_probability > 1.0) {
+    return util::InvalidArgumentError(
+        "fault plan loss probability must be in [0, 1]");
+  }
+  if (plan.latency.base_ms < 0.0 || plan.latency.jitter_ms < 0.0 ||
+      plan.latency.timeout_ms < 0.0) {
+    return util::InvalidArgumentError(
+        "fault plan latency parameters must be non-negative");
+  }
+  for (const CrashEvent& event : plan.crashes) {
+    if (event.node >= node_count_) {
+      return util::InvalidArgumentError(
+          "fault plan crash event names an out-of-range node");
+    }
+  }
+  owned_rng_.emplace(plan.seed);
+  loss_rng_ = &*owned_rng_;
+  loss_probability_ = plan.loss_probability;
+  latency_ = plan.latency;
+  crash_schedule_ = plan.crashes;
+  std::stable_sort(crash_schedule_.begin(), crash_schedule_.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) {
+                     return a.after_attempts < b.after_attempts;
+                   });
+  next_crash_ = 0;
+  return util::Status::Ok();
+}
+
+util::Status Network::SetLossProbability(double loss_probability,
+                                         util::Rng* rng) {
+  if (loss_probability < 0.0 || loss_probability > 1.0) {
+    return util::InvalidArgumentError("loss probability must be in [0, 1]");
+  }
+  if (loss_probability > 0.0 && rng == nullptr) {
+    return util::InvalidArgumentError(
+        "a positive loss probability requires an RNG");
+  }
+  owned_rng_.reset();
   loss_probability_ = loss_probability;
   loss_rng_ = rng;
+  return util::Status::Ok();
+}
+
+void Network::CrashNode(NodeId node) {
+  NELA_CHECK_LT(node, node_count_);
+  if (alive_[node]) {
+    alive_[node] = false;
+    --alive_count_;
+  }
+}
+
+RetryStats Network::total_retry_stats() const {
+  RetryStats total;
+  for (const RetryStats& stats : retry_by_kind_) {
+    total.retries += stats.retries;
+    total.timeouts_observed += stats.timeouts_observed;
+    total.retransmitted_bytes += stats.retransmitted_bytes;
+  }
+  return total;
+}
+
+void Network::RecordRetry(MessageKind kind, uint64_t bytes) {
+  RetryStats& stats = retry_by_kind_[static_cast<size_t>(kind)];
+  ++stats.retries;
+  stats.retransmitted_bytes += bytes;
+}
+
+void Network::RecordTimeoutObserved(MessageKind kind) {
+  ++retry_by_kind_[static_cast<size_t>(kind)].timeouts_observed;
 }
 
 uint64_t Network::SentBy(NodeId node) const {
@@ -64,9 +158,14 @@ uint64_t Network::ReceivedBy(NodeId node) const {
 void Network::ResetCounters() {
   total_ = TrafficCounter{};
   by_kind_.fill(TrafficCounter{});
+  retry_by_kind_.fill(RetryStats{});
   std::fill(sent_.begin(), sent_.end(), 0);
   std::fill(received_.begin(), received_.end(), 0);
   dropped_ = 0;
+  dropped_bytes_ = 0;
+  timed_out_ = 0;
+  dead_endpoint_attempts_ = 0;
+  total_latency_ms_ = 0.0;
 }
 
 }  // namespace nela::net

@@ -1,25 +1,32 @@
-// Simulated peer-to-peer message layer.
+// Simulated peer-to-peer message layer with deterministic fault injection.
 //
 // The paper's evaluation metric is communication cost in number of messages
 // (and, for Fig. 10, message payload size). This substrate gives every
 // protocol a common place to record traffic: protocols call Send() for each
-// point-to-point message, and the harness reads the counters. A configurable
-// drop probability supports the failure-injection tests motivated by the
-// paper's §VII robustness discussion.
+// point-to-point message, and the harness reads the counters.
+//
+// Fault model (paper §VII robustness discussion): an installed FaultPlan
+// drops messages with a seeded probability, delays them through a latency
+// model whose samples above the timeout threshold surface as losses, and
+// crashes nodes at scheduled points of the execution. Protocols recover via
+// net::SendWithRetry (retry.h), whose retransmissions and observed timeouts
+// are accounted per message kind here, so benchmarks can report the
+// bandwidth cost of fault tolerance, not just the happy-path traffic.
 
 #ifndef NELA_NET_NETWORK_H_
 #define NELA_NET_NETWORK_H_
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "net/fault_plan.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace nela::net {
-
-using NodeId = uint32_t;
 
 enum class MessageKind : uint8_t {
   kAdjacencyExchange = 0,  // a user's adjacency list sent to a host/anonymizer
@@ -39,6 +46,15 @@ struct TrafficCounter {
   uint64_t bytes = 0;
 };
 
+// Fault-tolerance accounting, kept per message kind: how often senders had
+// to retransmit, how many send attempts they observed as lost/timed out,
+// and the bytes burned on retransmissions.
+struct RetryStats {
+  uint64_t retries = 0;
+  uint64_t timeouts_observed = 0;
+  uint64_t retransmitted_bytes = 0;
+};
+
 class Network {
  public:
   explicit Network(uint32_t node_count);
@@ -48,38 +64,106 @@ class Network {
 
   uint32_t node_count() const { return node_count_; }
 
-  // Records one message. Returns false when the message is dropped by the
-  // injected loss process (callers model their retry policy on top).
+  // Records one send attempt. Returns false when the message is not
+  // delivered: dropped by the injected loss process, delayed past the
+  // latency model's timeout, or addressed from/to a crashed node. Callers
+  // needing delivery use net::SendWithRetry on top.
   bool Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes);
 
-  // Failure injection: every subsequent Send is dropped with probability
-  // `loss_probability` using `rng` (not owned; must outlive the network).
-  // Pass 0 to disable.
-  void SetLossProbability(double loss_probability, util::Rng* rng);
+  // Installs the full fault plan (replaces any previous loss setting). The
+  // RNG driving loss and latency is owned by the network and seeded from
+  // plan.seed, so runs are reproducible. Fails with kInvalidArgument when
+  // loss_probability is outside [0, 1], a latency parameter is negative,
+  // or a crash event names an out-of-range node.
+  util::Status InstallFaultPlan(const FaultPlan& plan);
+
+  // Legacy lightweight path: every subsequent Send is dropped with
+  // probability `loss_probability` using `rng` (not owned; must outlive the
+  // network). Pass 0 to disable. Fails with kInvalidArgument when the
+  // probability is outside [0, 1] or a positive probability comes without
+  // an RNG (which would otherwise fault on the next Send).
+  util::Status SetLossProbability(double loss_probability, util::Rng* rng);
+
+  // --- Liveness ---------------------------------------------------------
+
+  // Immediately removes `node` from the system: every later send touching
+  // it fails. Idempotent.
+  void CrashNode(NodeId node);
+
+  bool IsAlive(NodeId node) const {
+    NELA_CHECK_LT(node, node_count_);
+    return alive_[node];
+  }
+  uint32_t alive_count() const { return alive_count_; }
+
+  // --- Counters ---------------------------------------------------------
 
   // Global counters (delivered messages only).
   const TrafficCounter& total() const { return total_; }
   const TrafficCounter& of_kind(MessageKind kind) const {
     return by_kind_[static_cast<size_t>(kind)];
   }
+
+  // Every Send call, delivered or not; drives the crash schedule.
+  uint64_t send_attempts() const { return send_attempts_; }
+
+  // Loss-process drops and the bandwidth they wasted.
   uint64_t dropped_messages() const { return dropped_; }
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+  // Latency-model samples above the timeout threshold.
+  uint64_t timed_out_messages() const { return timed_out_; }
+
+  // Send attempts addressed from or to a crashed node.
+  uint64_t dead_endpoint_attempts() const { return dead_endpoint_attempts_; }
+
+  // Simulated delivery latency summed over delivered messages (0 without a
+  // latency model).
+  double total_latency_ms() const { return total_latency_ms_; }
+
+  // Retry accounting, fed by SendWithRetry via RecordRetry/RecordTimeout.
+  const RetryStats& retry_stats_of(MessageKind kind) const {
+    return retry_by_kind_[static_cast<size_t>(kind)];
+  }
+  RetryStats total_retry_stats() const;
+
+  void RecordRetry(MessageKind kind, uint64_t bytes);
+  void RecordTimeoutObserved(MessageKind kind);
 
   // Per-node counters.
   uint64_t SentBy(NodeId node) const;
   uint64_t ReceivedBy(NodeId node) const;
 
-  // Zeroes every counter (keeps the loss configuration).
+  // Zeroes every traffic/fault counter. Keeps the fault configuration, the
+  // crash schedule position, and node liveness: counters describe a
+  // measurement window, liveness describes the world.
   void ResetCounters();
 
  private:
+  // Fires every crash event whose threshold the attempt counter reached.
+  void AdvanceCrashSchedule();
+
   uint32_t node_count_;
   TrafficCounter total_;
   std::array<TrafficCounter, kMessageKindCount> by_kind_{};
+  std::array<RetryStats, kMessageKindCount> retry_by_kind_{};
   std::vector<uint64_t> sent_;
   std::vector<uint64_t> received_;
+  std::vector<bool> alive_;
+  uint32_t alive_count_;
+  uint64_t send_attempts_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t dropped_bytes_ = 0;
+  uint64_t timed_out_ = 0;
+  uint64_t dead_endpoint_attempts_ = 0;
+  double total_latency_ms_ = 0.0;
+
   double loss_probability_ = 0.0;
-  util::Rng* loss_rng_ = nullptr;
+  util::Rng* loss_rng_ = nullptr;  // external (legacy path) or &owned_rng_
+  std::optional<util::Rng> owned_rng_;
+  LatencyModel latency_;
+  std::vector<CrashEvent> crash_schedule_;  // sorted by after_attempts
+  size_t next_crash_ = 0;
 };
 
 }  // namespace nela::net

@@ -1,0 +1,55 @@
+// Reliable delivery over the lossy simulated network: retransmission with
+// capped exponential backoff.
+//
+// Every protocol that must survive injected loss funnels its sends through
+// SendWithRetry instead of hand-rolling retry loops. Backoff delays are
+// simulated (accumulated, never slept) and the jitter draws from a caller
+// supplied util::Rng, so a fixed seed reproduces the exact retry schedule.
+// Retransmissions and observed timeouts are recorded on the network per
+// message kind, making the bandwidth cost of fault tolerance measurable.
+
+#ifndef NELA_NET_RETRY_H_
+#define NELA_NET_RETRY_H_
+
+#include <cstdint>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace nela::net {
+
+// Capped exponential backoff: attempt i (0-based) waits
+//   min(base_delay_ms * multiplier^(i), max_delay_ms) * (1 + jitter)
+// before retrying, with jitter uniform in [0, jitter_fraction).
+struct BackoffPolicy {
+  uint32_t max_attempts = 6;
+  double base_delay_ms = 10.0;
+  double multiplier = 2.0;
+  double max_delay_ms = 500.0;
+  double jitter_fraction = 0.25;
+};
+
+struct SendOutcome {
+  bool delivered = false;
+  // An endpoint crashed (before or during the attempts); retrying further
+  // is pointless and the caller should treat the peer as churned out.
+  bool peer_down = false;
+  uint32_t attempts = 0;
+  uint64_t retransmitted_bytes = 0;
+  // Total simulated backoff waited across retries.
+  double backoff_ms = 0.0;
+};
+
+// Sends `bytes` from `from` to `to`, retrying up to policy.max_attempts
+// times. `jitter_rng` may be null (no jitter; still deterministic). Returns
+// with delivered == false when the retry budget is exhausted (the caller's
+// deadline has effectively expired) or peer_down == true when an endpoint
+// crashed.
+SendOutcome SendWithRetry(Network& network, NodeId from, NodeId to,
+                          MessageKind kind, uint64_t bytes,
+                          const BackoffPolicy& policy,
+                          util::Rng* jitter_rng);
+
+}  // namespace nela::net
+
+#endif  // NELA_NET_RETRY_H_

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bounding/protocol.h"
@@ -98,8 +99,9 @@ util::Result<BoundingExperimentResult> RunBoundingExperiment(
                                               BoundingAlgorithm::kSecure};
     for (int p = 0; p < 3; ++p) {
       std::unique_ptr<bounding::IncrementPolicy> policy = factories[p](n);
-      const bounding::RegionBoundingResult run =
-          bounding::ComputeCloakedRegion(points, reference, *policy);
+      auto bounded = bounding::ComputeCloakedRegion(points, reference, *policy);
+      if (!bounded.ok()) return bounded.status();
+      const bounding::RegionBoundingResult run = std::move(bounded).value();
       const double request = server.RangeQuery(run.region).reply_cost;
       Accumulator& a = acc[static_cast<size_t>(progressive[p])];
       const double bounding_cost =

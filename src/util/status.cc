@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -46,6 +48,9 @@ Status OutOfRangeError(std::string message) {
 }
 Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kUnavailable,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -61,6 +62,7 @@ Status NotFoundError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 Status InternalError(std::string message);
 
 // A value or an error. Accessing value() on an error aborts.

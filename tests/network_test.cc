@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "net/network.h"
+#include "net/retry.h"
 #include "util/rng.h"
 
 namespace nela::net {
@@ -69,6 +72,222 @@ TEST(NetworkTest, KindNamesAreStable) {
   EXPECT_STREQ(MessageKindName(MessageKind::kAdjacencyExchange),
                "adjacency_exchange");
   EXPECT_STREQ(MessageKindName(MessageKind::kServiceReply), "service_reply");
+}
+
+TEST(NetworkTest, SetLossProbabilityRejectsOutOfRange) {
+  Network network(2);
+  util::Rng rng(1);
+  EXPECT_EQ(network.SetLossProbability(-0.01, &rng).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(network.SetLossProbability(1.01, &rng).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(network.SetLossProbability(1.0, &rng).ok());
+  EXPECT_TRUE(network.SetLossProbability(0.0, &rng).ok());
+}
+
+TEST(NetworkTest, SetLossProbabilityRequiresRngWhenLossy) {
+  Network network(2);
+  EXPECT_EQ(network.SetLossProbability(0.5, nullptr).code(),
+            util::StatusCode::kInvalidArgument);
+  // Zero probability needs no randomness.
+  EXPECT_TRUE(network.SetLossProbability(0.0, nullptr).ok());
+}
+
+TEST(NetworkTest, RejectedLossSettingLeavesNetworkLossless) {
+  Network network(2);
+  EXPECT_FALSE(network.SetLossProbability(0.5, nullptr).ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(network.Send(0, 1, MessageKind::kControl, 1));
+  }
+}
+
+TEST(NetworkTest, DroppedBytesAreCounted) {
+  Network network(2);
+  util::Rng rng(7);
+  ASSERT_TRUE(network.SetLossProbability(1.0, &rng).ok());
+  EXPECT_FALSE(network.Send(0, 1, MessageKind::kBoundProposal, 16));
+  EXPECT_FALSE(network.Send(1, 0, MessageKind::kBoundVote, 8));
+  EXPECT_EQ(network.dropped_messages(), 2u);
+  EXPECT_EQ(network.dropped_bytes(), 24u);
+  EXPECT_EQ(network.total().bytes, 0u);
+}
+
+TEST(NetworkTest, InstallFaultPlanValidatesInputs) {
+  Network network(4);
+  FaultPlan bad_loss;
+  bad_loss.loss_probability = 2.0;
+  EXPECT_EQ(network.InstallFaultPlan(bad_loss).code(),
+            util::StatusCode::kInvalidArgument);
+
+  FaultPlan bad_latency;
+  bad_latency.latency.base_ms = -1.0;
+  EXPECT_EQ(network.InstallFaultPlan(bad_latency).code(),
+            util::StatusCode::kInvalidArgument);
+
+  FaultPlan bad_crash;
+  bad_crash.crashes.push_back(CrashEvent{99, 1});
+  EXPECT_EQ(network.InstallFaultPlan(bad_crash).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(NetworkTest, CrashNodeFailsSendsTouchingIt) {
+  Network network(3);
+  EXPECT_TRUE(network.IsAlive(1));
+  network.CrashNode(1);
+  network.CrashNode(1);  // idempotent
+  EXPECT_FALSE(network.IsAlive(1));
+  EXPECT_EQ(network.alive_count(), 2u);
+  EXPECT_FALSE(network.Send(0, 1, MessageKind::kControl, 4));
+  EXPECT_FALSE(network.Send(1, 2, MessageKind::kControl, 4));
+  EXPECT_TRUE(network.Send(0, 2, MessageKind::kControl, 4));
+  EXPECT_EQ(network.dead_endpoint_attempts(), 2u);
+  // Dead-endpoint failures are not loss-process drops.
+  EXPECT_EQ(network.dropped_messages(), 0u);
+}
+
+TEST(NetworkTest, ScheduledCrashFiresAtAttemptThreshold) {
+  Network network(3);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{2, 3});
+  ASSERT_TRUE(network.InstallFaultPlan(plan).ok());
+  EXPECT_TRUE(network.Send(0, 2, MessageKind::kControl, 1));  // attempt 1
+  EXPECT_TRUE(network.Send(0, 2, MessageKind::kControl, 1));  // attempt 2
+  // The event fires when the attempt counter reaches the threshold, so the
+  // 3rd attempt already addresses a dead endpoint.
+  EXPECT_FALSE(network.Send(0, 2, MessageKind::kControl, 1));  // attempt 3
+  EXPECT_FALSE(network.IsAlive(2));
+  EXPECT_EQ(network.dead_endpoint_attempts(), 1u);
+}
+
+TEST(NetworkTest, LatencyAboveTimeoutSurfacesAsTimeout) {
+  Network network(2);
+  FaultPlan plan;
+  plan.latency.base_ms = 50.0;
+  plan.latency.jitter_ms = 0.0;
+  plan.latency.timeout_ms = 10.0;  // every sample exceeds the deadline
+  ASSERT_TRUE(network.InstallFaultPlan(plan).ok());
+  EXPECT_FALSE(network.Send(0, 1, MessageKind::kControl, 1));
+  EXPECT_EQ(network.timed_out_messages(), 1u);
+  EXPECT_EQ(network.total().messages, 0u);
+}
+
+TEST(NetworkTest, LatencyBelowTimeoutAccumulates) {
+  Network network(2);
+  FaultPlan plan;
+  plan.latency.base_ms = 5.0;
+  plan.latency.jitter_ms = 0.0;
+  ASSERT_TRUE(network.InstallFaultPlan(plan).ok());
+  EXPECT_TRUE(network.Send(0, 1, MessageKind::kControl, 1));
+  EXPECT_TRUE(network.Send(1, 0, MessageKind::kControl, 1));
+  EXPECT_NEAR(network.total_latency_ms(), 10.0, 1e-9);
+}
+
+TEST(NetworkTest, RetryStatsAccumulatePerKind) {
+  Network network(2);
+  network.RecordRetry(MessageKind::kBoundProposal, 16);
+  network.RecordRetry(MessageKind::kBoundProposal, 16);
+  network.RecordTimeoutObserved(MessageKind::kBoundVote);
+  EXPECT_EQ(network.retry_stats_of(MessageKind::kBoundProposal).retries, 2u);
+  EXPECT_EQ(
+      network.retry_stats_of(MessageKind::kBoundProposal).retransmitted_bytes,
+      32u);
+  EXPECT_EQ(network.retry_stats_of(MessageKind::kBoundVote).timeouts_observed,
+            1u);
+  const RetryStats total = network.total_retry_stats();
+  EXPECT_EQ(total.retries, 2u);
+  EXPECT_EQ(total.timeouts_observed, 1u);
+  EXPECT_EQ(total.retransmitted_bytes, 32u);
+  network.ResetCounters();
+  EXPECT_EQ(network.total_retry_stats().retries, 0u);
+}
+
+TEST(NetworkTest, ResetCountersKeepsLivenessAndSchedulePosition) {
+  Network network(3);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{1, 1});
+  ASSERT_TRUE(network.InstallFaultPlan(plan).ok());
+  network.Send(0, 2, MessageKind::kControl, 1);  // fires the crash
+  EXPECT_FALSE(network.IsAlive(1));
+  network.ResetCounters();
+  EXPECT_EQ(network.total().messages, 0u);
+  EXPECT_FALSE(network.IsAlive(1));  // liveness survives the reset
+}
+
+TEST(SendWithRetryTest, DeliversThroughLossAndAccountsRetries) {
+  Network network(2);
+  util::Rng loss_rng(11);
+  ASSERT_TRUE(network.SetLossProbability(0.5, &loss_rng).ok());
+  BackoffPolicy policy;
+  policy.max_attempts = 32;
+  util::Rng jitter(3);
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    const SendOutcome outcome = SendWithRetry(
+        network, 0, 1, MessageKind::kBoundProposal, 16, policy, &jitter);
+    if (outcome.delivered) ++delivered;
+    EXPECT_FALSE(outcome.peer_down);
+  }
+  // 32 attempts at 50% loss: failure is ~2^-32 per message.
+  EXPECT_EQ(delivered, 200);
+  const RetryStats stats =
+      network.retry_stats_of(MessageKind::kBoundProposal);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.retransmitted_bytes, stats.retries * 16u);
+}
+
+TEST(SendWithRetryTest, ReportsPeerDownInsteadOfRetryingForever) {
+  Network network(2);
+  network.CrashNode(1);
+  BackoffPolicy policy;
+  util::Rng jitter(3);
+  const SendOutcome outcome = SendWithRetry(
+      network, 0, 1, MessageKind::kControl, 4, policy, &jitter);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_TRUE(outcome.peer_down);
+  // Liveness is checked up front; the retry budget is not burned.
+  EXPECT_LE(outcome.attempts, 1u);
+}
+
+TEST(SendWithRetryTest, ExhaustedBudgetIsObservedAsTimeout) {
+  Network network(2);
+  util::Rng loss_rng(11);
+  ASSERT_TRUE(network.SetLossProbability(1.0, &loss_rng).ok());
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  const SendOutcome outcome = SendWithRetry(
+      network, 0, 1, MessageKind::kBoundVote, 8, policy, nullptr);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_FALSE(outcome.peer_down);
+  EXPECT_EQ(outcome.attempts, 4u);
+  EXPECT_GT(outcome.backoff_ms, 0.0);
+  // One observed timeout per failed attempt.
+  EXPECT_EQ(
+      network.retry_stats_of(MessageKind::kBoundVote).timeouts_observed, 4u);
+}
+
+TEST(SendWithRetryTest, SameSeedSameSchedule) {
+  auto run = []() {
+    Network network(2);
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.loss_probability = 0.4;
+    EXPECT_TRUE(network.InstallFaultPlan(plan).ok());
+    BackoffPolicy policy;
+    util::Rng jitter(9);
+    double backoff = 0.0;
+    uint64_t attempts = 0;
+    for (int i = 0; i < 100; ++i) {
+      const SendOutcome outcome = SendWithRetry(
+          network, 0, 1, MessageKind::kControl, 4, policy, &jitter);
+      backoff += outcome.backoff_ms;
+      attempts += outcome.attempts;
+    }
+    return std::make_pair(backoff, attempts);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);  // bit-identical, not just close
+  EXPECT_EQ(a.second, b.second);
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ TEST_P(ProtocolPropertyTest, BoundIsCorrectAndBoundedlyLoose) {
   IncrementPolicy& policy = *policies[param.policy];
 
   const BoundingRunResult run =
-      RunProgressiveUpperBounding(secrets, 0.0, policy);
+      RunProgressiveUpperBounding(secrets, 0.0, policy).value();
 
   // Correctness: the final bound dominates every value.
   EXPECT_GE(run.bound, max_value);

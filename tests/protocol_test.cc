@@ -20,7 +20,7 @@ TEST(ProtocolTest, LinearPolicyFindsUpperBound) {
   const std::vector<PrivateScalar> secrets = MakePrivate({0.3, 0.7, 0.1});
   LinearIncrementPolicy policy(0.25);
   const BoundingRunResult result =
-      RunProgressiveUpperBounding(secrets, 0.0, policy);
+      RunProgressiveUpperBounding(secrets, 0.0, policy).value();
   // Hypotheses: 0.25, 0.5, 0.75 -> everyone agrees at 0.75.
   EXPECT_DOUBLE_EQ(result.bound, 0.75);
   EXPECT_EQ(result.iterations, 3u);
@@ -38,7 +38,7 @@ TEST(ProtocolTest, BoundUpperBoundsEveryValue) {
   const std::vector<PrivateScalar> secrets = MakePrivate(values);
   ExponentialIncrementPolicy policy(0.01);
   const BoundingRunResult result =
-      RunProgressiveUpperBounding(secrets, 0.0, policy);
+      RunProgressiveUpperBounding(secrets, 0.0, policy).value();
   for (double v : values) EXPECT_LE(v, result.bound);
   // Exponential doubling: overshoot at most 2x the true maximum extent.
   const double max_value = *std::max_element(values.begin(), values.end());
@@ -49,7 +49,7 @@ TEST(ProtocolTest, NonzeroDomainMin) {
   const std::vector<PrivateScalar> secrets = MakePrivate({-0.4, -0.2});
   LinearIncrementPolicy policy(0.5);
   const BoundingRunResult result =
-      RunProgressiveUpperBounding(secrets, -1.0, policy);
+      RunProgressiveUpperBounding(secrets, -1.0, policy).value();
   // Hypotheses: -0.5 (both still above it), then 0.0 (both agree).
   EXPECT_DOUBLE_EQ(result.bound, 0.0);
   EXPECT_EQ(result.iterations, 2u);
@@ -60,7 +60,7 @@ TEST(ProtocolTest, ValuesEqualToDomainMinAgreeOnFirstHypothesis) {
   const std::vector<PrivateScalar> secrets = MakePrivate({0.0, 0.0});
   LinearIncrementPolicy policy(0.1);
   const BoundingRunResult result =
-      RunProgressiveUpperBounding(secrets, 0.0, policy);
+      RunProgressiveUpperBounding(secrets, 0.0, policy).value();
   EXPECT_EQ(result.iterations, 1u);
   EXPECT_EQ(result.verifications, 2u);
 }
@@ -75,7 +75,7 @@ TEST(ProtocolTest, SecurePolicyTerminatesAndIsBounded) {
   QuadraticCost cost(1000.0 * 104770.0);
   SecureIncrementPolicy policy(dist, cost, 1.0);
   const BoundingRunResult result =
-      RunProgressiveUpperBounding(secrets, 0.0, policy);
+      RunProgressiveUpperBounding(secrets, 0.0, policy).value();
   const double max_value = *std::max_element(values.begin(), values.end());
   EXPECT_GE(result.bound, max_value);
   EXPECT_GT(result.iterations, 1u);  // progressive, not one-shot
@@ -97,7 +97,7 @@ TEST(ProtocolTest, NetworkAccountingCountsRoundTrips) {
   NetworkBinding binding{&network, 0, &nodes};
   LinearIncrementPolicy policy(0.5);
   const BoundingRunResult result =
-      RunProgressiveUpperBounding(secrets, 0.0, policy, binding);
+      RunProgressiveUpperBounding(secrets, 0.0, policy, binding).value();
   // Each verification = proposal + vote.
   EXPECT_EQ(network.of_kind(net::MessageKind::kBoundProposal).messages,
             result.verifications);
@@ -118,7 +118,7 @@ TEST(ProtocolTest, LossyLinkRetriesUntilDelivered) {
   NetworkBinding binding{&network, 0, &nodes};
   LinearIncrementPolicy policy(0.5);
   const BoundingRunResult lossy =
-      RunProgressiveUpperBounding(secrets, 0.0, policy, binding);
+      RunProgressiveUpperBounding(secrets, 0.0, policy, binding).value();
   // Identical protocol outcome to the lossless run.
   EXPECT_DOUBLE_EQ(lossy.bound, 1.0);
   EXPECT_EQ(lossy.iterations, 2u);
@@ -153,7 +153,7 @@ TEST(RegionTest, SecureRegionContainsAllMembers) {
   QuadraticCost cost(1000.0 * 104770.0);
   SecureIncrementPolicy policy(dist, cost, 1.0);
   const RegionBoundingResult result =
-      ComputeCloakedRegion(points, points.front(), policy);
+      ComputeCloakedRegion(points, points.front(), policy).value();
   for (const geo::Point& p : points) {
     EXPECT_TRUE(result.region.Contains(p));
   }
@@ -172,7 +172,7 @@ TEST(RegionTest, ProgressiveRegionContainsOptRegion) {
   }
   ExponentialIncrementPolicy policy(0.001);
   const RegionBoundingResult secure =
-      ComputeCloakedRegion(points, points.front(), policy);
+      ComputeCloakedRegion(points, points.front(), policy).value();
   const RegionBoundingResult opt = ComputeOptRegion(points);
   EXPECT_TRUE(secure.region.Contains(opt.region));
 }
@@ -181,7 +181,7 @@ TEST(RegionTest, SingleMemberRegionIsPointLike) {
   const std::vector<geo::Point> points = {{0.5, 0.5}};
   LinearIncrementPolicy policy(1e-4);
   const RegionBoundingResult result =
-      ComputeCloakedRegion(points, points.front(), policy);
+      ComputeCloakedRegion(points, points.front(), policy).value();
   EXPECT_TRUE(result.region.Contains(points[0]));
   EXPECT_LT(result.region.Width(), 1e-3);
 }
@@ -203,7 +203,7 @@ TEST(PrivacyLossTest, IntervalsMatchAgreePoints) {
   const std::vector<PrivateScalar> secrets = MakePrivate({0.3, 0.7, 0.1});
   LinearIncrementPolicy policy(0.25);
   const BoundingRunResult run =
-      RunProgressiveUpperBounding(secrets, 0.0, policy);
+      RunProgressiveUpperBounding(secrets, 0.0, policy).value();
   const PrivacyLossReport report = AnalyzePrivacyLoss(run, 0.0);
   ASSERT_EQ(report.interval_width.size(), 3u);
   // Every user's exposure interval is one linear step wide.
@@ -222,9 +222,9 @@ TEST(PrivacyLossTest, TighterIncrementsExposeMore) {
   LinearIncrementPolicy fine(0.01);
   LinearIncrementPolicy coarse(0.2);
   const PrivacyLossReport fine_report = AnalyzePrivacyLoss(
-      RunProgressiveUpperBounding(secrets, 0.0, fine), 0.0);
+      RunProgressiveUpperBounding(secrets, 0.0, fine).value(), 0.0);
   const PrivacyLossReport coarse_report = AnalyzePrivacyLoss(
-      RunProgressiveUpperBounding(secrets, 0.0, coarse), 0.0);
+      RunProgressiveUpperBounding(secrets, 0.0, coarse).value(), 0.0);
   // Finer steps => narrower exposure intervals => more privacy lost.
   EXPECT_LT(fine_report.mean_width, coarse_report.mean_width);
 }
@@ -234,7 +234,7 @@ TEST(PrivacyLossTest, ExponentialExposureGrowsWithValue) {
   const std::vector<PrivateScalar> secrets = MakePrivate({0.05, 0.8});
   ExponentialIncrementPolicy policy(0.05);
   const BoundingRunResult run =
-      RunProgressiveUpperBounding(secrets, 0.0, policy);
+      RunProgressiveUpperBounding(secrets, 0.0, policy).value();
   const PrivacyLossReport report = AnalyzePrivacyLoss(run, 0.0);
   EXPECT_LT(report.interval_width[0], report.interval_width[1]);
 }
