@@ -1,5 +1,5 @@
 // Shared plumbing for the figure-reproduction benches: flag definitions,
-// stdout table formatting, and CSV emission.
+// scenario setup, stdout table formatting, and CSV emission.
 
 #ifndef NELA_BENCH_BENCH_COMMON_H_
 #define NELA_BENCH_BENCH_COMMON_H_
@@ -8,18 +8,51 @@
 #include <cstdlib>
 
 #include <filesystem>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/scenario.h"
 #include "util/csv.h"
+#include "util/flags.h"
 #include "util/status.h"
 
 namespace nela::bench {
 
-// Writes `csv` to <output_dir>/<name>.csv (best effort; a failure is
-// reported but does not abort the bench).
-inline void EmitCsv(const util::CsvWriter& csv, const std::string& output_dir,
-                    const std::string& name) {
+// Parses the registered flags. On failure, sets *exit_code (0 for --help,
+// 1 for a real parse error) and returns false; the bench should return
+// *exit_code immediately.
+inline bool ParseFlagsOrExit(util::FlagParser& flags, int argc, char** argv,
+                             int* exit_code) {
+  const util::Status status = flags.Parse(argc, argv);
+  if (status.ok()) return true;
+  *exit_code = status.code() == util::StatusCode::kOutOfRange ? 0 : 1;
+  return false;
+}
+
+// Builds the standard scenario for `user_count` users, reporting failures
+// to stderr. On failure, sets *exit_code to 1 and returns nullopt.
+inline std::optional<sim::Scenario> BuildScenarioOrExit(uint32_t user_count,
+                                                        int* exit_code) {
+  sim::ScenarioConfig config;
+  config.user_count = user_count;
+  auto scenario = sim::BuildScenario(config);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 scenario.status().ToString().c_str());
+    *exit_code = 1;
+    return std::nullopt;
+  }
+  return std::move(scenario).value();
+}
+
+// Writes `csv` to <output_dir>/<name>.csv and reports the destination (or
+// the failure) on the console. Returns the write status so benches can
+// propagate CSV emission failures as a nonzero exit code.
+inline util::Status EmitCsv(const util::CsvWriter& csv,
+                            const std::string& output_dir,
+                            const std::string& name) {
   std::error_code ec;
   std::filesystem::create_directories(output_dir, ec);  // best effort
   const std::string path = output_dir + "/" + name + ".csv";
@@ -30,6 +63,7 @@ inline void EmitCsv(const util::CsvWriter& csv, const std::string& output_dir,
     std::fprintf(stderr, "  (csv not written: %s)\n",
                  status.ToString().c_str());
   }
+  return status;
 }
 
 // Prints a row of cells with fixed column width; numeric cells are

@@ -32,9 +32,9 @@ int Run(int argc, char** argv) {
   flags.AddInt64("churn_spacing", &churn_spacing,
                  "send attempts between scheduled crashes");
   flags.AddString("output_dir", &output_dir, "where CSVs are written");
-  nela::util::Status status = flags.Parse(argc, argv);
-  if (!status.ok()) {
-    return status.code() == nela::util::StatusCode::kOutOfRange ? 0 : 1;
+  int exit_code = 0;
+  if (!nela::bench::ParseFlagsOrExit(flags, argc, argv, &exit_code)) {
+    return exit_code;
   }
 
   std::printf("=== Fault tolerance: success rate and retry overhead "
@@ -44,14 +44,10 @@ int Run(int argc, char** argv) {
               static_cast<long long>(requests), static_cast<long long>(k),
               static_cast<long long>(fault_seed));
 
-  nela::sim::ScenarioConfig scenario_config;
-  scenario_config.user_count = static_cast<uint32_t>(users);
-  auto scenario = nela::sim::BuildScenario(scenario_config);
-  if (!scenario.ok()) {
-    std::fprintf(stderr, "scenario failed: %s\n",
-                 scenario.status().ToString().c_str());
-    return 1;
-  }
+  std::optional<nela::sim::Scenario> scenario =
+      nela::bench::BuildScenarioOrExit(static_cast<uint32_t>(users),
+                                       &exit_code);
+  if (!scenario.has_value()) return exit_code;
 
   nela::util::CsvWriter csv;
   csv.SetHeader({"loss", "churn_rate", "success_rate", "succeeded",
@@ -105,8 +101,8 @@ int Run(int argc, char** argv) {
                   nela::util::CsvWriter::Cell(r.avg_region_area)});
     }
   }
-  nela::bench::EmitCsv(csv, output_dir, "fault_tolerance");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "fault_tolerance").ok() ? 0
+                                                                       : 1;
 }
 
 }  // namespace

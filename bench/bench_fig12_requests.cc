@@ -24,23 +24,19 @@ int Run(int argc, char** argv) {
   flags.AddInt64("users", &users, "population size");
   flags.AddInt64("k", &k, "anonymity requirement");
   flags.AddString("output_dir", &output_dir, "where CSVs are written");
-  nela::util::Status status = flags.Parse(argc, argv);
-  if (!status.ok()) {
-    return status.code() == nela::util::StatusCode::kOutOfRange ? 0 : 1;
+  int exit_code = 0;
+  if (!nela::bench::ParseFlagsOrExit(flags, argc, argv, &exit_code)) {
+    return exit_code;
   }
 
   std::printf("=== Fig. 12: performance under various # of requests ===\n");
   std::printf("users=%lld k=%lld (default M, delta)\n\n",
               static_cast<long long>(users), static_cast<long long>(k));
 
-  nela::sim::ScenarioConfig scenario_config;
-  scenario_config.user_count = static_cast<uint32_t>(users);
-  auto scenario = nela::sim::BuildScenario(scenario_config);
-  if (!scenario.ok()) {
-    std::fprintf(stderr, "scenario failed: %s\n",
-                 scenario.status().ToString().c_str());
-    return 1;
-  }
+  std::optional<nela::sim::Scenario> scenario =
+      nela::bench::BuildScenarioOrExit(static_cast<uint32_t>(users),
+                                       &exit_code);
+  if (!scenario.has_value()) return exit_code;
 
   nela::util::CsvWriter csv;
   csv.SetHeader({"S", "algorithm", "avg_comm_cost", "avg_cloaked_area"});
@@ -74,8 +70,7 @@ int Run(int argc, char** argv) {
                       result.value().avg_cloaked_area)});
     }
   }
-  nela::bench::EmitCsv(csv, output_dir, "fig12_requests");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "fig12_requests").ok() ? 0 : 1;
 }
 
 }  // namespace

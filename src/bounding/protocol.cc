@@ -30,7 +30,7 @@ util::Status RoundTrip(const NetworkBinding& binding, size_t user_index,
 
   const net::SendOutcome proposal = net::SendWithRetry(
       *binding.network, binding.host, peer, net::MessageKind::kBoundProposal,
-      kProposalBytes, binding.retry, binding.retry_rng);
+      kProposalBytes, binding.retry, binding.retry_rng, binding.scope);
   result->retries += proposal.attempts > 0 ? proposal.attempts - 1 : 0;
   result->retransmitted_bytes += proposal.retransmitted_bytes;
   result->timeouts += proposal.attempts - (proposal.delivered ? 1 : 0);
@@ -48,7 +48,7 @@ util::Status RoundTrip(const NetworkBinding& binding, size_t user_index,
 
   const net::SendOutcome vote = net::SendWithRetry(
       *binding.network, peer, binding.host, net::MessageKind::kBoundVote,
-      kVoteBytes, binding.retry, binding.retry_rng);
+      kVoteBytes, binding.retry, binding.retry_rng, binding.scope);
   result->retries += vote.attempts > 0 ? vote.attempts - 1 : 0;
   result->retransmitted_bytes += vote.retransmitted_bytes;
   result->timeouts += vote.attempts - (vote.delivered ? 1 : 0);
@@ -144,7 +144,8 @@ BoundingRunResult RunOptBounding(const std::vector<PrivateScalar>& secrets,
     ++result.verifications;  // one exposure message per user
     if (binding.network != nullptr) {
       binding.network->Send((*binding.node_ids)[i], binding.host,
-                            net::MessageKind::kBoundVote, /*bytes=*/8);
+                            net::MessageKind::kBoundVote, /*bytes=*/8,
+                            binding.scope);
     }
   }
   result.bound = max_value;
@@ -230,7 +231,8 @@ RegionBoundingResult ComputeOptRegion(
     NELA_CHECK_EQ(binding.node_ids->size(), member_points.size());
     for (size_t i = 0; i < member_points.size(); ++i) {
       binding.network->Send((*binding.node_ids)[i], binding.host,
-                            net::MessageKind::kBoundVote, /*bytes=*/16);
+                            net::MessageKind::kBoundVote, /*bytes=*/16,
+                            binding.scope);
     }
   }
   return result;

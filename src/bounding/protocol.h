@@ -53,13 +53,15 @@ struct BoundingRunResult {
 // Optional network accounting hookup: messages flow between `host` and
 // node_ids[i] (parallel to the secrets vector). `retry` governs how losses
 // are recovered; `retry_rng` (may be null) supplies deterministic backoff
-// jitter.
+// jitter; `scope` (may be null) attributes every send, retransmission, and
+// backoff wait to the owning request's accounting scope.
 struct NetworkBinding {
   net::Network* network = nullptr;
   net::NodeId host = 0;
   const std::vector<net::NodeId>* node_ids = nullptr;
   net::BackoffPolicy retry;
   util::Rng* retry_rng = nullptr;
+  net::RequestScope* scope = nullptr;
 };
 
 // Runs Algorithm 4: upper-bounds all `secrets`, starting the hypothesis at

@@ -333,7 +333,7 @@ CentralizedTConnClusterer::CentralizedTConnClusterer(const graph::Wpg& graph,
 }
 
 util::Result<ClusteringOutcome> CentralizedTConnClusterer::ClusterFor(
-    graph::VertexId host) {
+    graph::VertexId host, net::RequestScope* scope) {
   if (host >= graph_.vertex_count()) {
     return util::InvalidArgumentError("host vertex out of range");
   }
@@ -357,7 +357,7 @@ util::Result<ClusteringOutcome> CentralizedTConnClusterer::ClusterFor(
     for (graph::VertexId v = 0; v < graph_.vertex_count(); ++v) {
       // Payload: the adjacency list (8 bytes per entry, id + weight packed).
       network_->Send(v, host, net::MessageKind::kAdjacencyExchange,
-                     8ull * graph_.Degree(v));
+                     8ull * graph_.Degree(v), scope);
     }
   }
   return ClusteringOutcome{registry_->ClusterOf(host), involved, false};

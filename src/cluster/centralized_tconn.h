@@ -87,7 +87,9 @@ class CentralizedTConnClusterer : public Clusterer {
                             Registry* registry,
                             net::Network* network = nullptr);
 
-  util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) override;
+  using Clusterer::ClusterFor;
+  util::Result<ClusteringOutcome> ClusterFor(
+      graph::VertexId host, net::RequestScope* scope) override;
   const char* name() const override { return "centralized t-Conn"; }
   uint32_t k() const override { return k_; }
 

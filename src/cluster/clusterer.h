@@ -7,6 +7,7 @@
 
 #include "cluster/registry.h"
 #include "graph/wpg.h"
+#include "net/accounting.h"
 #include "util/status.h"
 
 namespace nela::cluster {
@@ -31,8 +32,16 @@ class Clusterer {
   virtual ~Clusterer() = default;
 
   // Finds or reuses the cluster of `host`, registering every newly formed
-  // cluster in the registry given at construction.
-  virtual util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) = 0;
+  // cluster in the registry given at construction. When `scope` is given,
+  // network traffic of the run is attributed to that request's accounting
+  // scope in addition to the global counters.
+  virtual util::Result<ClusteringOutcome> ClusterFor(
+      graph::VertexId host, net::RequestScope* scope) = 0;
+
+  // Convenience overload for unscoped (single-request) callers.
+  util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) {
+    return ClusterFor(host, nullptr);
+  }
 
   // Short identifier used in benchmark tables ("t-Conn", "kNN", ...).
   virtual const char* name() const = 0;
@@ -40,6 +49,13 @@ class Clusterer {
   // The anonymity requirement this clusterer was configured with; lets the
   // engine re-validate a cluster whose membership shrank through churn.
   virtual uint32_t k() const = 0;
+
+  // True when a previously clustered host is answered from the registry
+  // (reciprocity-preserving algorithms). The kNN baseline returns false: it
+  // always forms a fresh cluster, which is exactly the reciprocity
+  // violation the paper criticizes -- the pipeline's reuse stage must not
+  // mask that behavior.
+  virtual bool reciprocal() const { return true; }
 };
 
 }  // namespace nela::cluster

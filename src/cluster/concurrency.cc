@@ -11,6 +11,7 @@ ClaimCoordinator::ClaimCoordinator(uint32_t user_count)
     : holder_(user_count, kNoTicket) {}
 
 Ticket ClaimCoordinator::OpenRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
   const Ticket ticket = next_ticket_++;
   if (wounded_.size() <= ticket) wounded_.resize(ticket + 1, 0);
   return ticket;
@@ -19,6 +20,7 @@ Ticket ClaimCoordinator::OpenRequest() {
 bool ClaimCoordinator::TryClaim(Ticket ticket,
                                 const std::vector<graph::VertexId>& members) {
   NELA_CHECK_NE(ticket, kNoTicket);
+  std::lock_guard<std::mutex> lock(mu_);
   // Pass 1: inspect every contended member. An older holder anywhere means
   // the whole claim fails; younger holders will be wounded.
   std::vector<Ticket> to_wound;
@@ -48,6 +50,7 @@ bool ClaimCoordinator::TryClaim(Ticket ticket,
 
 bool ClaimCoordinator::WasWounded(Ticket ticket) {
   NELA_CHECK_NE(ticket, kNoTicket);
+  std::lock_guard<std::mutex> lock(mu_);
   if (ticket >= wounded_.size() || !wounded_[ticket]) return false;
   wounded_[ticket] = 0;
   return true;
@@ -55,6 +58,7 @@ bool ClaimCoordinator::WasWounded(Ticket ticket) {
 
 void ClaimCoordinator::Release(Ticket ticket) {
   NELA_CHECK_NE(ticket, kNoTicket);
+  std::lock_guard<std::mutex> lock(mu_);
   for (Ticket& h : holder_) {
     if (h == ticket) h = kNoTicket;
   }
@@ -62,6 +66,7 @@ void ClaimCoordinator::Release(Ticket ticket) {
 
 Ticket ClaimCoordinator::HolderOf(graph::VertexId v) const {
   NELA_CHECK_LT(v, holder_.size());
+  std::lock_guard<std::mutex> lock(mu_);
   return holder_[v];
 }
 
@@ -73,22 +78,6 @@ ConcurrentCloakingSession::ConcurrentCloakingSession(const graph::Wpg& graph,
   NELA_CHECK(registry != nullptr);
   NELA_CHECK_EQ(registry->user_count(), graph.vertex_count());
 }
-
-namespace {
-
-// Snapshot of the authoritative registry for a speculative phase-1 run.
-std::unique_ptr<Registry> SnapshotRegistry(const Registry& source) {
-  auto scratch = std::make_unique<Registry>(source.user_count());
-  for (ClusterId id = 0; id < source.cluster_count(); ++id) {
-    const ClusterInfo& info = source.info(id);
-    auto copied =
-        scratch->Register(info.members, info.connectivity, info.valid);
-    NELA_CHECK(copied.ok());
-  }
-  return scratch;
-}
-
-}  // namespace
 
 util::Result<std::vector<ConcurrentOutcome>>
 ConcurrentCloakingSession::RunAll(const std::vector<graph::VertexId>& hosts) {
@@ -159,7 +148,7 @@ ConcurrentCloakingSession::RunAll(const std::vector<graph::VertexId>& hosts) {
       }
 
       // Speculative phase 1 on a snapshot.
-      std::unique_ptr<Registry> scratch = SnapshotRegistry(*registry_);
+      std::unique_ptr<Registry> scratch = registry_->Snapshot();
       const ClusterId first_new = scratch->cluster_count();
       DistributedTConnClusterer clusterer(graph_, k_, scratch.get());
       auto speculative = clusterer.ClusterFor(request.host);

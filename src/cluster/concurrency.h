@@ -24,6 +24,7 @@
 #define NELA_CLUSTER_CONCURRENCY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "cluster/clusterer.h"
@@ -38,6 +39,9 @@ namespace nela::cluster {
 using Ticket = uint64_t;
 inline constexpr Ticket kNoTicket = 0;
 
+// Thread safety: every operation is atomic under an internal mutex, so
+// genuinely parallel requests (sim::BatchDriver worker threads) and the
+// single-threaded round-robin simulation share the same coordinator code.
 class ClaimCoordinator {
  public:
   explicit ClaimCoordinator(uint32_t user_count);
@@ -70,10 +74,17 @@ class ClaimCoordinator {
   // Holder of user `v`, or kNoTicket.
   Ticket HolderOf(graph::VertexId v) const;
 
-  uint64_t conflicts_observed() const { return conflicts_; }
-  uint64_t wounds_inflicted() const { return wounds_; }
+  uint64_t conflicts_observed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return conflicts_;
+  }
+  uint64_t wounds_inflicted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wounds_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<Ticket> holder_;
   std::vector<uint8_t> wounded_;  // indexed by ticket (grown on demand)
   Ticket next_ticket_ = 1;

@@ -34,7 +34,7 @@ DistributedTConnClusterer::DistributedTConnClusterer(const graph::Wpg& graph,
 }
 
 util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
-    graph::VertexId host) {
+    graph::VertexId host, net::RequestScope* scope) {
   const uint32_t n = graph_.vertex_count();
   if (host >= n) {
     return util::InvalidArgumentError("host vertex out of range");
@@ -74,7 +74,7 @@ util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
     }
     const net::SendOutcome sent = net::SendWithRetry(
         *network_, v, host, net::MessageKind::kAdjacencyExchange,
-        8ull * graph_.Degree(v), retry_policy_, retry_rng_);
+        8ull * graph_.Degree(v), retry_policy_, retry_rng_, scope);
     if (sent.attempts > 0) mark_involved(v);
     if (sent.delivered) {
       exchanged[v] = 1;

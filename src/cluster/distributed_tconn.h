@@ -45,7 +45,9 @@ class DistributedTConnClusterer : public Clusterer {
                             Registry* registry,
                             net::Network* network = nullptr);
 
-  util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) override;
+  using Clusterer::ClusterFor;
+  util::Result<ClusteringOutcome> ClusterFor(
+      graph::VertexId host, net::RequestScope* scope) override;
   const char* name() const override { return "t-Conn"; }
   uint32_t k() const override { return k_; }
 

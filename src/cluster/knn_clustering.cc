@@ -20,20 +20,20 @@ KnnClusterer::KnnClusterer(const graph::Wpg& graph, uint32_t k,
 }
 
 util::Result<ClusteringOutcome> KnnClusterer::ClusterFor(
-    graph::VertexId host) {
+    graph::VertexId host, net::RequestScope* scope) {
   if (host >= graph_.vertex_count()) {
     return util::InvalidArgumentError("host vertex out of range");
   }
   if (reuse_ == KnnReuse::kReciprocal && registry_->IsClustered(host)) {
     return ClusteringOutcome{registry_->ClusterOf(host), 0, true};
   }
-  return expansion_ == KnnExpansion::kHopLayered ? HopLayered(host)
-                                                 : ShortestPath(host);
+  return expansion_ == KnnExpansion::kHopLayered ? HopLayered(host, scope)
+                                                 : ShortestPath(host, scope);
 }
 
 util::Result<ClusteringOutcome> KnnClusterer::Finish(
     graph::VertexId host, std::vector<graph::VertexId> members, double reach,
-    const std::vector<graph::VertexId>& contacted) {
+    const std::vector<graph::VertexId>& contacted, net::RequestScope* scope) {
   const bool valid = members.size() >= k_;
   auto registered = registry_->Register(std::move(members), reach, valid);
   if (!registered.ok()) return registered.status();
@@ -41,7 +41,7 @@ util::Result<ClusteringOutcome> KnnClusterer::Finish(
     for (graph::VertexId v : contacted) {
       if (v != host) {
         network_->Send(v, host, net::MessageKind::kAdjacencyExchange,
-                       8ull * graph_.Degree(v));
+                       8ull * graph_.Degree(v), scope);
       }
     }
   }
@@ -50,7 +50,7 @@ util::Result<ClusteringOutcome> KnnClusterer::Finish(
 }
 
 util::Result<ClusteringOutcome> KnnClusterer::HopLayered(
-    graph::VertexId host) {
+    graph::VertexId host, net::RequestScope* scope) {
   // Ring 0 is the host; each subsequent ring is discovered from the
   // adjacency lists of the users contacted in the previous ring. Within a
   // ring, users are contacted in (cheapest discovery edge, tie-break)
@@ -94,11 +94,11 @@ util::Result<ClusteringOutcome> KnnClusterer::HopLayered(
       }
     }
   }
-  return Finish(host, std::move(members), reach, contacted);
+  return Finish(host, std::move(members), reach, contacted, scope);
 }
 
 util::Result<ClusteringOutcome> KnnClusterer::ShortestPath(
-    graph::VertexId host) {
+    graph::VertexId host, net::RequestScope* scope) {
   // Dijkstra from the host; settle vertices in (distance, tie-break) order
   // and harvest un-clustered ones until k are gathered (the host included).
   using Key = std::tuple<double, uint32_t, graph::VertexId>;
@@ -139,7 +139,7 @@ util::Result<ClusteringOutcome> KnnClusterer::ShortestPath(
       }
     }
   }
-  return Finish(host, std::move(members), reach, contacted);
+  return Finish(host, std::move(members), reach, contacted, scope);
 }
 
 }  // namespace nela::cluster

@@ -13,6 +13,7 @@ util::Result<ClusterId> Registry::Register(
   if (members.empty()) {
     return util::InvalidArgumentError("cluster must have members");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   for (graph::VertexId v : members) {
     if (v >= cluster_of_.size()) {
       return util::InvalidArgumentError("member id out of range");
@@ -36,14 +37,34 @@ util::Result<ClusterId> Registry::Register(
   }
   clusters_.push_back(
       ClusterInfo{std::move(members), connectivity, valid, std::nullopt});
+  ++version_;
   return id;
 }
 
 void Registry::SetRegion(ClusterId id, const geo::Rect& region) {
+  std::lock_guard<std::mutex> lock(mu_);
   NELA_CHECK_LT(id, clusters_.size());
   NELA_CHECK(!clusters_[id].region.has_value());
   NELA_CHECK(!region.empty());
   clusters_[id].region = region;
+}
+
+std::unique_ptr<Registry> Registry::Snapshot(uint64_t* version_out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto copy = std::make_unique<Registry>(
+      static_cast<uint32_t>(cluster_of_.size()), allow_overlap_);
+  // Bypass Register: replay the internal state directly so the copy is an
+  // exact membership image (including invalid clusters) at this version.
+  copy->cluster_of_ = cluster_of_;
+  copy->active_ = active_;
+  copy->clustered_users_ = clustered_users_;
+  copy->version_ = version_;
+  for (const ClusterInfo& info : clusters_) {
+    copy->clusters_.push_back(
+        ClusterInfo{info.members, info.connectivity, info.valid, std::nullopt});
+  }
+  if (version_out != nullptr) *version_out = version_;
+  return copy;
 }
 
 }  // namespace nela::cluster

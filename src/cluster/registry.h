@@ -11,6 +11,9 @@
 #define NELA_CLUSTER_REGISTRY_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -35,6 +38,16 @@ struct ClusterInfo {
   std::optional<geo::Rect> region;
 };
 
+// Thread safety: mutations (Register, SetRegion) and the scalar accessors
+// are serialized on an internal mutex, so concurrent requests
+// (sim::BatchDriver workers) may share a registry. Clusters live in a deque,
+// which keeps info() references stable across later Register calls --
+// membership is immutable once registered, so reading a committed cluster's
+// members never races (the region field is published under the mutex and
+// must be read through `info(id).region` only after a reuse decision made
+// under external coordination, e.g. the batch driver's commit turnstile).
+// active() returns a reference into live state and is only safe while no
+// concurrent Register runs; speculative concurrent runs use Snapshot().
 class Registry {
  public:
   // `allow_overlap` relaxes the uniqueness invariant for baseline studies:
@@ -52,24 +65,37 @@ class Registry {
     return static_cast<uint32_t>(cluster_of_.size());
   }
   uint32_t cluster_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint32_t>(clusters_.size());
   }
-  uint32_t clustered_user_count() const { return clustered_users_; }
+  uint32_t clustered_user_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return clustered_users_;
+  }
 
   bool IsClustered(graph::VertexId v) const {
-    NELA_CHECK_LT(v, cluster_of_.size());
-    return cluster_of_[v] != kNoCluster;
+    return ClusterOf(v) != kNoCluster;
   }
 
   // kNoCluster when v is not yet clustered.
   ClusterId ClusterOf(graph::VertexId v) const {
     NELA_CHECK_LT(v, cluster_of_.size());
+    std::lock_guard<std::mutex> lock(mu_);
     return cluster_of_[v];
   }
 
   const ClusterInfo& info(ClusterId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     NELA_CHECK_LT(id, clusters_.size());
     return clusters_[id];
+  }
+
+  // Race-free by-value read of a cluster's region, for readers that cannot
+  // rely on external coordination against a concurrent SetRegion.
+  std::optional<geo::Rect> RegionOf(ClusterId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    NELA_CHECK_LT(id, clusters_.size());
+    return clusters_[id].region;
   }
 
   // Registers a new cluster. Fails when `members` is empty or any member is
@@ -81,15 +107,33 @@ class Registry {
   void SetRegion(ClusterId id, const geo::Rect& region);
 
   // active()[v] is true while v is unclustered -- the "remaining WPG" mask
-  // the distributed algorithms operate on.
+  // the distributed algorithms operate on. Single-writer only; see the
+  // class comment.
   const std::vector<bool>& active() const { return active_; }
+
+  // Membership version: bumped by every Register (not by SetRegion).
+  // Speculative executions validate their snapshot against it before
+  // committing -- an unchanged version proves the membership state they
+  // computed from is still the authoritative one.
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
+  // Deep-copies the membership state (members, connectivity, validity --
+  // regions are not copied; speculation only needs membership) into a fresh
+  // registry, atomically with the returned version. The copy is private to
+  // the caller and safe to mutate off-thread.
+  std::unique_ptr<Registry> Snapshot(uint64_t* version_out = nullptr) const;
 
  private:
   bool allow_overlap_;
+  mutable std::mutex mu_;
   std::vector<ClusterId> cluster_of_;
   std::vector<bool> active_;
-  std::vector<ClusterInfo> clusters_;
+  std::deque<ClusterInfo> clusters_;
   uint32_t clustered_users_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace nela::cluster

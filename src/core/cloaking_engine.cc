@@ -2,8 +2,10 @@
 
 #include <string>
 #include <utility>
+#include <vector>
 
-#include "bounding/protocol.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
 
 namespace nela::core {
 
@@ -31,6 +33,12 @@ void CloakingEngine::SetRetryPolicy(const net::BackoffPolicy& policy,
 
 util::Result<CloakingOutcome> CloakingEngine::RequestCloaking(
     data::UserId host) {
+  RequestContext ctx(master_seed_, next_ordinal_++, host);
+  return RequestCloaking(host, ctx);
+}
+
+util::Result<CloakingOutcome> CloakingEngine::RequestCloaking(
+    data::UserId host, RequestContext& ctx) {
   if (host >= dataset_.size()) {
     return util::InvalidArgumentError("host out of range");
   }
@@ -38,131 +46,31 @@ util::Result<CloakingOutcome> CloakingEngine::RequestCloaking(
     return util::UnavailableError("host " + std::to_string(host) +
                                   " is offline");
   }
-  CloakingOutcome outcome;
-  // Retry/timeout accounting is read back as a delta over the network's
-  // per-kind counters, so phase-1 retransmissions are included too.
-  const net::RetryStats retry_before =
-      network_ != nullptr ? network_->total_retry_stats() : net::RetryStats{};
-  auto finalize_degradation = [&]() {
-    if (network_ == nullptr) return;
-    const net::RetryStats now = network_->total_retry_stats();
-    outcome.degradation.retries = now.retries - retry_before.retries;
-    outcome.degradation.timeouts =
-        now.timeouts_observed - retry_before.timeouts_observed;
-    outcome.degradation.retransmitted_bytes =
-        now.retransmitted_bytes - retry_before.retransmitted_bytes;
-  };
 
-  // Phase 1: k-clustering. Reciprocal clusterers answer a previously
-  // clustered host from the registry at zero cost (step (1) of Fig. 3);
-  // baseline clusterers may always form a fresh cluster.
-  auto clustering = clusterer_->ClusterFor(host);
-  if (!clustering.ok()) return clustering.status();
-  outcome.cluster_id = clustering.value().cluster_id;
-  outcome.cluster_reused = clustering.value().reused;
-  outcome.clustering_messages = clustering.value().involved_users;
-  const uint32_t phase1_members_lost = clustering.value().members_lost;
-  outcome.degradation.members_lost = phase1_members_lost;
-  const cluster::ClusterInfo& info = registry_->info(outcome.cluster_id);
-  outcome.anonymity_satisfied = info.valid;
+  PipelineState state;
+  state.host = host;
+  state.k = clusterer_->k();
 
-  if (info.region.has_value()) {
-    // Phase 2 already ran for this cluster (the host, or another member,
-    // triggered it earlier) -- the shared region is reused as is.
-    outcome.region = *info.region;
-    outcome.region_reused = outcome.cluster_reused;
-    finalize_degradation();
-    return outcome;
-  }
+  ResolveReuseStage resolve_reuse(clusterer_.get(), registry_);
+  ClusterStage cluster(clusterer_.get(), registry_);
+  ClaimCommitStage claim_commit;
+  SecureBoundStage::Config bound_config;
+  bound_config.dataset = &dataset_;
+  bound_config.policy_factory = &policy_factory_;
+  bound_config.mode = mode_;
+  bound_config.network = network_;
+  bound_config.retry = retry_policy_;
+  bound_config.jitter_rng = retry_rng_;
+  bound_config.max_phase_retries = max_phase_retries_;
+  SecureBoundStage secure_bound(bound_config);
+  PublishStage publish(registry_, &secure_bound);
 
-  // Phase 2: secure bounding over the members' private coordinates.
-  // Members that crashed since phase 1 are excluded up front; members that
-  // crash mid-protocol surface as kUnavailable from the bounding run, and
-  // the phase is retried over the survivors -- as long as at least k of
-  // them remain. All failure paths leave the region empty: no partial
-  // bound ever escapes.
-  const uint32_t k = clusterer_->k();
-  for (uint32_t phase_attempt = 0;; ++phase_attempt) {
-    std::vector<geo::Point> member_points;
-    std::vector<net::NodeId> node_ids;
-    member_points.reserve(info.members.size());
-    node_ids.reserve(info.members.size());
-    for (graph::VertexId member : info.members) {
-      if (network_ != nullptr && !network_->IsAlive(member)) continue;
-      member_points.push_back(dataset_.point(member));
-      node_ids.push_back(member);
-    }
-    const uint32_t survivors = static_cast<uint32_t>(node_ids.size());
-    // Recomputed each attempt from the registry's membership, so retries
-    // never double-count a lost member.
-    outcome.degradation.members_lost =
-        phase1_members_lost +
-        (static_cast<uint32_t>(info.members.size()) - survivors);
-    if (network_ != nullptr && !network_->IsAlive(host)) {
-      finalize_degradation();
-      return util::UnavailableError("host " + std::to_string(host) +
-                                    " crashed before bounding");
-    }
-    if (network_ != nullptr && survivors < k) {
-      // Anonymity can no longer be satisfied; degrade gracefully instead
-      // of exposing anyone: empty region, structured reason.
-      outcome.anonymity_satisfied = false;
-      outcome.region = geo::Rect();
-      outcome.degradation.failure_code = util::StatusCode::kFailedPrecondition;
-      outcome.degradation.failure_reason =
-          "cluster fell below k after member churn (" +
-          std::to_string(survivors) + " of " +
-          std::to_string(info.members.size()) + " members survive, k=" +
-          std::to_string(k) + ")";
-      finalize_degradation();
-      return outcome;
-    }
-
-    bounding::NetworkBinding binding;
-    if (network_ != nullptr) {
-      binding.network = network_;
-      binding.host = host;
-      binding.node_ids = &node_ids;
-      binding.retry = retry_policy_;
-      binding.retry_rng = retry_rng_;
-    }
-
-    bounding::RegionBoundingResult bounded;
-    if (mode_ == BoundingMode::kOptBaseline) {
-      bounded = bounding::ComputeOptRegion(member_points, binding);
-    } else {
-      std::unique_ptr<bounding::IncrementPolicy> policy =
-          policy_factory_(static_cast<uint32_t>(member_points.size()));
-      auto run = bounding::ComputeCloakedRegion(
-          member_points, dataset_.point(host), *policy, binding);
-      if (!run.ok()) {
-        if (run.status().code() == util::StatusCode::kUnavailable &&
-            phase_attempt < max_phase_retries_) {
-          // A member crashed mid-protocol: drop it (the liveness filter at
-          // the top of the loop picks that up) and re-run bounding.
-          ++outcome.degradation.phases_retried;
-          continue;
-        }
-        // Retry budget exhausted (kDeadlineExceeded) or churn beyond the
-        // phase-retry budget: report a structured failure, never a region
-        // computed from partial protocol state.
-        outcome.anonymity_satisfied = false;
-        outcome.region = geo::Rect();
-        outcome.degradation.failure_code = run.status().code();
-        outcome.degradation.failure_reason = run.status().message();
-        finalize_degradation();
-        return outcome;
-      }
-      bounded = std::move(run).value();
-    }
-    registry_->SetRegion(outcome.cluster_id, bounded.region);
-    outcome.region = bounded.region;
-    outcome.bounding_verifications = bounded.verifications;
-    outcome.bounding_iterations = bounded.iterations;
-    outcome.bounding_cpu_seconds = bounded.cpu_seconds;
-    finalize_degradation();
-    return outcome;
-  }
+  const std::vector<Stage*> stages = {&resolve_reuse, &cluster, &claim_commit,
+                                      &secure_bound, &publish};
+  const util::Status status = RunPipeline(stages, ctx, state);
+  FinalizeDegradation(ctx, &state.outcome);
+  if (!status.ok()) return status;
+  return std::move(state.outcome);
 }
 
 }  // namespace nela::core

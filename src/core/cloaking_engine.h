@@ -32,6 +32,7 @@
 #include "cluster/clusterer.h"
 #include "cluster/registry.h"
 #include "core/policy_factory.h"
+#include "core/request_context.h"
 #include "data/dataset.h"
 #include "geo/rect.h"
 #include "net/network.h"
@@ -44,19 +45,28 @@ namespace nela::core {
 // Structured account of everything fault tolerance had to do (or failed to
 // do) for one request. failure_reason never contains a coordinate or a
 // bound value -- only counters, node ids, and status text.
+//
+// Assembled by core::FinalizeDegradation from the per-stage records and
+// the request's scoped traffic accounting: the aggregate fields below are
+// sums/projections of `stages`, kept for ergonomic access.
 struct DegradationReport {
-  // Message retransmissions and observed timeouts across both phases.
+  // One record per pipeline stage, in execution order (including skipped
+  // stages, with ran = false). The authoritative per-stage account.
+  std::vector<StageRecord> stages;
+  // Message retransmissions and observed timeouts across both phases
+  // (from the request's net::RequestScope).
   uint64_t retries = 0;
   uint64_t timeouts = 0;
   uint64_t retransmitted_bytes = 0;
   // Members that churned out of the cluster (phase 1 exclusions plus
-  // crashes between/within phases).
+  // crashes between/within phases). Summed over stage records.
   uint32_t members_lost = 0;
   // Times phase 2 was re-run over the surviving members.
   uint32_t phases_retried = 0;
   // kOk on the happy path; kFailedPrecondition (survivors < k),
-  // kDeadlineExceeded (retry budget / iteration cap), or kUnavailable
-  // (irrecoverable churn) otherwise.
+  // kDeadlineExceeded (retry budget / iteration cap / request deadline),
+  // or kUnavailable (irrecoverable churn) otherwise. The code of the first
+  // stage record that did not finish kOk.
   util::StatusCode failure_code = util::StatusCode::kOk;
   std::string failure_reason;
 
@@ -110,10 +120,23 @@ class CloakingEngine {
   void SetRetryPolicy(const net::BackoffPolicy& policy, util::Rng* jitter_rng,
                       uint32_t max_phase_retries = 3);
 
+  // Seed from which every request's private RNG sub-stream is derived (see
+  // RequestContext::DeriveStreamSeed). Affects only contexts the engine
+  // creates itself via the one-argument RequestCloaking.
+  void set_master_seed(uint64_t seed) { master_seed_ = seed; }
+
   // Executes the workflow for one host request. Fails with kUnavailable
   // when the host itself is offline; cluster- or network-level degradation
-  // is reported inside the outcome instead (see DegradationReport).
+  // is reported inside the outcome instead (see DegradationReport). Creates
+  // a fresh RequestContext (ordinal = number of prior requests on this
+  // engine) and runs the staged pipeline.
   util::Result<CloakingOutcome> RequestCloaking(data::UserId host);
+
+  // Same workflow against a caller-owned context: the caller picks the
+  // RNG sub-stream, deadline, and trace sink, and reads the per-request
+  // accounting back from ctx.scope() afterwards.
+  util::Result<CloakingOutcome> RequestCloaking(data::UserId host,
+                                                RequestContext& ctx);
 
   const cluster::Registry& registry() const { return *registry_; }
   cluster::Clusterer& clusterer() { return *clusterer_; }
@@ -128,6 +151,8 @@ class CloakingEngine {
   net::BackoffPolicy retry_policy_;
   util::Rng* retry_rng_ = nullptr;
   uint32_t max_phase_retries_ = 3;
+  uint64_t master_seed_ = 0;
+  uint64_t next_ordinal_ = 0;
 };
 
 }  // namespace nela::core

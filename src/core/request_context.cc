@@ -1,0 +1,46 @@
+#include "core/request_context.h"
+
+namespace nela::core {
+
+namespace {
+
+// SplitMix64 output function: a bijective avalanche mix, so distinct
+// (master_seed, ordinal) pairs land on well-separated stream seeds even for
+// consecutive ordinals.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t RequestContext::DeriveStreamSeed(uint64_t master_seed,
+                                          uint64_t ordinal) {
+  // master_seed x ordinal, avalanche-mixed twice so neither coordinate can
+  // cancel the other (ordinal+1 keeps ordinal 0 from collapsing the mix).
+  return Mix64(master_seed ^ Mix64((ordinal + 1) * 0x9e3779b97f4a7c15ull));
+}
+
+RequestContext::RequestContext(uint64_t master_seed, uint64_t ordinal,
+                               data::UserId host)
+    : master_seed_(master_seed), ordinal_(ordinal), host_(host),
+      rng_(DeriveStreamSeed(master_seed, ordinal)) {}
+
+std::string TraceSink::ToString() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += event.stage;
+    out += ' ';
+    out += util::StatusCodeName(event.code);
+    if (!event.detail.empty()) {
+      out += ' ';
+      out += event.detail;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nela::core

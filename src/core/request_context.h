@@ -1,0 +1,118 @@
+// Request-scoped execution context, threaded explicitly through every layer
+// of the cloaking pipeline.
+//
+// One RequestContext exists per cloaking request and carries everything
+// whose previous home was engine- or process-global mutable state:
+//
+//  * a seeded RNG sub-stream derived from (master_seed, request_ordinal),
+//    so a batch of requests draws bit-identical randomness regardless of
+//    how its requests are scheduled across worker threads;
+//  * a simulated-time deadline budget;
+//  * a structured trace sink recording one event per pipeline stage (the
+//    per-request observability the DegradationReport is assembled from);
+//  * a net::RequestScope -- per-request traffic/retry accounting that rolls
+//    up into the Network's global counters instead of being diffed out of
+//    them (which is only correct with one request in flight).
+//
+// A context is owned by one request and touched by one thread at a time.
+
+#ifndef NELA_CORE_REQUEST_CONTEXT_H_
+#define NELA_CORE_REQUEST_CONTEXT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "net/accounting.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nela::core {
+
+// One structured event per pipeline stage. `detail` carries deterministic
+// facts only (ids, counts, coordinates of the public region) -- never wall
+// time and never a private member coordinate -- so concatenated traces are
+// bit-identical across runs and thread counts.
+struct TraceEvent {
+  std::string stage;
+  util::StatusCode code = util::StatusCode::kOk;
+  std::string detail;
+};
+
+class TraceSink {
+ public:
+  void Record(std::string stage, util::StatusCode code, std::string detail) {
+    events_.push_back(
+        TraceEvent{std::move(stage), code, std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // One "stage code detail" line per event; the canonical per-request trace
+  // output compared byte-for-byte by the determinism tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Structured account of one pipeline stage's execution, the unit the
+// DegradationReport is assembled from. `detail` mirrors the trace event's
+// deterministic facts; the counters attribute fault-tolerance work to the
+// stage that performed it.
+struct StageRecord {
+  std::string stage;
+  util::StatusCode code = util::StatusCode::kOk;
+  // False when the stage was skipped (an earlier stage finished or
+  // degraded the request).
+  bool ran = false;
+  std::string detail;
+  // Members that churned out during this stage.
+  uint32_t members_lost = 0;
+  // Times this stage re-ran itself over survivors.
+  uint32_t phases_retried = 0;
+};
+
+class RequestContext {
+ public:
+  // Derives the request's private RNG stream from the batch master seed and
+  // the request ordinal. Mixing (SplitMix64-style) keeps the streams
+  // statistically independent; deriving from the *ordinal* (not the worker
+  // or the arrival order) makes a batch bit-identical under any scheduling.
+  RequestContext(uint64_t master_seed, uint64_t ordinal, data::UserId host);
+
+  static uint64_t DeriveStreamSeed(uint64_t master_seed, uint64_t ordinal);
+
+  uint64_t master_seed() const { return master_seed_; }
+  uint64_t ordinal() const { return ordinal_; }
+  data::UserId host() const { return host_; }
+
+  util::Rng& rng() { return rng_; }
+  net::RequestScope& scope() { return scope_; }
+  const net::RequestScope& scope() const { return scope_; }
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
+
+  // Simulated-time budget for the whole request (latency + backoff consumed
+  // by its traffic). Infinite by default.
+  void set_deadline_ms(double deadline_ms) { deadline_ms_ = deadline_ms; }
+  double deadline_ms() const { return deadline_ms_; }
+  bool DeadlineExpired() const {
+    return scope_.simulated_ms() > deadline_ms_;
+  }
+
+ private:
+  uint64_t master_seed_;
+  uint64_t ordinal_;
+  data::UserId host_;
+  util::Rng rng_;
+  net::RequestScope scope_;
+  TraceSink trace_;
+  double deadline_ms_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace nela::core
+
+#endif  // NELA_CORE_REQUEST_CONTEXT_H_

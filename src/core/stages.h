@@ -1,0 +1,126 @@
+// The five concrete stages of the cloaking pipeline (see pipeline.h).
+//
+// Stages are thin, stateless adapters over the subsystems they drive; they
+// are cheap to construct per request, and both CloakingEngine and
+// sim::BatchDriver assemble their pipelines from these same classes so a
+// request is invoked, traced, and degraded identically in either driver.
+
+#ifndef NELA_CORE_STAGES_H_
+#define NELA_CORE_STAGES_H_
+
+#include <cstdint>
+
+#include "cluster/clusterer.h"
+#include "cluster/registry.h"
+#include "core/pipeline.h"
+#include "core/policy_factory.h"
+#include "data/dataset.h"
+#include "net/network.h"
+#include "net/retry.h"
+#include "util/rng.h"
+
+namespace nela::core {
+
+// Step (1) of Fig. 3: a reciprocity-preserving clusterer answers a
+// previously clustered host straight from the registry -- with its shared
+// region if phase 2 already ran (request done), or cluster-only if not.
+// Deliberately inert for non-reciprocal clusterers (the kNN baseline must
+// keep forming fresh clusters; masking that would hide exactly the
+// reciprocity violation the paper criticizes).
+class ResolveReuseStage : public Stage {
+ public:
+  ResolveReuseStage(cluster::Clusterer* clusterer,
+                    cluster::Registry* registry)
+      : clusterer_(clusterer), registry_(registry) {}
+
+  const char* name() const override { return "resolve_reuse"; }
+  util::Status Run(RequestContext& ctx, PipelineState& state,
+                   StageRecord& record) override;
+
+ private:
+  cluster::Clusterer* clusterer_;
+  cluster::Registry* registry_;
+};
+
+// Phase 1: runs the configured clusterer for the host (no-op when
+// ResolveReuse already located the cluster) and re-serves an existing
+// shared region should the cluster already have one.
+class ClusterStage : public Stage {
+ public:
+  ClusterStage(cluster::Clusterer* clusterer, cluster::Registry* registry)
+      : clusterer_(clusterer), registry_(registry) {}
+
+  const char* name() const override { return "cluster"; }
+  util::Status Run(RequestContext& ctx, PipelineState& state,
+                   StageRecord& record) override;
+
+ private:
+  cluster::Clusterer* clusterer_;
+  cluster::Registry* registry_;
+};
+
+// §VII concurrency control: claims the cluster's members through the
+// wound-wait coordinator in state.coordinator (opened ticket required).
+// With no coordinator configured -- the single-request engine -- the stage
+// records itself as a no-op. The claim is released by RunPipeline when the
+// walk ends.
+class ClaimCommitStage : public Stage {
+ public:
+  const char* name() const override { return "claim_commit"; }
+  util::Status Run(RequestContext& ctx, PipelineState& state,
+                   StageRecord& record) override;
+};
+
+// Phase 2: secure progressive bounding over the members' private
+// coordinates, with the engine's degradation semantics (liveness filter,
+// below-k degrade, phase retries over survivors, deadline budget). Leaves
+// the computed box in state.outcome/.bounded without publishing it.
+class SecureBoundStage : public Stage {
+ public:
+  struct Config {
+    const data::Dataset* dataset = nullptr;
+    const PolicyFactory* policy_factory = nullptr;
+    BoundingMode mode = BoundingMode::kSecureProtocol;
+    net::Network* network = nullptr;
+    net::BackoffPolicy retry;
+    // Backoff jitter source; null disables jitter.
+    util::Rng* jitter_rng = nullptr;
+    // When set, jitter draws from ctx.rng() (the request's private
+    // sub-stream) instead of jitter_rng -- the deterministic-batch mode.
+    bool jitter_from_context = false;
+    uint32_t max_phase_retries = 3;
+  };
+
+  explicit SecureBoundStage(const Config& config) : config_(config) {}
+
+  const char* name() const override { return "secure_bound"; }
+  util::Status Run(RequestContext& ctx, PipelineState& state,
+                   StageRecord& record) override;
+
+  // The bounded region of the last successful run (consumed by Publish).
+  const bounding::RegionBoundingResult& bounded() const { return bounded_; }
+
+ private:
+  Config config_;
+  bounding::RegionBoundingResult bounded_;
+};
+
+// Publishes the bounded region as the cluster's shared region in the
+// registry -- the only stage that writes a region anywhere.
+class PublishStage : public Stage {
+ public:
+  PublishStage(cluster::Registry* registry, const SecureBoundStage* bound)
+      : registry_(registry), bound_(bound) {}
+
+  const char* name() const override { return "publish"; }
+  util::Status Run(RequestContext& ctx, PipelineState& state,
+                   StageRecord& record) override;
+
+ private:
+  cluster::Registry* registry_;
+  const SecureBoundStage* bound_;
+};
+
+}  // namespace nela::core
+
+#endif  // NELA_CORE_STAGES_H_

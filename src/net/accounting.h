@@ -1,0 +1,83 @@
+// Request-scoped traffic and retry accounting.
+//
+// The Network keeps global counters describing the whole simulation; a
+// RequestScope describes exactly one cloaking request. Every send-path entry
+// point (Network::Send, Network::RecordRetry/RecordTimeoutObserved,
+// net::SendWithRetry) optionally takes a scope and records into it in
+// addition to the global counters, so the global view is always the rollup
+// of the per-request scopes plus unscoped background traffic. Two in-flight
+// requests therefore never interleave their accounting: each reads its own
+// scope instead of diffing the global counters around its execution window
+// (which is only correct when exactly one request runs at a time).
+//
+// A scope is owned by one request and touched by one thread at a time; it
+// needs no locking of its own.
+
+#ifndef NELA_NET_ACCOUNTING_H_
+#define NELA_NET_ACCOUNTING_H_
+
+#include <cstdint>
+
+namespace nela::net {
+
+struct ScopeStats {
+  // Delivered traffic attributed to this request.
+  uint64_t messages_delivered = 0;
+  uint64_t bytes_delivered = 0;
+  // Send attempts that failed (loss, latency timeout, dead endpoint).
+  uint64_t messages_failed = 0;
+  // Retry accounting (fed by SendWithRetry).
+  uint64_t retries = 0;
+  uint64_t timeouts_observed = 0;
+  uint64_t retransmitted_bytes = 0;
+  // Simulated time spent in this request's traffic: delivery latency of its
+  // messages plus backoff waited across its retries. Drives deadlines.
+  double latency_ms = 0.0;
+  double backoff_ms = 0.0;
+};
+
+class RequestScope {
+ public:
+  RequestScope() = default;
+
+  const ScopeStats& stats() const { return stats_; }
+
+  // Simulated milliseconds this request has consumed so far.
+  double simulated_ms() const {
+    return stats_.latency_ms + stats_.backoff_ms;
+  }
+
+  // Rolls `other` into this scope (e.g. a speculative attempt's scope into
+  // the request's final accounting).
+  void MergeFrom(const RequestScope& other) {
+    stats_.messages_delivered += other.stats_.messages_delivered;
+    stats_.bytes_delivered += other.stats_.bytes_delivered;
+    stats_.messages_failed += other.stats_.messages_failed;
+    stats_.retries += other.stats_.retries;
+    stats_.timeouts_observed += other.stats_.timeouts_observed;
+    stats_.retransmitted_bytes += other.stats_.retransmitted_bytes;
+    stats_.latency_ms += other.stats_.latency_ms;
+    stats_.backoff_ms += other.stats_.backoff_ms;
+  }
+
+  // Mutation entry points for the network/retry layer.
+  void RecordDelivered(uint64_t bytes, double latency_ms) {
+    ++stats_.messages_delivered;
+    stats_.bytes_delivered += bytes;
+    stats_.latency_ms += latency_ms;
+  }
+  void RecordFailed() { ++stats_.messages_failed; }
+  void RecordRetry(uint64_t bytes) {
+    ++stats_.retries;
+    stats_.retransmitted_bytes += bytes;
+  }
+  void RecordTimeoutObserved() { ++stats_.timeouts_observed; }
+  void RecordBackoff(double backoff_ms) { stats_.backoff_ms += backoff_ms; }
+
+ private:
+  ScopeStats stats_;
+};
+
+}  // namespace nela::net
+
+#endif  // NELA_NET_ACCOUNTING_H_

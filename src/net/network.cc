@@ -4,51 +4,61 @@
 
 namespace nela::net {
 
+namespace {
+
+// One entry per MessageKind enumerator, in declaration order. The
+// static_assert ties the table to kMessageKindCount: adding a kind without
+// extending the table (or vice versa) is a compile error, not silent drift.
+constexpr const char* kMessageKindNames[] = {
+    "adjacency_exchange",  // kAdjacencyExchange
+    "cluster_assignment",  // kClusterAssignment
+    "bound_proposal",      // kBoundProposal
+    "bound_vote",          // kBoundVote
+    "service_request",     // kServiceRequest
+    "service_reply",       // kServiceReply
+    "control",             // kControl
+};
+static_assert(sizeof(kMessageKindNames) / sizeof(kMessageKindNames[0]) ==
+                  static_cast<size_t>(kMessageKindCount),
+              "MessageKind name table out of sync with kMessageKindCount");
+
+}  // namespace
+
 const char* MessageKindName(MessageKind kind) {
-  switch (kind) {
-    case MessageKind::kAdjacencyExchange:
-      return "adjacency_exchange";
-    case MessageKind::kClusterAssignment:
-      return "cluster_assignment";
-    case MessageKind::kBoundProposal:
-      return "bound_proposal";
-    case MessageKind::kBoundVote:
-      return "bound_vote";
-    case MessageKind::kServiceRequest:
-      return "service_request";
-    case MessageKind::kServiceReply:
-      return "service_reply";
-    case MessageKind::kControl:
-      return "control";
-  }
-  return "unknown";
+  const size_t index = static_cast<size_t>(kind);
+  if (index >= static_cast<size_t>(kMessageKindCount)) return "unknown";
+  return kMessageKindNames[index];
 }
 
 Network::Network(uint32_t node_count)
     : node_count_(node_count), sent_(node_count, 0), received_(node_count, 0),
       alive_(node_count, true), alive_count_(node_count) {}
 
-void Network::AdvanceCrashSchedule() {
+void Network::AdvanceCrashScheduleLocked() {
   while (next_crash_ < crash_schedule_.size() &&
          crash_schedule_[next_crash_].after_attempts <= send_attempts_) {
-    CrashNode(crash_schedule_[next_crash_].node);
+    CrashNodeLocked(crash_schedule_[next_crash_].node);
     ++next_crash_;
   }
 }
 
-bool Network::Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes) {
+bool Network::Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes,
+                   RequestScope* scope) {
   NELA_CHECK_LT(from, node_count_);
   NELA_CHECK_LT(to, node_count_);
+  std::lock_guard<std::mutex> lock(mu_);
   ++send_attempts_;
-  AdvanceCrashSchedule();
+  AdvanceCrashScheduleLocked();
   if (!alive_[from] || !alive_[to]) {
     ++dead_endpoint_attempts_;
+    if (scope != nullptr) scope->RecordFailed();
     return false;
   }
   if (loss_probability_ > 0.0 && loss_rng_ != nullptr &&
       loss_rng_->NextBernoulli(loss_probability_)) {
     ++dropped_;
     dropped_bytes_ += bytes;
+    if (scope != nullptr) scope->RecordFailed();
     return false;
   }
   double latency_ms = 0.0;
@@ -59,6 +69,7 @@ bool Network::Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes) {
     }
     if (latency_ms > latency_.timeout_ms) {
       ++timed_out_;
+      if (scope != nullptr) scope->RecordFailed();
       return false;
     }
   }
@@ -70,6 +81,7 @@ bool Network::Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes) {
   kind_counter.bytes += bytes;
   ++sent_[from];
   ++received_[to];
+  if (scope != nullptr) scope->RecordDelivered(bytes, latency_ms);
   return true;
 }
 
@@ -89,6 +101,7 @@ util::Status Network::InstallFaultPlan(const FaultPlan& plan) {
           "fault plan crash event names an out-of-range node");
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
   owned_rng_.emplace(plan.seed);
   loss_rng_ = &*owned_rng_;
   loss_probability_ = plan.loss_probability;
@@ -111,6 +124,7 @@ util::Status Network::SetLossProbability(double loss_probability,
     return util::InvalidArgumentError(
         "a positive loss probability requires an RNG");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   owned_rng_.reset();
   loss_probability_ = loss_probability;
   loss_rng_ = rng;
@@ -119,6 +133,11 @@ util::Status Network::SetLossProbability(double loss_probability,
 
 void Network::CrashNode(NodeId node) {
   NELA_CHECK_LT(node, node_count_);
+  std::lock_guard<std::mutex> lock(mu_);
+  CrashNodeLocked(node);
+}
+
+void Network::CrashNodeLocked(NodeId node) {
   if (alive_[node]) {
     alive_[node] = false;
     --alive_count_;
@@ -126,6 +145,7 @@ void Network::CrashNode(NodeId node) {
 }
 
 RetryStats Network::total_retry_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   RetryStats total;
   for (const RetryStats& stats : retry_by_kind_) {
     total.retries += stats.retries;
@@ -135,27 +155,35 @@ RetryStats Network::total_retry_stats() const {
   return total;
 }
 
-void Network::RecordRetry(MessageKind kind, uint64_t bytes) {
+void Network::RecordRetry(MessageKind kind, uint64_t bytes,
+                          RequestScope* scope) {
+  std::lock_guard<std::mutex> lock(mu_);
   RetryStats& stats = retry_by_kind_[static_cast<size_t>(kind)];
   ++stats.retries;
   stats.retransmitted_bytes += bytes;
+  if (scope != nullptr) scope->RecordRetry(bytes);
 }
 
-void Network::RecordTimeoutObserved(MessageKind kind) {
+void Network::RecordTimeoutObserved(MessageKind kind, RequestScope* scope) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++retry_by_kind_[static_cast<size_t>(kind)].timeouts_observed;
+  if (scope != nullptr) scope->RecordTimeoutObserved();
 }
 
 uint64_t Network::SentBy(NodeId node) const {
   NELA_CHECK_LT(node, node_count_);
+  std::lock_guard<std::mutex> lock(mu_);
   return sent_[node];
 }
 
 uint64_t Network::ReceivedBy(NodeId node) const {
   NELA_CHECK_LT(node, node_count_);
+  std::lock_guard<std::mutex> lock(mu_);
   return received_[node];
 }
 
 void Network::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
   total_ = TrafficCounter{};
   by_kind_.fill(TrafficCounter{});
   retry_by_kind_.fill(RetryStats{});

@@ -18,9 +18,11 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "net/accounting.h"
 #include "net/fault_plan.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -39,6 +41,9 @@ enum class MessageKind : uint8_t {
 };
 inline constexpr int kMessageKindCount = 7;
 
+// Stable short name of a kind ("adjacency_exchange", ...). The name table is
+// static_asserted against kMessageKindCount, so adding a kind without a name
+// fails to compile instead of silently drifting.
 const char* MessageKindName(MessageKind kind);
 
 struct TrafficCounter {
@@ -55,6 +60,14 @@ struct RetryStats {
   uint64_t retransmitted_bytes = 0;
 };
 
+// Thread safety: every counter mutation and liveness transition happens
+// under one internal mutex, so concurrent requests (sim::BatchDriver
+// workers) may share a Network. Determinism caveat: with a loss/latency
+// process installed, the *order* in which concurrent senders draw from the
+// fault RNG depends on scheduling -- per-run bit-identical fault injection
+// therefore requires a single in-flight request (all current chaos drivers
+// are single-threaded). On a fault-free network the counters are pure sums
+// and every interleaving yields identical totals.
 class Network {
  public:
   explicit Network(uint32_t node_count);
@@ -67,8 +80,10 @@ class Network {
   // Records one send attempt. Returns false when the message is not
   // delivered: dropped by the injected loss process, delayed past the
   // latency model's timeout, or addressed from/to a crashed node. Callers
-  // needing delivery use net::SendWithRetry on top.
-  bool Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes);
+  // needing delivery use net::SendWithRetry on top. When `scope` is given,
+  // the attempt is additionally accounted to that request's scope.
+  bool Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes,
+            RequestScope* scope = nullptr);
 
   // Installs the full fault plan (replaces any previous loss setting). The
   // RNG driving loss and latency is owned by the network and seeded from
@@ -92,43 +107,75 @@ class Network {
 
   bool IsAlive(NodeId node) const {
     NELA_CHECK_LT(node, node_count_);
+    std::lock_guard<std::mutex> lock(mu_);
     return alive_[node];
   }
-  uint32_t alive_count() const { return alive_count_; }
+  uint32_t alive_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return alive_count_;
+  }
 
   // --- Counters ---------------------------------------------------------
+  // The const-reference accessors return views into mutex-protected state;
+  // reading them concurrently with in-flight sends yields a momentary
+  // snapshot (fine for monotone counters), copy-by-value accessors take the
+  // lock.
 
   // Global counters (delivered messages only).
-  const TrafficCounter& total() const { return total_; }
-  const TrafficCounter& of_kind(MessageKind kind) const {
+  TrafficCounter total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+  TrafficCounter of_kind(MessageKind kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return by_kind_[static_cast<size_t>(kind)];
   }
 
   // Every Send call, delivered or not; drives the crash schedule.
-  uint64_t send_attempts() const { return send_attempts_; }
+  uint64_t send_attempts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return send_attempts_;
+  }
 
   // Loss-process drops and the bandwidth they wasted.
-  uint64_t dropped_messages() const { return dropped_; }
-  uint64_t dropped_bytes() const { return dropped_bytes_; }
+  uint64_t dropped_messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  uint64_t dropped_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_bytes_;
+  }
 
   // Latency-model samples above the timeout threshold.
-  uint64_t timed_out_messages() const { return timed_out_; }
+  uint64_t timed_out_messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timed_out_;
+  }
 
   // Send attempts addressed from or to a crashed node.
-  uint64_t dead_endpoint_attempts() const { return dead_endpoint_attempts_; }
+  uint64_t dead_endpoint_attempts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dead_endpoint_attempts_;
+  }
 
   // Simulated delivery latency summed over delivered messages (0 without a
   // latency model).
-  double total_latency_ms() const { return total_latency_ms_; }
+  double total_latency_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_latency_ms_;
+  }
 
   // Retry accounting, fed by SendWithRetry via RecordRetry/RecordTimeout.
-  const RetryStats& retry_stats_of(MessageKind kind) const {
+  RetryStats retry_stats_of(MessageKind kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return retry_by_kind_[static_cast<size_t>(kind)];
   }
   RetryStats total_retry_stats() const;
 
-  void RecordRetry(MessageKind kind, uint64_t bytes);
-  void RecordTimeoutObserved(MessageKind kind);
+  void RecordRetry(MessageKind kind, uint64_t bytes,
+                   RequestScope* scope = nullptr);
+  void RecordTimeoutObserved(MessageKind kind, RequestScope* scope = nullptr);
 
   // Per-node counters.
   uint64_t SentBy(NodeId node) const;
@@ -141,8 +188,11 @@ class Network {
 
  private:
   // Fires every crash event whose threshold the attempt counter reached.
-  void AdvanceCrashSchedule();
+  // Requires mu_ held.
+  void AdvanceCrashScheduleLocked();
+  void CrashNodeLocked(NodeId node);
 
+  mutable std::mutex mu_;
   uint32_t node_count_;
   TrafficCounter total_;
   std::array<TrafficCounter, kMessageKindCount> by_kind_{};

@@ -6,7 +6,8 @@ namespace nela::net {
 
 SendOutcome SendWithRetry(Network& network, NodeId from, NodeId to,
                           MessageKind kind, uint64_t bytes,
-                          const BackoffPolicy& policy, util::Rng* jitter_rng) {
+                          const BackoffPolicy& policy, util::Rng* jitter_rng,
+                          RequestScope* scope) {
   SendOutcome outcome;
   double delay_ms = policy.base_delay_ms;
   for (uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
@@ -16,21 +17,22 @@ SendOutcome SendWithRetry(Network& network, NodeId from, NodeId to,
     }
     ++outcome.attempts;
     if (attempt > 0) {
-      network.RecordRetry(kind, bytes);
+      network.RecordRetry(kind, bytes, scope);
       outcome.retransmitted_bytes += bytes;
     }
-    if (network.Send(from, to, kind, bytes)) {
+    if (network.Send(from, to, kind, bytes, scope)) {
       outcome.delivered = true;
       return outcome;
     }
     // The failed attempt may itself have advanced the crash schedule; the
     // next iteration's liveness check distinguishes churn from plain loss.
-    network.RecordTimeoutObserved(kind);
+    network.RecordTimeoutObserved(kind, scope);
     double wait = std::min(delay_ms, policy.max_delay_ms);
     if (jitter_rng != nullptr && policy.jitter_fraction > 0.0) {
       wait *= 1.0 + jitter_rng->NextDouble(0.0, policy.jitter_fraction);
     }
     outcome.backoff_ms += wait;
+    if (scope != nullptr) scope->RecordBackoff(wait);
     delay_ms *= policy.multiplier;
   }
   if (!network.IsAlive(from) || !network.IsAlive(to)) {

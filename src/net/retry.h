@@ -44,11 +44,12 @@ struct SendOutcome {
 // times. `jitter_rng` may be null (no jitter; still deterministic). Returns
 // with delivered == false when the retry budget is exhausted (the caller's
 // deadline has effectively expired) or peer_down == true when an endpoint
-// crashed.
+// crashed. When `scope` is given, every attempt, retransmission, and
+// backoff wait is additionally accounted to that request's scope.
 SendOutcome SendWithRetry(Network& network, NodeId from, NodeId to,
                           MessageKind kind, uint64_t bytes,
-                          const BackoffPolicy& policy,
-                          util::Rng* jitter_rng);
+                          const BackoffPolicy& policy, util::Rng* jitter_rng,
+                          RequestScope* scope = nullptr);
 
 }  // namespace nela::net
 

@@ -1,0 +1,138 @@
+// Deterministic multi-threaded batch driver: S cloaking requests over one
+// shared registry, executed by a worker pool, with bit-identical results at
+// any thread count.
+//
+// Parallelism model (optimistic concurrency + a commit turnstile):
+//
+//  * Speculation (parallel): each request snapshots the registry, runs
+//    phase-1 clustering on the private snapshot, and claims its candidate's
+//    users through the shared wound-wait ClaimCoordinator -- tickets are
+//    opened in request-ordinal order, so claim priority equals arrival
+//    order and conflicts resolve deterministically in favor of the older
+//    request.
+//  * Commit turnstile (serialized, strict ordinal order): request o commits
+//    only after requests 0..o-1 have committed, and only if its snapshot
+//    version still matches the registry (and its claims were not wounded);
+//    otherwise the candidate is discarded and phase 1 recomputes serially
+//    inside the turnstile. Either way, the registry evolves exactly as a
+//    sequential run would.
+//  * Region latch (per cluster): the earliest request that finds its
+//    committed cluster region-less becomes the cluster's publisher; later
+//    requests for the same cluster wait for the published region and reuse
+//    it -- reproducing sequential region_reused semantics. Should the
+//    publisher degrade (deterministically), the next-oldest waiter promotes
+//    itself, again matching the sequential order.
+//  * Bounding + publish (parallel): phase 2 runs through the shared
+//    core::SecureBoundStage / PublishStage with backoff jitter drawn from
+//    the request's private RNG sub-stream (derived from master_seed and the
+//    ordinal, never from scheduling).
+//
+// Per-request traces carry only deterministic facts and are written after
+// the request's outcome fully resolves, so concatenated traces -- and the
+// registry digest -- are bit-identical across {1, 4, 8, ...} worker
+// threads. Wall-clock latency and claim conflict/abort totals are
+// scheduling-dependent and reported separately as performance data.
+//
+// The driver requires a fault-free network (or none): injected loss draws
+// from a shared RNG whose order is scheduling-dependent.
+
+#ifndef NELA_SIM_BATCH_DRIVER_H_
+#define NELA_SIM_BATCH_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloaking_engine.h"
+#include "core/policy_factory.h"
+#include "data/dataset.h"
+#include "graph/wpg.h"
+#include "net/accounting.h"
+#include "util/status.h"
+
+namespace nela::sim {
+
+struct BatchConfig {
+  // Anonymity requirement.
+  uint32_t k = 5;
+  // Number of cloaking requests S (distinct hosts).
+  uint32_t requests = 64;
+  // Worker threads; 0 behaves as 1.
+  uint32_t threads = 1;
+  // Seed of every request's private RNG sub-stream (see
+  // core::RequestContext::DeriveStreamSeed).
+  uint64_t master_seed = 1;
+  // Seed selecting which hosts issue requests.
+  uint64_t workload_seed = 7;
+  // Attach a shared fault-free network so phase-2 traffic is accounted
+  // per request (scoped) and globally.
+  bool with_network = true;
+};
+
+// One request's result. Everything except wall_ms is deterministic for a
+// given (scenario, config) regardless of thread count.
+struct BatchRequestRecord {
+  data::UserId host = 0;
+  uint64_t ordinal = 0;
+  core::CloakingOutcome outcome;
+  // "stage CODE detail" lines (core::TraceSink::ToString).
+  std::string trace;
+  // Scoped traffic/retry accounting of this request.
+  net::ScopeStats net_stats;
+  // Wall-clock latency including turnstile/latch waits (scheduling-
+  // dependent; excluded from determinism comparisons).
+  double wall_ms = 0.0;
+};
+
+struct BatchResult {
+  // In ordinal order.
+  std::vector<BatchRequestRecord> records;
+  // FNV-1a digest over the final registry: membership, validity, and the
+  // bit patterns of every published region. Bit-identical across thread
+  // counts for the same seeds.
+  uint64_t registry_digest = 0;
+  // Every user ended up in at most one cluster (must always hold).
+  bool reciprocity_ok = false;
+  uint32_t clusters_formed = 0;
+  // Contention statistics (scheduling-dependent).
+  uint64_t claim_conflicts = 0;
+  uint64_t claim_wounds = 0;
+  // Speculative candidates discarded at the turnstile (stale snapshot or
+  // wounded claim) and recomputed serially.
+  uint64_t speculation_aborts = 0;
+  // Claim-failure retries during speculation.
+  uint64_t speculation_retries = 0;
+  // Throughput over the whole batch.
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  // Per-request wall-latency percentiles (milliseconds).
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+class BatchDriver {
+ public:
+  // `dataset` and `graph` must outlive the driver.
+  BatchDriver(const data::Dataset& dataset, const graph::Wpg& graph,
+              core::PolicyFactory policy_factory, const BatchConfig& config);
+
+  // Runs one batch against a fresh registry (and network). Repeatable: each
+  // call starts from empty state, so two Run() calls with equal config
+  // produce identical digests and traces.
+  util::Result<BatchResult> Run();
+
+ private:
+  struct RunState;
+
+  util::Status ProcessRequest(RunState& run, uint64_t ordinal);
+
+  const data::Dataset& dataset_;
+  const graph::Wpg& graph_;
+  core::PolicyFactory policy_factory_;
+  BatchConfig config_;
+};
+
+}  // namespace nela::sim
+
+#endif  // NELA_SIM_BATCH_DRIVER_H_

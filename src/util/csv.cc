@@ -1,6 +1,8 @@
 #include "util/csv.h"
 
+#include <cerrno>
 #include <cinttypes>
+#include <cstring>
 
 #include "util/check.h"
 
@@ -46,13 +48,29 @@ std::string CsvWriter::ToString() const {
 Status CsvWriter::WriteToFile(const std::string& path) const {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
-    return UnavailableError("cannot open for writing: " + path);
+    return UnavailableError("cannot open for writing: " + path + " (" +
+                            std::strerror(errno) + ")");
   }
   const std::string content = ToString();
   const size_t written = std::fwrite(content.data(), 1, content.size(), file);
-  const int close_result = std::fclose(file);
-  if (written != content.size() || close_result != 0) {
-    return UnavailableError("short write to: " + path);
+  if (written != content.size()) {
+    const std::string detail = std::strerror(errno);
+    std::fclose(file);
+    return UnavailableError("short write to " + path + ": " +
+                            std::to_string(written) + " of " +
+                            std::to_string(content.size()) + " bytes (" +
+                            detail + ")");
+  }
+  // Flush before close so buffered-write failures (full disk, revoked
+  // handle) surface here as a distinct error instead of vanishing.
+  if (std::fflush(file) != 0 || std::ferror(file) != 0) {
+    const std::string detail = std::strerror(errno);
+    std::fclose(file);
+    return UnavailableError("flush failed for " + path + " (" + detail + ")");
+  }
+  if (std::fclose(file) != 0) {
+    return UnavailableError("close failed for " + path + " (" +
+                            std::strerror(errno) + ")");
   }
   return Status::Ok();
 }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
 #include <utility>
 
 #include "net/network.h"
@@ -72,6 +74,23 @@ TEST(NetworkTest, KindNamesAreStable) {
   EXPECT_STREQ(MessageKindName(MessageKind::kAdjacencyExchange),
                "adjacency_exchange");
   EXPECT_STREQ(MessageKindName(MessageKind::kServiceReply), "service_reply");
+}
+
+// Guards the name table against drift: every enumerator in
+// [0, kMessageKindCount) must map to a non-null, non-empty, distinct name,
+// and out-of-range values must not read past the table.
+TEST(NetworkTest, EveryKindHasAUniqueName) {
+  std::set<std::string> names;
+  for (int i = 0; i < kMessageKindCount; ++i) {
+    const char* name = MessageKindName(static_cast<MessageKind>(i));
+    ASSERT_NE(name, nullptr) << "kind " << i;
+    EXPECT_STRNE(name, "") << "kind " << i;
+    EXPECT_STRNE(name, "unknown") << "kind " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "kind " << i << " duplicates name \"" << name << "\"";
+  }
+  EXPECT_STREQ(MessageKindName(static_cast<MessageKind>(kMessageKindCount)),
+               "unknown");
 }
 
 TEST(NetworkTest, SetLossProbabilityRejectsOutOfRange) {

@@ -262,6 +262,28 @@ TEST(CsvTest, WriteToBadPathFails) {
   EXPECT_FALSE(csv.WriteToFile("/nonexistent_dir_zz/x.csv").ok());
 }
 
+TEST(CsvTest, WriteFailureNamesThePathAndCause) {
+  CsvWriter csv;
+  csv.AddRow({"1"});
+  const Status status = csv.WriteToFile("/nonexistent_dir_zz/x.csv");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("/nonexistent_dir_zz/x.csv"),
+            std::string::npos)
+      << status.ToString();
+  // The OS-level cause (ENOENT -> "No such file or directory") must be
+  // surfaced, not swallowed.
+  EXPECT_NE(status.message().find("No such file"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(CsvTest, WriteToDirectoryPathFails) {
+  CsvWriter csv;
+  csv.AddRow({"1"});
+  const Status status = csv.WriteToFile(::testing::TempDir());
+  EXPECT_FALSE(status.ok()) << "writing to a directory path should fail";
+}
+
 // ---------------------------------------------------------------- Flags
 
 TEST(FlagsTest, ParsesAllTypes) {
