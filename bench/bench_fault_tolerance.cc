@@ -55,7 +55,7 @@ int Run(int argc, char** argv) {
                  "dropped_messages", "dropped_bytes", "timed_out",
                  "dead_endpoint_attempts", "members_lost", "phases_retried",
                  "retry_overhead", "avg_achieved_anonymity",
-                 "avg_region_area"});
+                 "avg_region_area", "exposure_violations"});
   nela::bench::PrintRow({"loss", "churn", "success", "retries",
                          "retx bytes", "members lost", "anonymity"});
   nela::bench::PrintRule(7);
@@ -98,7 +98,8 @@ int Run(int argc, char** argv) {
                   std::to_string(r.phases_retried),
                   nela::util::CsvWriter::Cell(r.retry_overhead),
                   nela::util::CsvWriter::Cell(r.avg_achieved_anonymity),
-                  nela::util::CsvWriter::Cell(r.avg_region_area)});
+                  nela::util::CsvWriter::Cell(r.avg_region_area),
+                  std::to_string(r.exposure_violations)});
     }
   }
   return nela::bench::EmitCsv(csv, output_dir, "fault_tolerance").ok() ? 0

@@ -1,0 +1,65 @@
+#include "audit/knowledge.h"
+
+#include <limits>
+
+namespace nela::audit {
+
+void KnowledgeSet::ObserveHypothesis(net::NodeId subject, double hypothesis) {
+  SubjectKnowledge& k = about_[subject];
+  if (!k.has_last) {
+    k.runs = 1;
+  } else if (hypothesis <= k.last_hypothesis) {
+    // Hypotheses within a run strictly increase; a non-increase is the
+    // start of a new run, whose inferences are independent of the old one.
+    ++k.runs;
+    k.has_rejected = false;
+  }
+  k.last_hypothesis = hypothesis;
+  k.has_last = true;
+  k.pending_hypothesis = hypothesis;
+  k.has_pending = true;
+}
+
+std::optional<LearnedInterval> KnowledgeSet::ObserveVerdict(
+    net::NodeId subject, bool agrees) {
+  SubjectKnowledge& k = about_[subject];
+  if (!k.has_pending) return std::nullopt;
+  const double hypothesis = k.pending_hypothesis;
+  k.has_pending = false;
+  ++k.verdicts;
+  if (!agrees) {
+    if (!k.has_rejected || hypothesis > k.last_rejected) {
+      k.last_rejected = hypothesis;
+    }
+    k.has_rejected = true;
+    return std::nullopt;
+  }
+  if (!k.has_rejected) {
+    // Accepted the run's first hypothesis: the principal learns only that
+    // the value is below it -- no two-sided interval, no new information
+    // beyond the proximity rank the cluster already implies.
+    return std::nullopt;
+  }
+  const LearnedInterval interval{k.last_rejected, hypothesis};
+  if (!k.has_interval || interval.width() < k.tightest.width()) {
+    k.tightest = interval;
+    k.has_interval = true;
+  }
+  return interval;
+}
+
+const SubjectKnowledge* KnowledgeSet::about(net::NodeId subject) const {
+  const auto it = about_.find(subject);
+  if (it == about_.end()) return nullptr;
+  return &it->second;
+}
+
+double KnowledgeSet::TightestIntervalWidth(net::NodeId subject) const {
+  const SubjectKnowledge* k = about(subject);
+  if (k == nullptr || !k->has_interval) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return k->tightest.width();
+}
+
+}  // namespace nela::audit

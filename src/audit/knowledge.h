@@ -1,0 +1,84 @@
+// Per-principal knowledge reconstruction for the non-exposure verifier.
+//
+// What the bounding protocol is *allowed* to reveal (paper §III, quantified
+// in bounding/privacy_loss.h): for each peer, the interval between the last
+// hypothesis the peer rejected and the first one it accepted within a
+// monotone hypothesis run. A KnowledgeSet replays exactly that inference
+// from intercepted (hypothesis, verdict) traffic, so the observer can check
+// that no run ever narrows a peer's value beyond the increment-policy
+// resolution -- a collapse to (near-)zero width would mean the protocol
+// leaked the value itself.
+//
+// Runs are detected on the wire: within one axis-direction run hypotheses
+// strictly increase, so a hypothesis at or below its predecessor starts a
+// new run (a new axis, a retried phase, or a later request) and rejection
+// state from the old run no longer constrains the new one.
+
+#ifndef NELA_AUDIT_KNOWLEDGE_H_
+#define NELA_AUDIT_KNOWLEDGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/fault_plan.h"
+
+namespace nela::audit {
+
+// A completed inference: the subject's bounded value lies in
+// (lower, upper] -- last rejected to first accepted hypothesis.
+struct LearnedInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double width() const { return upper - lower; }
+};
+
+// Everything one principal knows about one subject.
+struct SubjectKnowledge {
+  // Hypothesis proposed but not yet voted on.
+  double pending_hypothesis = 0.0;
+  bool has_pending = false;
+  // Previous hypothesis, for monotone-run detection.
+  double last_hypothesis = 0.0;
+  bool has_last = false;
+  // Largest rejected hypothesis of the current run.
+  double last_rejected = 0.0;
+  bool has_rejected = false;
+  // Narrowest completed interval across all runs.
+  LearnedInterval tightest;
+  bool has_interval = false;
+  uint64_t verdicts = 0;
+  uint64_t runs = 0;
+};
+
+// The knowledge set of a single observing principal (a cluster host, in
+// the current protocols). Not thread-safe; the AdversaryObserver serializes
+// access.
+class KnowledgeSet {
+ public:
+  // The principal proposed `hypothesis` to `subject`.
+  void ObserveHypothesis(net::NodeId subject, double hypothesis);
+
+  // `subject` voted on the pending hypothesis. Returns the learned interval
+  // when this verdict completes one: an acceptance following at least one
+  // rejection in the same run. Verdicts without a pending hypothesis
+  // (untagged legacy traffic) are ignored.
+  std::optional<LearnedInterval> ObserveVerdict(net::NodeId subject,
+                                                bool agrees);
+
+  // Null when nothing is known about `subject`.
+  const SubjectKnowledge* about(net::NodeId subject) const;
+
+  // Width of the narrowest completed interval about `subject`; +infinity
+  // when no interval completed.
+  double TightestIntervalWidth(net::NodeId subject) const;
+
+  size_t subject_count() const { return about_.size(); }
+
+ private:
+  std::unordered_map<net::NodeId, SubjectKnowledge> about_;
+};
+
+}  // namespace nela::audit
+
+#endif  // NELA_AUDIT_KNOWLEDGE_H_

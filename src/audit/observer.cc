@@ -1,0 +1,205 @@
+#include "audit/observer.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace nela::audit {
+
+namespace {
+
+constexpr const char* kViolationKindNames[] = {
+    "raw_coordinate_on_wire",   // kRawCoordinateOnWire
+    "knowledge_collapse",       // kKnowledgeCollapse
+    "untagged_protocol_traffic",  // kUntaggedProtocolTraffic
+};
+static_assert(sizeof(kViolationKindNames) / sizeof(kViolationKindNames[0]) ==
+                  static_cast<size_t>(kViolationKindCount),
+              "ViolationKind name table out of sync with kViolationKindCount");
+
+std::string PrincipalName(net::NodeId id) {
+  if (id == net::kPublicSubject) return "public";
+  return "user " + std::to_string(id);
+}
+
+}  // namespace
+
+const char* ViolationKindName(ViolationKind kind) {
+  const size_t index = static_cast<size_t>(kind);
+  if (index >= static_cast<size_t>(kViolationKindCount)) return "unknown";
+  return kViolationKindNames[index];
+}
+
+AdversaryObserver::AdversaryObserver(ObserverConfig config)
+    : config_(config) {}
+
+void AdversaryObserver::AddViolationLocked(ViolationKind kind,
+                                           net::NodeId observer,
+                                           net::NodeId subject, double value,
+                                           std::string detail) {
+  Violation violation;
+  violation.kind = kind;
+  violation.observer = observer;
+  violation.subject = subject;
+  violation.value = value;
+  violation.detail = std::move(detail);
+  if (config_.trap_on_violation) {
+    std::fprintf(stderr, "non-exposure violation [%s]: %s\n",
+                 ViolationKindName(kind), violation.detail.c_str());
+    NELA_CHECK(!"non-exposure invariant violated");
+  }
+  violations_.push_back(std::move(violation));
+}
+
+void AdversaryObserver::OnMessage(const net::Message& message,
+                                  bool delivered) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++messages_seen_;
+  if (!message.payload.empty()) ++tagged_messages_;
+
+  // A wire-level adversary sees every transmission attempt, so the taint
+  // scan covers undelivered messages too.
+  for (const net::PayloadField& field : message.payload) {
+    if (field.tag == net::FieldTag::kRawCoordinate) {
+      if (config_.allow_declared_exposure) {
+        ++declared_exposures_;
+      } else {
+        AddViolationLocked(
+            ViolationKind::kRawCoordinateOnWire, message.to, field.subject,
+            field.value,
+            "field tagged raw_coordinate about " +
+                PrincipalName(field.subject) + " sent " +
+                PrincipalName(message.from) + " -> " +
+                PrincipalName(message.to) + " (" +
+                net::MessageKindName(message.kind) + ")");
+      }
+      continue;
+    }
+    if (config_.taint == nullptr) continue;
+    const std::optional<net::NodeId> owner = config_.taint->Match(field.value);
+    if (!owner.has_value()) continue;
+    if (field.tag == net::FieldTag::kCloakedRegion &&
+        config_.allow_declared_exposure) {
+      // The OPT baseline's region edges are exact member coordinates by
+      // construction; in declared-exposure mode that is the accepted cost
+      // of the comparator, not a protocol bug.
+      ++declared_exposures_;
+      continue;
+    }
+    AddViolationLocked(
+        ViolationKind::kRawCoordinateOnWire, message.to, *owner, field.value,
+        "private coordinate of " + PrincipalName(*owner) +
+            " matched a field tagged " + net::FieldTagName(field.tag) +
+            " sent " + PrincipalName(message.from) + " -> " +
+            PrincipalName(message.to) + " (" +
+            net::MessageKindName(message.kind) + ")");
+  }
+
+  const bool bounding_kind =
+      message.kind == net::MessageKind::kBoundProposal ||
+      message.kind == net::MessageKind::kBoundVote;
+  if (bounding_kind && message.payload.empty()) {
+    AddViolationLocked(
+        ViolationKind::kUntaggedProtocolTraffic, message.to, message.from,
+        0.0,
+        std::string(net::MessageKindName(message.kind)) + " " +
+            PrincipalName(message.from) + " -> " + PrincipalName(message.to) +
+            " carries no payload descriptor");
+    return;
+  }
+
+  // Knowledge accrues from delivered messages only: an endpoint cannot act
+  // on a vote it never received, and retransmissions re-present the same
+  // descriptor until one gets through.
+  if (!delivered) return;
+
+  if (message.kind == net::MessageKind::kBoundProposal) {
+    for (const net::PayloadField& field : message.payload) {
+      if (field.tag != net::FieldTag::kBoundHypothesis) continue;
+      // The proposal's hypothesis is public, but the *verdict* it elicits
+      // is about the recipient: key the sender's future inference by peer.
+      knowledge_[message.from].ObserveHypothesis(message.to, field.value);
+    }
+    return;
+  }
+  if (message.kind == net::MessageKind::kBoundVote) {
+    for (const net::PayloadField& field : message.payload) {
+      if (field.tag != net::FieldTag::kBoundVerdict) continue;
+      const std::optional<LearnedInterval> interval =
+          knowledge_[message.to].ObserveVerdict(message.from,
+                                                field.value != 0.0);
+      if (!interval.has_value()) continue;
+      if (message.to == message.from) continue;  // self-knowledge is free
+      if (interval->width() < config_.min_interval_width) {
+        AddViolationLocked(
+            ViolationKind::kKnowledgeCollapse, message.to, message.from,
+            interval->width(),
+            PrincipalName(message.to) + " narrowed " +
+                PrincipalName(message.from) + "'s bounded value to width " +
+                std::to_string(interval->width()));
+      }
+    }
+  }
+}
+
+bool AdversaryObserver::clean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.empty();
+}
+
+std::vector<Violation> AdversaryObserver::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+uint64_t AdversaryObserver::violation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.size();
+}
+
+uint64_t AdversaryObserver::messages_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_seen_;
+}
+
+uint64_t AdversaryObserver::tagged_messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tagged_messages_;
+}
+
+uint64_t AdversaryObserver::declared_exposures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return declared_exposures_;
+}
+
+double AdversaryObserver::LearnedIntervalWidth(net::NodeId observer,
+                                               net::NodeId subject) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = knowledge_.find(observer);
+  if (it == knowledge_.end()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return it->second.TightestIntervalWidth(subject);
+}
+
+std::string AdversaryObserver::Report(size_t max_entries) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string report = std::to_string(violations_.size()) +
+                       " non-exposure violation(s) across " +
+                       std::to_string(messages_seen_) + " messages";
+  const size_t shown = std::min(max_entries, violations_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const Violation& v = violations_[i];
+    report += "\n  [" + std::string(ViolationKindName(v.kind)) + "] " +
+              v.detail;
+  }
+  if (shown < violations_.size()) {
+    report += "\n  ... " + std::to_string(violations_.size() - shown) +
+              " more";
+  }
+  return report;
+}
+
+}  // namespace nela::audit

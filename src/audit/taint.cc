@@ -1,0 +1,32 @@
+#include "audit/taint.h"
+
+#include <cstring>
+
+namespace nela::audit {
+
+uint64_t TaintSet::Bits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double is not 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void TaintSet::TaintValue(net::NodeId subject, double value) {
+  bits_to_subject_.emplace(Bits(value), subject);
+}
+
+void TaintSet::TaintPoint(net::NodeId subject, const geo::Point& point) {
+  TaintValue(subject, point.x);
+  TaintValue(subject, -point.x);
+  TaintValue(subject, point.y);
+  TaintValue(subject, -point.y);
+}
+
+std::optional<net::NodeId> TaintSet::Match(double value) const {
+  if (value == 0.0 || value == 1.0) return std::nullopt;
+  const auto it = bits_to_subject_.find(Bits(value));
+  if (it == bits_to_subject_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace nela::audit

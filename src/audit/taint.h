@@ -1,0 +1,55 @@
+// Bit-exact taint tracking of private coordinates.
+//
+// The non-exposure property (paper §III) says raw coordinates never cross
+// the wire. Testing that claim needs more than greping payloads: a leaky
+// protocol could ship a coordinate under an innocuous field tag. The
+// TaintSet registers the exact bit patterns of every user's private
+// coordinates (and their negations, which the four axis runs of
+// ComputeCloakedRegion operate on); the AdversaryObserver matches every
+// payload field it sees against the set, so a coordinate smuggled under
+// *any* tag is caught.
+//
+// Bit-exact matching keeps the check free of tolerance tuning and cannot
+// false-positive on honest protocol values except by exact 64-bit
+// coincidence: hypotheses are reference + cumulative increments, which never
+// reproduce another member's coordinate bits in practice. The verdict
+// encodings 0.0/1.0 are exempted, since a user located exactly at 0 or 1
+// would otherwise collide with every vote.
+
+#ifndef NELA_AUDIT_TAINT_H_
+#define NELA_AUDIT_TAINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "geo/point.h"
+#include "net/fault_plan.h"
+
+namespace nela::audit {
+
+class TaintSet {
+ public:
+  // Registers `value` (and nothing else) as private to `subject`.
+  void TaintValue(net::NodeId subject, double value);
+
+  // Registers both coordinates of `point` and their negations as private to
+  // `subject` -- the four forms the axis-direction bounding runs handle.
+  void TaintPoint(net::NodeId subject, const geo::Point& point);
+
+  // Returns the owner of `value`'s exact bit pattern, or nullopt. The
+  // verdict encodings 0.0 and 1.0 never match.
+  std::optional<net::NodeId> Match(double value) const;
+
+  size_t size() const { return bits_to_subject_.size(); }
+  void Clear() { bits_to_subject_.clear(); }
+
+ private:
+  static uint64_t Bits(double value);
+
+  std::unordered_map<uint64_t, net::NodeId> bits_to_subject_;
+};
+
+}  // namespace nela::audit
+
+#endif  // NELA_AUDIT_TAINT_H_

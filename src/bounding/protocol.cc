@@ -20,17 +20,27 @@ constexpr uint64_t kVoteBytes = 8;
 
 // One proposal/vote round trip between the host and node_ids[user_index],
 // with retransmission of whichever leg was lost. Accumulates retry
-// accounting into `result`. Failure statuses carry the peer id and attempt
-// counts -- never a coordinate or a bound.
+// accounting into `result`. The payload descriptors carry exactly what the
+// protocol reveals on the wire -- the public hypothesis and the peer's
+// one-bit verdict -- for the audit layer's observer. Failure statuses carry
+// the peer id and attempt counts, never a coordinate or a bound.
 util::Status RoundTrip(const NetworkBinding& binding, size_t user_index,
+                       double hypothesis, bool agrees,
                        BoundingRunResult* result) {
   if (binding.network == nullptr) return util::Status::Ok();
   NELA_CHECK(binding.node_ids != nullptr);
   const net::NodeId peer = (*binding.node_ids)[user_index];
 
-  const net::SendOutcome proposal = net::SendWithRetry(
-      *binding.network, binding.host, peer, net::MessageKind::kBoundProposal,
-      kProposalBytes, binding.retry, binding.retry_rng, binding.scope);
+  net::Message proposal_message;
+  proposal_message.from = binding.host;
+  proposal_message.to = peer;
+  proposal_message.kind = net::MessageKind::kBoundProposal;
+  proposal_message.bytes = kProposalBytes;
+  proposal_message.payload.Add(net::FieldTag::kBoundHypothesis,
+                               net::kPublicSubject, hypothesis);
+  const net::SendOutcome proposal =
+      net::SendWithRetry(*binding.network, proposal_message, binding.retry,
+                         binding.retry_rng, binding.scope);
   result->retries += proposal.attempts > 0 ? proposal.attempts - 1 : 0;
   result->retransmitted_bytes += proposal.retransmitted_bytes;
   result->timeouts += proposal.attempts - (proposal.delivered ? 1 : 0);
@@ -46,9 +56,16 @@ util::Status RoundTrip(const NetworkBinding& binding, size_t user_index,
         " attempts");
   }
 
-  const net::SendOutcome vote = net::SendWithRetry(
-      *binding.network, peer, binding.host, net::MessageKind::kBoundVote,
-      kVoteBytes, binding.retry, binding.retry_rng, binding.scope);
+  net::Message vote_message;
+  vote_message.from = peer;
+  vote_message.to = binding.host;
+  vote_message.kind = net::MessageKind::kBoundVote;
+  vote_message.bytes = kVoteBytes;
+  vote_message.payload.Add(net::FieldTag::kBoundVerdict, peer,
+                           agrees ? 1.0 : 0.0);
+  const net::SendOutcome vote =
+      net::SendWithRetry(*binding.network, vote_message, binding.retry,
+                         binding.retry_rng, binding.scope);
   result->retries += vote.attempts > 0 ? vote.attempts - 1 : 0;
   result->retransmitted_bytes += vote.retransmitted_bytes;
   result->timeouts += vote.attempts - (vote.delivered ? 1 : 0);
@@ -111,9 +128,13 @@ util::Result<BoundingRunResult> RunProgressiveUpperBounding(
     still_disagreeing.reserve(disagreeing.size());
     for (size_t index : disagreeing) {
       ++result.verifications;
-      util::Status delivered = RoundTrip(binding, index, &result);
+      // The verdict is computed user-side before the vote leg flies; the
+      // network call sequence is identical to the untagged protocol.
+      const bool agrees = secrets[index].AgreesWithUpperBound(bound);
+      util::Status delivered = RoundTrip(binding, index, bound, agrees,
+                                         &result);
       if (!delivered.ok()) return delivered;
-      if (secrets[index].AgreesWithUpperBound(bound)) {
+      if (agrees) {
         result.agree_iteration[index] = iteration;
       } else {
         still_disagreeing.push_back(index);
@@ -140,12 +161,20 @@ BoundingRunResult RunOptBounding(const std::vector<PrivateScalar>& secrets,
   result.agree_iteration.assign(secrets.size(), 0);
   double max_value = secrets.front().ExposeForOptBaseline();
   for (size_t i = 0; i < secrets.size(); ++i) {
-    max_value = std::max(max_value, secrets[i].ExposeForOptBaseline());
+    const double exposed = secrets[i].ExposeForOptBaseline();
+    max_value = std::max(max_value, exposed);
     ++result.verifications;  // one exposure message per user
     if (binding.network != nullptr) {
-      binding.network->Send((*binding.node_ids)[i], binding.host,
-                            net::MessageKind::kBoundVote, /*bytes=*/8,
-                            binding.scope);
+      net::Message message;
+      message.from = (*binding.node_ids)[i];
+      message.to = binding.host;
+      message.kind = net::MessageKind::kBoundVote;
+      message.bytes = 8;
+      // The OPT comparator ships the value itself: tagged honestly so the
+      // observer can count the exposure (or flag it outside declared mode).
+      message.payload.Add(net::FieldTag::kRawCoordinate,
+                          (*binding.node_ids)[i], exposed);
+      binding.network->Send(message, binding.scope);
     }
   }
   result.bound = max_value;
@@ -230,9 +259,16 @@ RegionBoundingResult ComputeOptRegion(
     NELA_CHECK(binding.node_ids != nullptr);
     NELA_CHECK_EQ(binding.node_ids->size(), member_points.size());
     for (size_t i = 0; i < member_points.size(); ++i) {
-      binding.network->Send((*binding.node_ids)[i], binding.host,
-                            net::MessageKind::kBoundVote, /*bytes=*/16,
-                            binding.scope);
+      net::Message message;
+      message.from = (*binding.node_ids)[i];
+      message.to = binding.host;
+      message.kind = net::MessageKind::kBoundVote;
+      message.bytes = 16;
+      message.payload.Add(net::FieldTag::kRawCoordinate,
+                          (*binding.node_ids)[i], member_points[i].x);
+      message.payload.Add(net::FieldTag::kRawCoordinate,
+                          (*binding.node_ids)[i], member_points[i].y);
+      binding.network->Send(message, binding.scope);
     }
   }
   return result;

@@ -356,8 +356,14 @@ util::Result<ClusteringOutcome> CentralizedTConnClusterer::ClusterFor(
   if (network_ != nullptr) {
     for (graph::VertexId v = 0; v < graph_.vertex_count(); ++v) {
       // Payload: the adjacency list (8 bytes per entry, id + weight packed).
-      network_->Send(v, host, net::MessageKind::kAdjacencyExchange,
-                     8ull * graph_.Degree(v), scope);
+      net::Message message;
+      message.from = v;
+      message.to = host;
+      message.kind = net::MessageKind::kAdjacencyExchange;
+      message.bytes = 8ull * graph_.Degree(v);
+      message.payload.Add(net::FieldTag::kAdjacencyList, v,
+                          static_cast<double>(graph_.Degree(v)));
+      network_->Send(message, scope);
     }
   }
   return ClusteringOutcome{registry_->ClusterOf(host), involved, false};

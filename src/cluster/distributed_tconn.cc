@@ -72,9 +72,18 @@ util::Result<ClusteringOutcome> DistributedTConnClusterer::ClusterFor(
       mark_involved(v);
       return true;
     }
+    net::Message message;
+    message.from = v;
+    message.to = host;
+    message.kind = net::MessageKind::kAdjacencyExchange;
+    message.bytes = 8ull * graph_.Degree(v);
+    // The adjacency list reveals v's proximity ranks, which the clustering
+    // phase is allowed to share; tagged so the audit observer can account
+    // for it.
+    message.payload.Add(net::FieldTag::kAdjacencyList, v,
+                        static_cast<double>(graph_.Degree(v)));
     const net::SendOutcome sent = net::SendWithRetry(
-        *network_, v, host, net::MessageKind::kAdjacencyExchange,
-        8ull * graph_.Degree(v), retry_policy_, retry_rng_, scope);
+        *network_, message, retry_policy_, retry_rng_, scope);
     if (sent.attempts > 0) mark_involved(v);
     if (sent.delivered) {
       exchanged[v] = 1;

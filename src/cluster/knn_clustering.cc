@@ -40,8 +40,14 @@ util::Result<ClusteringOutcome> KnnClusterer::Finish(
   if (network_ != nullptr) {
     for (graph::VertexId v : contacted) {
       if (v != host) {
-        network_->Send(v, host, net::MessageKind::kAdjacencyExchange,
-                       8ull * graph_.Degree(v), scope);
+        net::Message message;
+        message.from = v;
+        message.to = host;
+        message.kind = net::MessageKind::kAdjacencyExchange;
+        message.bytes = 8ull * graph_.Degree(v);
+        message.payload.Add(net::FieldTag::kAdjacencyList, v,
+                            static_cast<double>(graph_.Degree(v)));
+        network_->Send(message, scope);
       }
     }
   }

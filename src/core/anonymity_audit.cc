@@ -7,8 +7,10 @@
 namespace nela::core {
 
 AuditReport AuditAnonymity(const cluster::Registry& registry,
-                           const data::Dataset& dataset, uint32_t k) {
+                           const data::Dataset& dataset, uint32_t k,
+                           const std::vector<bool>* alive) {
   NELA_CHECK_EQ(registry.user_count(), dataset.size());
+  if (alive != nullptr) NELA_CHECK_EQ(alive->size(), dataset.size());
   AuditReport report;
   std::vector<uint8_t> member_seen(dataset.size(), 0);
   for (cluster::ClusterId id = 0; id < registry.cluster_count(); ++id) {
@@ -40,6 +42,7 @@ AuditReport AuditAnonymity(const cluster::Registry& registry,
     if (info.region.has_value()) {
       ++report.regions_checked;
       for (graph::VertexId member : info.members) {
+        if (alive != nullptr && !(*alive)[member]) continue;
         if (!info.region->Contains(dataset.point(member))) {
           ++report.exposed_members;
           report.violations.push_back(AuditViolation{

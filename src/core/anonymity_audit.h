@@ -39,8 +39,17 @@ struct AuditReport {
 
 // Audits every cluster of `registry` against `dataset` for anonymity level
 // `k`. Clusters without a region yet are checked for membership rules only.
+//
+// `alive` (optional, indexed by user id) makes the audit churn-aware: a
+// member that crashed out of the system keeps its registered membership
+// (registry membership is immutable) but was excluded from the region the
+// bounding stage published over the survivors, so geometric containment is
+// not required of it. Cardinality and reciprocity are still checked against
+// the full registered membership -- those held at registration time and
+// immutability preserves them.
 AuditReport AuditAnonymity(const cluster::Registry& registry,
-                           const data::Dataset& dataset, uint32_t k);
+                           const data::Dataset& dataset, uint32_t k,
+                           const std::vector<bool>* alive = nullptr);
 
 }  // namespace nela::core
 

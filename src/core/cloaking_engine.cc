@@ -63,7 +63,7 @@ util::Result<CloakingOutcome> CloakingEngine::RequestCloaking(
   bound_config.jitter_rng = retry_rng_;
   bound_config.max_phase_retries = max_phase_retries_;
   SecureBoundStage secure_bound(bound_config);
-  PublishStage publish(registry_, &secure_bound);
+  PublishStage publish(registry_, &secure_bound, network_);
 
   const std::vector<Stage*> stages = {&resolve_reuse, &cluster, &claim_commit,
                                       &secure_bound, &publish};

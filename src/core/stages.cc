@@ -206,11 +206,35 @@ util::Status SecureBoundStage::Run(RequestContext& ctx, PipelineState& state,
 
 util::Status PublishStage::Run(RequestContext& ctx, PipelineState& state,
                                StageRecord& record) {
-  (void)ctx;
-  NELA_CHECK(!bound_->bounded().region.empty());
-  registry_->SetRegion(state.outcome.cluster_id, bound_->bounded().region);
-  state.outcome.region = bound_->bounded().region;
+  const geo::Rect& region = bound_->bounded().region;
+  NELA_CHECK(!region.empty());
+  registry_->SetRegion(state.outcome.cluster_id, region);
+  state.outcome.region = region;
   record.detail = "cluster=" + std::to_string(state.outcome.cluster_id);
+  if (network_ != nullptr && state.cluster_info != nullptr) {
+    // Fire-and-forget assignment notification: the region is the cluster's
+    // shared public artifact, so delivery is best-effort -- a member that
+    // misses it re-reads the registry when it next needs the region.
+    uint64_t notified = 0;
+    for (graph::VertexId member : state.cluster_info->members) {
+      if (member == state.host) continue;
+      net::Message message;
+      message.from = state.host;
+      message.to = member;
+      message.kind = net::MessageKind::kClusterAssignment;
+      message.bytes = 32;  // 4 region edges
+      message.payload.Add(net::FieldTag::kCloakedRegion, net::kPublicSubject,
+                          region.min_x());
+      message.payload.Add(net::FieldTag::kCloakedRegion, net::kPublicSubject,
+                          region.min_y());
+      message.payload.Add(net::FieldTag::kCloakedRegion, net::kPublicSubject,
+                          region.max_x());
+      message.payload.Add(net::FieldTag::kCloakedRegion, net::kPublicSubject,
+                          region.max_y());
+      if (network_->Send(message, &ctx.scope())) ++notified;
+    }
+    record.detail += " notified=" + std::to_string(notified);
+  }
   return util::Status::Ok();
 }
 

@@ -106,11 +106,16 @@ class SecureBoundStage : public Stage {
 };
 
 // Publishes the bounded region as the cluster's shared region in the
-// registry -- the only stage that writes a region anywhere.
+// registry -- the only stage that writes a region anywhere. With a network
+// configured, the host additionally notifies every other member of the
+// published region (kClusterAssignment, region edges tagged public):
+// fire-and-forget, since a member that misses the notification re-reads the
+// registry on its own request and the region itself is public knowledge.
 class PublishStage : public Stage {
  public:
-  PublishStage(cluster::Registry* registry, const SecureBoundStage* bound)
-      : registry_(registry), bound_(bound) {}
+  PublishStage(cluster::Registry* registry, const SecureBoundStage* bound,
+               net::Network* network = nullptr)
+      : registry_(registry), bound_(bound), network_(network) {}
 
   const char* name() const override { return "publish"; }
   util::Status Run(RequestContext& ctx, PipelineState& state,
@@ -119,6 +124,7 @@ class PublishStage : public Stage {
  private:
   cluster::Registry* registry_;
   const SecureBoundStage* bound_;
+  net::Network* network_;
 };
 
 }  // namespace nela::core

@@ -23,8 +23,22 @@ ServiceReply LbsServer::RangeQuery(const geo::Rect& cloaked_region,
     // per candidate. Client node doubles as the server endpoint because the
     // network models only the user population; what matters is the counted
     // cost, not the topology of the wired side.
-    network->Send(client, client, net::MessageKind::kServiceRequest,
-                  /*bytes=*/32);
+    net::Message request;
+    request.from = client;
+    request.to = client;
+    request.kind = net::MessageKind::kServiceRequest;
+    request.bytes = 32;
+    if (!cloaked_region.empty()) {
+      request.payload.Add(net::FieldTag::kCloakedRegion, net::kPublicSubject,
+                          cloaked_region.min_x());
+      request.payload.Add(net::FieldTag::kCloakedRegion, net::kPublicSubject,
+                          cloaked_region.min_y());
+      request.payload.Add(net::FieldTag::kCloakedRegion, net::kPublicSubject,
+                          cloaked_region.max_x());
+      request.payload.Add(net::FieldTag::kCloakedRegion, net::kPublicSubject,
+                          cloaked_region.max_y());
+    }
+    network->Send(request);
     network->Send(client, client, net::MessageKind::kServiceReply,
                   /*bytes=*/reply.candidate_count * 64);
   }

@@ -22,12 +22,30 @@ static_assert(sizeof(kMessageKindNames) / sizeof(kMessageKindNames[0]) ==
                   static_cast<size_t>(kMessageKindCount),
               "MessageKind name table out of sync with kMessageKindCount");
 
+constexpr const char* kFieldTagNames[] = {
+    "adjacency_list",    // kAdjacencyList
+    "bound_hypothesis",  // kBoundHypothesis
+    "bound_verdict",     // kBoundVerdict
+    "cloaked_region",    // kCloakedRegion
+    "raw_coordinate",    // kRawCoordinate
+    "control",           // kControl
+};
+static_assert(sizeof(kFieldTagNames) / sizeof(kFieldTagNames[0]) ==
+                  static_cast<size_t>(kFieldTagCount),
+              "FieldTag name table out of sync with kFieldTagCount");
+
 }  // namespace
 
 const char* MessageKindName(MessageKind kind) {
   const size_t index = static_cast<size_t>(kind);
   if (index >= static_cast<size_t>(kMessageKindCount)) return "unknown";
   return kMessageKindNames[index];
+}
+
+const char* FieldTagName(FieldTag tag) {
+  const size_t index = static_cast<size_t>(tag);
+  if (index >= static_cast<size_t>(kFieldTagCount)) return "unknown";
+  return kFieldTagNames[index];
 }
 
 Network::Network(uint32_t node_count)
@@ -44,6 +62,27 @@ void Network::AdvanceCrashScheduleLocked() {
 
 bool Network::Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes,
                    RequestScope* scope) {
+  const bool delivered = SendImpl(from, to, kind, bytes, scope);
+  if (tap_ != nullptr) {
+    Message message;
+    message.from = from;
+    message.to = to;
+    message.kind = kind;
+    message.bytes = bytes;
+    tap_->OnMessage(message, delivered);
+  }
+  return delivered;
+}
+
+bool Network::Send(const Message& message, RequestScope* scope) {
+  const bool delivered = SendImpl(message.from, message.to, message.kind,
+                                  message.bytes, scope);
+  if (tap_ != nullptr) tap_->OnMessage(message, delivered);
+  return delivered;
+}
+
+bool Network::SendImpl(NodeId from, NodeId to, MessageKind kind,
+                       uint64_t bytes, RequestScope* scope) {
   NELA_CHECK_LT(from, node_count_);
   NELA_CHECK_LT(to, node_count_);
   std::lock_guard<std::mutex> lock(mu_);

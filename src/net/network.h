@@ -46,6 +46,81 @@ inline constexpr int kMessageKindCount = 7;
 // fails to compile instead of silently drifting.
 const char* MessageKindName(MessageKind kind);
 
+// --- Structured payload model -------------------------------------------
+//
+// A message's payload is described, not serialized: each field carries a
+// semantic tag, the principal the field is *about* (whose privacy it can
+// affect), and the scalar value that would go on the wire. The audit layer
+// (audit::AdversaryObserver) reconstructs per-principal knowledge from
+// these descriptors; protocols that send opaque byte counts only
+// (kControl handshakes, service replies) may leave the descriptor empty.
+
+enum class FieldTag : uint8_t {
+  kAdjacencyList = 0,  // size of a user's proximity adjacency list
+  kBoundHypothesis,    // secure bounding: proposed upper bound (public value)
+  kBoundVerdict,       // secure bounding: agree(1)/disagree(0) vote
+  kCloakedRegion,      // a published region edge (min_x/min_y/max_x/max_y)
+  kRawCoordinate,      // an exact user coordinate -- only the OPT baseline
+                       // may ever send one, and the observer flags it
+  kControl,            // untyped bookkeeping value
+};
+inline constexpr int kFieldTagCount = 6;
+
+// Stable short name of a tag ("adjacency_list", ...), static_asserted
+// against kFieldTagCount like MessageKindName.
+const char* FieldTagName(FieldTag tag);
+
+// Subject id for fields that are about no particular user (a cluster-wide
+// bound hypothesis, a region edge).
+inline constexpr NodeId kPublicSubject = 0xffffffffu;
+
+struct PayloadField {
+  FieldTag tag = FieldTag::kControl;
+  NodeId subject = kPublicSubject;
+  double value = 0.0;
+};
+
+// Fixed-capacity field list: payloads in this protocol family are tiny
+// (a region is 4 edges), and keeping the descriptor inline keeps Send()
+// allocation-free on the hot bench paths.
+struct PayloadDescriptor {
+  static constexpr int kMaxFields = 4;
+
+  std::array<PayloadField, kMaxFields> fields{};
+  uint8_t field_count = 0;
+
+  void Add(FieldTag tag, NodeId subject, double value) {
+    NELA_CHECK_LT(field_count, kMaxFields);
+    fields[field_count++] = PayloadField{tag, subject, value};
+  }
+  bool empty() const { return field_count == 0; }
+  const PayloadField* begin() const { return fields.data(); }
+  const PayloadField* end() const { return fields.data() + field_count; }
+};
+
+// A fully described message. Send(Message) is the audited path; the legacy
+// positional Send() remains for traffic whose payload carries no
+// per-principal information.
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  MessageKind kind = MessageKind::kControl;
+  uint64_t bytes = 0;
+  PayloadDescriptor payload;
+};
+
+// Observes every send attempt, delivered or not (an adversary on the wire
+// sees transmissions; whether the simulated fault process drops them is
+// reported so taps can model either a global eavesdropper or an endpoint).
+// Invoked outside the network's internal mutex: taps may call back into
+// Network accessors but must do their own synchronization if the network
+// is shared across threads.
+class TrafficTap {
+ public:
+  virtual ~TrafficTap() = default;
+  virtual void OnMessage(const Message& message, bool delivered) = 0;
+};
+
 struct TrafficCounter {
   uint64_t messages = 0;
   uint64_t bytes = 0;
@@ -84,6 +159,17 @@ class Network {
   // the attempt is additionally accounted to that request's scope.
   bool Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes,
             RequestScope* scope = nullptr);
+
+  // Audited path: same semantics, but the message's payload descriptor is
+  // handed to the installed TrafficTap (if any) along with the delivery
+  // outcome.
+  bool Send(const Message& message, RequestScope* scope = nullptr);
+
+  // Installs (or clears, with nullptr) the traffic tap. Not owned; must
+  // outlive the network or be cleared first. Install before traffic starts:
+  // swapping the tap concurrently with in-flight sends is a data race.
+  void SetTap(TrafficTap* tap) { tap_ = tap; }
+  TrafficTap* tap() const { return tap_; }
 
   // Installs the full fault plan (replaces any previous loss setting). The
   // RNG driving loss and latency is owned by the network and seeded from
@@ -191,7 +277,13 @@ class Network {
   // Requires mu_ held.
   void AdvanceCrashScheduleLocked();
   void CrashNodeLocked(NodeId node);
+  // Counter/fault bookkeeping for one attempt; returns whether it was
+  // delivered. Takes mu_ itself; the caller invokes the tap afterwards so
+  // the tap never runs under the network lock.
+  bool SendImpl(NodeId from, NodeId to, MessageKind kind, uint64_t bytes,
+                RequestScope* scope);
 
+  TrafficTap* tap_ = nullptr;
   mutable std::mutex mu_;
   uint32_t node_count_;
   TrafficCounter total_;

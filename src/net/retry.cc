@@ -8,6 +8,19 @@ SendOutcome SendWithRetry(Network& network, NodeId from, NodeId to,
                           MessageKind kind, uint64_t bytes,
                           const BackoffPolicy& policy, util::Rng* jitter_rng,
                           RequestScope* scope) {
+  Message message;
+  message.from = from;
+  message.to = to;
+  message.kind = kind;
+  message.bytes = bytes;
+  return SendWithRetry(network, message, policy, jitter_rng, scope);
+}
+
+SendOutcome SendWithRetry(Network& network, const Message& message,
+                          const BackoffPolicy& policy, util::Rng* jitter_rng,
+                          RequestScope* scope) {
+  const NodeId from = message.from;
+  const NodeId to = message.to;
   SendOutcome outcome;
   double delay_ms = policy.base_delay_ms;
   for (uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
@@ -17,16 +30,16 @@ SendOutcome SendWithRetry(Network& network, NodeId from, NodeId to,
     }
     ++outcome.attempts;
     if (attempt > 0) {
-      network.RecordRetry(kind, bytes, scope);
-      outcome.retransmitted_bytes += bytes;
+      network.RecordRetry(message.kind, message.bytes, scope);
+      outcome.retransmitted_bytes += message.bytes;
     }
-    if (network.Send(from, to, kind, bytes, scope)) {
+    if (network.Send(message, scope)) {
       outcome.delivered = true;
       return outcome;
     }
     // The failed attempt may itself have advanced the crash schedule; the
     // next iteration's liveness check distinguishes churn from plain loss.
-    network.RecordTimeoutObserved(kind, scope);
+    network.RecordTimeoutObserved(message.kind, scope);
     double wait = std::min(delay_ms, policy.max_delay_ms);
     if (jitter_rng != nullptr && policy.jitter_fraction > 0.0) {
       wait *= 1.0 + jitter_rng->NextDouble(0.0, policy.jitter_fraction);

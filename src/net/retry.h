@@ -51,6 +51,13 @@ SendOutcome SendWithRetry(Network& network, NodeId from, NodeId to,
                           const BackoffPolicy& policy, util::Rng* jitter_rng,
                           RequestScope* scope = nullptr);
 
+// Audited variant: retransmits a fully described Message, so every attempt
+// (including retries) reaches the installed TrafficTap with its payload
+// descriptor -- exactly what a wire-level adversary would see.
+SendOutcome SendWithRetry(Network& network, const Message& message,
+                          const BackoffPolicy& policy, util::Rng* jitter_rng,
+                          RequestScope* scope = nullptr);
+
 }  // namespace nela::net
 
 #endif  // NELA_NET_RETRY_H_

@@ -293,7 +293,8 @@ util::Status BatchDriver::ProcessRequest(RunState& run, uint64_t ordinal) {
     // private sub-stream, never from shared state.
     bound_config.jitter_from_context = true;
     core::SecureBoundStage secure_bound(bound_config);
-    core::PublishStage publish(&run.registry, &secure_bound);
+    core::PublishStage publish(&run.registry, &secure_bound,
+                               run.network.get());
     const std::vector<core::Stage*> stages = {&claim_commit, &secure_bound,
                                               &publish};
     status = core::RunPipeline(stages, ctx, state);  // releases the ticket

@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "audit/observer.h"
+#include "audit/taint.h"
 #include "cluster/distributed_tconn.h"
 #include "core/cloaking_engine.h"
 #include "core/policy_factory.h"
@@ -49,6 +51,19 @@ util::Result<ChaosExperimentResult> RunChaosExperiment(
   }
   util::Status installed = network.InstallFaultPlan(plan);
   if (!installed.ok()) return installed;
+
+  // Wire-level non-exposure audit: every user's coordinates are tainted,
+  // and the observer watches all traffic for the whole run.
+  audit::TaintSet taint;
+  audit::ObserverConfig observer_config;
+  observer_config.taint = &taint;
+  audit::AdversaryObserver observer(observer_config);
+  if (config.verify_non_exposure) {
+    for (data::UserId user = 0; user < n; ++user) {
+      taint.TaintPoint(user, scenario.dataset.point(user));
+    }
+    network.SetTap(&observer);
+  }
 
   cluster::Registry registry(n);
   auto clusterer = std::make_unique<cluster::DistributedTConnClusterer>(
@@ -115,6 +130,11 @@ util::Result<ChaosExperimentResult> RunChaosExperiment(
     result.retry_overhead =
         static_cast<double>(result.retries) /
         static_cast<double>(result.delivered_messages);
+  }
+  if (config.verify_non_exposure) {
+    result.audited_messages = observer.messages_seen();
+    result.exposure_violations = observer.violation_count();
+    network.SetTap(nullptr);
   }
   return result;
 }

@@ -41,6 +41,12 @@ struct ChaosExperimentConfig {
   // Recovery parameters.
   net::BackoffPolicy retry;
   uint32_t max_phase_retries = 3;
+
+  // Non-exposure verification: attach an audit::AdversaryObserver (with a
+  // taint set over every user coordinate) to the network for the whole run
+  // and report the violations it finds. On by default -- chaos runs are
+  // exactly where failure paths could leak.
+  bool verify_non_exposure = true;
 };
 
 struct ChaosExperimentResult {
@@ -75,6 +81,12 @@ struct ChaosExperimentResult {
   // (>= k by construction), and mean cloaked area over succeeded requests.
   double avg_achieved_anonymity = 0.0;
   double avg_region_area = 0.0;
+
+  // Non-exposure audit (0 when verify_non_exposure is off). Any non-zero
+  // violation count is a protocol bug: the adversary observer reconstructed
+  // more about some user than ranks + published region allow.
+  uint64_t audited_messages = 0;
+  uint64_t exposure_violations = 0;
 };
 
 util::Result<ChaosExperimentResult> RunChaosExperiment(

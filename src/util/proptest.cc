@@ -1,0 +1,114 @@
+#include "util/proptest.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace nela::util {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::optional<uint64_t> ParseEnvUint64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0') return std::nullopt;
+  return static_cast<uint64_t>(value);
+}
+
+// Runs one case: a fresh Rng from the case seed, size drawn from the same
+// seed stream so the seed alone pins the whole scenario.
+std::optional<std::string> RunCase(const PropSpec& spec,
+                                   const Property& property,
+                                   uint64_t case_seed, uint32_t* size_out) {
+  Rng size_rng(SplitMix64(case_seed));
+  uint32_t size = spec.min_size;
+  if (spec.max_size > spec.min_size) {
+    size += static_cast<uint32_t>(
+        size_rng.NextUint64(spec.max_size - spec.min_size + 1));
+  }
+  if (size_out != nullptr) *size_out = size;
+  Rng rng(case_seed);
+  return property(rng, size);
+}
+
+// Re-runs the failing case at progressively halved sizes (same seed), and
+// keeps the smallest size that still fails.
+void Shrink(const PropSpec& spec, const Property& property,
+            uint64_t case_seed, PropFailure* failure) {
+  uint32_t size = failure->size;
+  while (size > spec.min_size) {
+    const uint32_t candidate =
+        size / 2 < spec.min_size ? spec.min_size : size / 2;
+    Rng rng(case_seed);
+    const std::optional<std::string> message = property(rng, candidate);
+    if (!message.has_value()) break;
+    failure->size = candidate;
+    failure->message = *message;
+    if (candidate == spec.min_size) break;
+    size = candidate;
+  }
+}
+
+}  // namespace
+
+uint32_t PropIterations(uint32_t fallback) {
+  const std::optional<uint64_t> value = ParseEnvUint64("NELA_PROPTEST_ITERS");
+  if (!value.has_value() || *value == 0) return fallback;
+  constexpr uint64_t kMax = 0xffffffffull;
+  return static_cast<uint32_t>(*value > kMax ? kMax : *value);
+}
+
+std::optional<uint64_t> PropSeedOverride() {
+  return ParseEnvUint64("NELA_PROPTEST_SEED");
+}
+
+uint64_t DeriveCaseSeed(uint64_t base_seed, uint32_t iteration) {
+  return SplitMix64(base_seed + SplitMix64(iteration + 1));
+}
+
+std::string ReproLine(const PropSpec& spec, uint64_t case_seed) {
+  return "repro: NELA_PROPTEST_SEED=" + std::to_string(case_seed) +
+         " NELA_PROPTEST_ITERS=1 ctest -R " + spec.name +
+         " --output-on-failure";
+}
+
+std::optional<PropFailure> RunProperty(const PropSpec& spec,
+                                       const Property& property) {
+  NELA_CHECK(property != nullptr);
+  NELA_CHECK_GE(spec.max_size, spec.min_size);
+  const std::optional<uint64_t> seed_override = PropSeedOverride();
+  const uint32_t iterations =
+      seed_override.has_value() ? 1 : PropIterations(spec.iterations);
+
+  for (uint32_t i = 0; i < iterations; ++i) {
+    const uint64_t case_seed =
+        seed_override.has_value() ? *seed_override
+                                  : DeriveCaseSeed(spec.base_seed, i);
+    uint32_t size = 0;
+    const std::optional<std::string> message =
+        RunCase(spec, property, case_seed, &size);
+    if (!message.has_value()) continue;
+    PropFailure failure;
+    failure.case_seed = case_seed;
+    failure.iteration = i;
+    failure.size = size;
+    failure.message = *message;
+    Shrink(spec, property, case_seed, &failure);
+    failure.repro = ReproLine(spec, case_seed);
+    return failure;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nela::util

@@ -1,0 +1,82 @@
+// Minimal seeded property-test harness.
+//
+// A property is a predicate over randomly generated scenarios: the harness
+// runs it for a configurable number of cases, each driven by an Rng whose
+// seed is derived deterministically from the base seed and the case index.
+// On failure it shrinks the scenario size by halving and reports the exact
+// environment line that replays the failing case, so a CI hit reproduces
+// locally with one command.
+//
+// Environment knobs (read at RunProperty time):
+//   NELA_PROPTEST_ITERS  overrides the case count (CI runs elevated counts).
+//   NELA_PROPTEST_SEED   replays exactly one case with the given case seed
+//                        (the value printed in a failure's repro line).
+//
+// The harness is test-framework-agnostic: it returns an
+// std::optional<PropFailure> and never asserts, so callers surface failures
+// through whatever assertion macro they use.
+
+#ifndef NELA_UTIL_PROPTEST_H_
+#define NELA_UTIL_PROPTEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/rng.h"
+
+namespace nela::util {
+
+struct PropSpec {
+  // Identifies the property in repro lines (use the test name).
+  std::string name = "prop";
+  // Base seed; case i derives its seed from (base_seed, i).
+  uint64_t base_seed = 0x5eed5eed5eed5eedull;
+  // Case count before the NELA_PROPTEST_ITERS override.
+  uint32_t iterations = 100;
+  // Scenario size bounds; each case draws its size uniformly from
+  // [min_size, max_size], and shrinking halves toward min_size.
+  uint32_t min_size = 1;
+  uint32_t max_size = 100;
+};
+
+struct PropFailure {
+  uint64_t case_seed = 0;
+  uint32_t iteration = 0;
+  // Smallest size still failing after shrink-by-halving.
+  uint32_t size = 0;
+  // The property's message at the shrunk size.
+  std::string message;
+  // Environment line that replays this case: paste before the test command.
+  std::string repro;
+};
+
+// A property receives a freshly seeded Rng and the scenario size; it
+// returns nullopt on success or a diagnostic on failure. Re-invocations
+// with the same seed and size must behave identically (no hidden state),
+// or shrinking and replay lose their meaning.
+using Property =
+    std::function<std::optional<std::string>(Rng& rng, uint32_t size)>;
+
+// Number of cases to run: NELA_PROPTEST_ITERS when set and parseable,
+// otherwise `fallback`.
+uint32_t PropIterations(uint32_t fallback);
+
+// The NELA_PROPTEST_SEED override, when set and parseable.
+std::optional<uint64_t> PropSeedOverride();
+
+// Deterministic per-case seed derivation (SplitMix64 over base and index).
+uint64_t DeriveCaseSeed(uint64_t base_seed, uint32_t iteration);
+
+// The repro environment line reported with a failure.
+std::string ReproLine(const PropSpec& spec, uint64_t case_seed);
+
+// Runs the property over the configured cases, shrinking the first failure.
+// Returns nullopt when every case passes.
+std::optional<PropFailure> RunProperty(const PropSpec& spec,
+                                       const Property& property);
+
+}  // namespace nela::util
+
+#endif  // NELA_UTIL_PROPTEST_H_

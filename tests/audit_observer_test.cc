@@ -1,0 +1,473 @@
+// Non-exposure verifier tests: taint matching, knowledge reconstruction,
+// the adversary observer on honest and dishonest protocol runs -- and the
+// mutation checks that prove the verifier actually fires. The deliberately
+// leaky bounding variant lives under NELA_TEST_LEAKY_VARIANT below: it is a
+// protocol a careless optimizer might plausibly write (binary search plus a
+// confirmation sweep), and the observer must flag it.
+
+#define NELA_TEST_LEAKY_VARIANT 1
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/knowledge.h"
+#include "audit/observer.h"
+#include "audit/taint.h"
+#include "bounding/increment_policy.h"
+#include "bounding/protocol.h"
+#include "bounding/secret.h"
+#include "geo/point.h"
+#include "net/network.h"
+
+namespace nela::audit {
+namespace {
+
+// ------------------------------------------------------------------ taint
+
+TEST(TaintSetTest, PointRegistersAllAxisForms) {
+  TaintSet taint;
+  taint.TaintPoint(7, geo::Point{3.25, -1.5});
+  EXPECT_EQ(taint.size(), 4u);
+  ASSERT_TRUE(taint.Match(3.25).has_value());
+  EXPECT_EQ(*taint.Match(3.25), 7u);
+  EXPECT_TRUE(taint.Match(-3.25).has_value());
+  EXPECT_TRUE(taint.Match(-1.5).has_value());
+  EXPECT_TRUE(taint.Match(1.5).has_value());
+  EXPECT_FALSE(taint.Match(3.250000001).has_value());
+}
+
+TEST(TaintSetTest, VerdictEncodingsNeverMatch) {
+  TaintSet taint;
+  taint.TaintValue(1, 0.0);
+  taint.TaintValue(1, 1.0);
+  taint.TaintValue(1, -0.0);
+  EXPECT_FALSE(taint.Match(0.0).has_value());
+  EXPECT_FALSE(taint.Match(-0.0).has_value());
+  EXPECT_FALSE(taint.Match(1.0).has_value());
+}
+
+TEST(TaintSetTest, ClearEmpties) {
+  TaintSet taint;
+  taint.TaintValue(2, 42.0);
+  EXPECT_TRUE(taint.Match(42.0).has_value());
+  taint.Clear();
+  EXPECT_EQ(taint.size(), 0u);
+  EXPECT_FALSE(taint.Match(42.0).has_value());
+}
+
+// -------------------------------------------------------------- knowledge
+
+TEST(KnowledgeSetTest, RejectThenAcceptCompletesInterval) {
+  KnowledgeSet knowledge;
+  knowledge.ObserveHypothesis(3, 1.0);
+  EXPECT_FALSE(knowledge.ObserveVerdict(3, false).has_value());
+  knowledge.ObserveHypothesis(3, 2.0);
+  const auto interval = knowledge.ObserveVerdict(3, true);
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_DOUBLE_EQ(interval->lower, 1.0);
+  EXPECT_DOUBLE_EQ(interval->upper, 2.0);
+  EXPECT_DOUBLE_EQ(knowledge.TightestIntervalWidth(3), 1.0);
+}
+
+TEST(KnowledgeSetTest, AcceptingFirstHypothesisLearnsNoInterval) {
+  KnowledgeSet knowledge;
+  knowledge.ObserveHypothesis(3, 5.0);
+  EXPECT_FALSE(knowledge.ObserveVerdict(3, true).has_value());
+  EXPECT_TRUE(std::isinf(knowledge.TightestIntervalWidth(3)));
+}
+
+TEST(KnowledgeSetTest, DecreasingHypothesisStartsNewRun) {
+  KnowledgeSet knowledge;
+  knowledge.ObserveHypothesis(3, 10.0);
+  knowledge.ObserveVerdict(3, false);
+  // A lower hypothesis (a new axis run / request) must not pair its
+  // acceptance with the old run's rejection.
+  knowledge.ObserveHypothesis(3, 2.0);
+  EXPECT_FALSE(knowledge.ObserveVerdict(3, true).has_value());
+  ASSERT_NE(knowledge.about(3), nullptr);
+  EXPECT_EQ(knowledge.about(3)->runs, 2u);
+}
+
+TEST(KnowledgeSetTest, StrayVerdictIgnored) {
+  KnowledgeSet knowledge;
+  EXPECT_FALSE(knowledge.ObserveVerdict(9, true).has_value());
+  EXPECT_EQ(knowledge.subject_count(), 1u);
+  EXPECT_EQ(knowledge.about(9)->verdicts, 0u);
+}
+
+// --------------------------------------------------------------- observer
+
+net::Message Proposal(net::NodeId host, net::NodeId peer, double hypothesis) {
+  net::Message m;
+  m.from = host;
+  m.to = peer;
+  m.kind = net::MessageKind::kBoundProposal;
+  m.bytes = 16;
+  m.payload.Add(net::FieldTag::kBoundHypothesis, net::kPublicSubject,
+                hypothesis);
+  return m;
+}
+
+net::Message Vote(net::NodeId peer, net::NodeId host, bool agrees) {
+  net::Message m;
+  m.from = peer;
+  m.to = host;
+  m.kind = net::MessageKind::kBoundVote;
+  m.bytes = 8;
+  m.payload.Add(net::FieldTag::kBoundVerdict, peer, agrees ? 1.0 : 0.0);
+  return m;
+}
+
+TEST(AdversaryObserverTest, HonestRoundsStayClean) {
+  AdversaryObserver observer;
+  observer.OnMessage(Proposal(0, 1, 1.0), true);
+  observer.OnMessage(Vote(1, 0, false), true);
+  observer.OnMessage(Proposal(0, 1, 1.5), true);
+  observer.OnMessage(Vote(1, 0, true), true);
+  EXPECT_TRUE(observer.clean());
+  EXPECT_EQ(observer.messages_seen(), 4u);
+  EXPECT_EQ(observer.tagged_messages(), 4u);
+  EXPECT_DOUBLE_EQ(observer.LearnedIntervalWidth(0, 1), 0.5);
+}
+
+TEST(AdversaryObserverTest, CollapsedIntervalIsViolation) {
+  ObserverConfig config;
+  config.min_interval_width = 1e-9;
+  AdversaryObserver observer(config);
+  observer.OnMessage(Proposal(0, 1, 2.0), true);
+  observer.OnMessage(Vote(1, 0, false), true);
+  observer.OnMessage(Proposal(0, 1, 2.0 + 1e-12), true);
+  observer.OnMessage(Vote(1, 0, true), true);
+  ASSERT_EQ(observer.violation_count(), 1u);
+  const Violation v = observer.violations()[0];
+  EXPECT_EQ(v.kind, ViolationKind::kKnowledgeCollapse);
+  EXPECT_EQ(v.observer, 0u);
+  EXPECT_EQ(v.subject, 1u);
+  EXPECT_NE(observer.Report().find("knowledge_collapse"), std::string::npos);
+}
+
+TEST(AdversaryObserverTest, SelfKnowledgeIsFree) {
+  // The host round-trips with itself like any member; learning its own
+  // coordinate is not exposure.
+  AdversaryObserver observer;
+  observer.OnMessage(Proposal(0, 0, 2.0), true);
+  observer.OnMessage(Vote(0, 0, false), true);
+  observer.OnMessage(Proposal(0, 0, 2.0 + 1e-12), true);
+  observer.OnMessage(Vote(0, 0, true), true);
+  EXPECT_TRUE(observer.clean());
+}
+
+TEST(AdversaryObserverTest, RawCoordinateTagFlagged) {
+  AdversaryObserver observer;
+  net::Message m;
+  m.from = 2;
+  m.to = 0;
+  m.kind = net::MessageKind::kBoundVote;
+  m.bytes = 8;
+  m.payload.Add(net::FieldTag::kRawCoordinate, 2, 0.731);
+  observer.OnMessage(m, true);
+  ASSERT_EQ(observer.violation_count(), 1u);
+  EXPECT_EQ(observer.violations()[0].kind,
+            ViolationKind::kRawCoordinateOnWire);
+  EXPECT_EQ(observer.violations()[0].subject, 2u);
+}
+
+TEST(AdversaryObserverTest, DeclaredExposureModeCountsInsteadOfFlagging) {
+  ObserverConfig config;
+  config.allow_declared_exposure = true;
+  AdversaryObserver observer(config);
+  net::Message m;
+  m.from = 2;
+  m.to = 0;
+  m.kind = net::MessageKind::kBoundVote;
+  m.bytes = 8;
+  m.payload.Add(net::FieldTag::kRawCoordinate, 2, 0.731);
+  observer.OnMessage(m, true);
+  EXPECT_TRUE(observer.clean());
+  EXPECT_EQ(observer.declared_exposures(), 1u);
+}
+
+TEST(AdversaryObserverTest, TaintedValueSmuggledUnderInnocentTagFlagged) {
+  TaintSet taint;
+  taint.TaintPoint(5, geo::Point{0.4375, 0.875});
+  ObserverConfig config;
+  config.taint = &taint;
+  // Even in declared-exposure mode, a coordinate under a non-exposure tag
+  // is smuggling, never a declared cost.
+  config.allow_declared_exposure = true;
+  AdversaryObserver observer(config);
+  net::Message m;
+  m.from = 5;
+  m.to = 0;
+  m.kind = net::MessageKind::kControl;
+  m.bytes = 8;
+  m.payload.Add(net::FieldTag::kControl, net::kPublicSubject, 0.4375);
+  // The wire adversary sees attempts, delivered or not.
+  observer.OnMessage(m, false);
+  ASSERT_EQ(observer.violation_count(), 1u);
+  EXPECT_EQ(observer.violations()[0].kind,
+            ViolationKind::kRawCoordinateOnWire);
+  EXPECT_EQ(observer.violations()[0].subject, 5u);
+}
+
+TEST(AdversaryObserverTest, UntaggedBoundTrafficFlagged) {
+  AdversaryObserver observer;
+  net::Message m;
+  m.from = 0;
+  m.to = 1;
+  m.kind = net::MessageKind::kBoundProposal;
+  m.bytes = 16;
+  observer.OnMessage(m, true);
+  ASSERT_EQ(observer.violation_count(), 1u);
+  EXPECT_EQ(observer.violations()[0].kind,
+            ViolationKind::kUntaggedProtocolTraffic);
+}
+
+TEST(AdversaryObserverTest, NetworkTapDeliversDescriptors) {
+  net::Network network(3);
+  AdversaryObserver observer;
+  network.SetTap(&observer);
+  EXPECT_TRUE(network.Send(Proposal(0, 1, 4.0)));
+  EXPECT_TRUE(network.Send(Vote(1, 0, true)));
+  network.SetTap(nullptr);
+  EXPECT_EQ(observer.messages_seen(), 2u);
+  EXPECT_EQ(observer.tagged_messages(), 2u);
+  EXPECT_TRUE(observer.clean());
+}
+
+// ------------------------------------------------ end-to-end honest runs
+
+// Coordinates deliberately not multiples of the 0.01 policy step: honest
+// hypotheses live at host_coordinate + k*step, and grid-aligned members
+// would make a hypothesis bit-exactly coincide with a member coordinate --
+// a false positive of the bit-exact taint matcher that real-valued
+// positions cannot produce.
+std::vector<geo::Point> TestCluster() {
+  return {{0.3137, 0.4211}, {0.3622, 0.4048}, {0.2918, 0.4729},
+          {0.3541, 0.4457}};
+}
+
+TEST(AdversaryObserverTest, HonestCloakedRegionRunIsClean) {
+  const std::vector<geo::Point> points = TestCluster();
+  net::Network network(points.size());
+  TaintSet taint;
+  for (net::NodeId i = 0; i < points.size(); ++i) {
+    taint.TaintPoint(i, points[i]);
+  }
+  ObserverConfig config;
+  config.taint = &taint;
+  AdversaryObserver observer(config);
+  network.SetTap(&observer);
+
+  std::vector<net::NodeId> node_ids = {0, 1, 2, 3};
+  bounding::NetworkBinding binding;
+  binding.network = &network;
+  binding.host = 0;
+  binding.node_ids = &node_ids;
+  bounding::LinearIncrementPolicy policy(0.01);
+  auto run = bounding::ComputeCloakedRegion(points, points[0], policy,
+                                            binding);
+  network.SetTap(nullptr);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(observer.clean()) << observer.Report();
+  EXPECT_GT(observer.messages_seen(), 0u);
+  // Every bound message carried its descriptor.
+  EXPECT_EQ(observer.tagged_messages(), observer.messages_seen());
+  // The host learned a one-increment interval about each peer -- never
+  // tighter than the policy's step.
+  for (net::NodeId peer = 1; peer < points.size(); ++peer) {
+    const double width = observer.LearnedIntervalWidth(0, peer);
+    if (std::isinf(width)) continue;  // peer agreed with first hypotheses
+    EXPECT_GE(width, 0.01 - 1e-12) << "peer " << peer;
+  }
+}
+
+TEST(AdversaryObserverTest, OptBaselineFlaggedUnlessDeclared) {
+  const std::vector<geo::Point> points = TestCluster();
+  std::vector<net::NodeId> node_ids = {0, 1, 2, 3};
+  TaintSet taint;
+  for (net::NodeId i = 0; i < points.size(); ++i) {
+    taint.TaintPoint(i, points[i]);
+  }
+
+  // Strict mode: the OPT exposure messages are violations.
+  {
+    net::Network network(points.size());
+    ObserverConfig config;
+    config.taint = &taint;
+    AdversaryObserver observer(config);
+    network.SetTap(&observer);
+    bounding::NetworkBinding binding;
+    binding.network = &network;
+    binding.host = 0;
+    binding.node_ids = &node_ids;
+    bounding::ComputeOptRegion(points, binding);
+    network.SetTap(nullptr);
+    EXPECT_GE(observer.violation_count(), points.size());
+  }
+
+  // Declared mode: clean, but the exposures are counted.
+  {
+    net::Network network(points.size());
+    ObserverConfig config;
+    config.taint = &taint;
+    config.allow_declared_exposure = true;
+    AdversaryObserver observer(config);
+    network.SetTap(&observer);
+    bounding::NetworkBinding binding;
+    binding.network = &network;
+    binding.host = 0;
+    binding.node_ids = &node_ids;
+    bounding::ComputeOptRegion(points, binding);
+    network.SetTap(nullptr);
+    EXPECT_TRUE(observer.clean()) << observer.Report();
+    EXPECT_EQ(observer.declared_exposures(), 2 * points.size());
+  }
+}
+
+// ------------------------------------------------------- mutation checks
+
+#if NELA_TEST_LEAKY_VARIANT
+
+// A deliberately leaky "optimization" of the bounding protocol: binary
+// search each peer's value, then confirm the bracket with an ascending
+// reject/accept sweep. Converges in O(log(1/eps)) rounds instead of the
+// policy's O(range/step) -- and hands the host every peer's value to
+// within eps. The observer must catch this.
+double LeakyBinarySearchBound(const std::vector<bounding::PrivateScalar>&
+                                  secrets,
+                              double lo_start, double hi_start,
+                              const bounding::NetworkBinding& binding) {
+  double overall = lo_start;
+  for (size_t i = 0; i < secrets.size(); ++i) {
+    const net::NodeId peer = (*binding.node_ids)[i];
+    double lo = lo_start;  // known to disagree (below every value)
+    double hi = hi_start;  // known to agree
+    while (hi - lo > 1e-13) {
+      const double mid = 0.5 * (lo + hi);
+      const bool agrees = secrets[i].AgreesWithUpperBound(mid);
+      binding.network->Send(
+          [&] {
+            net::Message m;
+            m.from = binding.host;
+            m.to = peer;
+            m.kind = net::MessageKind::kBoundProposal;
+            m.bytes = 16;
+            m.payload.Add(net::FieldTag::kBoundHypothesis,
+                          net::kPublicSubject, mid);
+            return m;
+          }());
+      binding.network->Send(
+          [&] {
+            net::Message m;
+            m.from = peer;
+            m.to = binding.host;
+            m.kind = net::MessageKind::kBoundVote;
+            m.bytes = 8;
+            m.payload.Add(net::FieldTag::kBoundVerdict, peer,
+                          agrees ? 1.0 : 0.0);
+            return m;
+          }());
+      if (agrees) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    // Confirmation sweep, ascending: reject at lo, accept at hi.
+    for (const double h : {lo, hi}) {
+      const bool agrees = secrets[i].AgreesWithUpperBound(h);
+      net::Message proposal;
+      proposal.from = binding.host;
+      proposal.to = peer;
+      proposal.kind = net::MessageKind::kBoundProposal;
+      proposal.bytes = 16;
+      proposal.payload.Add(net::FieldTag::kBoundHypothesis,
+                           net::kPublicSubject, h);
+      binding.network->Send(proposal);
+      net::Message vote;
+      vote.from = peer;
+      vote.to = binding.host;
+      vote.kind = net::MessageKind::kBoundVote;
+      vote.bytes = 8;
+      vote.payload.Add(net::FieldTag::kBoundVerdict, peer,
+                       agrees ? 1.0 : 0.0);
+      binding.network->Send(vote);
+    }
+    overall = std::max(overall, hi);
+  }
+  return overall;
+}
+
+TEST(MutationCheckTest, LeakyBinarySearchVariantTripsObserver) {
+  const std::vector<geo::Point> points = TestCluster();
+  std::vector<bounding::PrivateScalar> secrets;
+  for (const geo::Point& p : points) secrets.emplace_back(p.x);
+  std::vector<net::NodeId> node_ids = {0, 1, 2, 3};
+
+  net::Network network(points.size());
+  TaintSet taint;
+  for (net::NodeId i = 0; i < points.size(); ++i) {
+    taint.TaintPoint(i, points[i]);
+  }
+  ObserverConfig config;
+  config.taint = &taint;
+  AdversaryObserver observer(config);
+  network.SetTap(&observer);
+
+  bounding::NetworkBinding binding;
+  binding.network = &network;
+  binding.host = 0;
+  binding.node_ids = &node_ids;
+  const double bound = LeakyBinarySearchBound(secrets, 0.0, 1.0, binding);
+  network.SetTap(nullptr);
+
+  EXPECT_GE(bound, 0.36);  // it does compute a valid bound...
+  // ... and the observer sees the exposure: one knowledge collapse per
+  // peer whose value the search isolated.
+  EXPECT_FALSE(observer.clean());
+  uint64_t collapses = 0;
+  for (const Violation& v : observer.violations()) {
+    if (v.kind == ViolationKind::kKnowledgeCollapse) ++collapses;
+  }
+  EXPECT_GE(collapses, points.size() - 1) << observer.Report();
+}
+
+#endif  // NELA_TEST_LEAKY_VARIANT
+
+TEST(MutationCheckTest, HonestProtocolSurvivesSameScrutiny) {
+  // The control arm of the mutation check: identical observer setup, the
+  // real protocol, zero violations.
+  const std::vector<geo::Point> points = TestCluster();
+  std::vector<bounding::PrivateScalar> secrets;
+  for (const geo::Point& p : points) secrets.emplace_back(p.x);
+  std::vector<net::NodeId> node_ids = {0, 1, 2, 3};
+
+  net::Network network(points.size());
+  TaintSet taint;
+  for (net::NodeId i = 0; i < points.size(); ++i) {
+    taint.TaintPoint(i, points[i]);
+  }
+  ObserverConfig config;
+  config.taint = &taint;
+  AdversaryObserver observer(config);
+  network.SetTap(&observer);
+
+  bounding::NetworkBinding binding;
+  binding.network = &network;
+  binding.host = 0;
+  binding.node_ids = &node_ids;
+  bounding::LinearIncrementPolicy policy(0.01);
+  auto run = bounding::RunProgressiveUpperBounding(secrets, 0.0, policy,
+                                                   binding);
+  network.SetTap(nullptr);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(observer.clean()) << observer.Report();
+}
+
+}  // namespace
+}  // namespace nela::audit

@@ -1,8 +1,11 @@
 // Tests for the §V cost-model machinery: distributions, request cost
 // models, the unary optimum (Equation 2), the N-bounding optimum
-// (Equation 5, closed forms of Examples 5.1-5.4), and the exact DP.
+// (Equation 5, closed forms of Examples 5.1-5.4), and the exact DP --
+// on the fixed grids below plus seeded random sweeps of (n, cost params).
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +13,7 @@
 #include "bounding/distribution.h"
 #include "bounding/nbound.h"
 #include "bounding/unary.h"
+#include "util/proptest.h"
 
 namespace nela::bounding {
 namespace {
@@ -221,6 +225,131 @@ TEST(ExactNBoundTest, ExactCostNoWorseThanOneShot) {
     const double one_shot = n * cb + cost.R(2.0);
     EXPECT_LE(table.expected_cost(n), one_shot * (1.0 + 1e-9)) << "n=" << n;
   }
+}
+
+// ------------------------------------------------- randomized sweeps (S1)
+
+// Each case checks both closed forms against the Equation 5 bisection
+// solver at randomly drawn parameters -- 2 subcases per iteration, ~200
+// comparisons at the default count.
+TEST(NBoundPropertyTest, ClosedFormsMatchSolverOnRandomSweep) {
+  util::PropSpec spec;
+  spec.name = "NBoundPropertyTest.ClosedFormsMatchSolverOnRandomSweep";
+  spec.base_seed = 0xb0537ull;
+  spec.iterations = 100;
+  // n >= 2: for n = 1 the solver intentionally returns the unary optimum
+  // (the self-consistent fixed point), not the Equation 5 root the closed
+  // forms evaluate, and the two differ by design.
+  spec.min_size = 2;
+  spec.max_size = 64;
+
+  const util::Property property =
+      [](util::Rng& rng, uint32_t size) -> std::optional<std::string> {
+    const uint32_t n = size;
+
+    // Example 5.3: uniform(0, U) offsets, quadratic request cost.
+    {
+      const double upper = rng.NextDouble(0.5, 10.0);
+      const double cr = rng.NextDouble(10.0, 1000.0);
+      const double cb = rng.NextDouble(0.1, 5.0);
+      const UniformDistribution dist(upper);
+      const QuadraticCost cost(cr);
+      const UnarySolution unary = SolveUnary(dist, cost, cb);
+      const double closed = NBoundUniformQuadratic(
+          unary.total_cost, unary.request_cost, n, cr, upper);
+      const double solved = SolveNBoundIncrement(dist, cost, cb, n, unary);
+      if (closed < 0.99 * upper) {
+        if (std::abs(solved - closed) > 1e-9 * std::max(1.0, closed)) {
+          return "uniform/quadratic mismatch: n=" + std::to_string(n) +
+                 " U=" + std::to_string(upper) + " cr=" + std::to_string(cr) +
+                 " cb=" + std::to_string(cb) +
+                 " closed=" + std::to_string(closed) +
+                 " solved=" + std::to_string(solved);
+        }
+      } else if (closed > 1.01 * upper && solved != upper) {
+        // Past the support the solver must cap at one-shot coverage.
+        return "uniform/quadratic cap missed: closed=" +
+               std::to_string(closed) + " solved=" + std::to_string(solved) +
+               " U=" + std::to_string(upper);
+      }
+    }
+
+    // Example 5.4: exponential(lambda) offsets, linear request cost.
+    {
+      const double lambda = rng.NextDouble(0.2, 5.0);
+      const double cr = rng.NextDouble(0.1, 10.0);
+      const double cb = rng.NextDouble(0.1, 10.0);
+      const ExponentialDistribution dist(lambda);
+      const LinearCost cost(cr);
+      const UnarySolution unary = SolveUnary(dist, cost, cb);
+      const double closed = NBoundExponentialLinear(
+          unary.total_cost, unary.request_cost, n, cr, lambda);
+      if (closed > 1e-6) {  // away from the clamp-at-zero boundary
+        const double solved = SolveNBoundIncrement(dist, cost, cb, n, unary);
+        if (std::abs(solved - closed) > 1e-6 * std::max(1.0, closed)) {
+          return "exponential/linear mismatch: n=" + std::to_string(n) +
+                 " lambda=" + std::to_string(lambda) +
+                 " cr=" + std::to_string(cr) + " cb=" + std::to_string(cb) +
+                 " closed=" + std::to_string(closed) +
+                 " solved=" + std::to_string(solved);
+        }
+      }
+    }
+    return std::nullopt;
+  };
+
+  const auto failure = util::RunProperty(spec, property);
+  ASSERT_FALSE(failure.has_value())
+      << failure->message << "\n" << failure->repro;
+}
+
+// The Equation 5 approximation against the bottom-up DP (Equation 3) at
+// random moderate parameters: the increments stay within a small factor,
+// and the DP table keeps its structural invariants (monotone cost, never
+// worse than one-shot coverage).
+TEST(NBoundPropertyTest, ApproximationTracksExactDpOnRandomSweep) {
+  util::PropSpec spec;
+  spec.name = "NBoundPropertyTest.ApproximationTracksExactDpOnRandomSweep";
+  spec.base_seed = 0xd9a11ull;
+  spec.iterations = 48;  // the DP is the expensive half of this suite
+  spec.min_size = 2;
+  spec.max_size = 8;
+
+  const util::Property property =
+      [](util::Rng& rng, uint32_t size) -> std::optional<std::string> {
+    const uint32_t max_n = size < 2 ? 2 : size;
+    const double upper = rng.NextDouble(0.5, 4.0);
+    const double cr = rng.NextDouble(50.0, 800.0);
+    const double cb = rng.NextDouble(0.5, 2.0);
+    const UniformDistribution dist(upper);
+    const QuadraticCost cost(cr);
+    const UnarySolution unary = SolveUnary(dist, cost, cb);
+    const ExactNBoundTable table(dist, cost, cb, max_n);
+
+    for (uint32_t n = 2; n <= max_n; ++n) {
+      if (table.expected_cost(n) <= table.expected_cost(n - 1)) {
+        return "DP cost not monotone at n=" + std::to_string(n);
+      }
+      const double one_shot = n * cb + cost.R(upper);
+      if (table.expected_cost(n) > one_shot * (1.0 + 1e-9)) {
+        return "DP cost exceeds one-shot coverage at n=" + std::to_string(n);
+      }
+      const double approx = SolveNBoundIncrement(dist, cost, cb, n, unary);
+      const double exact = table.increment(n);
+      if (approx < 0.2 * exact || approx > 5.0 * exact) {
+        return "approximation outside factor band: n=" + std::to_string(n) +
+               " U=" + std::to_string(upper) + " cr=" + std::to_string(cr) +
+               " cb=" + std::to_string(cb) +
+               " approx=" + std::to_string(approx) +
+               " exact=" + std::to_string(exact);
+      }
+    }
+    return std::nullopt;
+  };
+
+  const auto failure = util::RunProperty(spec, property);
+  ASSERT_FALSE(failure.has_value())
+      << failure->message << "\n" << failure->repro;
 }
 
 }  // namespace

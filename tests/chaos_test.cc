@@ -7,6 +7,7 @@
 //   3. a fixed fault seed reproduces the run bit-for-bit.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,8 +23,12 @@
 #include "graph/wpg_builder.h"
 #include "net/network.h"
 #include "net/retry.h"
+#include "audit/observer.h"
+#include "audit/taint.h"
+#include "core/anonymity_audit.h"
 #include "sim/chaos_experiment.h"
 #include "sim/scenario.h"
+#include "util/proptest.h"
 #include "util/rng.h"
 
 namespace nela {
@@ -406,6 +411,131 @@ TEST(ChaosEngineTest, AcceptanceScenarioLossPlusMidProtocolCrash) {
     EXPECT_NE(o.degradation.failure_code, util::StatusCode::kOk);
     ExpectNoCoordinateLeak(o.degradation.failure_reason, world.dataset);
   }
+}
+
+// Predicate twin of ExpectNoCoordinateLeak for use inside properties, where
+// a failure must be returned (with a repro seed) instead of EXPECTed.
+std::optional<std::string> FindCoordinateLeak(const std::string& message,
+                                              const data::Dataset& dataset) {
+  if (message.find('.') != std::string::npos) {
+    return "message contains a formatted number: " + message;
+  }
+  for (uint32_t i = 0; i < dataset.size(); ++i) {
+    const geo::Point p = dataset.point(i);
+    if (message.find(std::to_string(p.x)) != std::string::npos ||
+        message.find(std::to_string(p.y)) != std::string::npos) {
+      return "message leaks a coordinate of user " + std::to_string(i) +
+             ": " + message;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(ChaosPropertyTest, RandomFaultPlansNeverExposeLocations) {
+  // Property: under an arbitrary fault plan (loss x latency/timeouts x
+  // crash schedule), every cloaking outcome -- success or structured
+  // degradation -- leaves the registry passing the anonymity audit, the
+  // wire-level adversary observer clean, and every degradation reason free
+  // of coordinates. Failures print a seeded repro line.
+  util::PropSpec spec;
+  spec.name = "chaos_test";
+  spec.base_seed = 0xfa017u;
+  spec.iterations = 12;  // CI elevates via NELA_PROPTEST_ITERS
+  spec.min_size = 2;
+  spec.max_size = 6;  // size doubles as the anonymity requirement k
+
+  auto failure = util::RunProperty(
+      spec,
+      [](util::Rng& rng, uint32_t size) -> std::optional<std::string> {
+        const SmallWorld world = MakeWorld(rng.NextUint64(1u << 20));
+        const uint32_t n = world.dataset.size();
+        const uint32_t k = size;
+
+        net::Network network(n);
+        net::FaultPlan plan;
+        plan.seed = rng.NextUint64();
+        plan.loss_probability = rng.NextDouble(0.0, 0.12);
+        if (rng.NextBernoulli(0.5)) {
+          plan.latency.base_ms = rng.NextDouble(0.1, 2.0);
+          plan.latency.jitter_ms = rng.NextDouble(0.0, 1.0);
+          if (rng.NextBernoulli(0.3)) {
+            // Timeout inside the jitter band: some deliveries time out and
+            // behave like losses, exercising the retry path differently.
+            plan.latency.timeout_ms =
+                plan.latency.base_ms + 0.8 * plan.latency.jitter_ms;
+          }
+        }
+        const uint32_t crash_count =
+            static_cast<uint32_t>(rng.NextUint64(4));
+        for (uint32_t i = 0; i < crash_count; ++i) {
+          plan.crashes.push_back(
+              net::CrashEvent{static_cast<net::NodeId>(rng.NextUint64(n)),
+                              rng.NextUint64(3000) + 1});
+        }
+        if (!network.InstallFaultPlan(plan).ok()) {
+          return std::string("fault plan rejected");
+        }
+
+        audit::TaintSet taint;
+        for (uint32_t u = 0; u < n; ++u) {
+          taint.TaintPoint(u, world.dataset.point(u));
+        }
+        audit::ObserverConfig observer_config;
+        observer_config.taint = &taint;
+        audit::AdversaryObserver observer(observer_config);
+        network.SetTap(&observer);
+
+        cluster::Registry registry(n);
+        util::Rng jitter(rng.NextUint64());
+        core::CloakingEngine engine =
+            MakeFaultyEngine(world, k, &registry, &network, &jitter);
+
+        const uint32_t requests =
+            6 + static_cast<uint32_t>(rng.NextUint64(6));
+        for (uint32_t r = 0; r < requests; ++r) {
+          const data::UserId host =
+              static_cast<data::UserId>(rng.NextUint64(n));
+          auto outcome = engine.RequestCloaking(host);
+          if (!outcome.ok()) {
+            if (outcome.status().code() == util::StatusCode::kUnavailable) {
+              continue;  // host crashed: an expected chaos outcome
+            }
+            return "unexpected engine error: " +
+                   outcome.status().ToString();
+          }
+          const core::CloakingOutcome& o = outcome.value();
+          if (!o.anonymity_satisfied) {
+            if (!o.region.empty()) {
+              return std::string(
+                  "degraded outcome carries a non-empty region");
+            }
+            if (!o.degradation.failure_reason.empty()) {
+              auto leak = FindCoordinateLeak(o.degradation.failure_reason,
+                                             world.dataset);
+              if (leak.has_value()) return leak;
+            }
+          }
+        }
+        network.SetTap(nullptr);
+
+        std::vector<bool> alive(n);
+        for (uint32_t u = 0; u < n; ++u) alive[u] = network.IsAlive(u);
+        const core::AuditReport report =
+            core::AuditAnonymity(registry, world.dataset, k, &alive);
+        if (!report.ok()) {
+          return "anonymity audit failed: " +
+                 report.violations.front().description;
+        }
+        if (!observer.clean()) {
+          return "observer flagged exposure:\n" + observer.Report();
+        }
+        if (observer.tagged_messages() == 0) {
+          return std::string("no tagged traffic observed");
+        }
+        return std::nullopt;
+      });
+  ASSERT_FALSE(failure.has_value()) << failure->message << "\n"
+                                    << failure->repro;
 }
 
 sim::Scenario BuildChaosScenario() {

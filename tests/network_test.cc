@@ -3,6 +3,7 @@
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/network.h"
 #include "net/retry.h"
@@ -307,6 +308,86 @@ TEST(SendWithRetryTest, SameSeedSameSchedule) {
   const auto b = run();
   EXPECT_EQ(a.first, b.first);  // bit-identical, not just close
   EXPECT_EQ(a.second, b.second);
+}
+
+class RecordingTap : public TrafficTap {
+ public:
+  void OnMessage(const Message& message, bool delivered) override {
+    messages.push_back(message);
+    deliveries.push_back(delivered);
+  }
+  std::vector<Message> messages;
+  std::vector<bool> deliveries;
+};
+
+TEST(TrafficTapTest, SeesEveryAttemptWithDeliveryFlag) {
+  Network network(3);
+  util::Rng rng(7);
+  ASSERT_TRUE(network.SetLossProbability(1.0, &rng).ok());
+  RecordingTap tap;
+  network.SetTap(&tap);
+  EXPECT_FALSE(network.Send(0, 1, MessageKind::kBoundProposal, 16));
+  ASSERT_TRUE(network.SetLossProbability(0.0, nullptr).ok());
+  EXPECT_TRUE(network.Send(1, 2, MessageKind::kBoundVote, 8));
+  ASSERT_EQ(tap.messages.size(), 2u);
+  EXPECT_FALSE(tap.deliveries[0]);  // dropped attempts are still observed
+  EXPECT_TRUE(tap.deliveries[1]);
+  EXPECT_EQ(tap.messages[1].from, 1u);
+  EXPECT_EQ(tap.messages[1].to, 2u);
+  EXPECT_EQ(tap.messages[1].kind, MessageKind::kBoundVote);
+  EXPECT_EQ(tap.messages[1].bytes, 8u);
+}
+
+TEST(TrafficTapTest, LegacySendTapsAnEmptyDescriptor) {
+  Network network(2);
+  RecordingTap tap;
+  network.SetTap(&tap);
+  EXPECT_TRUE(network.Send(0, 1, MessageKind::kControl, 4));
+  ASSERT_EQ(tap.messages.size(), 1u);
+  EXPECT_TRUE(tap.messages[0].payload.empty());
+}
+
+TEST(TrafficTapTest, StructuredSendPreservesTheDescriptor) {
+  Network network(2);
+  RecordingTap tap;
+  network.SetTap(&tap);
+  Message message;
+  message.from = 0;
+  message.to = 1;
+  message.kind = MessageKind::kBoundProposal;
+  message.bytes = 16;
+  message.payload.Add(FieldTag::kBoundHypothesis, kPublicSubject, 0.25);
+  message.payload.Add(FieldTag::kBoundVerdict, 1, 1.0);
+  EXPECT_TRUE(network.Send(message));
+  ASSERT_EQ(tap.messages.size(), 1u);
+  const PayloadDescriptor& payload = tap.messages[0].payload;
+  ASSERT_EQ(payload.field_count, 2u);
+  EXPECT_EQ(payload.fields[0].tag, FieldTag::kBoundHypothesis);
+  EXPECT_EQ(payload.fields[0].subject, kPublicSubject);
+  EXPECT_EQ(payload.fields[0].value, 0.25);
+  EXPECT_EQ(payload.fields[1].tag, FieldTag::kBoundVerdict);
+  EXPECT_EQ(payload.fields[1].subject, 1u);
+  EXPECT_EQ(payload.fields[1].value, 1.0);
+}
+
+TEST(TrafficTapTest, ClearingTheTapStopsObservation) {
+  Network network(2);
+  RecordingTap tap;
+  network.SetTap(&tap);
+  network.Send(0, 1, MessageKind::kControl, 1);
+  network.SetTap(nullptr);
+  network.Send(0, 1, MessageKind::kControl, 1);
+  EXPECT_EQ(tap.messages.size(), 1u);
+}
+
+TEST(TrafficTapTest, FieldTagNamesAreStableAndUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i < kFieldTagCount; ++i) {
+    names.insert(FieldTagName(static_cast<FieldTag>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kFieldTagCount));
+  EXPECT_STREQ(FieldTagName(FieldTag::kRawCoordinate), "raw_coordinate");
+  EXPECT_STREQ(FieldTagName(FieldTag::kCloakedRegion), "cloaked_region");
 }
 
 }  // namespace

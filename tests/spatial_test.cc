@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -6,6 +8,7 @@
 #include "data/generators.h"
 #include "geo/point.h"
 #include "spatial/grid_index.h"
+#include "util/proptest.h"
 #include "util/rng.h"
 
 namespace nela::spatial {
@@ -135,6 +138,102 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GridParam{1, 0.1, 0.2}, GridParam{10, 0.01, 0.05},
                       GridParam{100, 0.05, 0.1}, GridParam{500, 0.002, 0.01},
                       GridParam{1000, 0.5, 0.3}, GridParam{2000, 0.03, 0.02}));
+
+TEST(GridIndexTest, EqualDistancesOrderByAscendingId) {
+  // Four points at exactly the same distance from the query: the tie group
+  // must come back ordered by id, and a kNN cut landing inside the group
+  // must keep the lowest ids -- never an arbitrary (e.g. cell-traversal)
+  // subset.
+  const std::vector<geo::Point> points = {
+      {0.5, 0.5},                           // query (self)
+      {0.6, 0.5}, {0.5, 0.6}, {0.4, 0.5}, {0.5, 0.4},  // tie group, d=0.1
+      {0.9, 0.9}};
+  const GridIndex index(points, 0.07);
+  const auto near = index.RadiusQuery(points[0], 0.15, 0);
+  ASSERT_EQ(near.size(), 4u);
+  for (size_t i = 0; i < near.size(); ++i) {
+    EXPECT_EQ(near[i].id, static_cast<uint32_t>(i + 1));
+  }
+  const auto nn = index.NearestNeighbors(points[0], 2, 0);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].id, 1u);
+  EXPECT_EQ(nn[1].id, 2u);
+}
+
+TEST(GridIndexTest, KnnDeterministicUnderInsertionOrder) {
+  // Seeded property: points snapped to a coarse lattice (forcing plenty of
+  // exact distance ties), indexed twice -- once as generated and once under
+  // a random permutation. The answers must describe the same geometry: a
+  // radius query returns the same point set, kNN returns the same distance
+  // profile, and within each index ties are ordered by ascending id.
+  util::PropSpec spec;
+  spec.name = "spatial_test";
+  spec.base_seed = 0x9d1dull;
+  spec.iterations = 20;  // CI elevates via NELA_PROPTEST_ITERS
+  spec.min_size = 8;
+  spec.max_size = 64;
+
+  auto failure = util::RunProperty(
+      spec, [](util::Rng& rng, uint32_t size) -> std::optional<std::string> {
+        const uint32_t n = size;
+        std::vector<geo::Point> points(n);
+        for (geo::Point& p : points) {
+          // 8x8 lattice: with n up to 64 points, exact ties are common.
+          p.x = static_cast<double>(rng.NextUint64(8)) / 8.0;
+          p.y = static_cast<double>(rng.NextUint64(8)) / 8.0;
+        }
+        std::vector<uint32_t> perm(n);
+        for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+        rng.Shuffle(perm);
+        std::vector<geo::Point> shuffled(n);
+        for (uint32_t i = 0; i < n; ++i) shuffled[i] = points[perm[i]];
+
+        const GridIndex original(points, 0.1);
+        const GridIndex permuted(shuffled, 0.1);
+        const uint32_t kCount = 1 + static_cast<uint32_t>(rng.NextUint64(6));
+        for (uint32_t trial = 0; trial < 4; ++trial) {
+          const geo::Point query{rng.NextDouble(), rng.NextDouble()};
+          const uint32_t no_self = n;  // out-of-range id excludes nothing
+
+          // Radius queries must return the same point set...
+          const auto a = original.RadiusQuery(query, 0.3, no_self);
+          const auto b = permuted.RadiusQuery(query, 0.3, no_self);
+          if (a.size() != b.size()) {
+            return "radius result sizes differ: " + std::to_string(a.size()) +
+                   " vs " + std::to_string(b.size());
+          }
+          for (size_t i = 0; i < a.size(); ++i) {
+            // ...with identical distance profiles (ties make per-rank point
+            // identity id-dependent, but the distances are geometry only)...
+            if (a[i].squared_distance != b[i].squared_distance) {
+              return "distance profiles diverge at rank " + std::to_string(i);
+            }
+            // ...and within each index, ties ordered by ascending id.
+            if (i > 0 &&
+                a[i].squared_distance == a[i - 1].squared_distance &&
+                a[i].id <= a[i - 1].id) {
+              return "tie not ordered by id at rank " + std::to_string(i);
+            }
+          }
+
+          // kNN: same distance profile regardless of insertion order.
+          const auto ka = original.NearestNeighbors(query, kCount, no_self);
+          const auto kb = permuted.NearestNeighbors(query, kCount, no_self);
+          if (ka.size() != kb.size()) {
+            return std::string("kNN result sizes differ");
+          }
+          for (size_t i = 0; i < ka.size(); ++i) {
+            if (ka[i].squared_distance != kb[i].squared_distance) {
+              return "kNN distance profiles diverge at rank " +
+                     std::to_string(i);
+            }
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_FALSE(failure.has_value()) << failure->message << "\n"
+                                    << failure->repro;
+}
 
 TEST(GridIndexTest, HandlesPointsOutsideUnitSquare) {
   const std::vector<geo::Point> points = {{-0.5, -0.5}, {1.5, 1.5}, {0.5, 0.5}};

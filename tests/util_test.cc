@@ -1,13 +1,17 @@
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/proptest.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -341,6 +345,158 @@ TEST(FlagsTest, BoolAcceptsExplicitValues) {
   const char* argv[] = {"prog", "--flag=false"};
   ASSERT_TRUE(parser.Parse(2, const_cast<char**>(argv)).ok());
   EXPECT_FALSE(flag);
+}
+
+// ---------------------------------------------------------------- proptest
+
+// The harness reads NELA_PROPTEST_ITERS / NELA_PROPTEST_SEED at run time;
+// these tests must control them regardless of what the invoking environment
+// exports.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(ProptestTest, CaseSeedsAreDeterministicAndDistinct) {
+  std::set<uint64_t> seeds;
+  for (uint32_t i = 0; i < 100; ++i) {
+    const uint64_t seed = DeriveCaseSeed(42, i);
+    EXPECT_EQ(seed, DeriveCaseSeed(42, i));
+    seeds.insert(seed);
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+  EXPECT_NE(DeriveCaseSeed(42, 0), DeriveCaseSeed(43, 0));
+}
+
+TEST(ProptestTest, PassingPropertyRunsEveryIteration) {
+  ScopedEnv iters("NELA_PROPTEST_ITERS", nullptr);
+  ScopedEnv seed("NELA_PROPTEST_SEED", nullptr);
+  PropSpec spec;
+  spec.iterations = 17;
+  spec.min_size = 3;
+  spec.max_size = 9;
+  uint32_t runs = 0;
+  auto failure = RunProperty(spec, [&](Rng&, uint32_t size) {
+    ++runs;
+    EXPECT_GE(size, 3u);
+    EXPECT_LE(size, 9u);
+    return std::optional<std::string>();
+  });
+  EXPECT_FALSE(failure.has_value());
+  EXPECT_EQ(runs, 17u);
+}
+
+TEST(ProptestTest, ItersEnvOverridesIterationCount) {
+  ScopedEnv iters("NELA_PROPTEST_ITERS", "5");
+  ScopedEnv seed("NELA_PROPTEST_SEED", nullptr);
+  EXPECT_EQ(PropIterations(100), 5u);
+  PropSpec spec;
+  spec.iterations = 100;
+  uint32_t runs = 0;
+  auto failure = RunProperty(spec, [&](Rng&, uint32_t) {
+    ++runs;
+    return std::optional<std::string>();
+  });
+  EXPECT_FALSE(failure.has_value());
+  EXPECT_EQ(runs, 5u);
+}
+
+TEST(ProptestTest, SeedEnvReplaysExactlyOneCase) {
+  ScopedEnv iters("NELA_PROPTEST_ITERS", nullptr);
+  ScopedEnv seed("NELA_PROPTEST_SEED", "12345");
+  PropSpec spec;
+  spec.iterations = 50;
+  std::vector<uint64_t> draws;
+  auto failure = RunProperty(spec, [&](Rng& rng, uint32_t) {
+    draws.push_back(rng.NextUint64());
+    return std::optional<std::string>();
+  });
+  EXPECT_FALSE(failure.has_value());
+  ASSERT_EQ(draws.size(), 1u);
+  // The replayed case uses exactly the given seed, not a derived one.
+  Rng expected(12345);
+  EXPECT_EQ(draws[0], expected.NextUint64());
+}
+
+TEST(ProptestTest, FailureShrinksByHalvingAndCarriesARepro) {
+  ScopedEnv iters("NELA_PROPTEST_ITERS", nullptr);
+  ScopedEnv seed("NELA_PROPTEST_SEED", nullptr);
+  PropSpec spec;
+  spec.name = "shrink_prop";
+  spec.iterations = 1;
+  spec.min_size = 1;
+  spec.max_size = 64;
+  // The initial size is drawn from the case seed; pick a base seed whose
+  // first case is large enough that shrinking has real work to do.
+  for (uint64_t base = 1;; ++base) {
+    spec.base_seed = base;
+    uint32_t drawn = 0;
+    RunProperty(spec, [&](Rng&, uint32_t size) {
+      drawn = size;
+      return std::optional<std::string>();
+    });
+    if (drawn >= 8) break;
+    ASSERT_LT(base, 1000u) << "no case seed with a large initial size";
+  }
+  std::vector<uint32_t> sizes_tried;
+  auto failure = RunProperty(spec, [&](Rng&, uint32_t size) {
+    sizes_tried.push_back(size);
+    if (size >= 3) return std::optional<std::string>("too big");
+    return std::optional<std::string>();
+  });
+  ASSERT_TRUE(failure.has_value());
+  ASSERT_GE(sizes_tried.size(), 2u);  // the original case plus shrink steps
+  // Shrinking halves toward min_size and keeps the smallest failing size:
+  // the halving chain from the initial size brackets the threshold at 3-5
+  // (the first halving step to land in [3, 5] has its half below 3).
+  EXPECT_GE(failure->size, 3u);
+  EXPECT_LE(failure->size, 5u);
+  EXPECT_EQ(failure->message, "too big");
+  EXPECT_EQ(failure->iteration, 0u);
+  EXPECT_EQ(failure->case_seed, DeriveCaseSeed(spec.base_seed, 0));
+  EXPECT_NE(failure->repro.find("NELA_PROPTEST_SEED="), std::string::npos);
+  EXPECT_NE(failure->repro.find("NELA_PROPTEST_ITERS=1"), std::string::npos);
+  EXPECT_NE(failure->repro.find("ctest -R shrink_prop"), std::string::npos);
+  // Consecutive shrink attempts halve the size.
+  for (size_t i = 1; i < sizes_tried.size(); ++i) {
+    EXPECT_LE(sizes_tried[i], sizes_tried[i - 1] / 2 + 1);
+  }
+}
+
+TEST(ProptestTest, SameSeedSameScenario) {
+  ScopedEnv iters("NELA_PROPTEST_ITERS", nullptr);
+  ScopedEnv seed("NELA_PROPTEST_SEED", nullptr);
+  PropSpec spec;
+  spec.iterations = 4;
+  auto run = [&spec]() {
+    std::vector<std::pair<uint32_t, uint64_t>> scenarios;
+    auto failure = RunProperty(spec, [&](Rng& rng, uint32_t size) {
+      scenarios.emplace_back(size, rng.NextUint64());
+      return std::optional<std::string>();
+    });
+    EXPECT_FALSE(failure.has_value());
+    return scenarios;
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace
