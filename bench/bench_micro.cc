@@ -1,8 +1,30 @@
-// Hot-path microbenchmarks (google-benchmark): WPG construction, merge
-// hierarchy, centralized partition, one distributed clustering request,
-// spatial index queries, and a secure bounding run.
+// Hot-path microbenchmarks (google-benchmark): WPG construction (sequential
+// reference and parallel sweep), merge hierarchy, centralized partition, one
+// distributed clustering request, spatial index queries, and a secure
+// bounding run.
+//
+// BM_WpgBuild sweeps users x threads and the custom main() below writes the
+// per-configuration best build times — plus speedups against the sequential
+// reference — to BENCH_wpg.json (path overridable via NELA_BENCH_WPG_JSON).
+// See DESIGN.md, "Performance architecture", for how to read the file.
+//
+// The binary also self-checks the allocation-free contract of
+// GridIndex::RadiusQueryInto before running any benchmark: with warm scratch
+// buffers, the per-vertex radius-query hot loop must not touch the heap.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <deque>
 #include <memory>
+#include <new>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -17,37 +39,239 @@
 #include "graph/wpg_builder.h"
 #include "sim/scenario.h"
 #include "spatial/grid_index.h"
+#include "util/check.h"
 #include "util/rng.h"
+
+// ------------------------------------------------------- allocation counter
+//
+// Global operator new/delete overrides: when armed, every heap allocation
+// bumps a counter. Used to prove the radius-query hot loop is allocation
+// free once its scratch buffers are warm.
+
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
+class AllocationProbe {
+ public:
+  AllocationProbe() {
+    g_allocation_count.store(0, std::memory_order_relaxed);
+    g_count_allocations.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationProbe() { g_count_allocations.store(false); }
+  uint64_t count() const {
+    return g_allocation_count.load(std::memory_order_relaxed);
+  }
+};
+
+// ---------------------------------------------------------- shared fixtures
+
+double PaperDelta(uint32_t users) {
+  // Keeps the expected neighborhood size at the paper's delta = 2e-3,
+  // |D| = 104,770 operating point as the population shrinks.
+  return 2e-3 * std::sqrt(104770.0 / users);
+}
+
+// Bounded scenario cache, keyed by user count. Benchmarks revisit the same
+// few populations many times; an unbounded cache (the old version appended
+// every distinct count forever) leaks whole scenarios in sweep binaries, so
+// evict least-recently-used beyond a small capacity.
 const nela::sim::Scenario& SharedScenario(uint32_t users) {
-  static auto* cache =
-      new std::vector<std::pair<uint32_t, nela::sim::Scenario>>();
-  for (auto& [count, scenario] : *cache) {
-    if (count == users) return scenario;
+  struct Entry {
+    uint32_t users;
+    std::unique_ptr<nela::sim::Scenario> scenario;
+  };
+  constexpr size_t kCapacity = 3;
+  static auto* cache = new std::deque<Entry>();
+  for (auto it = cache->begin(); it != cache->end(); ++it) {
+    if (it->users == users) {
+      // Move to front (most recently used).
+      Entry hit = std::move(*it);
+      cache->erase(it);
+      cache->push_front(std::move(hit));
+      return *cache->front().scenario;
+    }
   }
   nela::sim::ScenarioConfig config;
   config.user_count = users;
-  config.delta = 2e-3 * std::sqrt(104770.0 / users);
+  config.delta = PaperDelta(users);
   auto built = nela::sim::BuildScenario(config);
   NELA_CHECK(built.ok());
-  cache->emplace_back(users, std::move(built).value());
-  return cache->back().second;
+  cache->push_front(Entry{
+      users, std::make_unique<nela::sim::Scenario>(std::move(built).value())});
+  while (cache->size() > kCapacity) cache->pop_back();
+  return *cache->front().scenario;
 }
+
+// Datasets for build benchmarks: BM_WpgBuild only needs the points (it
+// builds the graph itself), so caching full scenarios — whose construction
+// builds a throwaway WPG — would double the setup cost at 10^5 users.
+const nela::data::Dataset& SharedDataset(uint32_t users) {
+  constexpr size_t kCapacity = 3;
+  static auto* cache =
+      new std::deque<std::pair<uint32_t, nela::data::Dataset>>();
+  for (auto it = cache->begin(); it != cache->end(); ++it) {
+    if (it->first == users) {
+      auto hit = std::move(*it);
+      cache->erase(it);
+      cache->push_front(std::move(hit));
+      return cache->front().second;
+    }
+  }
+  nela::util::Rng rng(42);
+  nela::data::RoadNetworkParams shape;
+  shape.count = users;
+  cache->emplace_front(users, nela::data::GenerateRoadNetwork(shape, rng));
+  while (cache->size() > kCapacity) cache->pop_back();
+  return cache->front().second;
+}
+
+// ------------------------------------------------- WPG build perf recorder
+
+// CPU seconds consumed by the calling thread (worker 0). The builder's
+// static block partition gives every worker ~1/N of the work, so the
+// caller's CPU per build ≈ total work / N: reference-vs-caller CPU ratios
+// estimate the achievable wall speedup even on core-starved runners where
+// wall clock cannot scale.
+double ThreadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+struct WpgSample {
+  uint32_t users;
+  uint32_t threads;  // 0 = sequential reference implementation
+  double best_seconds;      // wall clock
+  double best_cpu_seconds;  // caller-thread CPU (~ total work / threads)
+};
+
+std::vector<WpgSample>& WpgSamples() {
+  static auto* samples = new std::vector<WpgSample>();
+  return *samples;
+}
+
+void RecordWpgSample(uint32_t users, uint32_t threads, double best_seconds,
+                     double best_cpu_seconds) {
+  for (WpgSample& s : WpgSamples()) {
+    if (s.users == users && s.threads == threads) {
+      s.best_seconds = std::min(s.best_seconds, best_seconds);
+      s.best_cpu_seconds = std::min(s.best_cpu_seconds, best_cpu_seconds);
+      return;
+    }
+  }
+  WpgSamples().push_back({users, threads, best_seconds, best_cpu_seconds});
+}
+
+const WpgSample* FindSample(uint32_t users, uint32_t threads) {
+  for (const WpgSample& s : WpgSamples()) {
+    if (s.users == users && s.threads == threads) return &s;
+  }
+  return nullptr;
+}
+
+// Writes the users x threads sweep as JSON. Schema:
+//   {"benchmark":"BM_WpgBuild","entries":[{"users":..,"threads":..,
+//    "best_seconds":..,"best_cpu_seconds":..,"speedup_vs_reference":..,
+//    "speedup_vs_1thread":..,"cpu_speedup_vs_reference":..}]}
+// threads = 0 rows are the sequential reference builds. Wall speedups are
+// bounded by the machine's core count; cpu_speedup_vs_reference (reference
+// caller-thread CPU / this config's caller-thread CPU) shows the pipeline's
+// combined algorithmic + parallel efficiency — i.e. the wall speedup a
+// machine with >= `threads` free cores would see.
+void WriteWpgBenchJson() {
+  if (WpgSamples().empty()) return;
+  const char* env_path = std::getenv("NELA_BENCH_WPG_JSON");
+  const std::string path = env_path != nullptr ? env_path : "BENCH_wpg.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::stable_sort(WpgSamples().begin(), WpgSamples().end(),
+                   [](const WpgSample& a, const WpgSample& b) {
+                     return a.users != b.users ? a.users < b.users
+                                               : a.threads < b.threads;
+                   });
+  std::fprintf(f, "{\n  \"benchmark\": \"BM_WpgBuild\",\n  \"entries\": [\n");
+  for (size_t i = 0; i < WpgSamples().size(); ++i) {
+    const WpgSample& s = WpgSamples()[i];
+    const WpgSample* reference = FindSample(s.users, 0);
+    const WpgSample* one_thread = FindSample(s.users, 1);
+    const double ref_wall = reference != nullptr ? reference->best_seconds : 0;
+    const double ref_cpu =
+        reference != nullptr ? reference->best_cpu_seconds : 0;
+    const double one_wall =
+        one_thread != nullptr ? one_thread->best_seconds : 0;
+    std::fprintf(
+        f,
+        "    {\"users\": %u, \"threads\": %u, \"best_seconds\": %.6f, "
+        "\"best_cpu_seconds\": %.6f, \"speedup_vs_reference\": %.3f, "
+        "\"speedup_vs_1thread\": %.3f, "
+        "\"cpu_speedup_vs_reference\": %.3f}%s\n",
+        s.users, s.threads, s.best_seconds, s.best_cpu_seconds,
+        s.best_seconds > 0 && ref_wall > 0 ? ref_wall / s.best_seconds : 0.0,
+        s.best_seconds > 0 && one_wall > 0 ? one_wall / s.best_seconds : 0.0,
+        s.best_cpu_seconds > 0 && ref_cpu > 0 ? ref_cpu / s.best_cpu_seconds
+                                              : 0.0,
+        i + 1 < WpgSamples().size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench_micro: wrote %s\n", path.c_str());
+}
+
+// ---------------------------------------------------------------- WPG build
 
 void BM_WpgBuild(benchmark::State& state) {
   const uint32_t users = static_cast<uint32_t>(state.range(0));
-  const nela::sim::Scenario& scenario = SharedScenario(users);
+  const uint32_t threads = static_cast<uint32_t>(state.range(1));
+  const nela::data::Dataset& dataset = SharedDataset(users);
   nela::graph::WpgBuildParams params;
-  params.delta = 2e-3 * std::sqrt(104770.0 / users);
+  params.delta = PaperDelta(users);
+  params.threads = threads;
+  double best = 1e100;
+  double best_cpu = 1e100;
   for (auto _ : state) {
-    auto graph = nela::graph::BuildWpg(scenario.dataset, params);
+    const auto start = std::chrono::steady_clock::now();
+    const double cpu_start = ThreadCpuSeconds();
+    auto graph = threads == 0 ? nela::graph::BuildWpgReference(dataset, params)
+                              : nela::graph::BuildWpg(dataset, params);
+    best_cpu = std::min(best_cpu, ThreadCpuSeconds() - cpu_start);
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double>(stop - start).count());
     benchmark::DoNotOptimize(graph);
   }
+  RecordWpgSample(users, threads, best, best_cpu);
   state.SetItemsProcessed(state.iterations() * users);
+  state.counters["threads"] = threads;
 }
-BENCHMARK(BM_WpgBuild)->Arg(5000)->Arg(20000);
+// threads = 0 runs BuildWpgReference (the sequential baseline the speedup
+// column is computed against); 1..8 run the parallel pipeline.
+BENCHMARK(BM_WpgBuild)
+    ->ArgsProduct({{5000, 20000, 100000}, {0, 1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------------------- other hot paths
 
 void BM_HierarchyBuild(benchmark::State& state) {
   const nela::sim::Scenario& scenario =
@@ -99,6 +323,27 @@ void BM_GridRadiusQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_GridRadiusQuery);
 
+void BM_GridRadiusQueryInto(benchmark::State& state) {
+  // The allocation-free variant the parallel WPG builder fans out; compare
+  // against BM_GridRadiusQuery to see what the allocating API costs.
+  const nela::sim::Scenario& scenario = SharedScenario(20000);
+  const nela::spatial::GridIndex index(scenario.dataset.points(), 5e-3);
+  nela::util::Rng rng(13);
+  nela::spatial::GridIndex::QueryScratch scratch;
+  std::vector<uint32_t> out;
+  out.reserve(4096);
+  for (auto _ : state) {
+    const auto id =
+        static_cast<uint32_t>(rng.NextUint64(scenario.dataset.size()));
+    out.clear();
+    const uint32_t found =
+        index.RadiusQueryInto(scenario.dataset.point(id), 5e-3, id, &scratch,
+                              &out);
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_GridRadiusQueryInto);
+
 void BM_SecureBoundingRun(benchmark::State& state) {
   nela::util::Rng rng(17);
   const double extent = 0.01;
@@ -117,6 +362,45 @@ void BM_SecureBoundingRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SecureBoundingRun);
 
+// ------------------------------------------------------ hot-loop self-check
+
+// Proves the per-vertex radius-query hot loop allocates nothing once its
+// buffers are warm — the property the parallel builder's phase 1 relies on.
+// Runs before the benchmarks so a regression fails the bench smoke job.
+void CheckRadiusQueryIntoIsAllocationFree() {
+  nela::util::Rng rng(7);
+  const nela::data::Dataset dataset =
+      nela::data::GenerateUniform(5000, rng);
+  const nela::spatial::GridIndex index(dataset.points(), 0.01);
+  nela::spatial::GridIndex::QueryScratch scratch;
+  std::vector<uint32_t> out;
+  out.reserve(1u << 16);
+  // Warm up: let scratch grow to its steady-state capacity.
+  for (uint32_t q = 0; q < 200; ++q) {
+    index.RadiusQueryInto(dataset.point(q), 0.012, q, &scratch, &out);
+  }
+  out.clear();
+  const AllocationProbe probe;
+  for (uint32_t q = 0; q < 2000; ++q) {
+    index.RadiusQueryInto(dataset.point(q % 5000), 0.012, q % 5000, &scratch,
+                          &out);
+    if (out.size() > (1u << 15)) out.clear();
+  }
+  const uint64_t allocations = probe.count();
+  NELA_CHECK(allocations == 0);
+  std::fprintf(stderr,
+               "bench_micro: RadiusQueryInto hot loop allocation check "
+               "passed (0 allocations over 2000 warm queries)\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CheckRadiusQueryIntoIsAllocationFree();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteWpgBenchJson();
+  return 0;
+}

@@ -1,11 +1,45 @@
 #include "graph/wpg.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 namespace nela::graph {
 
-Wpg::Wpg(uint32_t vertex_count) : adjacency_(vertex_count) {}
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void MixDigest(uint64_t* digest, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    *digest ^= (value >> (8 * i)) & 0xffu;
+    *digest *= kFnvPrime;
+  }
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+Wpg::Wpg(uint32_t vertex_count)
+    : vertex_count_(vertex_count), offsets_(vertex_count + 1, 0) {}
+
+Wpg::Wpg(std::vector<Edge> edges, std::vector<uint32_t> offsets,
+         std::vector<HalfEdge> halfedges)
+    : vertex_count_(static_cast<uint32_t>(offsets.size() - 1)),
+      edges_(std::move(edges)),
+      offsets_(std::move(offsets)),
+      halfedges_(std::move(halfedges)) {
+  NELA_CHECK_GE(offsets_.size(), 1u);
+  NELA_CHECK_EQ(offsets_.front(), 0u);
+  NELA_CHECK_EQ(offsets_.back(), halfedges_.size());
+  NELA_CHECK_EQ(halfedges_.size(), 2 * edges_.size());
+}
 
 util::Result<Wpg> Wpg::FromEdges(uint32_t vertex_count,
                                  const std::vector<Edge>& edges) {
@@ -34,19 +68,37 @@ util::Result<Wpg> Wpg::FromEdges(uint32_t vertex_count,
 }
 
 void Wpg::AddEdge(VertexId u, VertexId v, double weight) {
-  NELA_CHECK_LT(u, adjacency_.size());
-  NELA_CHECK_LT(v, adjacency_.size());
+  NELA_CHECK_LT(u, vertex_count_);
+  NELA_CHECK_LT(v, vertex_count_);
   NELA_CHECK_NE(u, v);
   NELA_CHECK_GT(weight, 0.0);
-  adjacency_[u].push_back(HalfEdge{v, weight});
-  adjacency_[v].push_back(HalfEdge{u, weight});
   edges_.push_back(Edge{u, v, weight});
+  adjacency_stale_ = true;
+}
+
+void Wpg::EnsureAdjacency() const {
+  if (!adjacency_stale_) return;
+  offsets_.assign(vertex_count_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (uint32_t v = 0; v < vertex_count_; ++v) {
+    offsets_[v + 1] += offsets_[v];
+  }
+  halfedges_.resize(2 * edges_.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    halfedges_[cursor[e.u]++] = HalfEdge{e.v, e.weight};
+    halfedges_[cursor[e.v]++] = HalfEdge{e.u, e.weight};
+  }
+  adjacency_stale_ = false;
 }
 
 double Wpg::AverageDegree() const {
-  if (adjacency_.empty()) return 0.0;
+  if (vertex_count_ == 0) return 0.0;
   return 2.0 * static_cast<double>(edges_.size()) /
-         static_cast<double>(adjacency_.size());
+         static_cast<double>(vertex_count_);
 }
 
 double Wpg::MaxEdgeWeight() const {
@@ -56,13 +108,33 @@ double Wpg::MaxEdgeWeight() const {
 }
 
 void Wpg::SortAdjacencyByWeight() {
-  for (auto& list : adjacency_) {
-    std::sort(list.begin(), list.end(),
+  EnsureAdjacency();
+  for (uint32_t v = 0; v < vertex_count_; ++v) {
+    std::sort(halfedges_.begin() + offsets_[v],
+              halfedges_.begin() + offsets_[v + 1],
               [](const HalfEdge& a, const HalfEdge& b) {
                 return a.weight < b.weight ||
                        (a.weight == b.weight && a.to < b.to);
               });
   }
+}
+
+uint64_t Wpg::Digest() const {
+  EnsureAdjacency();
+  uint64_t digest = kFnvOffset;
+  MixDigest(&digest, vertex_count_);
+  MixDigest(&digest, edges_.size());
+  for (const Edge& e : edges_) {
+    MixDigest(&digest, e.u);
+    MixDigest(&digest, e.v);
+    MixDigest(&digest, DoubleBits(e.weight));
+  }
+  for (uint32_t offset : offsets_) MixDigest(&digest, offset);
+  for (const HalfEdge& half : halfedges_) {
+    MixDigest(&digest, half.to);
+    MixDigest(&digest, DoubleBits(half.weight));
+  }
+  return digest;
 }
 
 }  // namespace nela::graph

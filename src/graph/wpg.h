@@ -3,11 +3,23 @@
 // Vertices are users; an edge (u, v) means u and v are in radio proximity,
 // and its weight is a symmetric relative-distance measure agreed by both
 // endpoints (in the experiments: the minimum of the two mutual RSS ranks).
+//
+// Adjacency is stored in CSR form — one flat HalfEdge array plus per-vertex
+// offsets — so neighbor scans are contiguous and cache-friendly at 10^5
+// vertices. Mutation (AddEdge) appends to the edge list and marks the CSR
+// stale; the next accessor rebuilds it with a stable counting sort, which
+// preserves the historical per-vertex insertion order. A graph is
+// "finalized" once SortAdjacencyByWeight (or any accessor) has run after
+// the last AddEdge; a finalized graph is immutable and safe for concurrent
+// reads, while a stale graph must not be shared across threads (the lazy
+// rebuild mutates shared state). BuildWpg and FromEdges always return
+// finalized graphs.
 
 #ifndef NELA_GRAPH_WPG_H_
 #define NELA_GRAPH_WPG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/check.h"
@@ -75,14 +87,20 @@ class Wpg {
   // An empty graph with `vertex_count` isolated vertices.
   explicit Wpg(uint32_t vertex_count);
 
+  // Adopts a fully formed CSR adjacency: `offsets` has vertex_count + 1
+  // entries, `halfedges` holds each edge twice, and slice v is
+  // halfedges[offsets[v] .. offsets[v + 1]). The parallel builder uses this
+  // to hand over an adjacency it assembled (and sorted) itself; consistency
+  // with `edges` is the builder's responsibility beyond the shape checks.
+  Wpg(std::vector<Edge> edges, std::vector<uint32_t> offsets,
+      std::vector<HalfEdge> halfedges);
+
   // Builds from an explicit edge list (used by tests mirroring the paper's
   // worked examples). Duplicate or self edges are rejected.
   static util::Result<Wpg> FromEdges(uint32_t vertex_count,
                                      const std::vector<Edge>& edges);
 
-  uint32_t vertex_count() const {
-    return static_cast<uint32_t>(adjacency_.size());
-  }
+  uint32_t vertex_count() const { return vertex_count_; }
   uint32_t edge_count() const { return static_cast<uint32_t>(edges_.size()); }
 
   // Adds an undirected edge. Requires u != v, weight > 0, and that the edge
@@ -90,14 +108,19 @@ class Wpg {
   // trusts the builder for speed).
   void AddEdge(VertexId u, VertexId v, double weight);
 
-  const std::vector<HalfEdge>& Neighbors(VertexId v) const {
-    NELA_CHECK_LT(v, adjacency_.size());
-    return adjacency_[v];
+  // The half-edges incident to v, as a contiguous slice of the CSR arena.
+  // The span stays valid until the next AddEdge.
+  std::span<const HalfEdge> Neighbors(VertexId v) const {
+    NELA_CHECK_LT(v, vertex_count_);
+    EnsureAdjacency();
+    return std::span<const HalfEdge>(halfedges_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
   }
 
   uint32_t Degree(VertexId v) const {
-    NELA_CHECK_LT(v, adjacency_.size());
-    return static_cast<uint32_t>(adjacency_[v].size());
+    NELA_CHECK_LT(v, vertex_count_);
+    EnsureAdjacency();
+    return offsets_[v + 1] - offsets_[v];
   }
 
   // All edges, in insertion order.
@@ -109,14 +132,30 @@ class Wpg {
   // Largest edge weight in the whole graph; 0 when edgeless.
   double MaxEdgeWeight() const;
 
-  // Sorts every adjacency list by ascending weight (ties by vertex id).
+  // Sorts every adjacency slice by ascending weight (ties by vertex id).
   // The distributed algorithms rely on this ordering; the builder calls it
-  // once after construction.
+  // once after construction. Also finalizes the graph for concurrent reads.
   void SortAdjacencyByWeight();
 
+  // FNV-1a digest over the vertex count, the edge list (in order), and the
+  // CSR adjacency (offsets and half-edges, in order): two graphs with the
+  // same digest are structurally identical down to storage order. The
+  // parallel-vs-sequential build property tests compare these.
+  uint64_t Digest() const;
+
  private:
-  std::vector<std::vector<HalfEdge>> adjacency_;
+  // Rebuilds the CSR arrays from edges_ with a stable counting sort, so
+  // each vertex's slice lists its half-edges in edge-insertion order —
+  // exactly the order the historical vector-of-vectors layout produced.
+  void EnsureAdjacency() const;
+
+  uint32_t vertex_count_ = 0;
   std::vector<Edge> edges_;
+  // CSR adjacency, rebuilt lazily after mutation (see the header comment
+  // for the thread-safety contract).
+  mutable bool adjacency_stale_ = false;
+  mutable std::vector<uint32_t> offsets_;
+  mutable std::vector<HalfEdge> halfedges_;
 };
 
 }  // namespace nela::graph

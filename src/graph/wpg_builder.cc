@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <optional>
 #include <vector>
 
 #include "spatial/grid_index.h"
 
 namespace nela::graph {
 
-util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
-                           const WpgBuildParams& params) {
+namespace {
+
+util::Status ValidateParams(const WpgBuildParams& params) {
   if (params.delta <= 0.0) {
     return util::InvalidArgumentError("delta must be positive");
   }
@@ -20,6 +23,243 @@ util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
       params.tdoa_levels == 0) {
     return util::InvalidArgumentError("tdoa_levels must be positive");
   }
+  return util::Status::Ok();
+}
+
+double TdoaWeight(const data::Dataset& dataset, VertexId u, VertexId v,
+                  const WpgBuildParams& params) {
+  // Time-difference-of-arrival resolves distance directly; quantize it
+  // into 1..tdoa_levels buckets (symmetric, so both devices agree without
+  // negotiation).
+  const double distance = geo::Distance(dataset.point(u), dataset.point(v));
+  const double fraction = std::min(distance / params.delta, 1.0);
+  return std::max<double>(1.0, std::ceil(fraction * params.tdoa_levels));
+}
+
+}  // namespace
+
+util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
+                           const WpgBuildParams& params,
+                           util::ThreadPool* pool) {
+  const util::Status valid = ValidateParams(params);
+  if (!valid.ok()) return valid;
+
+  const uint32_t n = dataset.size();
+  std::optional<util::ThreadPool> owned;
+  if (pool == nullptr) {
+    uint32_t threads = params.threads != 0
+                           ? params.threads
+                           : util::ThreadPool::DefaultThreadCount();
+    threads = std::max(1u, std::min(threads, std::max(n, 1u)));
+    owned.emplace(threads);
+    pool = &*owned;
+  }
+  const uint32_t workers = pool->thread_count();
+  const spatial::GridIndex index(dataset.points(), params.delta);
+
+  // --- Phase 1: per-vertex candidate lists — the (at most M) nearest
+  // delta-neighbors, ascending by (distance, id). Each worker packs its
+  // vertex block into a private arena with allocation-free radius queries;
+  // the arenas are then spliced, in block order, into one flat CSR table.
+  std::vector<uint32_t> cand_count(n, 0);
+  std::vector<std::vector<uint32_t>> arena(workers);
+  pool->ParallelFor(n, [&](uint32_t w, uint64_t begin, uint64_t end) {
+    spatial::GridIndex::QueryScratch scratch;
+    std::vector<uint32_t>& ids = arena[w];
+    ids.reserve((end - begin) * (params.cap_peers ? params.max_peers : 8));
+    for (uint64_t u = begin; u < end; ++u) {
+      const size_t before = ids.size();
+      const uint32_t found =
+          index.RadiusQueryInto(dataset.point(u), params.delta,
+                                static_cast<uint32_t>(u), &scratch, &ids);
+      uint32_t kept = found;
+      if (params.cap_peers && kept > params.max_peers) {
+        kept = params.max_peers;
+        ids.resize(before + kept);  // sorted ascending: keep the M nearest
+      }
+      cand_count[u] = kept;
+    }
+  });
+  std::vector<uint32_t> cand_off(n + 1, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    cand_off[u + 1] = cand_off[u] + cand_count[u];
+  }
+  const uint32_t total_cands = cand_off[n];
+  std::vector<uint32_t> cand_ids(total_cands);
+  pool->RunOnAllThreads([&](uint32_t w) {
+    const uint64_t block = pool->BlockBegin(w, n);
+    if (arena[w].empty()) return;
+    std::copy(arena[w].begin(), arena[w].end(),
+              cand_ids.begin() + cand_off[block]);
+  });
+
+  // --- Phase 2a: per-vertex candidate ids re-ordered by id (keeping each
+  // one's position in the distance order), so mutuality reduces to sorted
+  // intersections.
+  std::vector<uint32_t> by_id(total_cands);
+  std::vector<uint32_t> by_id_pos(total_cands);
+  pool->ParallelFor(n, [&](uint32_t, uint64_t begin, uint64_t end) {
+    std::vector<uint32_t> order;
+    for (uint64_t u = begin; u < end; ++u) {
+      const uint32_t lo = cand_off[u];
+      const uint32_t deg = cand_off[u + 1] - lo;
+      order.resize(deg);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return cand_ids[lo + a] < cand_ids[lo + b];
+      });
+      for (uint32_t i = 0; i < deg; ++i) {
+        by_id[lo + i] = cand_ids[lo + order[i]];
+        by_id_pos[lo + i] = order[i];
+      }
+    }
+  });
+
+  // --- Phase 2b: transpose the candidate table (who chose me?) with a
+  // parallel counting sort. Each in-bucket lists its sources in ascending
+  // vertex order because workers own ascending contiguous blocks and their
+  // cursors are laid out in worker order.
+  std::vector<std::vector<uint32_t>> worker_count(
+      workers, std::vector<uint32_t>(n, 0));
+  pool->ParallelFor(n, [&](uint32_t w, uint64_t begin, uint64_t end) {
+    std::vector<uint32_t>& count = worker_count[w];
+    for (uint64_t u = begin; u < end; ++u) {
+      for (uint32_t s = cand_off[u]; s < cand_off[u + 1]; ++s) {
+        ++count[cand_ids[s]];
+      }
+    }
+  });
+  std::vector<uint32_t> in_off(n + 1, 0);
+  {
+    uint32_t running = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      in_off[v] = running;
+      for (uint32_t w = 0; w < workers; ++w) {
+        // worker_count becomes each worker's scatter cursor for vertex v.
+        const uint32_t c = worker_count[w][v];
+        worker_count[w][v] = running;
+        running += c;
+      }
+    }
+    in_off[n] = running;
+  }
+  std::vector<uint32_t> in_src(total_cands);
+  std::vector<uint32_t> in_pos(total_cands);
+  pool->ParallelFor(n, [&](uint32_t w, uint64_t begin, uint64_t end) {
+    std::vector<uint32_t>& cursor = worker_count[w];
+    for (uint64_t u = begin; u < end; ++u) {
+      for (uint32_t s = cand_off[u]; s < cand_off[u + 1]; ++s) {
+        const uint32_t v = cand_ids[s];
+        const uint32_t slot = cursor[v]++;
+        in_src[slot] = static_cast<uint32_t>(u);
+        in_pos[slot] = s - cand_off[u];  // u's distance-order position of v
+      }
+    }
+  });
+
+  // --- Phase 2c: mutuality + ranks. A candidate v of u is a mutual peer
+  // iff v also chose u, i.e. iff v appears in both u's candidate set and
+  // u's in-bucket — a sorted-merge intersection that yields, in the same
+  // pass, where u sits in v's distance order. Ranks are then assigned over
+  // the mutual subset in distance order, matching the sequential
+  // reference's re-sorted peer lists.
+  std::vector<uint32_t> mutual_rank(total_cands, 0);  // 0 = not mutual
+  std::vector<uint32_t> peer_pos(total_cands, 0);
+  pool->ParallelFor(n, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t u = begin; u < end; ++u) {
+      const uint32_t lo = cand_off[u];
+      uint32_t i = lo;
+      uint32_t j = in_off[u];
+      while (i < cand_off[u + 1] && j < in_off[u + 1]) {
+        const uint32_t a = by_id[i];
+        const uint32_t b = in_src[j];
+        if (a < b) {
+          ++i;
+        } else if (b < a) {
+          ++j;
+        } else {
+          const uint32_t slot = lo + by_id_pos[i];
+          mutual_rank[slot] = 1;          // flag; becomes the rank below
+          peer_pos[slot] = in_pos[j];     // u's position in v's list
+          ++i;
+          ++j;
+        }
+      }
+      uint32_t rank = 0;
+      for (uint32_t s = lo; s < cand_off[u + 1]; ++s) {
+        if (mutual_rank[s] != 0) mutual_rank[s] = ++rank;
+      }
+    }
+  });
+
+  // --- Phase 3: emit edges into per-worker buffers, handling each
+  // unordered pair at its smaller endpoint, and splice them in block order
+  // — the exact sequence a sequential vertex scan would produce.
+  std::vector<std::vector<Edge>> edge_buf(workers);
+  pool->ParallelFor(n, [&](uint32_t w, uint64_t begin, uint64_t end) {
+    std::vector<Edge>& out = edge_buf[w];
+    for (uint64_t u = begin; u < end; ++u) {
+      for (uint32_t s = cand_off[u]; s < cand_off[u + 1]; ++s) {
+        if (mutual_rank[s] == 0) continue;
+        const uint32_t v = cand_ids[s];
+        if (v < u) continue;  // handled from v's side
+        double weight;
+        if (params.measure == ProximityMeasure::kTdoaBucket) {
+          weight = TdoaWeight(dataset, static_cast<VertexId>(u), v, params);
+        } else {
+          const uint32_t rank_u = mutual_rank[s];  // rank of v at u
+          const uint32_t rank_v =
+              mutual_rank[cand_off[v] + peer_pos[s]];  // rank of u at v
+          weight = static_cast<double>(std::min(rank_u, rank_v));
+        }
+        out.push_back(Edge{static_cast<VertexId>(u), v, weight});
+      }
+    }
+  });
+  std::vector<Edge> edges;
+  {
+    size_t total_edges = 0;
+    for (const std::vector<Edge>& buf : edge_buf) total_edges += buf.size();
+    edges.reserve(total_edges);
+    for (const std::vector<Edge>& buf : edge_buf) {
+      edges.insert(edges.end(), buf.begin(), buf.end());
+    }
+  }
+
+  // --- Phase 4: CSR adjacency. The scatter is a cheap linear pass; the
+  // per-slice sorts (the expensive part) run in parallel and are
+  // order-independent because (weight, id) keys are unique within a slice.
+  std::vector<uint32_t> adj_off(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++adj_off[e.u + 1];
+    ++adj_off[e.v + 1];
+  }
+  for (uint32_t v = 0; v < n; ++v) adj_off[v + 1] += adj_off[v];
+  std::vector<HalfEdge> halfedges(2 * edges.size());
+  {
+    std::vector<uint32_t> cursor(adj_off.begin(), adj_off.end() - 1);
+    for (const Edge& e : edges) {
+      halfedges[cursor[e.u]++] = HalfEdge{e.v, e.weight};
+      halfedges[cursor[e.v]++] = HalfEdge{e.u, e.weight};
+    }
+  }
+  pool->ParallelFor(n, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t v = begin; v < end; ++v) {
+      std::sort(halfedges.begin() + adj_off[v],
+                halfedges.begin() + adj_off[v + 1],
+                [](const HalfEdge& a, const HalfEdge& b) {
+                  return a.weight < b.weight ||
+                         (a.weight == b.weight && a.to < b.to);
+                });
+    }
+  });
+  return Wpg(std::move(edges), std::move(adj_off), std::move(halfedges));
+}
+
+util::Result<Wpg> BuildWpgReference(const data::Dataset& dataset,
+                                    const WpgBuildParams& params) {
+  const util::Status valid = ValidateParams(params);
+  if (!valid.ok()) return valid;
 
   const uint32_t n = dataset.size();
   const spatial::GridIndex index(dataset.points(), params.delta);
@@ -54,7 +294,6 @@ util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
   // Step 3: RSS rank of each peer. peers[u] preserves ascending-distance
   // order for v > u but appended v < u entries break it, so re-sort by
   // distance (ties by id for determinism).
-  std::vector<std::vector<uint32_t>> rank(n);  // rank[u][i]: rank of peers[u][i]
   for (uint32_t u = 0; u < n; ++u) {
     auto& list = peers[u];
     std::sort(list.begin(), list.end(), [&](uint32_t a, uint32_t b) {
@@ -64,8 +303,7 @@ util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
     });
   }
 
-  // rank_of[u] maps peer id -> 1-based rank in u's sorted list. Use a flat
-  // lookup per vertex pass to stay O(sum deg).
+  // rank_of[u] maps peer id -> 1-based rank in u's sorted list.
   auto rank_of = [&](uint32_t u, uint32_t v) -> uint32_t {
     const auto& list = peers[u];
     for (uint32_t i = 0; i < list.size(); ++i) {
@@ -82,14 +320,7 @@ util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
       if (v < u) continue;
       double weight;
       if (params.measure == ProximityMeasure::kTdoaBucket) {
-        // Time-difference-of-arrival resolves distance directly; quantize
-        // it into 1..tdoa_levels buckets (symmetric, so both devices agree
-        // without negotiation).
-        const double distance =
-            geo::Distance(dataset.point(u), dataset.point(v));
-        const double fraction = std::min(distance / params.delta, 1.0);
-        weight = std::max<double>(
-            1.0, std::ceil(fraction * params.tdoa_levels));
+        weight = TdoaWeight(dataset, u, v, params);
       } else {
         const uint32_t weight_u = i + 1;          // rank of v in u's list
         const uint32_t weight_v = rank_of(v, u);  // rank of u in v's list

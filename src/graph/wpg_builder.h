@@ -9,6 +9,24 @@
 //    rank equals its distance rank. The weight of edge (a, b) is the minimum
 //    of a's rank in b's sorted peer list and b's rank in a's list (this is
 //    what makes the weight symmetric and "agreed by both").
+//
+// BuildWpg runs as a deterministic parallel pipeline over a
+// util::ThreadPool (see DESIGN.md, "Performance architecture"):
+//
+//   phase 1  fan out allocation-free radius queries per vertex into
+//            per-worker candidate arenas, spliced into a flat CSR
+//            candidate table;
+//   phase 2  transpose the candidate table (parallel counting sort), then
+//            compute mutuality and both endpoints' mutual RSS ranks with a
+//            sorted-merge intersection per vertex;
+//   phase 3  emit edges into per-worker buffers and splice them in vertex
+//            order;
+//   phase 4  assemble the CSR adjacency and sort each slice in parallel.
+//
+// Every phase partitions vertices into contiguous blocks and splices
+// per-worker output in block order, so the result is bit-identical to the
+// sequential reference at any thread count (enforced by the
+// WpgParallelBuild property tests).
 
 #ifndef NELA_GRAPH_WPG_BUILDER_H_
 #define NELA_GRAPH_WPG_BUILDER_H_
@@ -16,6 +34,7 @@
 #include "data/dataset.h"
 #include "graph/wpg.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace nela::graph {
 
@@ -41,11 +60,23 @@ struct WpgBuildParams {
   ProximityMeasure measure = ProximityMeasure::kRssRank;
   // Quantization levels for kTdoaBucket (weights 1..tdoa_levels).
   uint32_t tdoa_levels = 16;
+  // Worker threads for the parallel build; 0 means one per hardware
+  // thread. The built graph is bit-identical at every thread count.
+  uint32_t threads = 0;
 };
 
-// Deterministic given the dataset and params.
+// Deterministic given the dataset and params — the thread count never
+// changes the result. When `pool` is non-null it supplies the workers
+// (params.threads is ignored); otherwise a pool is created per call.
 util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
-                           const WpgBuildParams& params);
+                           const WpgBuildParams& params,
+                           util::ThreadPool* pool = nullptr);
+
+// The sequential reference implementation: the executable specification
+// the parallel pipeline is tested against, and the baseline the
+// BENCH_wpg.json speedups are measured from. Ignores params.threads.
+util::Result<Wpg> BuildWpgReference(const data::Dataset& dataset,
+                                    const WpgBuildParams& params);
 
 }  // namespace nela::graph
 

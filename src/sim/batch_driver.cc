@@ -22,6 +22,7 @@
 #include "net/network.h"
 #include "sim/workload.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace nela::sim {
 
@@ -349,14 +350,12 @@ util::Result<BatchResult> BatchDriver::Run() {
       }
     }
   };
-  if (thread_count == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(thread_count);
-    for (uint32_t t = 0; t < thread_count; ++t) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
-  }
+  // All workers run on the shared fork-join pool; worker identity is
+  // irrelevant (ordinals come from the atomic counter and commits are
+  // serialized by the turnstile), so the digest stays bit-identical at any
+  // thread count.
+  util::ThreadPool pool(thread_count);
+  pool.RunOnAllThreads([&worker](uint32_t) { worker(); });
   const double wall_seconds = ElapsedMs(wall_start) / 1e3;
   if (!run.first_error.ok()) return run.first_error;
 

@@ -7,6 +7,16 @@
 
 namespace nela::spatial {
 
+namespace {
+
+// (distance, id) ascending — the canonical neighbor order everywhere.
+bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  return a.squared_distance < b.squared_distance ||
+         (a.squared_distance == b.squared_distance && a.id < b.id);
+}
+
+}  // namespace
+
 GridIndex::GridIndex(const std::vector<geo::Point>& points, double cell_size)
     : points_(&points), cell_size_(cell_size) {
   NELA_CHECK_GT(cell_size, 0.0);
@@ -48,6 +58,53 @@ int32_t GridIndex::CellCoord(double v) const {
   return std::max(c, 0);
 }
 
+void GridIndex::GatherCell(int32_t cx, int32_t cy, const geo::Point& query,
+                           uint32_t self, std::vector<Neighbor>* out) const {
+  const uint32_t c = CellOf(cx, cy);
+  for (uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+    const uint32_t id = cell_ids_[k];
+    if (id == self) continue;
+    out->push_back(Neighbor{id, geo::SquaredDistance(query, (*points_)[id])});
+  }
+}
+
+void GridIndex::GatherRing(int32_t qx, int32_t qy, int32_t span,
+                           const geo::Point& query, uint32_t self,
+                           std::vector<Neighbor>* out) const {
+  const int32_t max_x = static_cast<int32_t>(cols_) - 1;
+  const int32_t max_y = static_cast<int32_t>(rows_) - 1;
+  if (span == 0) {
+    if (qx >= 0 && qx <= max_x && qy >= 0 && qy <= max_y) {
+      GatherCell(qx, qy, query, self, out);
+    }
+    return;
+  }
+  const int32_t x_lo = std::max(qx - span, 0);
+  const int32_t x_hi = std::min(qx + span, max_x);
+  // Top and bottom rows of the ring span its full width; the side columns
+  // cover only the interior rows so no cell is visited twice.
+  for (const int32_t cy : {qy - span, qy + span}) {
+    if (cy < 0 || cy > max_y) continue;
+    for (int32_t cx = x_lo; cx <= x_hi; ++cx) {
+      GatherCell(cx, cy, query, self, out);
+    }
+  }
+  const int32_t y_lo = std::max(qy - span + 1, 0);
+  const int32_t y_hi = std::min(qy + span - 1, max_y);
+  for (const int32_t cx : {qx - span, qx + span}) {
+    if (cx < 0 || cx > max_x) continue;
+    for (int32_t cy = y_lo; cy <= y_hi; ++cy) {
+      GatherCell(cx, cy, query, self, out);
+    }
+  }
+}
+
+bool GridIndex::SpanCoversGrid(int32_t qx, int32_t qy, int32_t span) const {
+  return qx - span <= 0 && qy - span <= 0 &&
+         qx + span >= static_cast<int32_t>(cols_) - 1 &&
+         qy + span >= static_cast<int32_t>(rows_) - 1;
+}
+
 std::vector<Neighbor> GridIndex::RadiusQuery(const geo::Point& query,
                                              double radius,
                                              uint32_t self) const {
@@ -72,11 +129,38 @@ std::vector<Neighbor> GridIndex::RadiusQuery(const geo::Point& query,
       }
     }
   }
-  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
-    return a.squared_distance < b.squared_distance ||
-           (a.squared_distance == b.squared_distance && a.id < b.id);
-  });
+  std::sort(out.begin(), out.end(), NeighborLess);
   return out;
+}
+
+uint32_t GridIndex::RadiusQueryInto(const geo::Point& query, double radius,
+                                    uint32_t self, QueryScratch* scratch,
+                                    std::vector<uint32_t>* out) const {
+  NELA_CHECK_GE(radius, 0.0);
+  std::vector<Neighbor>& gathered = scratch->neighbors;
+  gathered.clear();
+  const double r2 = radius * radius;
+  const int32_t span = static_cast<int32_t>(radius / cell_size_) + 1;
+  const int32_t qx = CellCoord(query.x - origin_x_);
+  const int32_t qy = CellCoord(query.y - origin_y_);
+  const int32_t x_lo = std::max(qx - span, 0);
+  const int32_t x_hi = std::min<int32_t>(qx + span, cols_ - 1);
+  const int32_t y_lo = std::max(qy - span, 0);
+  const int32_t y_hi = std::min<int32_t>(qy + span, rows_ - 1);
+  for (int32_t cy = y_lo; cy <= y_hi; ++cy) {
+    for (int32_t cx = x_lo; cx <= x_hi; ++cx) {
+      const uint32_t c = CellOf(cx, cy);
+      for (uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const uint32_t id = cell_ids_[k];
+        if (id == self) continue;
+        const double d2 = geo::SquaredDistance(query, (*points_)[id]);
+        if (d2 <= r2) gathered.push_back(Neighbor{id, d2});
+      }
+    }
+  }
+  std::sort(gathered.begin(), gathered.end(), NeighborLess);
+  for (const Neighbor& nb : gathered) out->push_back(nb.id);
+  return static_cast<uint32_t>(gathered.size());
 }
 
 std::vector<Neighbor> GridIndex::NearestNeighbors(const geo::Point& query,
@@ -84,16 +168,49 @@ std::vector<Neighbor> GridIndex::NearestNeighbors(const geo::Point& query,
                                                   uint32_t self) const {
   std::vector<Neighbor> result;
   if (count == 0 || points_->empty()) return result;
-  // Expanding ring search: double the radius until enough candidates whose
-  // distance is certified (<= current radius) are found.
-  double radius = cell_size_;
-  const double max_radius = 2.0 * (cell_size_ * std::max(cols_, rows_) + 1.0);
-  for (;;) {
-    result = RadiusQuery(query, radius, self);
-    // Neighbors within `radius` are exact; check we have enough.
-    if (result.size() >= count || radius > max_radius) break;
-    radius *= 2.0;
+  const int32_t qx = CellCoord(query.x - origin_x_);
+  const int32_t qy = CellCoord(query.y - origin_y_);
+
+  // A box of half-width s certifies every neighbor within (s - 1) cells:
+  // anything closer than (s - 1) * cell_size_ must live inside the box. Seed
+  // s from the query cell's occupancy — with ~occ points per cell the
+  // certified sub-box holds about occ * (2s - 1)^2 points — so that the
+  // common case gathers once, checks once, and is done.
+  uint32_t occ = 0;
+  if (qx < static_cast<int32_t>(cols_) && qy < static_cast<int32_t>(rows_)) {
+    const uint32_t home = CellOf(qx, qy);
+    occ = cell_start_[home + 1] - cell_start_[home];
   }
+  int32_t span = 2;  // certifies cell_size_, the legacy starting radius
+  if (occ > 0) {
+    while (static_cast<uint64_t>(occ) * (2 * span - 1) * (2 * span - 1) <
+               static_cast<uint64_t>(count) + 1 &&
+           !SpanCoversGrid(qx, qy, span)) {
+      ++span;
+    }
+  }
+
+  // Ring-incremental expansion: each round scans only the cells the
+  // previous rounds have not seen, appending into the same buffer; the
+  // sort happens once, at the end.
+  for (int32_t ring = 0; ring <= span; ++ring) {
+    GatherRing(qx, qy, ring, query, self, &result);
+  }
+  for (;;) {
+    const double certified = (span - 1) * cell_size_;
+    const double certified2 = certified * certified;
+    const size_t within = static_cast<size_t>(
+        std::count_if(result.begin(), result.end(), [&](const Neighbor& nb) {
+          return nb.squared_distance <= certified2;
+        }));
+    if (within >= count || SpanCoversGrid(qx, qy, span)) break;
+    const int32_t next = span * 2;
+    for (int32_t ring = span + 1; ring <= next; ++ring) {
+      GatherRing(qx, qy, ring, query, self, &result);
+    }
+    span = next;
+  }
+  std::sort(result.begin(), result.end(), NeighborLess);
   if (result.size() > count) result.resize(count);
   return result;
 }

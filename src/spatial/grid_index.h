@@ -24,6 +24,12 @@ struct Neighbor {
 
 class GridIndex {
  public:
+  // Reusable per-caller query state. One instance per worker thread; the
+  // buffers only grow, so steady-state queries allocate nothing.
+  struct QueryScratch {
+    std::vector<Neighbor> neighbors;
+  };
+
   // Indexes `points` (ids are indices into the vector). `cell_size` > 0 is
   // the grid pitch; pick it near the typical query radius. Points may lie
   // outside the unit square; cells are clamped at the boundary.
@@ -39,8 +45,19 @@ class GridIndex {
   std::vector<Neighbor> RadiusQuery(const geo::Point& query, double radius,
                                     uint32_t self) const;
 
+  // Allocation-free RadiusQuery for hot loops: gathers the matches into
+  // scratch->neighbors (cleared first, capacity reused), sorts them by
+  // ascending (distance, id), and appends the ids — nearest first — to
+  // *out (which is NOT cleared, so callers can pack many queries into one
+  // flat arena). Returns the number of ids appended.
+  uint32_t RadiusQueryInto(const geo::Point& query, double radius,
+                           uint32_t self, QueryScratch* scratch,
+                           std::vector<uint32_t>* out) const;
+
   // The `count` nearest ids to `query` (excluding `self`), sorted by
-  // ascending distance; fewer if the dataset is smaller.
+  // ascending distance; fewer if the dataset is smaller. The search seeds
+  // its cell span from the query cell's occupancy and expands ring by
+  // ring, re-scanning nothing, so the common case is a single pass.
   std::vector<Neighbor> NearestNeighbors(const geo::Point& query,
                                          uint32_t count, uint32_t self) const;
 
@@ -52,6 +69,17 @@ class GridIndex {
   uint32_t CellOf(int32_t cx, int32_t cy) const {
     return static_cast<uint32_t>(cy) * cols_ + static_cast<uint32_t>(cx);
   }
+  // Appends every point of cell (cx, cy) except `self`, with its squared
+  // distance from `query`, to *out. Bounds must be pre-clamped.
+  void GatherCell(int32_t cx, int32_t cy, const geo::Point& query,
+                  uint32_t self, std::vector<Neighbor>* out) const;
+  // Appends the cells at Chebyshev cell-distance exactly `span` from
+  // (qx, qy), clamped to the grid; span 0 is the center cell itself.
+  void GatherRing(int32_t qx, int32_t qy, int32_t span,
+                  const geo::Point& query, uint32_t self,
+                  std::vector<Neighbor>* out) const;
+  // True when the box of half-width `span` around (qx, qy) covers the grid.
+  bool SpanCoversGrid(int32_t qx, int32_t qy, int32_t span) const;
 
   const std::vector<geo::Point>* points_;
   double cell_size_;

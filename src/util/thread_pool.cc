@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nela::util {
+
+ThreadPool::ThreadPool(uint32_t thread_count) : thread_count_(thread_count) {
+  NELA_CHECK_GE(thread_count, 1u);
+  threads_.reserve(thread_count - 1);
+  for (uint32_t w = 1; w < thread_count; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+uint32_t ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(uint32_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunOnAllThreads(
+    const std::function<void(uint32_t)>& task) {
+  if (thread_count_ == 1) {
+    task(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    outstanding_ = thread_count_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  task(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  task_ = nullptr;
+}
+
+uint64_t ThreadPool::BlockBegin(uint32_t worker, uint64_t n) const {
+  NELA_CHECK_LE(worker, thread_count_);
+  // floor(n * w / W) without overflow for any realistic n (n < 2^32 in
+  // practice; the product stays within 64 bits for n < 2^32 and W <= 2^32).
+  return n * worker / thread_count_;
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t n, const std::function<void(uint32_t, uint64_t, uint64_t)>&
+                    task) {
+  RunOnAllThreads([&](uint32_t worker) {
+    task(worker, BlockBegin(worker, n), BlockBegin(worker + 1, n));
+  });
+}
+
+}  // namespace nela::util

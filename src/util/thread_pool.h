@@ -1,0 +1,81 @@
+// Fixed-size pool of persistent worker threads for deterministic fork-join
+// parallelism.
+//
+// The pool is a low-level primitive shared by the parallel WPG builder and
+// the batch driver: callers dispatch one task per worker and block until
+// every invocation returns. Worker 0 is the thread that calls
+// RunOnAllThreads / ParallelFor, so a 1-thread pool spawns nothing and runs
+// inline, and dispatch cost is one notify + countdown — cheap enough to
+// reuse the same pool across many short phases.
+//
+// Determinism contract: the pool never decides who does what. Tasks receive
+// only their worker index; ParallelFor partitions [0, n) into contiguous
+// blocks that depend solely on n and thread_count(), never on scheduling.
+// Pipelines built on these two calls produce bit-identical results at any
+// thread count as long as each block's output is spliced in block order.
+
+#ifndef NELA_UTIL_THREAD_POOL_H_
+#define NELA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nela::util {
+
+class ThreadPool {
+ public:
+  // A pool with `thread_count` >= 1 workers; thread_count - 1 threads are
+  // spawned, the calling thread acts as worker 0.
+  explicit ThreadPool(uint32_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t thread_count() const { return thread_count_; }
+
+  // std::thread::hardware_concurrency(), floored at 1 (the value is 0 when
+  // the hardware cannot be queried).
+  static uint32_t DefaultThreadCount();
+
+  // Invokes task(worker) once for every worker index in
+  // [0, thread_count()), concurrently, and blocks until all invocations
+  // return. All workers are live simultaneously, so tasks may synchronize
+  // with each other (the batch driver's commit turnstile relies on this).
+  // Tasks must not throw and must not dispatch on the same pool.
+  void RunOnAllThreads(const std::function<void(uint32_t worker)>& task);
+
+  // First index of worker `worker`'s block in the static partition of
+  // [0, n): worker w owns [BlockBegin(w, n), BlockBegin(w + 1, n)). Blocks
+  // are contiguous, ascending, and differ in size by at most one element.
+  uint64_t BlockBegin(uint32_t worker, uint64_t n) const;
+
+  // RunOnAllThreads over the static partition: task(worker, begin, end)
+  // with [begin, end) the worker's block; workers with an empty block are
+  // still invoked (begin == end) so per-worker state stays index-aligned.
+  void ParallelFor(uint64_t n,
+                   const std::function<void(uint32_t worker, uint64_t begin,
+                                            uint64_t end)>& task);
+
+ private:
+  void WorkerLoop(uint32_t worker);
+
+  const uint32_t thread_count_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a dispatch
+  std::condition_variable done_cv_;   // the dispatcher waits here for workers
+  const std::function<void(uint32_t)>* task_ = nullptr;  // guarded by mu_
+  uint64_t generation_ = 0;   // bumped once per dispatch
+  uint32_t outstanding_ = 0;  // spawned workers still inside the task
+  bool stopping_ = false;
+};
+
+}  // namespace nela::util
+
+#endif  // NELA_UTIL_THREAD_POOL_H_

@@ -78,6 +78,96 @@ TEST(UnionFindTest, TransitiveConnectivity) {
   EXPECT_EQ(dsu.SizeOf(50), 100u);
 }
 
+// ----------------------------------------------------------- CSR adjacency
+
+TEST(WpgCsrTest, NeighborSpansAreContiguousAndOrdered) {
+  // CSR layout: each vertex's span is a slice of one flat array, and
+  // consecutive vertices' slices abut (begin of v+1 == end of v).
+  auto built = Wpg::FromEdges(
+      4, {{0, 1, 3.0}, {0, 2, 1.0}, {1, 2, 2.0}, {2, 3, 4.0}});
+  ASSERT_TRUE(built.ok());
+  const Wpg& graph = built.value();
+  size_t total = 0;
+  const HalfEdge* expected_begin = graph.Neighbors(0).data();
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    const std::span<const HalfEdge> slice = graph.Neighbors(v);
+    EXPECT_EQ(slice.size(), graph.Degree(v));
+    if (!slice.empty()) {
+      EXPECT_EQ(slice.data(), expected_begin + total);
+    }
+    total += slice.size();
+  }
+  EXPECT_EQ(total, 2 * graph.edge_count());
+}
+
+TEST(WpgCsrTest, AddEdgeRebuildsLazilyPreservingInsertionOrder) {
+  // Before SortAdjacencyByWeight, each vertex's slice lists peers in edge
+  // insertion order — the same contract the old vector-of-vectors layout
+  // gave via push_back.
+  Wpg graph(4);
+  graph.AddEdge(0, 3, 5.0);
+  graph.AddEdge(0, 1, 9.0);
+  graph.AddEdge(0, 2, 1.0);
+  const auto slice = graph.Neighbors(0);
+  ASSERT_EQ(slice.size(), 3u);
+  EXPECT_EQ(slice[0].to, 3u);
+  EXPECT_EQ(slice[1].to, 1u);
+  EXPECT_EQ(slice[2].to, 2u);
+  // Growing the graph after a read invalidates and rebuilds the CSR.
+  graph.AddEdge(2, 3, 2.0);
+  EXPECT_EQ(graph.Degree(2), 2u);
+  EXPECT_EQ(graph.Neighbors(2)[1].to, 3u);
+}
+
+TEST(WpgCsrTest, SortAdjacencyDeterministicOnWeightTies) {
+  // Many edges sharing one weight (pervasive rank ties, the common case for
+  // rank-valued WPGs): after SortAdjacencyByWeight the adjacency must not
+  // depend on edge insertion order. (weight, to) keys are unique within a
+  // slice, so the sorted order is canonical.
+  std::vector<Edge> edges;
+  const uint32_t n = 24;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      if ((u + v) % 3 == 0) edges.push_back({u, v, 1.0 + (u + v) % 2});
+    }
+  }
+  util::Rng rng(4242);
+  std::vector<Edge> shuffled = edges;
+  rng.Shuffle(shuffled);
+
+  auto a = Wpg::FromEdges(n, edges);
+  auto b = Wpg::FromEdges(n, shuffled);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  a.value().SortAdjacencyByWeight();
+  b.value().SortAdjacencyByWeight();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto sa = a.value().Neighbors(v);
+    const auto sb = b.value().Neighbors(v);
+    ASSERT_EQ(sa.size(), sb.size()) << "vertex " << v;
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].to, sb[i].to) << "vertex " << v << " slot " << i;
+      EXPECT_DOUBLE_EQ(sa[i].weight, sb[i].weight);
+    }
+  }
+}
+
+TEST(WpgCsrTest, DigestCoversEdgesAndAdjacency) {
+  auto a = Wpg::FromEdges(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  auto b = Wpg::FromEdges(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  auto c = Wpg::FromEdges(3, {{0, 1, 1.0}, {1, 2, 3.0}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.value().Digest(), b.value().Digest());
+  EXPECT_NE(a.value().Digest(), c.value().Digest());
+  // Edge list order is part of the digest: the builder contract is
+  // bit-identical output, not merely isomorphic graphs.
+  auto d = Wpg::FromEdges(3, {{1, 2, 2.0}, {0, 1, 1.0}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(a.value().Digest(), d.value().Digest());
+}
+
 // ------------------------------------------------------------ WPG builder
 
 TEST(WpgBuilderTest, RejectsBadParams) {

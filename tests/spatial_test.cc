@@ -242,5 +242,72 @@ TEST(GridIndexTest, HandlesPointsOutsideUnitSquare) {
   EXPECT_EQ(near.size(), 2u);
 }
 
+TEST(GridIndexTest, RadiusQueryIntoAppendsAndMatchesRadiusQuery) {
+  util::Rng rng(321);
+  const data::Dataset dataset = data::GenerateUniform(400, rng);
+  const GridIndex index(dataset.points(), 0.05);
+  GridIndex::QueryScratch scratch;
+  std::vector<uint32_t> out;
+  std::vector<uint32_t> counts;
+  for (uint32_t q = 0; q < 40; ++q) {
+    counts.push_back(index.RadiusQueryInto(dataset.point(q), 0.08, q,
+                                           &scratch, &out));
+  }
+  // Append semantics: `out` accumulates all queries back to back...
+  uint64_t total = 0;
+  for (const uint32_t c : counts) total += c;
+  ASSERT_EQ(out.size(), total);
+  // ...and each packed slice equals the allocating query's id sequence.
+  size_t cursor = 0;
+  for (uint32_t q = 0; q < 40; ++q) {
+    const auto expected = index.RadiusQuery(dataset.point(q), 0.08, q);
+    ASSERT_EQ(counts[q], expected.size()) << "query " << q;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(out[cursor + i], expected[i].id) << "query " << q;
+    }
+    cursor += counts[q];
+  }
+}
+
+TEST(GridIndexTest, NearestNeighborsFromDenseHomeCell) {
+  // All requested neighbors live in the query's own cell, so the
+  // occupancy-seeded search must still certify against the surrounding
+  // ring (a point in an adjacent cell can be closer than a same-cell one).
+  std::vector<geo::Point> points;
+  for (uint32_t i = 0; i < 50; ++i) {
+    points.push_back({0.55 + 1e-4 * i, 0.55});
+  }
+  points.push_back({0.599, 0.55});   // same cell, far side
+  points.push_back({0.601, 0.55});   // adjacent cell, nearer than many
+  const GridIndex index(points, 0.1);
+  const auto nn = index.NearestNeighbors({0.598, 0.55}, 3, points.size());
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 50u);  // 0.599: distance 0.001
+  EXPECT_EQ(nn[1].id, 51u);  // 0.601: distance 0.003 — crosses the cell edge
+}
+
+TEST(GridIndexTest, NearestNeighborsQueryOutsideGrid) {
+  const std::vector<geo::Point> points = {
+      {0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}, {0.8, 0.8}};
+  const GridIndex index(points, 0.05);
+  // Query far outside the indexed extent: home-cell occupancy is zero and
+  // the ring expansion must still find the true nearest points.
+  const auto nn = index.NearestNeighbors({-2.0, -2.0}, 2, points.size());
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].id, 0u);
+  EXPECT_EQ(nn[1].id, 1u);
+}
+
+TEST(GridIndexTest, NearestNeighborsCountExceedsDataset) {
+  util::Rng rng(555);
+  const data::Dataset dataset = data::GenerateUniform(20, rng);
+  const GridIndex index(dataset.points(), 0.25);
+  const auto nn = index.NearestNeighbors(dataset.point(0), 100, 0);
+  EXPECT_EQ(nn.size(), 19u);  // everyone but self
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].squared_distance, nn[i].squared_distance);
+  }
+}
+
 }  // namespace
 }  // namespace nela::spatial

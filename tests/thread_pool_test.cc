@@ -1,0 +1,109 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nela::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<uint32_t>> hits(4);
+  pool.RunOnAllThreads([&](uint32_t worker) {
+    ASSERT_LT(worker, 4u);
+    hits[worker].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  uint32_t calls = 0;
+  pool.RunOnAllThreads([&](uint32_t worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, AllWorkersAreLiveSimultaneously) {
+  // The batch driver's commit turnstile blocks workers on each other, so
+  // RunOnAllThreads must provide genuine concurrency: every worker waits
+  // until all of them have arrived, which can only terminate if all
+  // thread_count() invocations run at the same time.
+  constexpr uint32_t kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::mutex mu;
+  std::condition_variable cv;
+  uint32_t arrived = 0;
+  pool.RunOnAllThreads([&](uint32_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived == kThreads; });
+  });
+  EXPECT_EQ(arrived, kThreads);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  for (uint32_t round = 0; round < 100; ++round) {
+    pool.RunOnAllThreads([&](uint32_t worker) {
+      sum.fetch_add(worker + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 100u * (1 + 2 + 3));
+}
+
+TEST(ThreadPoolTest, BlockPartitionIsContiguousAndComplete) {
+  ThreadPool pool(3);
+  for (const uint64_t n : {0ull, 1ull, 2ull, 3ull, 7ull, 100ull}) {
+    EXPECT_EQ(pool.BlockBegin(0, n), 0u);
+    EXPECT_EQ(pool.BlockBegin(3, n), n);
+    for (uint32_t w = 0; w < 3; ++w) {
+      EXPECT_LE(pool.BlockBegin(w, n), pool.BlockBegin(w + 1, n));
+      // Balanced: blocks differ in size by at most one element.
+      const uint64_t size = pool.BlockBegin(w + 1, n) - pool.BlockBegin(w, n);
+      EXPECT_LE(size, n / 3 + 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr uint64_t kN = 1013;  // not a multiple of the worker count
+  std::vector<std::atomic<uint32_t>> seen(kN);
+  pool.ParallelFor(kN, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) seen[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < kN; ++i) EXPECT_EQ(seen[i].load(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> visited{0};
+  std::atomic<uint32_t> invocations{0};
+  pool.ParallelFor(3, [&](uint32_t, uint64_t begin, uint64_t end) {
+    invocations.fetch_add(1);
+    visited.fetch_add(end - begin);
+  });
+  EXPECT_EQ(visited.load(), 3u);
+  EXPECT_EQ(invocations.load(), 8u);  // empty blocks are still invoked
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace nela::util

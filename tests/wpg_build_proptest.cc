@@ -1,0 +1,131 @@
+// Property tests for the parallel WPG builder: at every thread count the
+// parallel pipeline must produce a graph bit-identical to the sequential
+// reference — same edge list (order included), same CSR offsets, same
+// adjacency order after SortAdjacencyByWeight — across random datasets,
+// peer caps, and both proximity measures. Wpg::Digest() folds all of that
+// into one value, so digest equality is the whole contract.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "graph/wpg_builder.h"
+#include "util/proptest.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace nela::graph {
+namespace {
+
+// Draws a dataset + build params from the case rng; `size` scales the
+// population. Mixes uniform and clustered shapes, capped and uncapped peer
+// lists, and both weight models.
+std::optional<std::string> ParallelMatchesReference(util::Rng& rng,
+                                                    uint32_t size) {
+  const uint32_t users = 2 + size * 3;
+  data::Dataset dataset = [&] {
+    if (rng.NextUint64(2) == 0) return data::GenerateUniform(users, rng);
+    data::ClusteredParams shape;
+    shape.count = users;
+    shape.num_clusters = 1 + static_cast<uint32_t>(rng.NextUint64(8));
+    return data::GenerateClustered(shape, rng);
+  }();
+
+  WpgBuildParams params;
+  // Spread delta so sparse, moderate, and near-complete graphs all occur.
+  params.delta = 0.01 + rng.NextDouble(0.0, 0.3);
+  params.max_peers = 1 + static_cast<uint32_t>(rng.NextUint64(12));
+  params.cap_peers = rng.NextUint64(4) != 0;
+  params.measure = rng.NextUint64(4) == 0 ? ProximityMeasure::kTdoaBucket
+                                          : ProximityMeasure::kRssRank;
+
+  auto reference = BuildWpgReference(dataset, params);
+  if (!reference.ok()) {
+    return "reference build failed: " +
+           std::string(reference.status().message());
+  }
+  const uint64_t want = reference.value().Digest();
+
+  for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+    WpgBuildParams per_thread = params;
+    per_thread.threads = threads;
+    auto parallel = BuildWpg(dataset, per_thread);
+    if (!parallel.ok()) {
+      return "parallel build failed at " + std::to_string(threads) +
+             " threads: " + std::string(parallel.status().message());
+    }
+    if (parallel.value().Digest() != want) {
+      return "digest mismatch at " + std::to_string(threads) +
+             " threads (users=" + std::to_string(users) +
+             " delta=" + std::to_string(params.delta) +
+             " max_peers=" + std::to_string(params.max_peers) +
+             " cap=" + std::to_string(params.cap_peers ? 1 : 0) + ")";
+    }
+    if (parallel.value().edge_count() != reference.value().edge_count()) {
+      return "edge count mismatch at " + std::to_string(threads) +
+             " threads";
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(WpgParallelBuildProptest, DigestMatchesSequentialAcrossThreadCounts) {
+  util::PropSpec spec;
+  spec.name = "wpg_build_proptest";
+  spec.base_seed = 0x9e3779b97f4a7c15ull;
+  spec.iterations = 30;  // CI elevates via NELA_PROPTEST_ITERS
+  spec.min_size = 1;
+  spec.max_size = 120;  // up to ~360 users per case
+
+  auto failure = util::RunProperty(spec, ParallelMatchesReference);
+  ASSERT_FALSE(failure.has_value()) << failure->message << "\n"
+                                    << failure->repro;
+}
+
+// A fixed larger scenario at the paper's parameter shape: one deliberate
+// non-property check so a digest regression on realistic density fails
+// even with NELA_PROPTEST_ITERS=1.
+TEST(WpgParallelBuildProptest, RealisticDensityDigestAcrossThreadCounts) {
+  util::Rng rng(20260806);
+  data::ClusteredParams shape;
+  shape.count = 4000;
+  const data::Dataset dataset = data::GenerateClustered(shape, rng);
+  WpgBuildParams params;
+  params.delta = 2e-3 * 5.0;  // scaled for the smaller population
+  params.max_peers = 10;
+
+  auto reference = BuildWpgReference(dataset, params);
+  ASSERT_TRUE(reference.ok());
+  const uint64_t want = reference.value().Digest();
+  ASSERT_GT(reference.value().edge_count(), 0u);
+
+  for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+    WpgBuildParams per_thread = params;
+    per_thread.threads = threads;
+    auto parallel = BuildWpg(dataset, per_thread);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel.value().Digest(), want)
+        << "thread count " << threads << " changed the built graph";
+  }
+}
+
+// An externally supplied pool must behave exactly like an owned one.
+TEST(WpgParallelBuildProptest, ExternalPoolMatchesOwnedPool) {
+  util::Rng rng(77);
+  const data::Dataset dataset = data::GenerateUniform(600, rng);
+  WpgBuildParams params;
+  params.delta = 0.05;
+  params.max_peers = 6;
+  auto reference = BuildWpgReference(dataset, params);
+  ASSERT_TRUE(reference.ok());
+
+  util::ThreadPool pool(3);
+  auto parallel = BuildWpg(dataset, params, &pool);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel.value().Digest(), reference.value().Digest());
+}
+
+}  // namespace
+}  // namespace nela::graph
