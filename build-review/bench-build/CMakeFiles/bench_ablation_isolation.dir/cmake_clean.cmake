@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_isolation"
+  "../bench/bench_ablation_isolation.pdb"
+  "CMakeFiles/bench_ablation_isolation.dir/bench_ablation_isolation.cc.o"
+  "CMakeFiles/bench_ablation_isolation.dir/bench_ablation_isolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_knn_expansion"
+  "../bench/bench_ablation_knn_expansion.pdb"
+  "CMakeFiles/bench_ablation_knn_expansion.dir/bench_ablation_knn_expansion.cc.o"
+  "CMakeFiles/bench_ablation_knn_expansion.dir/bench_ablation_knn_expansion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knn_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mew_diameter"
+  "../bench/bench_ablation_mew_diameter.pdb"
+  "CMakeFiles/bench_ablation_mew_diameter.dir/bench_ablation_mew_diameter.cc.o"
+  "CMakeFiles/bench_ablation_mew_diameter.dir/bench_ablation_mew_diameter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mew_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

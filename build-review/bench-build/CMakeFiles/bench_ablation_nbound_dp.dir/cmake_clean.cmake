@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_nbound_dp"
+  "../bench/bench_ablation_nbound_dp.pdb"
+  "CMakeFiles/bench_ablation_nbound_dp.dir/bench_ablation_nbound_dp.cc.o"
+  "CMakeFiles/bench_ablation_nbound_dp.dir/bench_ablation_nbound_dp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nbound_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_privacy_loss.cc" "bench-build/CMakeFiles/bench_ablation_privacy_loss.dir/bench_ablation_privacy_loss.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_privacy_loss.dir/bench_ablation_privacy_loss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/nela_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/nela_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cluster/CMakeFiles/nela_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bounding/CMakeFiles/nela_bounding.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lbs/CMakeFiles/nela_lbs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nela_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/nela_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/nela_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spatial/CMakeFiles/nela_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/audit/CMakeFiles/nela_audit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/nela_geo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/nela_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

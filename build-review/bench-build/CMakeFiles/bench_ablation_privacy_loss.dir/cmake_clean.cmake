@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_privacy_loss"
+  "../bench/bench_ablation_privacy_loss.pdb"
+  "CMakeFiles/bench_ablation_privacy_loss.dir/bench_ablation_privacy_loss.cc.o"
+  "CMakeFiles/bench_ablation_privacy_loss.dir/bench_ablation_privacy_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_privacy_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

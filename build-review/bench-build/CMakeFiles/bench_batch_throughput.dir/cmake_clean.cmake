@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_batch_throughput"
+  "../bench/bench_batch_throughput.pdb"
+  "CMakeFiles/bench_batch_throughput.dir/bench_batch_throughput.cc.o"
+  "CMakeFiles/bench_batch_throughput.dir/bench_batch_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

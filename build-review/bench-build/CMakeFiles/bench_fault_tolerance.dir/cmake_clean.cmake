@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fault_tolerance"
+  "../bench/bench_fault_tolerance.pdb"
+  "CMakeFiles/bench_fault_tolerance.dir/bench_fault_tolerance.cc.o"
+  "CMakeFiles/bench_fault_tolerance.dir/bench_fault_tolerance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_k"
+  "../bench/bench_fig11_k.pdb"
+  "CMakeFiles/bench_fig11_k.dir/bench_fig11_k.cc.o"
+  "CMakeFiles/bench_fig11_k.dir/bench_fig11_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_requests"
+  "../bench/bench_fig12_requests.pdb"
+  "CMakeFiles/bench_fig12_requests.dir/bench_fig12_requests.cc.o"
+  "CMakeFiles/bench_fig12_requests.dir/bench_fig12_requests.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_bounding"
+  "../bench/bench_fig13_bounding.pdb"
+  "CMakeFiles/bench_fig13_bounding.dir/bench_fig13_bounding.cc.o"
+  "CMakeFiles/bench_fig13_bounding.dir/bench_fig13_bounding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_degree"
+  "../bench/bench_fig9_degree.pdb"
+  "CMakeFiles/bench_fig9_degree.dir/bench_fig9_degree.cc.o"
+  "CMakeFiles/bench_fig9_degree.dir/bench_fig9_degree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymizer_comparison.dir/anonymizer_comparison.cpp.o"
+  "CMakeFiles/anonymizer_comparison.dir/anonymizer_comparison.cpp.o.d"
+  "anonymizer_comparison"
+  "anonymizer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymizer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

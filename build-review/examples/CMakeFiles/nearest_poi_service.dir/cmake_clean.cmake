@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_poi_service.dir/nearest_poi_service.cpp.o"
+  "CMakeFiles/nearest_poi_service.dir/nearest_poi_service.cpp.o.d"
+  "nearest_poi_service"
+  "nearest_poi_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_poi_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_audit.dir/knowledge.cc.o"
+  "CMakeFiles/nela_audit.dir/knowledge.cc.o.d"
+  "CMakeFiles/nela_audit.dir/observer.cc.o"
+  "CMakeFiles/nela_audit.dir/observer.cc.o.d"
+  "CMakeFiles/nela_audit.dir/taint.cc.o"
+  "CMakeFiles/nela_audit.dir/taint.cc.o.d"
+  "libnela_audit.a"
+  "libnela_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

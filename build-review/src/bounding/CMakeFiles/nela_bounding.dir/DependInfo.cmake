@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounding/cost_model.cc" "src/bounding/CMakeFiles/nela_bounding.dir/cost_model.cc.o" "gcc" "src/bounding/CMakeFiles/nela_bounding.dir/cost_model.cc.o.d"
+  "/root/repo/src/bounding/distribution.cc" "src/bounding/CMakeFiles/nela_bounding.dir/distribution.cc.o" "gcc" "src/bounding/CMakeFiles/nela_bounding.dir/distribution.cc.o.d"
+  "/root/repo/src/bounding/increment_policy.cc" "src/bounding/CMakeFiles/nela_bounding.dir/increment_policy.cc.o" "gcc" "src/bounding/CMakeFiles/nela_bounding.dir/increment_policy.cc.o.d"
+  "/root/repo/src/bounding/nbound.cc" "src/bounding/CMakeFiles/nela_bounding.dir/nbound.cc.o" "gcc" "src/bounding/CMakeFiles/nela_bounding.dir/nbound.cc.o.d"
+  "/root/repo/src/bounding/privacy_loss.cc" "src/bounding/CMakeFiles/nela_bounding.dir/privacy_loss.cc.o" "gcc" "src/bounding/CMakeFiles/nela_bounding.dir/privacy_loss.cc.o.d"
+  "/root/repo/src/bounding/protocol.cc" "src/bounding/CMakeFiles/nela_bounding.dir/protocol.cc.o" "gcc" "src/bounding/CMakeFiles/nela_bounding.dir/protocol.cc.o.d"
+  "/root/repo/src/bounding/secret.cc" "src/bounding/CMakeFiles/nela_bounding.dir/secret.cc.o" "gcc" "src/bounding/CMakeFiles/nela_bounding.dir/secret.cc.o.d"
+  "/root/repo/src/bounding/unary.cc" "src/bounding/CMakeFiles/nela_bounding.dir/unary.cc.o" "gcc" "src/bounding/CMakeFiles/nela_bounding.dir/unary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/geo/CMakeFiles/nela_geo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/nela_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/nela_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

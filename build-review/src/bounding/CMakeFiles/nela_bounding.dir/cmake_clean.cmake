@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_bounding.dir/cost_model.cc.o"
+  "CMakeFiles/nela_bounding.dir/cost_model.cc.o.d"
+  "CMakeFiles/nela_bounding.dir/distribution.cc.o"
+  "CMakeFiles/nela_bounding.dir/distribution.cc.o.d"
+  "CMakeFiles/nela_bounding.dir/increment_policy.cc.o"
+  "CMakeFiles/nela_bounding.dir/increment_policy.cc.o.d"
+  "CMakeFiles/nela_bounding.dir/nbound.cc.o"
+  "CMakeFiles/nela_bounding.dir/nbound.cc.o.d"
+  "CMakeFiles/nela_bounding.dir/privacy_loss.cc.o"
+  "CMakeFiles/nela_bounding.dir/privacy_loss.cc.o.d"
+  "CMakeFiles/nela_bounding.dir/protocol.cc.o"
+  "CMakeFiles/nela_bounding.dir/protocol.cc.o.d"
+  "CMakeFiles/nela_bounding.dir/secret.cc.o"
+  "CMakeFiles/nela_bounding.dir/secret.cc.o.d"
+  "CMakeFiles/nela_bounding.dir/unary.cc.o"
+  "CMakeFiles/nela_bounding.dir/unary.cc.o.d"
+  "libnela_bounding.a"
+  "libnela_bounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_bounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/centralized_tconn.cc" "src/cluster/CMakeFiles/nela_cluster.dir/centralized_tconn.cc.o" "gcc" "src/cluster/CMakeFiles/nela_cluster.dir/centralized_tconn.cc.o.d"
+  "/root/repo/src/cluster/concurrency.cc" "src/cluster/CMakeFiles/nela_cluster.dir/concurrency.cc.o" "gcc" "src/cluster/CMakeFiles/nela_cluster.dir/concurrency.cc.o.d"
+  "/root/repo/src/cluster/distributed_tconn.cc" "src/cluster/CMakeFiles/nela_cluster.dir/distributed_tconn.cc.o" "gcc" "src/cluster/CMakeFiles/nela_cluster.dir/distributed_tconn.cc.o.d"
+  "/root/repo/src/cluster/knn_clustering.cc" "src/cluster/CMakeFiles/nela_cluster.dir/knn_clustering.cc.o" "gcc" "src/cluster/CMakeFiles/nela_cluster.dir/knn_clustering.cc.o.d"
+  "/root/repo/src/cluster/registry.cc" "src/cluster/CMakeFiles/nela_cluster.dir/registry.cc.o" "gcc" "src/cluster/CMakeFiles/nela_cluster.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/nela_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/nela_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/nela_geo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/nela_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/nela_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spatial/CMakeFiles/nela_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

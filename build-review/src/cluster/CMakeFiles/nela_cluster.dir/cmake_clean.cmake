@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_cluster.dir/centralized_tconn.cc.o"
+  "CMakeFiles/nela_cluster.dir/centralized_tconn.cc.o.d"
+  "CMakeFiles/nela_cluster.dir/concurrency.cc.o"
+  "CMakeFiles/nela_cluster.dir/concurrency.cc.o.d"
+  "CMakeFiles/nela_cluster.dir/distributed_tconn.cc.o"
+  "CMakeFiles/nela_cluster.dir/distributed_tconn.cc.o.d"
+  "CMakeFiles/nela_cluster.dir/knn_clustering.cc.o"
+  "CMakeFiles/nela_cluster.dir/knn_clustering.cc.o.d"
+  "CMakeFiles/nela_cluster.dir/registry.cc.o"
+  "CMakeFiles/nela_cluster.dir/registry.cc.o.d"
+  "libnela_cluster.a"
+  "libnela_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymity_audit.cc" "src/core/CMakeFiles/nela_core.dir/anonymity_audit.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/anonymity_audit.cc.o.d"
+  "/root/repo/src/core/cloaking_engine.cc" "src/core/CMakeFiles/nela_core.dir/cloaking_engine.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/cloaking_engine.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/nela_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/nela_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/policy_factory.cc.o.d"
+  "/root/repo/src/core/request_context.cc" "src/core/CMakeFiles/nela_core.dir/request_context.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/request_context.cc.o.d"
+  "/root/repo/src/core/stages.cc" "src/core/CMakeFiles/nela_core.dir/stages.cc.o" "gcc" "src/core/CMakeFiles/nela_core.dir/stages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/cluster/CMakeFiles/nela_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bounding/CMakeFiles/nela_bounding.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/nela_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/nela_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/nela_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nela_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spatial/CMakeFiles/nela_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/nela_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_core.dir/anonymity_audit.cc.o"
+  "CMakeFiles/nela_core.dir/anonymity_audit.cc.o.d"
+  "CMakeFiles/nela_core.dir/cloaking_engine.cc.o"
+  "CMakeFiles/nela_core.dir/cloaking_engine.cc.o.d"
+  "CMakeFiles/nela_core.dir/pipeline.cc.o"
+  "CMakeFiles/nela_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/nela_core.dir/policy_factory.cc.o"
+  "CMakeFiles/nela_core.dir/policy_factory.cc.o.d"
+  "CMakeFiles/nela_core.dir/request_context.cc.o"
+  "CMakeFiles/nela_core.dir/request_context.cc.o.d"
+  "CMakeFiles/nela_core.dir/stages.cc.o"
+  "CMakeFiles/nela_core.dir/stages.cc.o.d"
+  "libnela_core.a"
+  "libnela_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

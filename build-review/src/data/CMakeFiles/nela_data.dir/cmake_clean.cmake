@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_data.dir/dataset.cc.o"
+  "CMakeFiles/nela_data.dir/dataset.cc.o.d"
+  "CMakeFiles/nela_data.dir/dataset_io.cc.o"
+  "CMakeFiles/nela_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/nela_data.dir/generators.cc.o"
+  "CMakeFiles/nela_data.dir/generators.cc.o.d"
+  "libnela_data.a"
+  "libnela_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

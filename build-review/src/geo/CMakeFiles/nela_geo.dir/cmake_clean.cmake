@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_geo.dir/rect.cc.o"
+  "CMakeFiles/nela_geo.dir/rect.cc.o.d"
+  "libnela_geo.a"
+  "libnela_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connectivity.cc" "src/graph/CMakeFiles/nela_graph.dir/connectivity.cc.o" "gcc" "src/graph/CMakeFiles/nela_graph.dir/connectivity.cc.o.d"
+  "/root/repo/src/graph/hierarchy.cc" "src/graph/CMakeFiles/nela_graph.dir/hierarchy.cc.o" "gcc" "src/graph/CMakeFiles/nela_graph.dir/hierarchy.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/graph/CMakeFiles/nela_graph.dir/metrics.cc.o" "gcc" "src/graph/CMakeFiles/nela_graph.dir/metrics.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/graph/CMakeFiles/nela_graph.dir/union_find.cc.o" "gcc" "src/graph/CMakeFiles/nela_graph.dir/union_find.cc.o.d"
+  "/root/repo/src/graph/wpg.cc" "src/graph/CMakeFiles/nela_graph.dir/wpg.cc.o" "gcc" "src/graph/CMakeFiles/nela_graph.dir/wpg.cc.o.d"
+  "/root/repo/src/graph/wpg_builder.cc" "src/graph/CMakeFiles/nela_graph.dir/wpg_builder.cc.o" "gcc" "src/graph/CMakeFiles/nela_graph.dir/wpg_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/data/CMakeFiles/nela_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spatial/CMakeFiles/nela_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/nela_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/nela_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

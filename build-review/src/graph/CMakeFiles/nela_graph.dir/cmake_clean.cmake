@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_graph.dir/connectivity.cc.o"
+  "CMakeFiles/nela_graph.dir/connectivity.cc.o.d"
+  "CMakeFiles/nela_graph.dir/hierarchy.cc.o"
+  "CMakeFiles/nela_graph.dir/hierarchy.cc.o.d"
+  "CMakeFiles/nela_graph.dir/metrics.cc.o"
+  "CMakeFiles/nela_graph.dir/metrics.cc.o.d"
+  "CMakeFiles/nela_graph.dir/union_find.cc.o"
+  "CMakeFiles/nela_graph.dir/union_find.cc.o.d"
+  "CMakeFiles/nela_graph.dir/wpg.cc.o"
+  "CMakeFiles/nela_graph.dir/wpg.cc.o.d"
+  "CMakeFiles/nela_graph.dir/wpg_builder.cc.o"
+  "CMakeFiles/nela_graph.dir/wpg_builder.cc.o.d"
+  "libnela_graph.a"
+  "libnela_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_lbs.dir/krnn.cc.o"
+  "CMakeFiles/nela_lbs.dir/krnn.cc.o.d"
+  "CMakeFiles/nela_lbs.dir/poi_database.cc.o"
+  "CMakeFiles/nela_lbs.dir/poi_database.cc.o.d"
+  "CMakeFiles/nela_lbs.dir/server.cc.o"
+  "CMakeFiles/nela_lbs.dir/server.cc.o.d"
+  "libnela_lbs.a"
+  "libnela_lbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_lbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_net.dir/network.cc.o"
+  "CMakeFiles/nela_net.dir/network.cc.o.d"
+  "CMakeFiles/nela_net.dir/retry.cc.o"
+  "CMakeFiles/nela_net.dir/retry.cc.o.d"
+  "libnela_net.a"
+  "libnela_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

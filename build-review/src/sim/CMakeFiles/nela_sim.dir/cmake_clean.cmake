@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_sim.dir/batch_driver.cc.o"
+  "CMakeFiles/nela_sim.dir/batch_driver.cc.o.d"
+  "CMakeFiles/nela_sim.dir/bounding_experiment.cc.o"
+  "CMakeFiles/nela_sim.dir/bounding_experiment.cc.o.d"
+  "CMakeFiles/nela_sim.dir/chaos_experiment.cc.o"
+  "CMakeFiles/nela_sim.dir/chaos_experiment.cc.o.d"
+  "CMakeFiles/nela_sim.dir/clustering_experiment.cc.o"
+  "CMakeFiles/nela_sim.dir/clustering_experiment.cc.o.d"
+  "CMakeFiles/nela_sim.dir/scenario.cc.o"
+  "CMakeFiles/nela_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/nela_sim.dir/workload.cc.o"
+  "CMakeFiles/nela_sim.dir/workload.cc.o.d"
+  "libnela_sim.a"
+  "libnela_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

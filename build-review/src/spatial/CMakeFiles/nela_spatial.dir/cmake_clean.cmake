@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_spatial.dir/grid_index.cc.o"
+  "CMakeFiles/nela_spatial.dir/grid_index.cc.o.d"
+  "libnela_spatial.a"
+  "libnela_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nela_util.dir/csv.cc.o"
+  "CMakeFiles/nela_util.dir/csv.cc.o.d"
+  "CMakeFiles/nela_util.dir/flags.cc.o"
+  "CMakeFiles/nela_util.dir/flags.cc.o.d"
+  "CMakeFiles/nela_util.dir/proptest.cc.o"
+  "CMakeFiles/nela_util.dir/proptest.cc.o.d"
+  "CMakeFiles/nela_util.dir/rng.cc.o"
+  "CMakeFiles/nela_util.dir/rng.cc.o.d"
+  "CMakeFiles/nela_util.dir/stats.cc.o"
+  "CMakeFiles/nela_util.dir/stats.cc.o.d"
+  "CMakeFiles/nela_util.dir/status.cc.o"
+  "CMakeFiles/nela_util.dir/status.cc.o.d"
+  "CMakeFiles/nela_util.dir/thread_pool.cc.o"
+  "CMakeFiles/nela_util.dir/thread_pool.cc.o.d"
+  "libnela_util.a"
+  "libnela_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nela_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

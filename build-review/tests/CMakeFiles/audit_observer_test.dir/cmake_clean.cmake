@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_observer_test.dir/audit_observer_test.cc.o"
+  "CMakeFiles/audit_observer_test.dir/audit_observer_test.cc.o.d"
+  "audit_observer_test"
+  "audit_observer_test.pdb"
+  "audit_observer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_driver_test.dir/batch_driver_test.cc.o"
+  "CMakeFiles/batch_driver_test.dir/batch_driver_test.cc.o.d"
+  "batch_driver_test"
+  "batch_driver_test.pdb"
+  "batch_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounding_math_test.dir/bounding_math_test.cc.o"
+  "CMakeFiles/bounding_math_test.dir/bounding_math_test.cc.o.d"
+  "bounding_math_test"
+  "bounding_math_test.pdb"
+  "bounding_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounding_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centralized_tconn_test.dir/centralized_tconn_test.cc.o"
+  "CMakeFiles/centralized_tconn_test.dir/centralized_tconn_test.cc.o.d"
+  "centralized_tconn_test"
+  "centralized_tconn_test.pdb"
+  "centralized_tconn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centralized_tconn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

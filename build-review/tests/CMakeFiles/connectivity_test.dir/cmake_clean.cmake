@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectivity_test.dir/connectivity_test.cc.o"
+  "CMakeFiles/connectivity_test.dir/connectivity_test.cc.o.d"
+  "connectivity_test"
+  "connectivity_test.pdb"
+  "connectivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_tconn_test.dir/distributed_tconn_test.cc.o"
+  "CMakeFiles/distributed_tconn_test.dir/distributed_tconn_test.cc.o.d"
+  "distributed_tconn_test"
+  "distributed_tconn_test.pdb"
+  "distributed_tconn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_tconn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

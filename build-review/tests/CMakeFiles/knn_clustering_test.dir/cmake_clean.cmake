@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_clustering_test.dir/knn_clustering_test.cc.o"
+  "CMakeFiles/knn_clustering_test.dir/knn_clustering_test.cc.o.d"
+  "knn_clustering_test"
+  "knn_clustering_test.pdb"
+  "knn_clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krnn_audit_test.dir/krnn_audit_test.cc.o"
+  "CMakeFiles/krnn_audit_test.dir/krnn_audit_test.cc.o.d"
+  "krnn_audit_test"
+  "krnn_audit_test.pdb"
+  "krnn_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krnn_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbs_test.dir/lbs_test.cc.o"
+  "CMakeFiles/lbs_test.dir/lbs_test.cc.o.d"
+  "lbs_test"
+  "lbs_test.pdb"
+  "lbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonexposure_proptest.dir/nonexposure_proptest.cc.o"
+  "CMakeFiles/nonexposure_proptest.dir/nonexposure_proptest.cc.o.d"
+  "nonexposure_proptest"
+  "nonexposure_proptest.pdb"
+  "nonexposure_proptest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonexposure_proptest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

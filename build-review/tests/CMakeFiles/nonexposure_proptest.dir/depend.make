@@ -1,0 +1,2 @@
+# Empty dependencies file for nonexposure_proptest.
+# This may be replaced when dependencies are built.

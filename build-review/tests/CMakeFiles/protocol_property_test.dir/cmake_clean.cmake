@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_property_test.dir/protocol_property_test.cc.o"
+  "CMakeFiles/protocol_property_test.dir/protocol_property_test.cc.o.d"
+  "protocol_property_test"
+  "protocol_property_test.pdb"
+  "protocol_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

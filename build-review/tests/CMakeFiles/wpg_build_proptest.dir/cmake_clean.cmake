@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpg_build_proptest.dir/wpg_build_proptest.cc.o"
+  "CMakeFiles/wpg_build_proptest.dir/wpg_build_proptest.cc.o.d"
+  "wpg_build_proptest"
+  "wpg_build_proptest.pdb"
+  "wpg_build_proptest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpg_build_proptest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

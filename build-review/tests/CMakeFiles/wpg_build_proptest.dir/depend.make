@@ -1,0 +1,2 @@
+# Empty dependencies file for wpg_build_proptest.
+# This may be replaced when dependencies are built.

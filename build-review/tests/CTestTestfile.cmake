@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/util_test[1]_include.cmake")
+include("/root/repo/build-review/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-review/tests/geo_test[1]_include.cmake")
+include("/root/repo/build-review/tests/data_test[1]_include.cmake")
+include("/root/repo/build-review/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build-review/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-review/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build-review/tests/connectivity_test[1]_include.cmake")
+include("/root/repo/build-review/tests/registry_test[1]_include.cmake")
+include("/root/repo/build-review/tests/centralized_tconn_test[1]_include.cmake")
+include("/root/repo/build-review/tests/distributed_tconn_test[1]_include.cmake")
+include("/root/repo/build-review/tests/knn_clustering_test[1]_include.cmake")
+include("/root/repo/build-review/tests/network_test[1]_include.cmake")
+include("/root/repo/build-review/tests/bounding_math_test[1]_include.cmake")
+include("/root/repo/build-review/tests/audit_observer_test[1]_include.cmake")
+include("/root/repo/build-review/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lbs_test[1]_include.cmake")
+include("/root/repo/build-review/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/road_network_test[1]_include.cmake")
+include("/root/repo/build-review/tests/protocol_property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build-review/tests/batch_driver_test[1]_include.cmake")
+include("/root/repo/build-review/tests/krnn_audit_test[1]_include.cmake")
+include("/root/repo/build-review/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build-review/tests/nonexposure_proptest[1]_include.cmake")
+include("/root/repo/build-review/tests/wpg_build_proptest[1]_include.cmake")
