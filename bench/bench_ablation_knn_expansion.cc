@@ -108,8 +108,7 @@ int Run(int argc, char** argv) {
                 nela::util::CsvWriter::Cell(result.avg_comm),
                 std::to_string(result.invalid)});
   }
-  nela::bench::EmitCsv(csv, output_dir, "ablation_knn_expansion");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "ablation_knn_expansion").ok() ? 0 : 1;
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ int Run(int argc, char** argv) {
     double degree_sum = 0.0;
     for (auto v : cluster) degree_sum += graph.Degree(v);
     const uint32_t degree = std::max<uint32_t>(
-        3, static_cast<uint32_t>(degree_sum / cluster.size()));
+        3, static_cast<uint32_t>(degree_sum / static_cast<double>(cluster.size())));
     const double bound = nela::graph::RegularGraphDiameterBound(
         static_cast<uint32_t>(cluster.size()), degree, mew);
     mew_stats.Add(mew);
@@ -90,8 +90,7 @@ int Run(int argc, char** argv) {
   std::printf("avg corollary-4.2 bound / diameter: %.3f (>= 1 everywhere: %s)\n",
               bound_gap_stats.Mean(),
               bound_gap_stats.Min() >= 1.0 ? "yes" : "NO");
-  nela::bench::EmitCsv(csv, output_dir, "ablation_mew_diameter");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "ablation_mew_diameter").ok() ? 0 : 1;
 }
 
 }  // namespace

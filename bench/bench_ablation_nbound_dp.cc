@@ -74,8 +74,7 @@ int Run(int argc, char** argv) {
               "exact DP table %.3f ms (%.0fx the closed form)\n",
               unary_ms, static_cast<long long>(max_n), eq5_ms, dp_ms,
               eq5_ms > 0 ? dp_ms / eq5_ms : 0.0);
-  nela::bench::EmitCsv(csv, output_dir, "ablation_nbound_dp");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "ablation_nbound_dp").ok() ? 0 : 1;
 }
 
 }  // namespace

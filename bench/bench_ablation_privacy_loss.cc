@@ -96,8 +96,7 @@ int Run(int argc, char** argv) {
       "\nNote: a tighter bound (small overshoot) comes with narrower\n"
       "exposure intervals (more privacy lost per user) -- the trade-off\n"
       "the paper flags as future work.\n");
-  nela::bench::EmitCsv(csv, output_dir, "ablation_privacy_loss");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "ablation_privacy_loss").ok() ? 0 : 1;
 }
 
 }  // namespace

@@ -87,8 +87,7 @@ int Run(int argc, char** argv) {
     }
     nela::bench::PrintRow(row);
   }
-  nela::bench::EmitCsv(csv, output_dir, "fig10_total_cost");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "fig10_total_cost").ok() ? 0 : 1;
 }
 
 }  // namespace

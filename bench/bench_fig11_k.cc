@@ -74,8 +74,7 @@ int Run(int argc, char** argv) {
                       result.value().avg_cloaked_area)});
     }
   }
-  nela::bench::EmitCsv(csv, output_dir, "fig11_k");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "fig11_k").ok() ? 0 : 1;
 }
 
 }  // namespace

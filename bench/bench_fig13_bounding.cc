@@ -85,8 +85,7 @@ int Run(int argc, char** argv) {
                   nela::util::CsvWriter::Cell(row.avg_cpu_ms)});
     }
   }
-  nela::bench::EmitCsv(csv, output_dir, "fig13_bounding");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "fig13_bounding").ok() ? 0 : 1;
 }
 
 }  // namespace

@@ -85,8 +85,7 @@ int Run(int argc, char** argv) {
                       result.value().avg_cloaked_area)});
     }
   }
-  nela::bench::EmitCsv(csv, output_dir, "fig9_degree");
-  return 0;
+  return nela::bench::EmitCsv(csv, output_dir, "fig9_degree").ok() ? 0 : 1;
 }
 
 }  // namespace

@@ -14,12 +14,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
 #include <deque>
 #include <memory>
 #include <new>
@@ -41,6 +39,7 @@
 #include "spatial/grid_index.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 // ------------------------------------------------------- allocation counter
 //
@@ -53,6 +52,11 @@ std::atomic<bool> g_count_allocations{false};
 std::atomic<uint64_t> g_allocation_count{0};
 }  // namespace
 
+// GCC's -Wmismatched-new-delete pairing heuristic cannot see that this
+// replacement operator new is malloc-backed, so freeing in operator delete
+// is correct; silence it for the replacement block only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
   if (g_count_allocations.load(std::memory_order_relaxed)) {
     g_allocation_count.fetch_add(1, std::memory_order_relaxed);
@@ -67,6 +71,7 @@ void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void* operator new[](std::size_t size) { return ::operator new(size); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -145,17 +150,6 @@ const nela::data::Dataset& SharedDataset(uint32_t users) {
 }
 
 // ------------------------------------------------- WPG build perf recorder
-
-// CPU seconds consumed by the calling thread (worker 0). The builder's
-// static block partition gives every worker ~1/N of the work, so the
-// caller's CPU per build ≈ total work / N: reference-vs-caller CPU ratios
-// estimate the achievable wall speedup even on core-starved runners where
-// wall clock cannot scale.
-double ThreadCpuSeconds() {
-  timespec ts{};
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
-}
 
 struct WpgSample {
   uint32_t users;
@@ -251,14 +245,12 @@ void BM_WpgBuild(benchmark::State& state) {
   double best = 1e100;
   double best_cpu = 1e100;
   for (auto _ : state) {
-    const auto start = std::chrono::steady_clock::now();
-    const double cpu_start = ThreadCpuSeconds();
+    const nela::util::WallTimer wall;
+    const double cpu_start = nela::util::ThreadCpuSeconds();
     auto graph = threads == 0 ? nela::graph::BuildWpgReference(dataset, params)
                               : nela::graph::BuildWpg(dataset, params);
-    best_cpu = std::min(best_cpu, ThreadCpuSeconds() - cpu_start);
-    const auto stop = std::chrono::steady_clock::now();
-    best = std::min(best,
-                    std::chrono::duration<double>(stop - start).count());
+    best_cpu = std::min(best_cpu, nela::util::ThreadCpuSeconds() - cpu_start);
+    best = std::min(best, wall.ElapsedSeconds());
     benchmark::DoNotOptimize(graph);
   }
   RecordWpgSample(users, threads, best, best_cpu);

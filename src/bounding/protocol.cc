@@ -211,6 +211,12 @@ util::Result<RegionBoundingResult> ComputeCloakedRegion(
   // Each direction starts at the reference coordinate: member offsets from
   // it are non-negative in the direction being bounded (the reference is
   // the host's own position, which trivially satisfies every hypothesis).
+  //
+  // TODO(roadmap#hypothesis-origin): the schedule origin therefore
+  // correlates with the host's position — a self-exposure-only side channel
+  // (DESIGN.md, "Threat model & verification"). Randomizing the origin
+  // below the host's coordinate (seeded per-request, so determinism holds)
+  // would close it; nela_lint's bare-todo rule keeps this anchor tracked.
   struct AxisSpec {
     bool use_x;
     double sign;

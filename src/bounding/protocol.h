@@ -70,7 +70,7 @@ struct NetworkBinding {
 // terminate and fails with kDeadlineExceeded at the iteration cap. On a
 // faulty network, fails with kUnavailable (peer crashed) or
 // kDeadlineExceeded (retry budget exhausted).
-util::Result<BoundingRunResult> RunProgressiveUpperBounding(
+[[nodiscard]] util::Result<BoundingRunResult> RunProgressiveUpperBounding(
     const std::vector<PrivateScalar>& secrets, double domain_min,
     IncrementPolicy& policy, const NetworkBinding& binding = {});
 
@@ -101,7 +101,7 @@ struct RegionBoundingResult {
 // Fails like RunProgressiveUpperBounding; partial results of completed axis
 // runs are discarded (the region is all-or-nothing, so a failure can never
 // expose a partially bounded coordinate).
-util::Result<RegionBoundingResult> ComputeCloakedRegion(
+[[nodiscard]] util::Result<RegionBoundingResult> ComputeCloakedRegion(
     const std::vector<geo::Point>& member_points, const geo::Point& reference,
     IncrementPolicy& policy, const NetworkBinding& binding = {});
 

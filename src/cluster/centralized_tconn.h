@@ -88,7 +88,7 @@ class CentralizedTConnClusterer : public Clusterer {
                             net::Network* network = nullptr);
 
   using Clusterer::ClusterFor;
-  util::Result<ClusteringOutcome> ClusterFor(
+  [[nodiscard]] util::Result<ClusteringOutcome> ClusterFor(
       graph::VertexId host, net::RequestScope* scope) override;
   const char* name() const override { return "centralized t-Conn"; }
   uint32_t k() const override { return k_; }

@@ -35,11 +35,11 @@ class Clusterer {
   // cluster in the registry given at construction. When `scope` is given,
   // network traffic of the run is attributed to that request's accounting
   // scope in addition to the global counters.
-  virtual util::Result<ClusteringOutcome> ClusterFor(
+  [[nodiscard]] virtual util::Result<ClusteringOutcome> ClusterFor(
       graph::VertexId host, net::RequestScope* scope) = 0;
 
   // Convenience overload for unscoped (single-request) callers.
-  util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) {
+  [[nodiscard]] util::Result<ClusteringOutcome> ClusterFor(graph::VertexId host) {
     return ClusterFor(host, nullptr);
   }
 

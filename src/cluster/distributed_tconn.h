@@ -46,7 +46,7 @@ class DistributedTConnClusterer : public Clusterer {
                             net::Network* network = nullptr);
 
   using Clusterer::ClusterFor;
-  util::Result<ClusteringOutcome> ClusterFor(
+  [[nodiscard]] util::Result<ClusteringOutcome> ClusterFor(
       graph::VertexId host, net::RequestScope* scope) override;
   const char* name() const override { return "t-Conn"; }
   uint32_t k() const override { return k_; }

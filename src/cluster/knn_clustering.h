@@ -58,21 +58,21 @@ class KnnClusterer : public Clusterer {
                KnnExpansion expansion = KnnExpansion::kHopLayered);
 
   using Clusterer::ClusterFor;
-  util::Result<ClusteringOutcome> ClusterFor(
+  [[nodiscard]] util::Result<ClusteringOutcome> ClusterFor(
       graph::VertexId host, net::RequestScope* scope) override;
   const char* name() const override { return "kNN"; }
   uint32_t k() const override { return k_; }
   bool reciprocal() const override { return reuse_ == KnnReuse::kReciprocal; }
 
  private:
-  util::Result<ClusteringOutcome> HopLayered(graph::VertexId host,
+  [[nodiscard]] util::Result<ClusteringOutcome> HopLayered(graph::VertexId host,
                                              net::RequestScope* scope);
-  util::Result<ClusteringOutcome> ShortestPath(graph::VertexId host,
+  [[nodiscard]] util::Result<ClusteringOutcome> ShortestPath(graph::VertexId host,
                                                net::RequestScope* scope);
 
   // Registers `members` and performs the shared accounting. `reach` is the
   // weight measure of the farthest member; `involved` the users contacted.
-  util::Result<ClusteringOutcome> Finish(
+  [[nodiscard]] util::Result<ClusteringOutcome> Finish(
       graph::VertexId host, std::vector<graph::VertexId> members,
       double reach, const std::vector<graph::VertexId>& contacted,
       net::RequestScope* scope);

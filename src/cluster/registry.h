@@ -100,7 +100,7 @@ class Registry {
 
   // Registers a new cluster. Fails when `members` is empty or any member is
   // already clustered (that would break reciprocity).
-  util::Result<ClusterId> Register(std::vector<graph::VertexId> members,
+  [[nodiscard]] util::Result<ClusterId> Register(std::vector<graph::VertexId> members,
                                    double connectivity, bool valid);
 
   // Stores the cloaked region computed by phase 2. May be set exactly once.

@@ -130,12 +130,12 @@ class CloakingEngine {
   // is reported inside the outcome instead (see DegradationReport). Creates
   // a fresh RequestContext (ordinal = number of prior requests on this
   // engine) and runs the staged pipeline.
-  util::Result<CloakingOutcome> RequestCloaking(data::UserId host);
+  [[nodiscard]] util::Result<CloakingOutcome> RequestCloaking(data::UserId host);
 
   // Same workflow against a caller-owned context: the caller picks the
   // RNG sub-stream, deadline, and trace sink, and reads the per-request
   // accounting back from ctx.scope() afterwards.
-  util::Result<CloakingOutcome> RequestCloaking(data::UserId host,
+  [[nodiscard]] util::Result<CloakingOutcome> RequestCloaking(data::UserId host,
                                                 RequestContext& ctx);
 
   const cluster::Registry& registry() const { return *registry_; }

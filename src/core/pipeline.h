@@ -61,7 +61,7 @@ class Stage {
   // facts (detail text, members lost, phases retried). Record code and the
   // trace event are derived by RunPipeline from `record.code` / the
   // returned status.
-  virtual util::Status Run(RequestContext& ctx, PipelineState& state,
+  [[nodiscard]] virtual util::Status Run(RequestContext& ctx, PipelineState& state,
                            StageRecord& record) = 0;
 };
 
@@ -70,7 +70,7 @@ class Stage {
 // TraceEvent to ctx.trace(); both carry only deterministic facts, so a
 // request's trace is bit-identical across runs and thread counts.
 // Releases state.ticket (if any) before returning.
-util::Status RunPipeline(const std::vector<Stage*>& stages,
+[[nodiscard]] util::Status RunPipeline(const std::vector<Stage*>& stages,
                          RequestContext& ctx, PipelineState& state);
 
 // Assembles the aggregate DegradationReport fields from the per-stage

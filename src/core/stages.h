@@ -34,7 +34,7 @@ class ResolveReuseStage : public Stage {
       : clusterer_(clusterer), registry_(registry) {}
 
   const char* name() const override { return "resolve_reuse"; }
-  util::Status Run(RequestContext& ctx, PipelineState& state,
+  [[nodiscard]] util::Status Run(RequestContext& ctx, PipelineState& state,
                    StageRecord& record) override;
 
  private:
@@ -51,7 +51,7 @@ class ClusterStage : public Stage {
       : clusterer_(clusterer), registry_(registry) {}
 
   const char* name() const override { return "cluster"; }
-  util::Status Run(RequestContext& ctx, PipelineState& state,
+  [[nodiscard]] util::Status Run(RequestContext& ctx, PipelineState& state,
                    StageRecord& record) override;
 
  private:
@@ -67,7 +67,7 @@ class ClusterStage : public Stage {
 class ClaimCommitStage : public Stage {
  public:
   const char* name() const override { return "claim_commit"; }
-  util::Status Run(RequestContext& ctx, PipelineState& state,
+  [[nodiscard]] util::Status Run(RequestContext& ctx, PipelineState& state,
                    StageRecord& record) override;
 };
 
@@ -94,7 +94,7 @@ class SecureBoundStage : public Stage {
   explicit SecureBoundStage(const Config& config) : config_(config) {}
 
   const char* name() const override { return "secure_bound"; }
-  util::Status Run(RequestContext& ctx, PipelineState& state,
+  [[nodiscard]] util::Status Run(RequestContext& ctx, PipelineState& state,
                    StageRecord& record) override;
 
   // The bounded region of the last successful run (consumed by Publish).
@@ -118,7 +118,7 @@ class PublishStage : public Stage {
       : registry_(registry), bound_(bound), network_(network) {}
 
   const char* name() const override { return "publish"; }
-  util::Status Run(RequestContext& ctx, PipelineState& state,
+  [[nodiscard]] util::Status Run(RequestContext& ctx, PipelineState& state,
                    StageRecord& record) override;
 
  private:

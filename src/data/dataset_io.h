@@ -11,11 +11,11 @@
 
 namespace nela::data {
 
-util::Status SaveCsv(const Dataset& dataset, const std::string& path);
+[[nodiscard]] util::Status SaveCsv(const Dataset& dataset, const std::string& path);
 
 // Loads "x,y" rows; a first line that does not parse as numbers is treated
 // as a header and skipped.
-util::Result<Dataset> LoadCsv(const std::string& path);
+[[nodiscard]] util::Result<Dataset> LoadCsv(const std::string& path);
 
 }  // namespace nela::data
 

@@ -97,7 +97,7 @@ class Wpg {
 
   // Builds from an explicit edge list (used by tests mirroring the paper's
   // worked examples). Duplicate or self edges are rejected.
-  static util::Result<Wpg> FromEdges(uint32_t vertex_count,
+  [[nodiscard]] static util::Result<Wpg> FromEdges(uint32_t vertex_count,
                                      const std::vector<Edge>& edges);
 
   uint32_t vertex_count() const { return vertex_count_; }

@@ -69,9 +69,9 @@ util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
     ids.reserve((end - begin) * (params.cap_peers ? params.max_peers : 8));
     for (uint64_t u = begin; u < end; ++u) {
       const size_t before = ids.size();
-      const uint32_t found =
-          index.RadiusQueryInto(dataset.point(u), params.delta,
-                                static_cast<uint32_t>(u), &scratch, &ids);
+      const auto uid = static_cast<uint32_t>(u);
+      const uint32_t found = index.RadiusQueryInto(
+          dataset.point(uid), params.delta, uid, &scratch, &ids);
       uint32_t kept = found;
       if (params.cap_peers && kept > params.max_peers) {
         kept = params.max_peers;

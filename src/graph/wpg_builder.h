@@ -68,14 +68,14 @@ struct WpgBuildParams {
 // Deterministic given the dataset and params — the thread count never
 // changes the result. When `pool` is non-null it supplies the workers
 // (params.threads is ignored); otherwise a pool is created per call.
-util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
+[[nodiscard]] util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
                            const WpgBuildParams& params,
                            util::ThreadPool* pool = nullptr);
 
 // The sequential reference implementation: the executable specification
 // the parallel pipeline is tested against, and the baseline the
 // BENCH_wpg.json speedups are measured from. Ignores params.threads.
-util::Result<Wpg> BuildWpgReference(const data::Dataset& dataset,
+[[nodiscard]] util::Result<Wpg> BuildWpgReference(const data::Dataset& dataset,
                                     const WpgBuildParams& params);
 
 }  // namespace nela::graph

@@ -39,8 +39,15 @@ ServiceReply LbsServer::RangeQuery(const geo::Rect& cloaked_region,
                           cloaked_region.max_y());
     }
     network->Send(request);
-    network->Send(client, client, net::MessageKind::kServiceReply,
-                  /*bytes=*/reply.candidate_count * 64);
+    // The reply's payload is candidate POI records — server-side data about
+    // no user, so the descriptor is deliberately empty (the audited path is
+    // still used so the adversary observer sees the transmission).
+    net::Message reply_message;  // nela-lint: empty-payload(POI records only)
+    reply_message.from = client;
+    reply_message.to = client;
+    reply_message.kind = net::MessageKind::kServiceReply;
+    reply_message.bytes = reply.candidate_count * 64;
+    network->Send(reply_message);
   }
   return reply;
 }

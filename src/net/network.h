@@ -176,14 +176,14 @@ class Network {
   // plan.seed, so runs are reproducible. Fails with kInvalidArgument when
   // loss_probability is outside [0, 1], a latency parameter is negative,
   // or a crash event names an out-of-range node.
-  util::Status InstallFaultPlan(const FaultPlan& plan);
+  [[nodiscard]] util::Status InstallFaultPlan(const FaultPlan& plan);
 
   // Legacy lightweight path: every subsequent Send is dropped with
   // probability `loss_probability` using `rng` (not owned; must outlive the
   // network). Pass 0 to disable. Fails with kInvalidArgument when the
   // probability is outside [0, 1] or a positive probability comes without
   // an RNG (which would otherwise fault on the next Send).
-  util::Status SetLossProbability(double loss_probability, util::Rng* rng);
+  [[nodiscard]] util::Status SetLossProbability(double loss_probability, util::Rng* rng);
 
   // --- Liveness ---------------------------------------------------------
 

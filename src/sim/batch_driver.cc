@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -23,6 +22,7 @@
 #include "sim/workload.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace nela::sim {
 
@@ -42,12 +42,6 @@ uint64_t DoubleBits(double v) {
   uint64_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
   return bits;
-}
-
-double ElapsedMs(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - since)
-      .count();
 }
 
 double PercentileMs(const std::vector<double>& sorted, double percentile) {
@@ -104,7 +98,7 @@ BatchDriver::BatchDriver(const data::Dataset& dataset, const graph::Wpg& graph,
 }
 
 util::Status BatchDriver::ProcessRequest(RunState& run, uint64_t ordinal) {
-  const auto start = std::chrono::steady_clock::now();
+  const util::WallTimer timer;
   const data::UserId host = run.hosts[ordinal];
   core::RequestContext ctx(config_.master_seed, ordinal, host);
   const cluster::Ticket ticket = run.tickets[ordinal];
@@ -208,7 +202,7 @@ util::Status BatchDriver::ProcessRequest(RunState& run, uint64_t ordinal) {
     ctx.trace().Record("cluster", commit_status.code(),
                        commit_status.message());
     record.trace = ctx.trace().ToString();
-    record.wall_ms = ElapsedMs(start);
+    record.wall_ms = timer.ElapsedMillis();
     return commit_status;
   }
 
@@ -310,7 +304,7 @@ util::Status BatchDriver::ProcessRequest(RunState& run, uint64_t ordinal) {
   record.outcome = std::move(state.outcome);
   record.trace = ctx.trace().ToString();
   record.net_stats = ctx.scope().stats();
-  record.wall_ms = ElapsedMs(start);
+  record.wall_ms = timer.ElapsedMillis();
   return status;
 }
 
@@ -337,7 +331,7 @@ util::Result<BatchResult> BatchDriver::Run() {
   run.records.resize(config_.requests);
 
   const uint32_t thread_count = std::max(1u, config_.threads);
-  const auto wall_start = std::chrono::steady_clock::now();
+  const util::WallTimer wall_timer;
   auto worker = [&run, this] {
     while (true) {
       const uint64_t ordinal =
@@ -356,7 +350,7 @@ util::Result<BatchResult> BatchDriver::Run() {
   // thread count.
   util::ThreadPool pool(thread_count);
   pool.RunOnAllThreads([&worker](uint32_t) { worker(); });
-  const double wall_seconds = ElapsedMs(wall_start) / 1e3;
+  const double wall_seconds = wall_timer.ElapsedSeconds();
   if (!run.first_error.ok()) return run.first_error;
 
   BatchResult result;

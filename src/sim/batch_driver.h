@@ -120,12 +120,12 @@ class BatchDriver {
   // Runs one batch against a fresh registry (and network). Repeatable: each
   // call starts from empty state, so two Run() calls with equal config
   // produce identical digests and traces.
-  util::Result<BatchResult> Run();
+  [[nodiscard]] util::Result<BatchResult> Run();
 
  private:
   struct RunState;
 
-  util::Status ProcessRequest(RunState& run, uint64_t ordinal);
+  [[nodiscard]] util::Status ProcessRequest(RunState& run, uint64_t ordinal);
 
   const data::Dataset& dataset_;
   const graph::Wpg& graph_;

@@ -55,7 +55,7 @@ struct BoundingExperimentResult {
   }
 };
 
-util::Result<BoundingExperimentResult> RunBoundingExperiment(
+[[nodiscard]] util::Result<BoundingExperimentResult> RunBoundingExperiment(
     const Scenario& scenario, const BoundingExperimentConfig& config);
 
 }  // namespace nela::sim

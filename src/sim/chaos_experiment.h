@@ -89,7 +89,7 @@ struct ChaosExperimentResult {
   uint64_t exposure_violations = 0;
 };
 
-util::Result<ChaosExperimentResult> RunChaosExperiment(
+[[nodiscard]] util::Result<ChaosExperimentResult> RunChaosExperiment(
     const Scenario& scenario, const ChaosExperimentConfig& config);
 
 }  // namespace nela::sim

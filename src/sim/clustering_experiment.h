@@ -45,7 +45,7 @@ struct ClusteringExperimentResult {
   uint32_t invalid_requests = 0;
 };
 
-util::Result<ClusteringExperimentResult> RunClusteringExperiment(
+[[nodiscard]] util::Result<ClusteringExperimentResult> RunClusteringExperiment(
     const Scenario& scenario, ClusteringAlgorithm algorithm,
     const ClusteringExperimentConfig& config);
 

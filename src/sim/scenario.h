@@ -31,7 +31,7 @@ struct Scenario {
   graph::Wpg graph;
 };
 
-util::Result<Scenario> BuildScenario(const ScenarioConfig& config);
+[[nodiscard]] util::Result<Scenario> BuildScenario(const ScenarioConfig& config);
 
 }  // namespace nela::sim
 

@@ -29,7 +29,7 @@ class CsvWriter {
   std::string ToString() const;
 
   // Writes the serialized content to `path`.
-  Status WriteToFile(const std::string& path) const;
+  [[nodiscard]] Status WriteToFile(const std::string& path) const;
 
   size_t row_count() const { return rows_.size(); }
 

@@ -35,7 +35,7 @@ class FlagParser {
   // Parses argv, writing through the registered pointers. Returns an error
   // for unknown flags or malformed values. `--help` prints usage and returns
   // an OutOfRange status the caller can treat as "exit 0".
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   void PrintUsage(const std::string& program) const;
 
@@ -48,7 +48,7 @@ class FlagParser {
     std::string default_text;
   };
 
-  Status SetValue(const std::string& name, const std::string& text);
+  [[nodiscard]] Status SetValue(const std::string& name, const std::string& text);
 
   std::map<std::string, Entry> entries_;
 };

@@ -30,8 +30,11 @@ enum class StatusCode {
 // Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
 const char* StatusCodeName(StatusCode code);
 
-// Value type describing the outcome of an operation.
-class Status {
+// Value type describing the outcome of an operation. Class-level
+// [[nodiscard]]: a dropped Status in a bounding or retry path is exactly
+// how a degradation silently turns into an exposure, so ignoring any
+// by-value Status (or Result) is a compile error under -Werror.
+class [[nodiscard]] Status {
  public:
   // Success.
   Status() : code_(StatusCode::kOk) {}
@@ -65,9 +68,10 @@ Status UnavailableError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status InternalError(std::string message);
 
-// A value or an error. Accessing value() on an error aborts.
+// A value or an error. Accessing value() on an error aborts. [[nodiscard]]
+// for the same reason as Status: discarding a Result discards the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`
   // like absl::StatusOr.

@@ -253,7 +253,7 @@ std::vector<geo::Point> TestCluster() {
 
 TEST(AdversaryObserverTest, HonestCloakedRegionRunIsClean) {
   const std::vector<geo::Point> points = TestCluster();
-  net::Network network(points.size());
+  net::Network network(static_cast<uint32_t>(points.size()));
   TaintSet taint;
   for (net::NodeId i = 0; i < points.size(); ++i) {
     taint.TaintPoint(i, points[i]);
@@ -296,7 +296,7 @@ TEST(AdversaryObserverTest, OptBaselineFlaggedUnlessDeclared) {
 
   // Strict mode: the OPT exposure messages are violations.
   {
-    net::Network network(points.size());
+    net::Network network(static_cast<uint32_t>(points.size()));
     ObserverConfig config;
     config.taint = &taint;
     AdversaryObserver observer(config);
@@ -312,7 +312,7 @@ TEST(AdversaryObserverTest, OptBaselineFlaggedUnlessDeclared) {
 
   // Declared mode: clean, but the exposures are counted.
   {
-    net::Network network(points.size());
+    net::Network network(static_cast<uint32_t>(points.size()));
     ObserverConfig config;
     config.taint = &taint;
     config.allow_declared_exposure = true;
@@ -409,7 +409,7 @@ TEST(MutationCheckTest, LeakyBinarySearchVariantTripsObserver) {
   for (const geo::Point& p : points) secrets.emplace_back(p.x);
   std::vector<net::NodeId> node_ids = {0, 1, 2, 3};
 
-  net::Network network(points.size());
+  net::Network network(static_cast<uint32_t>(points.size()));
   TaintSet taint;
   for (net::NodeId i = 0; i < points.size(); ++i) {
     taint.TaintPoint(i, points[i]);
@@ -447,7 +447,7 @@ TEST(MutationCheckTest, HonestProtocolSurvivesSameScrutiny) {
   for (const geo::Point& p : points) secrets.emplace_back(p.x);
   std::vector<net::NodeId> node_ids = {0, 1, 2, 3};
 
-  net::Network network(points.size());
+  net::Network network(static_cast<uint32_t>(points.size()));
   TaintSet taint;
   for (net::NodeId i = 0; i < points.size(); ++i) {
     taint.TaintPoint(i, points[i]);

@@ -154,8 +154,12 @@ TEST(ClaimCoordinatorTest, BatchedContentionPreservesReciprocity) {
     turn_cv.notify_all();
   };
 
+  // Adversarial scheduling against the claim coordinator is the point of
+  // this test; the deterministic pool would serialize the contention away.
+  // nela-lint: allow(raw-thread) real contention needs real threads
   std::vector<std::thread> threads;
   for (uint32_t i = 0; i < kThreads; ++i) threads.emplace_back(worker, i);
+  // nela-lint: allow(raw-thread) joining the same ad-hoc threads
   for (std::thread& t : threads) t.join();  // liveness: all terminate
 
   EXPECT_FALSE(double_commit.load());

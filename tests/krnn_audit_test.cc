@@ -122,7 +122,9 @@ TEST(TdoaWeightTest, MonotoneInDistance) {
     for (const graph::Edge& b : built.value().edges()) {
       const double da = geo::Distance(dataset.point(a.u), dataset.point(a.v));
       const double db = geo::Distance(dataset.point(b.u), dataset.point(b.v));
-      if (da < db) EXPECT_LE(a.weight, b.weight);
+      if (da < db) {
+        EXPECT_LE(a.weight, b.weight);
+      }
     }
     if (&a - &built.value().edges()[0] > 40) break;  // keep it quick
   }

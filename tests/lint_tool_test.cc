@@ -1,0 +1,198 @@
+// Fixture tests for tools/nela_lint: each known-bad snippet in
+// tools/nela_lint/testdata must trigger exactly its rule (and nothing
+// else), the clean fixture must stay silent, and the suppression /
+// scoping mechanics must behave. The tree-wide self-check (the current
+// sources are lint-clean) is the separate NelaLintTree ctest, which runs
+// the real binary over the real file list.
+
+#include "nela_lint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nela::lint {
+namespace {
+
+#ifndef NELA_LINT_TESTDATA_DIR
+#error "build must define NELA_LINT_TESTDATA_DIR"
+#endif
+
+std::string ReadTestdata(const std::string& name) {
+  const std::string path = std::string(NELA_LINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Lints a fixture as if it lived in library code (src/), where every rule
+// is in scope.
+std::vector<Finding> LintAsLibrary(const std::string& name) {
+  return LintFile("src/fake/" + name, ReadTestdata(name));
+}
+
+std::set<std::string> RulesOf(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& finding : findings) rules.insert(finding.rule);
+  return rules;
+}
+
+struct FixtureCase {
+  const char* file;
+  const char* rule;
+};
+
+class LintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(LintFixtureTest, BadSnippetTriggersExactlyItsRule) {
+  const FixtureCase& param = GetParam();
+  const std::vector<Finding> findings = LintAsLibrary(param.file);
+  ASSERT_FALSE(findings.empty()) << param.file << " should trigger "
+                                 << param.rule;
+  EXPECT_EQ(RulesOf(findings), std::set<std::string>{param.rule})
+      << FormatFinding(findings.front());
+  for (const Finding& finding : findings) {
+    EXPECT_GT(finding.line, 0);
+    EXPECT_EQ(finding.path, "src/fake/" + std::string(param.file));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixtureTest,
+    ::testing::Values(FixtureCase{"bad_raw_random.cc", "raw-random"},
+                      FixtureCase{"bad_raw_time.cc", "raw-time"},
+                      FixtureCase{"bad_raw_thread.cc", "raw-thread"},
+                      FixtureCase{"bad_stdout_io.cc", "stdout-io"},
+                      FixtureCase{"bad_untagged_send.cc", "untagged-send"},
+                      FixtureCase{"bad_bare_todo.cc", "bare-todo"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& param_info) {
+      std::string name = param_info.param.rule;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(LintFixtureTest, EveryRuleHasAFixture) {
+  // Adding a rule without a known-bad fixture must fail here.
+  std::set<std::string> covered;
+  for (const FixtureCase& c :
+       {FixtureCase{"", "raw-random"}, FixtureCase{"", "raw-time"},
+        FixtureCase{"", "raw-thread"}, FixtureCase{"", "stdout-io"},
+        FixtureCase{"", "untagged-send"}, FixtureCase{"", "bare-todo"}}) {
+    covered.insert(c.rule);
+  }
+  for (const std::string& rule : RuleNames()) {
+    EXPECT_TRUE(covered.count(rule)) << "rule without fixture: " << rule;
+  }
+}
+
+TEST(LintFixtureTest, CleanFixtureIsSilent) {
+  const std::vector<Finding> findings = LintAsLibrary("clean.cc");
+  std::string formatted;
+  for (const Finding& finding : findings) {
+    formatted += FormatFinding(finding) + "\n";
+  }
+  EXPECT_TRUE(findings.empty()) << formatted;
+}
+
+TEST(LintScopingTest, UntaggedSendCountsPositionalArguments) {
+  // The bad fixture holds all three shapes; each must be reported on its
+  // own line: positional Send, positional SendWithRetry, bare net::Message.
+  const std::vector<Finding> findings = LintAsLibrary("bad_untagged_send.cc");
+  EXPECT_EQ(findings.size(), 3u);
+  std::set<int> lines;
+  for (const Finding& finding : findings) lines.insert(finding.line);
+  EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST(LintScopingTest, RngHomeMayUseRawSources) {
+  const std::string body = "int f() { return rand(); }\n";
+  EXPECT_TRUE(LintFile("src/util/rng.cc", body).empty());
+  EXPECT_FALSE(LintFile("src/bounding/nbound.cc", body).empty());
+}
+
+TEST(LintScopingTest, TimerHomeMayReadClocks) {
+  const std::string body = "auto t = Clock::now();\n";
+  EXPECT_TRUE(LintFile("src/util/timer.h", body).empty());
+  EXPECT_FALSE(LintFile("src/sim/batch_driver.cc", body).empty());
+}
+
+TEST(LintScopingTest, ThreadPoolInternalsMaySpawnThreads) {
+  const std::string body = "std::thread worker([]{});\n";
+  EXPECT_TRUE(LintFile("src/util/thread_pool.cc", body).empty());
+  EXPECT_FALSE(LintFile("tests/some_test.cc", body).empty());
+}
+
+TEST(LintScopingTest, StdoutRuleIsLibraryOnly) {
+  const std::string body = "#include <iostream>\nvoid f(){std::cout << 1;}\n";
+  EXPECT_FALSE(LintFile("src/core/stages.cc", body).empty());
+  EXPECT_TRUE(LintFile("bench/bench_micro.cc", body).empty());
+  EXPECT_TRUE(LintFile("examples/quickstart.cpp", body).empty());
+}
+
+TEST(LintScopingTest, NetInternalsAreExemptFromSendRule) {
+  const std::string body =
+      "bool f(Network& n) { return n.Send(0, 1, MessageKind::kControl, 8); "
+      "}\n";
+  EXPECT_TRUE(LintFile("src/net/retry.cc", body).empty());
+  EXPECT_FALSE(LintFile("src/cluster/registry.cc", body).empty());
+}
+
+TEST(LintSuppressionTest, SameLineAndPreviousLineAllowMarkers) {
+  const std::string same_line =
+      "int f() { return rand(); }  // nela-lint: allow(raw-random) seeded "
+      "upstream\n";
+  EXPECT_TRUE(LintFile("src/fake/a.cc", same_line).empty());
+
+  const std::string prev_line =
+      "// nela-lint: allow(raw-random) seeded upstream\n"
+      "int f() { return rand(); }\n";
+  EXPECT_TRUE(LintFile("src/fake/a.cc", prev_line).empty());
+
+  const std::string wrong_rule =
+      "int f() { return rand(); }  // nela-lint: allow(raw-time)\n";
+  EXPECT_FALSE(LintFile("src/fake/a.cc", wrong_rule).empty());
+}
+
+TEST(LintMatchingTest, StringsAndCommentsAreNotCode) {
+  const std::string body =
+      "// calling rand() here would be bad\n"
+      "const char* kDoc = \"rand() std::cout time(nullptr)\";\n"
+      "/* std::thread worker; */\n";
+  EXPECT_TRUE(LintFile("src/fake/a.cc", body).empty());
+}
+
+TEST(LintMatchingTest, MultiLineArgumentListsAreBalanced) {
+  const std::string body =
+      "void f(net::Network& n) {\n"
+      "  n.Send(0,\n"
+      "         1,\n"
+      "         net::MessageKind::kControl,\n"
+      "         16);\n"
+      "}\n";
+  const std::vector<Finding> findings = LintFile("src/fake/a.cc", body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "untagged-send");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintMatchingTest, CompileCommandsFileListIsExtracted) {
+  const std::string json =
+      "[{\"directory\": \"/b\", \"command\": \"g++ -c x.cc\",\n"
+      "  \"file\": \"/repo/src/a.cc\"},\n"
+      " {\"directory\": \"/b\", \"file\": \"/repo/src/b.cc\"},\n"
+      " {\"directory\": \"/b\", \"file\": \"/repo/src/a.cc\"}]\n";
+  const std::vector<std::string> files = FilesFromCompileCommands(json);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "/repo/src/a.cc");
+  EXPECT_EQ(files[1], "/repo/src/b.cc");
+}
+
+}  // namespace
+}  // namespace nela::lint

@@ -50,7 +50,7 @@ TEST(NetworkTest, ResetClearsCounters) {
 TEST(NetworkTest, LossDropsApproximatelyAtRate) {
   Network network(2);
   util::Rng rng(5);
-  network.SetLossProbability(0.25, &rng);
+  ASSERT_TRUE(network.SetLossProbability(0.25, &rng).ok());
   int delivered = 0;
   for (int i = 0; i < 10000; ++i) {
     if (network.Send(0, 1, MessageKind::kControl, 1)) ++delivered;
@@ -64,7 +64,7 @@ TEST(NetworkTest, LossDropsApproximatelyAtRate) {
 TEST(NetworkTest, ZeroLossDeliversEverything) {
   Network network(2);
   util::Rng rng(6);
-  network.SetLossProbability(0.0, &rng);
+  ASSERT_TRUE(network.SetLossProbability(0.0, &rng).ok());
   for (int i = 0; i < 100; ++i) {
     EXPECT_TRUE(network.Send(0, 1, MessageKind::kControl, 1));
   }

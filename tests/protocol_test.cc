@@ -94,7 +94,10 @@ TEST(ProtocolTest, NetworkAccountingCountsRoundTrips) {
   const std::vector<PrivateScalar> secrets = MakePrivate({0.3, 0.7});
   const std::vector<net::NodeId> nodes = {1, 2};
   net::Network network(3);
-  NetworkBinding binding{&network, 0, &nodes};
+  NetworkBinding binding;
+  binding.network = &network;
+  binding.host = 0;
+  binding.node_ids = &nodes;
   LinearIncrementPolicy policy(0.5);
   const BoundingRunResult result =
       RunProgressiveUpperBounding(secrets, 0.0, policy, binding).value();
@@ -114,8 +117,11 @@ TEST(ProtocolTest, LossyLinkRetriesUntilDelivered) {
   const std::vector<net::NodeId> nodes = {1, 2};
   util::Rng loss_rng(5);
   net::Network network(3);
-  network.SetLossProbability(0.3, &loss_rng);
-  NetworkBinding binding{&network, 0, &nodes};
+  ASSERT_TRUE(network.SetLossProbability(0.3, &loss_rng).ok());
+  NetworkBinding binding;
+  binding.network = &network;
+  binding.host = 0;
+  binding.node_ids = &nodes;
   LinearIncrementPolicy policy(0.5);
   const BoundingRunResult lossy =
       RunProgressiveUpperBounding(secrets, 0.0, policy, binding).value();

@@ -280,7 +280,8 @@ TEST(GridIndexTest, NearestNeighborsFromDenseHomeCell) {
   points.push_back({0.599, 0.55});   // same cell, far side
   points.push_back({0.601, 0.55});   // adjacent cell, nearer than many
   const GridIndex index(points, 0.1);
-  const auto nn = index.NearestNeighbors({0.598, 0.55}, 3, points.size());
+  const auto nn = index.NearestNeighbors({0.598, 0.55}, 3,
+                                       static_cast<uint32_t>(points.size()));
   ASSERT_EQ(nn.size(), 3u);
   EXPECT_EQ(nn[0].id, 50u);  // 0.599: distance 0.001
   EXPECT_EQ(nn[1].id, 51u);  // 0.601: distance 0.003 — crosses the cell edge
@@ -292,7 +293,8 @@ TEST(GridIndexTest, NearestNeighborsQueryOutsideGrid) {
   const GridIndex index(points, 0.05);
   // Query far outside the indexed extent: home-cell occupancy is zero and
   // the ring expansion must still find the true nearest points.
-  const auto nn = index.NearestNeighbors({-2.0, -2.0}, 2, points.size());
+  const auto nn = index.NearestNeighbors({-2.0, -2.0}, 2,
+                                       static_cast<uint32_t>(points.size()));
   ASSERT_EQ(nn.size(), 2u);
   EXPECT_EQ(nn[0].id, 0u);
   EXPECT_EQ(nn[1].id, 1u);

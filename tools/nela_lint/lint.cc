@@ -1,0 +1,575 @@
+#include "nela_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace nela::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: split a translation unit into per-line code and comment streams.
+// String and character literals are blanked in the code stream (their
+// contents can never be a violation); comment text goes to the comment
+// stream (for bare-todo and suppression matching).
+
+struct SourceLines {
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+};
+
+SourceLines SplitSource(const std::string& text) {
+  SourceLines out;
+  std::string code_line;
+  std::string comment_line;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_terminator;  // ")delim\"" for the active raw string
+  const size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      out.code.push_back(code_line);
+      out.comment.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R' &&
+                   (i < 2 || !IsIdentChar(text[i - 2]))) {
+          // Raw string literal R"delim( ... )delim". The 'R' was already
+          // emitted to the code stream; that is harmless.
+          raw_terminator = ")";
+          size_t j = i + 1;
+          while (j < n && text[j] != '(') raw_terminator += text[j++];
+          raw_terminator += '"';
+          i = j;  // at '(' (or end)
+          state = State::kRawString;
+          code_line += ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += ' ';
+        } else if (c == '\'' && !(i > 0 && IsIdentChar(text[i - 1]))) {
+          // Digit separators (1'000) have an identifier char before the
+          // quote; real char literals do not.
+          state = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_terminator[0] &&
+            text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  out.code.push_back(code_line);
+  out.comment.push_back(comment_line);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Matching helpers.
+
+// Finds `ident` in `line` as a whole identifier token, starting at `from`.
+// Returns npos when absent.
+size_t FindIdent(const std::string& line, const std::string& ident,
+                 size_t from = 0) {
+  size_t pos = line.find(ident, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + ident.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(ident, pos + 1);
+  }
+  return std::string::npos;
+}
+
+// True when the first non-space character at or after `pos` is `want`.
+bool NextNonSpaceIs(const std::string& line, size_t pos, char want) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+    ++pos;
+  }
+  return pos < line.size() && line[pos] == want;
+}
+
+// Counts top-level (depth-1) commas of the parenthesized argument list that
+// opens at `lines[line_idx][open_pos]` (which must be '('), scanning across
+// lines. Returns -1 when the list never closes (malformed input).
+int TopLevelCommas(const std::vector<std::string>& lines, size_t line_idx,
+                   size_t open_pos) {
+  int depth = 0;
+  int commas = 0;
+  for (size_t l = line_idx; l < lines.size(); ++l) {
+    const std::string& line = lines[l];
+    for (size_t i = l == line_idx ? open_pos : 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) return commas;
+      } else if (c == ',' && depth == 1) {
+        ++commas;
+      }
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rule scoping.
+
+struct FileScope {
+  bool is_library = false;       // under src/
+  bool is_rng_home = false;      // src/util/rng.*
+  bool is_time_home = false;     // src/util/timer.h
+  bool is_thread_home = false;   // src/util/thread_pool.*
+  bool is_net_internal = false;  // src/net/*
+};
+
+FileScope ClassifyPath(const std::string& path) {
+  FileScope scope;
+  scope.is_library = StartsWith(path, "src/");
+  scope.is_rng_home = path == "src/util/rng.h" || path == "src/util/rng.cc";
+  scope.is_time_home = path == "src/util/timer.h";
+  scope.is_thread_home =
+      path == "src/util/thread_pool.h" || path == "src/util/thread_pool.cc";
+  scope.is_net_internal = StartsWith(path, "src/net/");
+  return scope;
+}
+
+// ---------------------------------------------------------------------------
+// The checker.
+
+class FileLinter {
+ public:
+  FileLinter(const std::string& path, const std::string& contents)
+      : path_(path), scope_(ClassifyPath(path)), src_(SplitSource(contents)) {}
+
+  std::vector<Finding> Run() {
+    if (!scope_.is_rng_home) CheckRawRandom();
+    if (!scope_.is_time_home && !scope_.is_rng_home) CheckRawTime();
+    if (!scope_.is_thread_home) CheckRawThread();
+    if (scope_.is_library) CheckStdoutIo();
+    if (scope_.is_library && !scope_.is_net_internal) CheckUntaggedSend();
+    CheckBareTodo();
+    return std::move(findings_);
+  }
+
+ private:
+  void Report(const std::string& rule, size_t line_idx,
+              const std::string& message) {
+    if (Suppressed(rule, line_idx)) return;
+    findings_.push_back(
+        Finding{rule, path_, static_cast<int>(line_idx) + 1, message});
+  }
+
+  bool Suppressed(const std::string& rule, size_t line_idx) const {
+    const std::string marker = "nela-lint: allow(" + rule + ")";
+    if (src_.comment[line_idx].find(marker) != std::string::npos) return true;
+    return line_idx > 0 &&
+           src_.comment[line_idx - 1].find(marker) != std::string::npos;
+  }
+
+  void FlagIdent(const std::string& rule, const std::string& ident,
+                 const std::string& message, bool must_call = false) {
+    for (size_t l = 0; l < src_.code.size(); ++l) {
+      const size_t pos = FindIdent(src_.code[l], ident);
+      if (pos == std::string::npos) continue;
+      if (must_call &&
+          !NextNonSpaceIs(src_.code[l], pos + ident.size(), '(')) {
+        continue;
+      }
+      Report(rule, l, message);
+    }
+  }
+
+  void CheckRawRandom() {
+    const char* kMessage =
+        "unseeded/platform randomness source; draw from an explicitly "
+        "seeded util::Rng (src/util/rng.h) instead";
+    for (const char* ident :
+         {"random_device", "mt19937", "mt19937_64", "default_random_engine",
+          "minstd_rand", "minstd_rand0"}) {
+      FlagIdent("raw-random", ident, kMessage);
+    }
+    for (const char* ident : {"rand", "srand", "rand_r", "drand48"}) {
+      FlagIdent("raw-random", ident, kMessage, /*must_call=*/true);
+    }
+  }
+
+  void CheckRawTime() {
+    const char* kMessage =
+        "direct clock access; time is measurement-only in this tree -- use "
+        "util::WallTimer / util::ThreadCpuSeconds (src/util/timer.h)";
+    for (size_t l = 0; l < src_.code.size(); ++l) {
+      const std::string& line = src_.code[l];
+      // steady_clock::now(), system_clock::now(), Clock::now(), ...
+      size_t pos = line.find("::now");
+      while (pos != std::string::npos) {
+        if (NextNonSpaceIs(line, pos + 5, '(')) {
+          Report("raw-time", l, kMessage);
+          break;
+        }
+        pos = line.find("::now", pos + 1);
+      }
+    }
+    for (const char* ident :
+         {"time", "clock", "clock_gettime", "gettimeofday", "localtime",
+          "gmtime", "timespec_get"}) {
+      FlagIdent("raw-time", ident, kMessage, /*must_call=*/true);
+    }
+  }
+
+  void CheckRawThread() {
+    const char* kMessage =
+        "raw thread creation; run on the shared util::ThreadPool "
+        "(src/util/thread_pool.h) so the fork-join partition stays "
+        "deterministic";
+    for (size_t l = 0; l < src_.code.size(); ++l) {
+      const std::string& line = src_.code[l];
+      for (const char* spelling : {"std::thread", "std::jthread"}) {
+        const size_t len = std::string(spelling).size();
+        size_t pos = line.find(spelling);
+        bool flagged = false;
+        while (pos != std::string::npos) {
+          const size_t end = pos + len;
+          // std::thread::id / std::this_thread are not thread creation.
+          const bool qualified =
+              end + 1 < line.size() && line[end] == ':' && line[end + 1] == ':';
+          if (!qualified && (end >= line.size() || !IsIdentChar(line[end]))) {
+            Report("raw-thread", l, kMessage);
+            flagged = true;
+            break;
+          }
+          pos = line.find(spelling, pos + 1);
+        }
+        if (flagged) break;
+      }
+    }
+    FlagIdent("raw-thread", "pthread_create",
+              "raw thread creation; run on the shared util::ThreadPool",
+              /*must_call=*/true);
+  }
+
+  void CheckStdoutIo() {
+    const char* kMessage =
+        "stdout I/O in library code; libraries report through util::Status "
+        "and the request TraceSink (stderr diagnostics via NELA_CHECK are "
+        "fine)";
+    for (size_t l = 0; l < src_.code.size(); ++l) {
+      const std::string& line = src_.code[l];
+      if (line.find("std::cout") != std::string::npos) {
+        Report("stdout-io", l, kMessage);
+        continue;
+      }
+      const size_t printf_pos = FindIdent(line, "printf");
+      if (printf_pos != std::string::npos &&
+          NextNonSpaceIs(line, printf_pos + 6, '(')) {
+        Report("stdout-io", l, kMessage);
+        continue;
+      }
+      const size_t fprintf_pos = FindIdent(line, "fprintf");
+      if (fprintf_pos != std::string::npos) {
+        const size_t open = line.find('(', fprintf_pos);
+        if (open != std::string::npos &&
+            FindIdent(line, "stdout", open) != std::string::npos) {
+          Report("stdout-io", l, kMessage);
+          continue;
+        }
+      }
+      for (const char* ident : {"puts", "putchar"}) {
+        const size_t pos = FindIdent(line, ident);
+        if (pos != std::string::npos &&
+            NextNonSpaceIs(line, pos + std::string(ident).size(), '(')) {
+          Report("stdout-io", l, kMessage);
+          break;
+        }
+      }
+    }
+  }
+
+  // The taint-tracking contract (DESIGN.md "Threat model & verification"):
+  // library traffic goes through the net::Message overloads so the payload
+  // descriptor reaches the adversary observer, and each constructed message
+  // either populates its descriptor or declares it empty.
+  void CheckUntaggedSend() {
+    for (size_t l = 0; l < src_.code.size(); ++l) {
+      const std::string& line = src_.code[l];
+      // (a) Positional Network::Send(from, to, kind, bytes, ...): >= 3 args.
+      //     The Message overload takes at most (message, scope).
+      for (size_t pos = line.find("Send("); pos != std::string::npos;
+           pos = line.find("Send(", pos + 1)) {
+        const bool is_member_call =
+            (pos >= 1 && line[pos - 1] == '.') ||
+            (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>');
+        if (!is_member_call) continue;
+        const int commas = TopLevelCommas(src_.code, l, pos + 4);
+        if (commas >= 2) {
+          Report("untagged-send", l,
+                 "positional Network::Send carries no PayloadDescriptor; "
+                 "build a net::Message so the adversary observer sees the "
+                 "payload");
+        }
+      }
+      // (b) Positional SendWithRetry(network, from, to, kind, bytes,
+      //     policy, rng, ...): >= 6 args. Message form has 5.
+      const size_t retry_pos = FindIdent(line, "SendWithRetry");
+      if (retry_pos != std::string::npos) {
+        const size_t open = line.find('(', retry_pos);
+        if (open != std::string::npos) {
+          const int commas = TopLevelCommas(src_.code, l, open);
+          if (commas >= 5) {
+            Report("untagged-send", l,
+                   "positional SendWithRetry carries no PayloadDescriptor; "
+                   "use the net::Message overload");
+          }
+        }
+      }
+      // (c) Every locally built net::Message must populate its descriptor
+      //     (payload.Add within the construction window) or declare it
+      //     intentionally empty: nela-lint: empty-payload(reason).
+      const size_t msg_pos = FindMessageToken(line);
+      if (msg_pos != std::string::npos) {
+        size_t after = msg_pos + std::string("net::Message").size();
+        while (after < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+          ++after;
+        }
+        // A declaration of a local ("net::Message message;"), not a
+        // parameter/reference/return type.
+        if (after < line.size() && IsIdentChar(line[after])) {
+          size_t id_end = after;
+          while (id_end < line.size() && IsIdentChar(line[id_end])) ++id_end;
+          if (id_end < line.size() && line[id_end] == ';') {
+            if (!MessageWindowOk(l)) {
+              Report("untagged-send", l,
+                     "net::Message built without populating its "
+                     "PayloadDescriptor; call payload.Add(tag, subject, "
+                     "value) or annotate the declaration with "
+                     "`nela-lint: empty-payload(reason)`");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Finds "net::Message" as a complete token (net::MessageKind must not
+  // match).
+  static size_t FindMessageToken(const std::string& line) {
+    const std::string token = "net::Message";
+    size_t pos = line.find(token);
+    while (pos != std::string::npos) {
+      const size_t end = pos + token.size();
+      if (end >= line.size() || !IsIdentChar(line[end])) return pos;
+      pos = line.find(token, pos + 1);
+    }
+    return std::string::npos;
+  }
+
+  // Scans the message-construction window: from the declaration to the next
+  // net::Message declaration or kWindow lines, whichever comes first.
+  bool MessageWindowOk(size_t decl_line) const {
+    static constexpr size_t kWindow = 16;
+    if (src_.comment[decl_line].find("nela-lint: empty-payload(") !=
+        std::string::npos) {
+      return true;
+    }
+    const size_t limit = std::min(src_.code.size(), decl_line + kWindow);
+    for (size_t l = decl_line + 1; l < limit; ++l) {
+      if (FindMessageToken(src_.code[l]) != std::string::npos) break;
+      if (src_.code[l].find("payload.Add(") != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  void CheckBareTodo() {
+    for (size_t l = 0; l < src_.comment.size(); ++l) {
+      const std::string& comment = src_.comment[l];
+      for (const char* marker : {"TODO", "FIXME"}) {
+        const size_t pos = FindIdent(comment, marker);
+        if (pos == std::string::npos) continue;
+        if (!NextNonSpaceIs(comment, pos + std::string(marker).size(), '(')) {
+          Report("bare-todo", l,
+                 "bare TODO/FIXME; anchor it -- e.g. "
+                 "TODO(roadmap#hypothesis-origin): -- so the open item "
+                 "stays tracked in-tree");
+        }
+        break;
+      }
+    }
+  }
+
+  const std::string path_;
+  const FileScope scope_;
+  const SourceLines src_;
+  std::vector<Finding> findings_;
+};
+
+bool LintableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool SkippedComponent(const std::filesystem::path& p) {
+  for (const auto& part : p) {
+    const std::string s = part.string();
+    if (s == "testdata" || StartsWith(s, "build") || s == ".git") return true;
+  }
+  return false;
+}
+
+std::string NormalizeRelative(const std::filesystem::path& root,
+                              const std::filesystem::path& file) {
+  std::error_code ec;
+  std::filesystem::path rel = std::filesystem::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  return rel.generic_string();
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kRules = {
+      "raw-random",    "raw-time", "raw-thread",
+      "stdout-io",     "untagged-send", "bare-todo",
+  };
+  return kRules;
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& contents) {
+  return FileLinter(path, contents).Run();
+}
+
+std::vector<Finding> LintPaths(const std::string& root,
+                               const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  const fs::path root_path(root);
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    fs::path full = fs::path(p).is_absolute() ? fs::path(p) : root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (auto it = fs::recursive_directory_iterator(full, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && LintableExtension(it->path()) &&
+            !SkippedComponent(fs::relative(it->path(), root_path, ec))) {
+          files.push_back(it->path());
+        }
+      }
+    } else {
+      files.push_back(full);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    const std::string rel = NormalizeRelative(root_path, file);
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{"io-error", rel, 0, "cannot read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Finding> file_findings = LintFile(rel, buffer.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+std::vector<std::string> FilesFromCompileCommands(const std::string& json) {
+  std::vector<std::string> files;
+  const std::string key = "\"file\"";
+  size_t pos = json.find(key);
+  while (pos != std::string::npos) {
+    size_t colon = json.find(':', pos + key.size());
+    if (colon == std::string::npos) break;
+    size_t open = json.find('"', colon + 1);
+    if (open == std::string::npos) break;
+    std::string value;
+    size_t i = open + 1;
+    while (i < json.size() && json[i] != '"') {
+      if (json[i] == '\\' && i + 1 < json.size()) ++i;
+      value += json[i++];
+    }
+    if (std::find(files.begin(), files.end(), value) == files.end()) {
+      files.push_back(value);
+    }
+    pos = json.find(key, i);
+  }
+  return files;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.path << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace nela::lint

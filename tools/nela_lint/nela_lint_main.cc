@@ -1,0 +1,84 @@
+// nela_lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   nela_lint --root=REPO [--compile-commands=build/compile_commands.json]
+//             [PATH...]
+//
+// PATHs are files or directories relative to --root (directories are walked
+// recursively for C++ sources, skipping testdata and build trees). With
+// --compile-commands, the file list of the compilation database is linted
+// in addition to any PATHs, so the gate covers exactly what the build
+// compiles plus the headers the PATH globs reach.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nela_lint/lint.h"
+
+namespace {
+
+bool ConsumeFlag(const std::string& arg, const std::string& name,
+                 std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compile_commands;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ConsumeFlag(arg, "root", &root)) continue;
+    if (ConsumeFlag(arg, "compile-commands", &compile_commands)) continue;
+    if (arg == "--list-rules") {
+      for (const std::string& rule : nela::lint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: nela_lint [--root=DIR] "
+                   "[--compile-commands=FILE] [--list-rules] [PATH...]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+    paths.push_back(arg);
+  }
+
+  if (!compile_commands.empty()) {
+    std::ifstream in(compile_commands, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "nela_lint: cannot read %s\n",
+                   compile_commands.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    for (const std::string& file :
+         nela::lint::FilesFromCompileCommands(buffer.str())) {
+      paths.push_back(file);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "nela_lint: nothing to lint\n");
+    return 2;
+  }
+
+  const std::vector<nela::lint::Finding> findings =
+      nela::lint::LintPaths(root, paths);
+  for (const nela::lint::Finding& finding : findings) {
+    std::printf("%s\n", nela::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("nela_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Fixture: bare-todo must fire.
+
+namespace nela::fake {
+
+// TODO: randomize the hypothesis schedule origin someday.
+int Placeholder() { return 0; }
+
+}  // namespace nela::fake

@@ -1,0 +1,13 @@
+// Fixture: raw-random must fire. Never compiled; linted with a synthetic
+// src/-relative path by tests/lint_tool_test.cc.
+#include <random>
+
+namespace nela::fake {
+
+double UnseededSample() {
+  std::random_device device;
+  std::mt19937 engine(device());
+  return static_cast<double>(engine()) / 4294967295.0;
+}
+
+}  // namespace nela::fake

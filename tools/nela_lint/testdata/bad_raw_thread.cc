@@ -1,0 +1,11 @@
+// Fixture: raw-thread must fire (ad-hoc thread outside util::ThreadPool).
+#include <thread>
+
+namespace nela::fake {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace nela::fake

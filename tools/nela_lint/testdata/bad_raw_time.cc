@@ -1,0 +1,11 @@
+// Fixture: raw-time must fire (a clock read outside util/timer.h).
+#include <chrono>
+
+namespace nela::fake {
+
+uint64_t SeedFromWallClock() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace nela::fake

@@ -1,0 +1,12 @@
+// Fixture: stdout-io must fire (library code printing to stdout).
+#include <cstdio>
+#include <iostream>
+
+namespace nela::fake {
+
+void ReportProgress(int done) {
+  std::cout << "done: " << done << "\n";
+  printf("done: %d\n", done);
+}
+
+}  // namespace nela::fake

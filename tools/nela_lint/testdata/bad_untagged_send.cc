@@ -1,0 +1,24 @@
+// Fixture: untagged-send must fire three ways — a positional Network::Send,
+// a positional SendWithRetry, and a net::Message whose PayloadDescriptor is
+// neither populated nor declared empty.
+#include "net/network.h"
+#include "net/retry.h"
+
+namespace nela::fake {
+
+void LeakyBroadcast(net::Network& network, util::Rng* rng) {
+  network.Send(0, 1, net::MessageKind::kBoundProposal, 16);
+
+  net::BackoffPolicy policy;
+  net::SendWithRetry(network, 0, 1, net::MessageKind::kBoundVote, 8, policy,
+                     rng);
+
+  net::Message message;
+  message.from = 0;
+  message.to = 1;
+  message.kind = net::MessageKind::kClusterAssignment;
+  message.bytes = 32;
+  network.Send(message);
+}
+
+}  // namespace nela::fake

@@ -1,0 +1,45 @@
+// Fixture: no rule may fire. Exercises the look-alikes each rule must NOT
+// match: seeded util::Rng, util::WallTimer, std::this_thread /
+// std::thread::id, stderr diagnostics, a tagged net::Message, a declared
+// empty payload, an anchored to-do note, and rule patterns inside strings
+// and comments.
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "net/network.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace nela::fake {
+
+// TODO(roadmap#hypothesis-origin): anchored items are allowed.
+double CleanSample(util::Rng& rng) {
+  // Mentioning rand() or std::random_device in a comment is fine.
+  const std::string docs = "call srand(seed) and time(nullptr) elsewhere";
+  std::fprintf(stderr, "diagnostics go to stderr: %s\n", docs.c_str());
+  const util::WallTimer timer;
+  const std::thread::id self = std::this_thread::get_id();
+  (void)self;
+  return rng.NextDouble() + timer.ElapsedSeconds();
+}
+
+void TaggedSend(net::Network& network) {
+  net::Message message;
+  message.from = 0;
+  message.to = 1;
+  message.kind = net::MessageKind::kBoundProposal;
+  message.bytes = 16;
+  message.payload.Add(net::FieldTag::kBoundHypothesis, net::kPublicSubject,
+                      0.5);
+  network.Send(message);
+
+  net::Message heartbeat;  // nela-lint: empty-payload(control traffic)
+  heartbeat.from = 0;
+  heartbeat.to = 1;
+  heartbeat.kind = net::MessageKind::kControl;
+  heartbeat.bytes = 1;
+  network.Send(heartbeat, nullptr);
+}
+
+}  // namespace nela::fake
