@@ -204,29 +204,49 @@ util::Result<BoundingRunResult> RunAxis(const std::vector<geo::Point>& points,
 
 util::Result<RegionBoundingResult> ComputeCloakedRegion(
     const std::vector<geo::Point>& member_points, const geo::Point& reference,
-    IncrementPolicy& policy, const NetworkBinding& binding) {
+    IncrementPolicy& policy, const NetworkBinding& binding,
+    util::Rng* origin_rng) {
   if (member_points.empty()) {
     return util::InvalidArgumentError("cloaked region requires members");
   }
-  // Each direction starts at the reference coordinate: member offsets from
-  // it are non-negative in the direction being bounded (the reference is
-  // the host's own position, which trivially satisfies every hypothesis).
+  // Each direction starts at (or just below) the reference coordinate:
+  // member offsets from the origin are non-negative in the direction being
+  // bounded (the reference is the host's own position, which trivially
+  // satisfies every hypothesis).
   //
-  // TODO(roadmap#hypothesis-origin): the schedule origin therefore
-  // correlates with the host's position — a self-exposure-only side channel
-  // (DESIGN.md, "Threat model & verification"). Randomizing the origin
-  // below the host's coordinate (seeded per-request, so determinism holds)
-  // would close it; nela_lint's bare-todo rule keeps this anchor tracked.
+  // Without origin_rng the origin IS the reference coordinate -- a schedule
+  // origin an adversary observing hypothesis values could subtract the
+  // first increment from to recover the host's position (self-exposure
+  // only; the old documented side channel). With origin_rng each axis
+  // origin is lowered by an independent draw in [0, first_increment): the
+  // origin no longer bit-equals any coordinate, while the host still
+  // satisfies every direction's domain minimum and the extra slack stays
+  // below one increment -- the same quantum the protocol already leaks by
+  // design (privacy_loss.h).
+  double origin_jitter[4] = {0.0, 0.0, 0.0, 0.0};
+  if (origin_rng != nullptr) {
+    // Draws happen up front, in fixed axis order, so the consumption from
+    // the request's RNG sub-stream is deterministic per seed. Policies are
+    // stateless across runs (protocol.h), so probing the first increment
+    // here does not perturb the schedules below.
+    const uint32_t members = static_cast<uint32_t>(member_points.size());
+    for (double& jitter : origin_jitter) {
+      const double first_increment = policy.NextIncrement(0.0, members, 0);
+      if (first_increment > 0.0) {
+        jitter = origin_rng->NextDouble(0.0, first_increment);
+      }
+    }
+  }
   struct AxisSpec {
     bool use_x;
     double sign;
     double lo;
   };
   const AxisSpec axes[4] = {
-      {/*use_x=*/true, +1.0, reference.x},
-      {/*use_x=*/true, -1.0, -reference.x},
-      {/*use_x=*/false, +1.0, reference.y},
-      {/*use_x=*/false, -1.0, -reference.y},
+      {/*use_x=*/true, +1.0, reference.x - origin_jitter[0]},
+      {/*use_x=*/true, -1.0, -reference.x - origin_jitter[1]},
+      {/*use_x=*/false, +1.0, reference.y - origin_jitter[2]},
+      {/*use_x=*/false, -1.0, -reference.y - origin_jitter[3]},
   };
   BoundingRunResult runs[4];
   for (int i = 0; i < 4; ++i) {

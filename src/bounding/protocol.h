@@ -82,11 +82,14 @@ BoundingRunResult RunOptBounding(const std::vector<PrivateScalar>& secrets,
 
 // Phase-2 entry point for 2-D cloaking: four protocol runs (upper/lower per
 // axis) over the cluster members' coordinates. Each run starts its
-// hypothesis at the host's own coordinate (`reference`), so the offsets the
-// increment policies model are member distances from the host -- small,
-// cluster-local quantities -- rather than absolute positions. The host is a
-// member, so every starting hypothesis is a valid domain minimum for its
-// direction. Policies may be stateless across runs (all provided ones are).
+// hypothesis schedule at the host's own coordinate (`reference`) -- so the
+// offsets the increment policies model are member distances from the host,
+// small cluster-local quantities rather than absolute positions -- lowered
+// per axis by a seeded draw in [0, first_increment) when `origin_rng` is
+// given, so the schedule origin never bit-equals the host's coordinate
+// (the hypothesis-origin side channel). The host is a member, so every
+// starting hypothesis remains a valid domain minimum for its direction.
+// Policies must be stateless across runs (all provided ones are).
 struct RegionBoundingResult {
   geo::Rect region;
   uint32_t iterations = 0;       // summed over the four runs
@@ -100,10 +103,13 @@ struct RegionBoundingResult {
 
 // Fails like RunProgressiveUpperBounding; partial results of completed axis
 // runs are discarded (the region is all-or-nothing, so a failure can never
-// expose a partially bounded coordinate).
+// expose a partially bounded coordinate). `origin_rng` (may be null: origins
+// start exactly at the reference) supplies the per-axis origin draws; pass
+// the request's private sub-stream so runs stay bit-reproducible per seed.
 [[nodiscard]] util::Result<RegionBoundingResult> ComputeCloakedRegion(
     const std::vector<geo::Point>& member_points, const geo::Point& reference,
-    IncrementPolicy& policy, const NetworkBinding& binding = {});
+    IncrementPolicy& policy, const NetworkBinding& binding = {},
+    util::Rng* origin_rng = nullptr);
 
 // OPT region: the exact bounding box (exposes coordinates).
 RegionBoundingResult ComputeOptRegion(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace nela::cluster {
 
 Registry::Registry(uint32_t user_count, bool allow_overlap)
@@ -47,6 +49,29 @@ void Registry::SetRegion(ClusterId id, const geo::Rect& region) {
   NELA_CHECK(!clusters_[id].region.has_value());
   NELA_CHECK(!region.empty());
   clusters_[id].region = region;
+}
+
+uint64_t Registry::Digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t digest = util::kFnv64Offset;
+  for (const ClusterInfo& info : clusters_) {
+    util::FnvMix64(&digest, info.members.size());
+    for (graph::VertexId member : info.members) {
+      util::FnvMix64(&digest, member);
+    }
+    util::FnvMix64(&digest, info.valid ? 1 : 0);
+    if (info.region.has_value()) {
+      util::FnvMix64(&digest, util::DoubleBits(info.region->min_x()));
+      util::FnvMix64(&digest, util::DoubleBits(info.region->min_y()));
+      util::FnvMix64(&digest, util::DoubleBits(info.region->max_x()));
+      util::FnvMix64(&digest, util::DoubleBits(info.region->max_y()));
+    } else {
+      // Sentinel for "no region yet"; kept stable because recorded digests
+      // (tests, recovery assertions) depend on it.
+      util::FnvMix64(&digest, 0xe0e0e0e0ull);
+    }
+  }
+  return digest;
 }
 
 std::unique_ptr<Registry> Registry::Snapshot(uint64_t* version_out) const {

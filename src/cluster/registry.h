@@ -126,6 +126,14 @@ class Registry {
   // the caller and safe to mutate off-thread.
   std::unique_ptr<Registry> Snapshot(uint64_t* version_out = nullptr) const;
 
+  // Order- and bit-exact FNV-1a fingerprint of the full registry state
+  // (per cluster: member count, members, validity, then the region's four
+  // coordinate bit patterns or a fixed no-region sentinel). Two registries
+  // with equal digests went through the same committed history -- this is
+  // the equality the determinism tests and crash-recovery replay assert.
+  // Taken atomically under the registry mutex.
+  uint64_t Digest() const;
+
  private:
   bool allow_overlap_;
   mutable std::mutex mu_;

@@ -64,11 +64,18 @@ struct DegradationReport {
   // Times phase 2 was re-run over the surviving members.
   uint32_t phases_retried = 0;
   // kOk on the happy path; kFailedPrecondition (survivors < k),
-  // kDeadlineExceeded (retry budget / iteration cap / request deadline),
-  // or kUnavailable (irrecoverable churn) otherwise. The code of the first
-  // stage record that did not finish kOk.
+  // kDeadlineExceeded (retry budget / iteration cap / request deadline /
+  // queue-wait shed), or kUnavailable (irrecoverable churn, admission-queue
+  // overflow, crash abort) otherwise. The code of the first stage record
+  // that did not finish kOk.
   util::StatusCode failure_code = util::StatusCode::kOk;
   std::string failure_reason;
+  // Times core::FinalizeDegradation sealed this report. Every delivered
+  // outcome -- degraded or not, shed or admitted -- must show exactly 1:
+  // 0 means an unfinalized report escaped a driver, 2+ means a request was
+  // double-finalized (e.g. processed again after a watchdog requeue without
+  // a fresh outcome).
+  uint32_t finalize_count = 0;
 
   bool degraded() const {
     return failure_code != util::StatusCode::kOk || members_lost > 0 ||

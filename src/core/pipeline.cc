@@ -31,6 +31,7 @@ util::Status RunPipeline(const std::vector<Stage*>& stages,
 
 void FinalizeDegradation(const RequestContext& ctx, CloakingOutcome* outcome) {
   DegradationReport& report = outcome->degradation;
+  ++report.finalize_count;  // exactly-once per delivered outcome (tested)
   const net::ScopeStats& stats = ctx.scope().stats();
   report.retries = stats.retries;
   report.timeouts = stats.timeouts_observed;

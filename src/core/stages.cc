@@ -175,9 +175,11 @@ util::Status SecureBoundStage::Run(RequestContext& ctx, PipelineState& state,
       std::unique_ptr<bounding::IncrementPolicy> policy =
           (*config_.policy_factory)(
               static_cast<uint32_t>(member_points.size()));
+      // The request's private sub-stream also feeds the per-axis origin
+      // randomization that closes the hypothesis-origin side channel.
       auto run = bounding::ComputeCloakedRegion(
           member_points, config_.dataset->point(state.host), *policy,
-          binding);
+          binding, &ctx.rng());
       if (!run.ok()) {
         if (run.status().code() == util::StatusCode::kUnavailable &&
             phase_attempt < config_.max_phase_retries) {
@@ -208,7 +210,12 @@ util::Status PublishStage::Run(RequestContext& ctx, PipelineState& state,
                                StageRecord& record) {
   const geo::Rect& region = bound_->bounded().region;
   NELA_CHECK(!region.empty());
-  registry_->SetRegion(state.outcome.cluster_id, region);
+  if (region_writer_ != nullptr) {
+    auto wrote = region_writer_->WriteRegion(state.outcome.cluster_id, region);
+    if (!wrote.ok()) return wrote;  // e.g. crash mid-WAL-append
+  } else {
+    registry_->SetRegion(state.outcome.cluster_id, region);
+  }
   state.outcome.region = region;
   record.detail = "cluster=" + std::to_string(state.outcome.cluster_id);
   if (network_ != nullptr && state.cluster_info != nullptr) {

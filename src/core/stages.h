@@ -105,6 +105,17 @@ class SecureBoundStage : public Stage {
   bounding::RegionBoundingResult bounded_;
 };
 
+// Route for the region write performed by PublishStage. The engine and the
+// batch driver write straight into the registry; the service driver
+// interposes its write-ahead log here (durability must not leak into core,
+// so the indirection lives on this side of the boundary).
+class RegionWriter {
+ public:
+  virtual ~RegionWriter() = default;
+  [[nodiscard]] virtual util::Status WriteRegion(cluster::ClusterId id,
+                                                 const geo::Rect& region) = 0;
+};
+
 // Publishes the bounded region as the cluster's shared region in the
 // registry -- the only stage that writes a region anywhere. With a network
 // configured, the host additionally notifies every other member of the
@@ -114,8 +125,10 @@ class SecureBoundStage : public Stage {
 class PublishStage : public Stage {
  public:
   PublishStage(cluster::Registry* registry, const SecureBoundStage* bound,
-               net::Network* network = nullptr)
-      : registry_(registry), bound_(bound), network_(network) {}
+               net::Network* network = nullptr,
+               RegionWriter* region_writer = nullptr)
+      : registry_(registry), bound_(bound), network_(network),
+        region_writer_(region_writer) {}
 
   const char* name() const override { return "publish"; }
   [[nodiscard]] util::Status Run(RequestContext& ctx, PipelineState& state,
@@ -125,6 +138,7 @@ class PublishStage : public Stage {
   cluster::Registry* registry_;
   const SecureBoundStage* bound_;
   net::Network* network_;
+  RegionWriter* region_writer_;
 };
 
 }  // namespace nela::core

@@ -1,0 +1,122 @@
+#include "durability/durable_registry.h"
+
+#include <string>
+
+#include "durability/checkpoint.h"
+
+namespace nela::durability {
+
+namespace {
+
+util::Status CrashError(net::ProcessCrashPoint point) {
+  return util::UnavailableError(
+      std::string("simulated process crash at ") +
+      net::ProcessCrashPointName(point));
+}
+
+}  // namespace
+
+DurableRegistry::DurableRegistry(cluster::Registry* registry, WalWriter* wal,
+                                 CrashPointScheduler* crash,
+                                 uint64_t next_lsn)
+    : registry_(registry), wal_(wal), crash_(crash), next_lsn_(next_lsn) {
+  NELA_CHECK(registry_ != nullptr);
+  NELA_CHECK_GE(next_lsn_, 1u);
+}
+
+util::Result<cluster::ClusterId> DurableRegistry::Register(
+    const std::vector<graph::VertexId>& members, double connectivity,
+    bool valid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.lsn = next_lsn_;
+    record.type = WalRecordType::kRegister;
+    record.members = members;
+    record.connectivity = connectivity;
+    record.valid = valid;
+    if (crash_ != nullptr &&
+        crash_->ShouldCrash(net::ProcessCrashPoint::kMidWalAppend)) {
+      const std::string frame = EncodeWalRecord(record);
+      (void)wal_->AppendTorn(record, (frame.size() + 12) / 2);
+      return CrashError(net::ProcessCrashPoint::kMidWalAppend);
+    }
+    auto appended = wal_->Append(record);
+    if (!appended.ok()) return appended;
+  }
+  auto id = registry_->Register(members, connectivity, valid);
+  if (id.ok()) ++next_lsn_;
+  return id;
+}
+
+util::Status DurableRegistry::RegisterBatch(
+    const std::vector<cluster::ClusterInfo>& clusters) {
+  if (clusters.empty()) return util::Status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.lsn = next_lsn_;
+    record.type = WalRecordType::kRegisterBatch;
+    record.clusters.reserve(clusters.size());
+    for (const cluster::ClusterInfo& info : clusters) {
+      record.clusters.push_back(
+          WalClusterImage{info.members, info.connectivity, info.valid});
+    }
+    if (crash_ != nullptr &&
+        crash_->ShouldCrash(net::ProcessCrashPoint::kMidWalAppend)) {
+      const std::string frame = EncodeWalRecord(record);
+      (void)wal_->AppendTorn(record, (frame.size() + 12) / 2);
+      return CrashError(net::ProcessCrashPoint::kMidWalAppend);
+    }
+    auto appended = wal_->Append(record);
+    if (!appended.ok()) return appended;
+  }
+  for (const cluster::ClusterInfo& info : clusters) {
+    auto id = registry_->Register(info.members, info.connectivity,
+                                  info.valid);
+    if (!id.ok()) return id.status();
+  }
+  ++next_lsn_;
+  return util::Status();
+}
+
+util::Status DurableRegistry::SetRegion(cluster::ClusterId id,
+                                        const geo::Rect& region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.lsn = next_lsn_;
+    record.type = WalRecordType::kSetRegion;
+    record.cluster_id = id;
+    record.region = region;
+    if (crash_ != nullptr &&
+        crash_->ShouldCrash(net::ProcessCrashPoint::kMidWalAppend)) {
+      const std::string frame = EncodeWalRecord(record);
+      (void)wal_->AppendTorn(record, (frame.size() + 12) / 2);
+      return CrashError(net::ProcessCrashPoint::kMidWalAppend);
+    }
+    auto appended = wal_->Append(record);
+    if (!appended.ok()) return appended;
+  }
+  registry_->SetRegion(id, region);
+  ++next_lsn_;
+  return util::Status();
+}
+
+util::Status DurableRegistry::Checkpoint(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string encoded = EncodeCheckpoint(*registry_, next_lsn_ - 1);
+  if (crash_ != nullptr &&
+      crash_->ShouldCrash(net::ProcessCrashPoint::kMidCheckpoint)) {
+    (void)WriteTornCheckpointFile(path, encoded, encoded.size() / 2);
+    return CrashError(net::ProcessCrashPoint::kMidCheckpoint);
+  }
+  return WriteCheckpointFile(path, encoded);
+}
+
+uint64_t DurableRegistry::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - 1;
+}
+
+}  // namespace nela::durability

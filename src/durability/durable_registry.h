@@ -1,0 +1,74 @@
+// Write-ahead wrapper around cluster::Registry.
+//
+// Every mutation is assigned the next log sequence number, appended to the
+// WAL, and only then applied in memory -- so the log always holds a
+// superset-prefix of the applied history and recovery can rebuild the
+// registry from files alone. An internal mutex makes (assign lsn, append,
+// apply) atomic with respect to Checkpoint(), which is what lets a
+// checkpoint claim its exact covered_lsn: no mutation can land between the
+// snapshot and the position it records.
+//
+// Lock order: DurableRegistry::mu_ -> WalWriter::mu_ -> Registry::mu_.
+// Callers must not hold the registry mutex when calling in.
+//
+// The scheduler hook injects ProcessCrashPoint::kMidWalAppend and
+// kMidCheckpoint faults: the mutation is half-written and the call returns
+// kUnavailable, after which the driver halts as crashed.
+
+#ifndef NELA_DURABILITY_DURABLE_REGISTRY_H_
+#define NELA_DURABILITY_DURABLE_REGISTRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/registry.h"
+#include "durability/crash_scheduler.h"
+#include "durability/wal.h"
+#include "geo/rect.h"
+#include "util/status.h"
+
+namespace nela::durability {
+
+class DurableRegistry {
+ public:
+  // `wal` and `crash` may be null (durability / chaos off); `registry` must
+  // outlive this object. `next_lsn` continues a recovered log's numbering.
+  DurableRegistry(cluster::Registry* registry, WalWriter* wal,
+                  CrashPointScheduler* crash, uint64_t next_lsn);
+
+  // WAL-append then Register. On a scheduled mid-append crash the record is
+  // torn on disk, nothing is applied, and kUnavailable is returned.
+  [[nodiscard]] util::Result<cluster::ClusterId> Register(
+      const std::vector<graph::VertexId>& members, double connectivity,
+      bool valid);
+
+  // Registers every cluster of one commit atomically: a single
+  // kRegisterBatch WAL record (one lsn) precedes all in-memory applies, so
+  // a crash tearing the append hides the whole group -- replay never sees a
+  // commit's clusters partially. Empty input is a no-op.
+  [[nodiscard]] util::Status RegisterBatch(
+      const std::vector<cluster::ClusterInfo>& clusters);
+
+  // WAL-append then SetRegion, same contract as Register.
+  [[nodiscard]] util::Status SetRegion(cluster::ClusterId id,
+                                       const geo::Rect& region);
+
+  // Snapshots the registry to `path` with covered_lsn equal to the last
+  // appended mutation; atomic against concurrent Register/SetRegion.
+  [[nodiscard]] util::Status Checkpoint(const std::string& path);
+
+  uint64_t last_lsn() const;
+
+ private:
+  mutable std::mutex mu_;
+  cluster::Registry* registry_;
+  WalWriter* wal_;
+  CrashPointScheduler* crash_;
+  uint64_t next_lsn_;
+};
+
+}  // namespace nela::durability
+
+#endif  // NELA_DURABILITY_DURABLE_REGISTRY_H_

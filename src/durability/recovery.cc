@@ -1,0 +1,131 @@
+#include "durability/recovery.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+
+namespace nela::durability {
+
+namespace {
+
+// Parses "<dir>/checkpoint-<seq>.ckpt" -> seq; nullopt for other names.
+std::optional<uint64_t> CheckpointSeqOf(const std::string& filename) {
+  constexpr const char* kPrefix = "checkpoint-";
+  constexpr const char* kSuffix = ".ckpt";
+  if (filename.rfind(kPrefix, 0) != 0) return std::nullopt;
+  const size_t suffix_pos = filename.rfind(kSuffix);
+  if (suffix_pos == std::string::npos ||
+      suffix_pos + 5 != filename.size()) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      filename.substr(11, suffix_pos - 11);  // between prefix and suffix
+  if (digits.empty()) return std::nullopt;
+  uint64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(RecoveryConfig config)
+    : config_(std::move(config)) {}
+
+util::Result<RecoveredState> RecoveryManager::Recover() const {
+  RecoveredState state;
+
+  // --- 1. Newest intact checkpoint -----------------------------------------
+  std::vector<uint64_t> seqs;
+  if (!config_.checkpoint_dir.empty() &&
+      std::filesystem::exists(config_.checkpoint_dir)) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(config_.checkpoint_dir)) {
+      const auto seq = CheckpointSeqOf(entry.path().filename().string());
+      if (seq.has_value()) seqs.push_back(*seq);
+    }
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  state.max_checkpoint_seq = seqs.empty() ? 0 : seqs.front();
+
+  uint64_t covered_lsn = 0;
+  std::unique_ptr<cluster::Registry> registry;
+  for (uint64_t seq : seqs) {
+    auto image =
+        ReadCheckpoint(CheckpointPath(config_.checkpoint_dir, seq));
+    if (!image.ok()) {
+      ++state.checkpoints_rejected;
+      continue;  // torn mid-checkpoint write; fall back to the previous one
+    }
+    auto restored = RestoreRegistry(image.value());
+    if (!restored.ok()) return restored.status();
+    registry = std::move(restored).value();
+    covered_lsn = image.value().covered_lsn;
+    state.checkpoint_seq = seq;
+    break;
+  }
+  if (registry == nullptr) {
+    if (config_.user_count == 0) {
+      return util::InvalidArgumentError(
+          "no intact checkpoint and no user_count to size a fresh registry");
+    }
+    registry = std::make_unique<cluster::Registry>(config_.user_count);
+  }
+
+  // --- 2. Torn-tail truncation + replay ------------------------------------
+  auto truncated = TruncateTornTail(config_.wal_path);
+  if (!truncated.ok()) return truncated.status();
+  state.torn_bytes_discarded = truncated.value();
+
+  auto wal = ReadWal(config_.wal_path);
+  if (!wal.ok()) return wal.status();
+  uint64_t max_lsn = covered_lsn;
+  for (const WalRecord& record : wal.value().records) {
+    max_lsn = std::max(max_lsn, record.lsn);
+    if (record.lsn <= covered_lsn) {
+      ++state.records_skipped;  // already inside the checkpoint image
+      continue;
+    }
+    switch (record.type) {
+      case WalRecordType::kRegister: {
+        auto id = registry->Register(record.members, record.connectivity,
+                                     record.valid);
+        if (!id.ok()) return id.status();
+        break;
+      }
+      case WalRecordType::kSetRegion: {
+        if (record.cluster_id >= registry->cluster_count()) {
+          return util::InvalidArgumentError(
+              "WAL set-region references a cluster the log never registered");
+        }
+        registry->SetRegion(record.cluster_id, record.region);
+        break;
+      }
+      case WalRecordType::kRegisterBatch: {
+        // The batch is one atomic commit: either the whole record survived
+        // the crash (checksum intact) or none of it did, so replay applies
+        // every cluster of the group.
+        for (const WalClusterImage& image : record.clusters) {
+          auto id = registry->Register(image.members, image.connectivity,
+                                       image.valid);
+          if (!id.ok()) return id.status();
+        }
+        break;
+      }
+    }
+    ++state.records_replayed;
+  }
+
+  state.next_lsn = max_lsn + 1;
+  state.registry = std::move(registry);
+  return state;
+}
+
+}  // namespace nela::durability

@@ -1,0 +1,72 @@
+// Crash recovery: checkpoint restore + WAL replay.
+//
+// Recovery is a pure function of the on-disk files: it never consults
+// in-memory state, so running it twice (or recovering, crashing, and
+// recovering again) yields bit-identical registries -- the idempotency the
+// kill-anywhere tests assert. The procedure:
+//
+//   1. Scan `checkpoint_dir` for checkpoint-<seq>.ckpt files, newest first;
+//      restore the first one whose checksum verifies (a torn newest
+//      checkpoint -- kMidCheckpoint crash -- falls back to its predecessor,
+//      or to an empty registry when none is intact).
+//   2. Truncate the WAL's torn tail (kMidWalAppend crash), then replay
+//      every record with lsn > covered_lsn through the public registry
+//      API. Records at or below covered_lsn are already inside the
+//      checkpoint and are skipped, which is what makes replay idempotent
+//      across repeated recoveries.
+//   3. Report next_lsn so a reopened DurableRegistry continues the
+//      sequence, and the newest on-disk checkpoint seq so new checkpoints
+//      sort after surviving ones.
+
+#ifndef NELA_DURABILITY_RECOVERY_H_
+#define NELA_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cluster/registry.h"
+#include "util/status.h"
+
+namespace nela::durability {
+
+struct RecoveryConfig {
+  std::string wal_path;
+  // Empty disables checkpoint scanning (WAL-only recovery).
+  std::string checkpoint_dir;
+  // Population size when recovery starts from an empty registry (no intact
+  // checkpoint); must match the crashed service's dataset.
+  uint32_t user_count = 0;
+};
+
+struct RecoveredState {
+  std::unique_ptr<cluster::Registry> registry;
+  // The lsn the next mutation should use.
+  uint64_t next_lsn = 1;
+  // Sequence number of the restored checkpoint (0 = none restored).
+  uint64_t checkpoint_seq = 0;
+  // Highest checkpoint seq present on disk, intact or not; new checkpoints
+  // must start above it.
+  uint64_t max_checkpoint_seq = 0;
+  uint64_t records_replayed = 0;
+  uint64_t records_skipped = 0;   // lsn <= checkpoint covered_lsn
+  uint64_t torn_bytes_discarded = 0;
+  uint32_t checkpoints_rejected = 0;  // torn/corrupt files skipped
+};
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(RecoveryConfig config);
+
+  // Rebuilds the registry from disk. Never mutates the WAL except to
+  // truncate a torn tail. Safe to call repeatedly; every call re-derives
+  // the same state from the same files.
+  util::Result<RecoveredState> Recover() const;
+
+ private:
+  RecoveryConfig config_;
+};
+
+}  // namespace nela::durability
+
+#endif  // NELA_DURABILITY_RECOVERY_H_

@@ -39,6 +39,50 @@ struct CrashEvent {
   uint64_t after_attempts = 0;
 };
 
+// A *process* crash point: where in the anonymizer's commit path the whole
+// service dies (as opposed to CrashEvent, which removes one simulated
+// client node). The durability subsystem consults the scheduled points at
+// exactly these instants, so a kill-anywhere test can assert what the WAL
+// and checkpoints must survive:
+//
+//   kPreCommit      before any WAL record of the commit is appended --
+//                   the commit must be invisible after recovery.
+//   kMidWalAppend   halfway through appending a WAL record -- recovery
+//                   must detect and truncate the torn tail.
+//   kPostCommit     after the WAL append and in-memory apply -- the commit
+//                   must be fully visible after recovery.
+//   kMidCheckpoint  halfway through writing a checkpoint file -- recovery
+//                   must reject the torn checkpoint and fall back to the
+//                   previous one (or the bare WAL).
+enum class ProcessCrashPoint : uint8_t {
+  kPreCommit = 0,
+  kMidWalAppend = 1,
+  kPostCommit = 2,
+  kMidCheckpoint = 3,
+};
+
+inline const char* ProcessCrashPointName(ProcessCrashPoint point) {
+  switch (point) {
+    case ProcessCrashPoint::kPreCommit:
+      return "pre-commit";
+    case ProcessCrashPoint::kMidWalAppend:
+      return "mid-wal-append";
+    case ProcessCrashPoint::kPostCommit:
+      return "post-commit";
+    case ProcessCrashPoint::kMidCheckpoint:
+      return "mid-checkpoint";
+  }
+  return "unknown";
+}
+
+// Fires on the `after_hits`-th execution of `point` (1-based), which ties
+// the crash to a deterministic instant in the commit sequence rather than
+// wall time. `after_hits == 0` never fires.
+struct ProcessCrashEvent {
+  ProcessCrashPoint point = ProcessCrashPoint::kPreCommit;
+  uint64_t after_hits = 0;
+};
+
 struct FaultPlan {
   // Seeds the network-owned RNG driving loss and latency sampling.
   uint64_t seed = 0;
@@ -47,6 +91,9 @@ struct FaultPlan {
   LatencyModel latency;
   // Crash schedule; need not be sorted (the network sorts a copy).
   std::vector<CrashEvent> crashes;
+  // Scheduled whole-process crashes, consumed by durability's
+  // CrashPointScheduler (the network itself ignores them).
+  std::vector<ProcessCrashEvent> process_crashes;
 };
 
 }  // namespace nela::net

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace nela::net {
 
@@ -190,6 +191,10 @@ RetryStats Network::total_retry_stats() const {
     total.retries += stats.retries;
     total.timeouts_observed += stats.timeouts_observed;
     total.retransmitted_bytes += stats.retransmitted_bytes;
+    for (int b = 0; b < RetryStats::kJitterBuckets; ++b) {
+      total.jitter_histogram[static_cast<size_t>(b)] +=
+          stats.jitter_histogram[static_cast<size_t>(b)];
+    }
   }
   return total;
 }
@@ -207,6 +212,17 @@ void Network::RecordTimeoutObserved(MessageKind kind, RequestScope* scope) {
   std::lock_guard<std::mutex> lock(mu_);
   ++retry_by_kind_[static_cast<size_t>(kind)].timeouts_observed;
   if (scope != nullptr) scope->RecordTimeoutObserved();
+}
+
+void Network::RecordBackoffJitter(MessageKind kind,
+                                  double fraction_of_window) {
+  const double clamped =
+      std::min(std::max(fraction_of_window, 0.0),
+               std::nextafter(1.0, 0.0));
+  const auto bucket = static_cast<size_t>(
+      clamped * static_cast<double>(RetryStats::kJitterBuckets));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++retry_by_kind_[static_cast<size_t>(kind)].jitter_histogram[bucket];
 }
 
 uint64_t Network::SentBy(NodeId node) const {

@@ -130,9 +130,23 @@ struct TrafficCounter {
 // to retransmit, how many send attempts they observed as lost/timed out,
 // and the bytes burned on retransmissions.
 struct RetryStats {
+  static constexpr int kJitterBuckets = 8;
+
   uint64_t retries = 0;
   uint64_t timeouts_observed = 0;
   uint64_t retransmitted_bytes = 0;
+  // Histogram of backoff jitter draws: each SendWithRetry backoff records
+  // its drawn fraction of the policy's jitter window into one of
+  // kJitterBuckets equal-width buckets. A healthy seeded spread fills the
+  // buckets roughly evenly; all draws collapsing into one bucket is the
+  // retransmission-synchronization signature jitter exists to prevent.
+  std::array<uint64_t, kJitterBuckets> jitter_histogram{};
+
+  uint64_t jitter_draws() const {
+    uint64_t draws = 0;
+    for (uint64_t bucket : jitter_histogram) draws += bucket;
+    return draws;
+  }
 };
 
 // Thread safety: every counter mutation and liveness transition happens
@@ -262,6 +276,10 @@ class Network {
   void RecordRetry(MessageKind kind, uint64_t bytes,
                    RequestScope* scope = nullptr);
   void RecordTimeoutObserved(MessageKind kind, RequestScope* scope = nullptr);
+  // `fraction_of_window` is the backoff jitter draw normalized to [0, 1)
+  // over the policy's jitter window (SendWithRetry computes it from the
+  // draw it already made, so recording never perturbs the RNG sequence).
+  void RecordBackoffJitter(MessageKind kind, double fraction_of_window);
 
   // Per-node counters.
   uint64_t SentBy(NodeId node) const;

@@ -42,7 +42,12 @@ SendOutcome SendWithRetry(Network& network, const Message& message,
     network.RecordTimeoutObserved(message.kind, scope);
     double wait = std::min(delay_ms, policy.max_delay_ms);
     if (jitter_rng != nullptr && policy.jitter_fraction > 0.0) {
-      wait *= 1.0 + jitter_rng->NextDouble(0.0, policy.jitter_fraction);
+      const double draw = jitter_rng->NextDouble(0.0, policy.jitter_fraction);
+      wait *= 1.0 + draw;
+      // Histogram the draw (normalized to the jitter window) after the
+      // fact: the RNG consumption above is unchanged, so chaos runs remain
+      // bit-reproducible per seed.
+      network.RecordBackoffJitter(message.kind, draw / policy.jitter_fraction);
     }
     outcome.backoff_ms += wait;
     if (scope != nullptr) scope->RecordBackoff(wait);

@@ -1,91 +1,11 @@
 #include "sim/batch_driver.h"
 
-#include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <cstring>
-#include <mutex>
-#include <optional>
-#include <set>
-#include <thread>
-#include <unordered_map>
 #include <utility>
 
-#include "cluster/concurrency.h"
-#include "cluster/distributed_tconn.h"
-#include "cluster/registry.h"
-#include "core/pipeline.h"
-#include "core/request_context.h"
-#include "core/stages.h"
-#include "geo/rect.h"
-#include "net/network.h"
-#include "sim/workload.h"
-#include "util/rng.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
+#include "sim/service_driver.h"
+#include "util/check.h"
 
 namespace nela::sim {
-
-namespace {
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr uint64_t kFnvPrime = 1099511628211ull;
-
-void MixDigest(uint64_t* digest, uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    *digest ^= (value >> (8 * i)) & 0xffu;
-    *digest *= kFnvPrime;
-  }
-}
-
-uint64_t DoubleBits(double v) {
-  uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-double PercentileMs(const std::vector<double>& sorted, double percentile) {
-  if (sorted.empty()) return 0.0;
-  const size_t index = std::min(
-      sorted.size() - 1,
-      static_cast<size_t>(percentile / 100.0 *
-                          static_cast<double>(sorted.size())));
-  return sorted[index];
-}
-
-}  // namespace
-
-struct BatchDriver::RunState {
-  cluster::Registry registry;
-  std::unique_ptr<net::Network> network;
-  cluster::ClaimCoordinator coordinator;
-  std::vector<data::UserId> hosts;
-  std::vector<cluster::Ticket> tickets;
-  std::vector<BatchRequestRecord> records;
-  std::atomic<uint64_t> next_request{0};
-  std::atomic<uint64_t> speculation_retries{0};
-  std::atomic<uint64_t> speculation_aborts{0};
-
-  // One mutex coordinates both the commit turnstile and the per-cluster
-  // region latches (decisions interleave; contention is negligible next to
-  // the clustering/bounding work done outside it).
-  std::mutex mu;
-  std::condition_variable turn_cv;
-  std::condition_variable region_cv;
-  uint64_t next_commit = 0;
-  struct Latch {
-    bool computing = false;
-    // Ordinals whose region decision is unresolved; the smallest becomes
-    // the (next) publisher -- the deterministic sequential order.
-    std::set<uint64_t> waiters;
-  };
-  std::unordered_map<cluster::ClusterId, Latch> latches;
-
-  util::Status first_error;
-
-  explicit RunState(uint32_t user_count)
-      : registry(user_count), coordinator(user_count) {}
-};
 
 BatchDriver::BatchDriver(const data::Dataset& dataset, const graph::Wpg& graph,
                          core::PolicyFactory policy_factory,
@@ -97,311 +17,48 @@ BatchDriver::BatchDriver(const data::Dataset& dataset, const graph::Wpg& graph,
   NELA_CHECK_GE(config_.k, 1u);
 }
 
-util::Status BatchDriver::ProcessRequest(RunState& run, uint64_t ordinal) {
-  const util::WallTimer timer;
-  const data::UserId host = run.hosts[ordinal];
-  core::RequestContext ctx(config_.master_seed, ordinal, host);
-  const cluster::Ticket ticket = run.tickets[ordinal];
-
-  // --- Speculation (parallel, untraced: the candidate may be discarded,
-  // and claim conflicts are scheduling-dependent) ---------------------------
-  uint64_t spec_version = 0;
-  uint64_t spec_involved = 0;
-  std::vector<cluster::ClusterInfo> candidate;
-  bool holds_claim = false;
-  while (true) {
-    (void)run.coordinator.WasWounded(ticket);  // clear any stale wound
-    std::unique_ptr<cluster::Registry> scratch =
-        run.registry.Snapshot(&spec_version);
-    if (scratch->IsClustered(host)) break;  // reuse; the turnstile decides
-    const cluster::ClusterId first_new = scratch->cluster_count();
-    cluster::DistributedTConnClusterer clusterer(graph_, config_.k,
-                                                 scratch.get());
-    auto speculative = clusterer.ClusterFor(host);
-    if (!speculative.ok()) break;  // reproduced serially at the turnstile
-    spec_involved = speculative.value().involved_users;
-    std::vector<graph::VertexId> claim_set;
-    for (cluster::ClusterId id = first_new; id < scratch->cluster_count();
-         ++id) {
-      const cluster::ClusterInfo& info = scratch->info(id);
-      claim_set.insert(claim_set.end(), info.members.begin(),
-                       info.members.end());
-      candidate.push_back(info);
-    }
-    if (candidate.empty()) break;
-    if (!run.coordinator.TryClaim(ticket, claim_set)) {
-      // An older request holds users we need; it always finishes without
-      // waiting on us (wound-wait), so re-speculate on a fresher snapshot.
-      run.speculation_retries.fetch_add(1, std::memory_order_relaxed);
-      candidate.clear();
-      std::this_thread::yield();
-      continue;
-    }
-    holds_claim = true;
-    break;
-  }
-
-  // --- Commit turnstile: requests commit membership in strict ordinal
-  // order, so the registry evolves exactly as in a sequential run ----------
-  bool resolved_hit = false;
-  cluster::ClusterId cid = cluster::kNoCluster;
-  uint64_t involved = 0;
-  util::Status commit_status;
-  {
-    std::unique_lock<std::mutex> lock(run.mu);
-    run.turn_cv.wait(lock, [&] { return run.next_commit == ordinal; });
-    if (run.registry.IsClustered(host)) {
-      resolved_hit = true;
-      cid = run.registry.ClusterOf(host);
-    } else {
-      const bool commit_speculation = holds_claim &&
-                                      !run.coordinator.WasWounded(ticket) &&
-                                      spec_version == run.registry.version();
-      if (commit_speculation) {
-        for (const cluster::ClusterInfo& info : candidate) {
-          auto committed = run.registry.Register(info.members,
-                                                 info.connectivity,
-                                                 info.valid);
-          if (!committed.ok()) {
-            commit_status = committed.status();
-            break;
-          }
-        }
-        involved = spec_involved;
-      } else {
-        // Stale snapshot or wounded claim: recompute phase 1 serially
-        // against the authoritative registry, inside the turnstile.
-        run.speculation_aborts.fetch_add(1, std::memory_order_relaxed);
-        cluster::DistributedTConnClusterer clusterer(graph_, config_.k,
-                                                     &run.registry);
-        auto recomputed = clusterer.ClusterFor(host);
-        if (!recomputed.ok()) {
-          commit_status = recomputed.status();
-        } else {
-          involved = recomputed.value().involved_users;
-        }
-      }
-      if (commit_status.ok()) {
-        cid = run.registry.ClusterOf(host);
-        NELA_CHECK_NE(cid, cluster::kNoCluster);
-      }
-    }
-    // Join the cluster's publisher queue before opening the turnstile:
-    // publisher priority is by ordinal even though resolution runs later,
-    // in parallel.
-    if (commit_status.ok()) run.latches[cid].waiters.insert(ordinal);
-    ++run.next_commit;
-    run.turn_cv.notify_all();
-  }
-
-  BatchRequestRecord& record = run.records[ordinal];
-  record.host = host;
-  record.ordinal = ordinal;
-  if (!commit_status.ok()) {
-    run.coordinator.Release(ticket);
-    ctx.trace().Record("cluster", commit_status.code(),
-                       commit_status.message());
-    record.trace = ctx.trace().ToString();
-    record.wall_ms = timer.ElapsedMillis();
-    return commit_status;
-  }
-
-  // --- Region resolution: reuse the cluster's published region, or become
-  // its publisher (smallest unresolved ordinal first -- should an earlier
-  // publisher degrade, the next-oldest waiter promotes itself, exactly the
-  // sequential recovery order) ---------------------------------------------
-  bool reuse = false;
-  {
-    std::unique_lock<std::mutex> lock(run.mu);
-    while (true) {
-      if (run.registry.RegionOf(cid).has_value()) {
-        reuse = true;
-        run.latches[cid].waiters.erase(ordinal);
-        break;
-      }
-      RunState::Latch& latch = run.latches[cid];
-      if (!latch.computing && *latch.waiters.begin() == ordinal) {
-        latch.computing = true;
-        latch.waiters.erase(ordinal);
-        break;
-      }
-      run.region_cv.wait(lock);
-    }
-  }
-
-  const cluster::ClusterInfo& info = run.registry.info(cid);
-  core::PipelineState state;
-  state.host = host;
-  state.k = config_.k;
-  state.coordinator = &run.coordinator;
-  state.ticket = ticket;
-  state.cluster_info = &info;
-  state.outcome.cluster_id = cid;
-  state.outcome.cluster_reused = resolved_hit;
-  state.outcome.clustering_messages = involved;
-  state.outcome.anonymity_satisfied = info.valid;
-
-  // Deterministic stage records mirroring the sequential pipeline's wording
-  // (written only now, after the outcome is fully resolved).
-  auto append = [&](const char* stage, util::StatusCode code, bool ran,
-                    std::string detail) {
-    core::StageRecord stage_record;
-    stage_record.stage = stage;
-    stage_record.code = code;
-    stage_record.ran = ran;
-    stage_record.detail = std::move(detail);
-    ctx.trace().Record(stage_record.stage, stage_record.code,
-                       stage_record.detail);
-    state.outcome.degradation.stages.push_back(std::move(stage_record));
-  };
-
-  util::Status status;
-  if (reuse) {
-    state.outcome.region = *run.registry.RegionOf(cid);
-    state.outcome.region_reused = true;
-    append("resolve_reuse", util::StatusCode::kOk, true,
-           "hit cluster=" + std::to_string(cid) + " region=reused");
-    for (const char* stage :
-         {"cluster", "claim_commit", "secure_bound", "publish"}) {
-      append(stage, util::StatusCode::kOk, false, "skipped");
-    }
-    run.coordinator.Release(ticket);
-  } else {
-    if (resolved_hit) {
-      append("resolve_reuse", util::StatusCode::kOk, true,
-             "hit cluster=" + std::to_string(cid) + " region=pending");
-      append("cluster", util::StatusCode::kOk, true, "resolved");
-    } else {
-      append("resolve_reuse", util::StatusCode::kOk, true, "miss");
-      append("cluster", util::StatusCode::kOk, true,
-             "cluster=" + std::to_string(cid) +
-                 " members=" + std::to_string(info.members.size()) +
-                 " valid=" + std::to_string(info.valid ? 1 : 0) +
-                 " involved=" + std::to_string(involved));
-    }
-    core::ClaimCommitStage claim_commit;
-    core::SecureBoundStage::Config bound_config;
-    bound_config.dataset = &dataset_;
-    bound_config.policy_factory = &policy_factory_;
-    bound_config.network = run.network.get();
-    // Backoff jitter (if the network ever delays) draws from the request's
-    // private sub-stream, never from shared state.
-    bound_config.jitter_from_context = true;
-    core::SecureBoundStage secure_bound(bound_config);
-    core::PublishStage publish(&run.registry, &secure_bound,
-                               run.network.get());
-    const std::vector<core::Stage*> stages = {&claim_commit, &secure_bound,
-                                              &publish};
-    status = core::RunPipeline(stages, ctx, state);  // releases the ticket
-    {
-      std::lock_guard<std::mutex> lock(run.mu);
-      run.latches[cid].computing = false;
-      run.region_cv.notify_all();
-    }
-  }
-  core::FinalizeDegradation(ctx, &state.outcome);
-
-  record.outcome = std::move(state.outcome);
-  record.trace = ctx.trace().ToString();
-  record.net_stats = ctx.scope().stats();
-  record.wall_ms = timer.ElapsedMillis();
-  return status;
-}
-
 util::Result<BatchResult> BatchDriver::Run() {
-  const uint32_t user_count = dataset_.size();
-  if (config_.requests == 0) {
-    return util::InvalidArgumentError("batch needs at least one request");
-  }
-  if (config_.requests > user_count) {
-    return util::InvalidArgumentError(
-        "request count exceeds the user population");
-  }
+  // The batch driver is the service driver with admission, durability,
+  // chaos, and the watchdog all off: every request is admitted at t=0 with
+  // no deadline, nothing is logged, and no crash can fire -- which reduces
+  // the service loop to exactly the deterministic batch semantics this
+  // header documents.
+  ServiceConfig service_config;
+  service_config.k = config_.k;
+  service_config.requests = config_.requests;
+  service_config.threads = config_.threads;
+  service_config.master_seed = config_.master_seed;
+  service_config.workload_seed = config_.workload_seed;
+  service_config.with_network = config_.with_network;
 
-  RunState run(user_count);
-  if (config_.with_network) {
-    run.network = std::make_unique<net::Network>(user_count);
-  }
-  util::Rng workload_rng(config_.workload_seed);
-  run.hosts = SampleWorkload(user_count, config_.requests, workload_rng);
-  run.tickets.reserve(config_.requests);
-  for (uint32_t i = 0; i < config_.requests; ++i) {
-    run.tickets.push_back(run.coordinator.OpenRequest());
-  }
-  run.records.resize(config_.requests);
-
-  const uint32_t thread_count = std::max(1u, config_.threads);
-  const util::WallTimer wall_timer;
-  auto worker = [&run, this] {
-    while (true) {
-      const uint64_t ordinal =
-          run.next_request.fetch_add(1, std::memory_order_relaxed);
-      if (ordinal >= run.hosts.size()) break;
-      const util::Status status = ProcessRequest(run, ordinal);
-      if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(run.mu);
-        if (run.first_error.ok()) run.first_error = status;
-      }
-    }
-  };
-  // All workers run on the shared fork-join pool; worker identity is
-  // irrelevant (ordinals come from the atomic counter and commits are
-  // serialized by the turnstile), so the digest stays bit-identical at any
-  // thread count.
-  util::ThreadPool pool(thread_count);
-  pool.RunOnAllThreads([&worker](uint32_t) { worker(); });
-  const double wall_seconds = wall_timer.ElapsedSeconds();
-  if (!run.first_error.ok()) return run.first_error;
+  ServiceDriver driver(dataset_, graph_, policy_factory_, service_config);
+  auto service = driver.Run();
+  if (!service.ok()) return service.status();
+  ServiceResult& full = service.value();
 
   BatchResult result;
-  result.records = std::move(run.records);
-  result.wall_seconds = wall_seconds;
-  result.requests_per_sec =
-      static_cast<double>(config_.requests) / std::max(wall_seconds, 1e-9);
-  result.claim_conflicts = run.coordinator.conflicts_observed();
-  result.claim_wounds = run.coordinator.wounds_inflicted();
-  result.speculation_aborts =
-      run.speculation_aborts.load(std::memory_order_relaxed);
-  result.speculation_retries =
-      run.speculation_retries.load(std::memory_order_relaxed);
-
-  // Registry digest + reciprocity audit over the final state.
-  const uint32_t clusters = run.registry.cluster_count();
-  result.clusters_formed = clusters;
-  std::vector<uint32_t> membership_count(user_count, 0);
-  uint64_t digest = kFnvOffset;
-  for (cluster::ClusterId id = 0; id < clusters; ++id) {
-    const cluster::ClusterInfo& info = run.registry.info(id);
-    MixDigest(&digest, info.members.size());
-    for (graph::VertexId member : info.members) {
-      MixDigest(&digest, member);
-      ++membership_count[member];
-    }
-    MixDigest(&digest, info.valid ? 1 : 0);
-    const std::optional<geo::Rect> region = run.registry.RegionOf(id);
-    if (region.has_value()) {
-      MixDigest(&digest, DoubleBits(region->min_x()));
-      MixDigest(&digest, DoubleBits(region->min_y()));
-      MixDigest(&digest, DoubleBits(region->max_x()));
-      MixDigest(&digest, DoubleBits(region->max_y()));
-    } else {
-      MixDigest(&digest, 0xe0e0e0e0ull);
-    }
+  result.records.reserve(full.records.size());
+  for (ServiceRequestRecord& record : full.records) {
+    BatchRequestRecord batch_record;
+    batch_record.host = record.host;
+    batch_record.ordinal = record.ordinal;
+    batch_record.outcome = std::move(record.outcome);
+    batch_record.trace = std::move(record.trace);
+    batch_record.net_stats = record.net_stats;
+    batch_record.wall_ms = record.wall_ms;
+    result.records.push_back(std::move(batch_record));
   }
-  result.registry_digest = digest;
-  result.reciprocity_ok = true;
-  for (uint32_t count : membership_count) {
-    if (count > 1) result.reciprocity_ok = false;
-  }
-
-  std::vector<double> latencies;
-  latencies.reserve(result.records.size());
-  for (const BatchRequestRecord& record : result.records) {
-    latencies.push_back(record.wall_ms);
-  }
-  std::sort(latencies.begin(), latencies.end());
-  result.p50_latency_ms = PercentileMs(latencies, 50.0);
-  result.p99_latency_ms = PercentileMs(latencies, 99.0);
+  result.registry_digest = full.registry_digest;
+  result.reciprocity_ok = full.reciprocity_ok;
+  result.clusters_formed = full.clusters_formed;
+  result.claim_conflicts = full.claim_conflicts;
+  result.claim_wounds = full.claim_wounds;
+  result.speculation_aborts = full.speculation_aborts;
+  result.speculation_retries = full.speculation_retries;
+  result.wall_seconds = full.wall_seconds;
+  result.requests_per_sec = full.requests_per_sec;
+  result.p50_latency_ms = full.p50_latency_ms;
+  result.p99_latency_ms = full.p99_latency_ms;
   return result;
 }
 

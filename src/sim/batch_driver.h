@@ -35,6 +35,10 @@
 //
 // The driver requires a fault-free network (or none): injected loss draws
 // from a shared RNG whose order is scheduling-dependent.
+//
+// Implementation: BatchDriver::Run is a thin facade over sim::ServiceDriver
+// (service_driver.h) with admission, durability, chaos, and the watchdog
+// all disabled -- the execution machinery above lives there.
 
 #ifndef NELA_SIM_BATCH_DRIVER_H_
 #define NELA_SIM_BATCH_DRIVER_H_
@@ -123,10 +127,6 @@ class BatchDriver {
   [[nodiscard]] util::Result<BatchResult> Run();
 
  private:
-  struct RunState;
-
-  [[nodiscard]] util::Status ProcessRequest(RunState& run, uint64_t ordinal);
-
   const data::Dataset& dataset_;
   const graph::Wpg& graph_;
   core::PolicyFactory policy_factory_;

@@ -1,0 +1,244 @@
+// Crash-durable anonymizer service driver: the batch driver's optimistic
+// concurrency machinery (speculation + commit turnstile + region latches),
+// promoted to a long-lived service with
+//
+//  * bounded admission -- requests arrive on a simulated Poisson clock and
+//    pass through a c-server queue (c = worker threads). Requests that find
+//    the queue full are shed with kUnavailable; requests whose simulated
+//    queue wait exceeds the deadline are shed with kDeadlineExceeded. Every
+//    shed produces a structured DegradationReport (finalized exactly once)
+//    and never exposes a coordinate. Admitted requests carry the wait as
+//    simulated backoff so the in-pipeline deadline check still fires.
+//    Admission is computed sequentially up front from the workload seed, so
+//    the shed set is deterministic for a given (config, thread count).
+//  * durability -- with a WAL path configured, every Register/SetRegion is
+//    written ahead through durability::DurableRegistry, and a checkpoint of
+//    the registry is cut every checkpoint_interval turnstile commits. A
+//    crashed run's state is rebuilt by durability::RecoveryManager and the
+//    workload finished via Resume(), which re-submits every request: work
+//    that committed before the crash resolves as reuse, the rest re-executes
+//    with the same per-request RNG sub-streams, so the final registry digest
+//    is bit-identical to an uninterrupted run.
+//  * chaos -- net::FaultPlan::process_crashes schedules process-level
+//    crashes at the commit/WAL/checkpoint points; when one fires the run
+//    halts as a real crash would (workers unwind, unfinished requests are
+//    reported as crash aborts, on-disk state is left exactly as the crash
+//    point dictates -- including a torn WAL record or checkpoint).
+//  * a watchdog -- a worker that stalls while holding claims
+//    (stall_ordinal, test-only) is detected by whichever request its stall
+//    blocks (claim-retry spin or turnstile wait); the detector rolls the
+//    stalled ticket's claims back and re-executes the request inline from a
+//    fresh context, so the result -- and the digest -- is as if the stall
+//    never happened.
+//
+// BatchDriver::Run is a thin facade over this driver with admission,
+// durability, chaos, and the watchdog all disabled; the determinism
+// guarantees documented in batch_driver.h are inherited from here.
+
+#ifndef NELA_SIM_SERVICE_DRIVER_H_
+#define NELA_SIM_SERVICE_DRIVER_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cloaking_engine.h"
+#include "core/policy_factory.h"
+#include "data/dataset.h"
+#include "durability/recovery.h"
+#include "graph/wpg.h"
+#include "net/accounting.h"
+#include "net/fault_plan.h"
+#include "net/network.h"
+#include "util/status.h"
+
+namespace nela::sim {
+
+// Sentinel: no stall injection.
+inline constexpr uint64_t kNoStallOrdinal = ~0ull;
+
+struct ServiceConfig {
+  // --- Workload (same semantics as BatchConfig) --------------------------
+  uint32_t k = 5;
+  uint32_t requests = 64;
+  // Worker threads; 0 behaves as 1. Also the server count c of the
+  // admission queue model.
+  uint32_t threads = 1;
+  uint64_t master_seed = 1;
+  uint64_t workload_seed = 7;
+  bool with_network = true;
+
+  // --- Admission / overload ---------------------------------------------
+  // Mean arrivals per simulated millisecond (Poisson process). 0 disables
+  // the queue model entirely: all requests arrive at t=0 with zero wait and
+  // nothing is shed (the closed-batch mode BatchDriver uses).
+  double offered_rate_per_ms = 0.0;
+  // Simulated per-request service time of the queue model; the sustainable
+  // load is threads / service_time_ms arrivals per ms.
+  double service_time_ms = 1.0;
+  // Waiting-room bound: a request that arrives while this many admitted
+  // requests are queued (arrived, not yet started) is shed with
+  // kUnavailable. 0 = unbounded.
+  uint32_t queue_capacity = 0;
+  // Per-request deadline over simulated time (queue wait + network
+  // latency + backoff). A request whose queue wait alone exceeds it is shed
+  // before execution with kDeadlineExceeded; admitted requests keep the
+  // remainder as their in-pipeline deadline budget. Infinity = no deadline.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+
+  // --- Durability --------------------------------------------------------
+  // Write-ahead log file; empty disables durability.
+  std::string wal_path;
+  // Directory receiving checkpoint-<seq>.ckpt snapshots; empty disables
+  // checkpointing (WAL-only durability).
+  std::string checkpoint_dir;
+  // Cut a checkpoint every this many turnstile commits; 0 disables.
+  uint32_t checkpoint_interval = 0;
+
+  // --- Chaos -------------------------------------------------------------
+  // Network faults (loss/latency/node crashes) plus process_crashes, the
+  // scheduled process-level crash points consumed by this driver.
+  net::FaultPlan fault_plan;
+
+  // --- Watchdog (test-only) ---------------------------------------------
+  // The request with this ordinal parks after speculation, still holding
+  // its claims, and must be rescued by the watchdog path. kNoStallOrdinal
+  // disables injection.
+  uint64_t stall_ordinal = kNoStallOrdinal;
+
+  // Observer for every network message (e.g. the exposure audit); not
+  // owned, may be null.
+  net::TrafficTap* tap = nullptr;
+};
+
+// Why a request was refused at admission.
+enum class ShedCause : uint8_t {
+  kNone = 0,
+  kQueueOverflow,  // waiting room full on arrival
+  kDeadline,       // simulated queue wait exceeded the deadline
+};
+
+struct ServiceRequestRecord {
+  data::UserId host = 0;
+  uint64_t ordinal = 0;
+  // False when the request was shed at admission (outcome then carries the
+  // structured degradation report of the shed).
+  bool admitted = true;
+  ShedCause shed = ShedCause::kNone;
+  // True when a scheduled process crash aborted the request before its
+  // outcome resolved; the report's failure_code is kUnavailable.
+  bool aborted_by_crash = false;
+  // Simulated arrival time and queue wait (both 0 with the queue model
+  // off).
+  double arrival_ms = 0.0;
+  double queue_wait_ms = 0.0;
+  core::CloakingOutcome outcome;
+  std::string trace;
+  net::ScopeStats net_stats;
+  double wall_ms = 0.0;  // scheduling-dependent
+};
+
+struct ServiceResult {
+  // In ordinal order, shed and aborted requests included.
+  std::vector<ServiceRequestRecord> records;
+  // cluster::Registry::Digest() of the final registry.
+  uint64_t registry_digest = 0;
+  bool reciprocity_ok = false;
+  uint32_t clusters_formed = 0;
+
+  // Admission accounting.
+  uint64_t admitted = 0;
+  uint64_t shed_queue_overflow = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t aborted_by_crash = 0;
+  // Simulated queue-wait percentiles over admitted requests.
+  double p50_queue_wait_ms = 0.0;
+  double p99_queue_wait_ms = 0.0;
+
+  // Durability accounting.
+  uint64_t wal_records = 0;
+  uint64_t checkpoints_written = 0;
+  // True when a scheduled process crash halted the run; crash_point names
+  // it. A crashed run returns Ok -- the crash is data, not a driver error.
+  bool crashed = false;
+  std::optional<net::ProcessCrashPoint> crash_point;
+
+  // Watchdog accounting: stalled requests rolled back and re-executed.
+  uint64_t watchdog_requeues = 0;
+
+  // Contention statistics (scheduling-dependent).
+  uint64_t claim_conflicts = 0;
+  uint64_t claim_wounds = 0;
+  uint64_t speculation_aborts = 0;
+  uint64_t speculation_retries = 0;
+
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+class ServiceDriver {
+ public:
+  // `dataset` and `graph` must outlive the driver.
+  ServiceDriver(const data::Dataset& dataset, const graph::Wpg& graph,
+                core::PolicyFactory policy_factory,
+                const ServiceConfig& config);
+
+  // Runs the full workload against a fresh registry (truncating any
+  // existing WAL at config.wal_path). Deterministic digest/traces across
+  // thread counts when the queue model is off (see batch_driver.h); with
+  // the queue model on, the shed set additionally depends on
+  // config.threads (= queue servers).
+  [[nodiscard]] util::Result<ServiceResult> Run();
+
+  // Continues a crashed run from recovered state: re-submits the same
+  // workload against the recovered registry, appending to the existing WAL
+  // (lsn sequence and checkpoint numbering continue where the crash left
+  // off). Requests whose clusters/regions survived the crash resolve as
+  // reuse; the rest re-execute deterministically. Scheduled process crashes
+  // in config.fault_plan remain armed -- clear them before resuming unless
+  // a second crash is intended.
+  [[nodiscard]] util::Result<ServiceResult> Resume(
+      durability::RecoveredState recovered);
+
+ private:
+  struct RunState;
+  struct Admission;
+
+  [[nodiscard]] util::Result<ServiceResult> RunInternal(
+      std::unique_ptr<cluster::Registry> registry, uint64_t next_lsn,
+      bool truncate_wal, uint64_t checkpoint_seq_start);
+
+  // Executes one admitted request end to end. `allow_stall` is false on
+  // watchdog re-execution so a rescued request cannot re-park.
+  [[nodiscard]] util::Status ProcessRequest(RunState& run, uint64_t ordinal,
+                                            bool allow_stall);
+
+  // Rescues one parked request whose commit rank is below `max_rank`
+  // (release its claims, count the requeue, re-execute inline). Returns
+  // true when a rescue ran.
+  bool TryRescue(RunState& run, uint64_t max_rank);
+
+  // Computes the admission schedule (arrivals, waits, sheds) and writes
+  // shed records; fills run.admitted_ordinals / commit ranks.
+  void AdmitWorkload(RunState& run);
+
+  void FillShedRecord(RunState& run, uint64_t ordinal, ShedCause cause,
+                      double arrival_ms, double queue_wait_ms,
+                      uint32_t occupancy);
+  void FillCrashAbortRecord(RunState& run, uint64_t ordinal,
+                            net::ProcessCrashPoint point);
+
+  const data::Dataset& dataset_;
+  const graph::Wpg& graph_;
+  core::PolicyFactory policy_factory_;
+  ServiceConfig config_;
+};
+
+}  // namespace nela::sim
+
+#endif  // NELA_SIM_SERVICE_DRIVER_H_

@@ -1,0 +1,60 @@
+// Shared FNV-1a (64-bit) mixing helpers.
+//
+// One hash, three consumers: cluster::Registry::Digest() (the determinism
+// and recovery-equality fingerprint), the durability WAL/checkpoint record
+// checksums, and the sim drivers' result digests. Keeping the constants and
+// the byte order in one place is what makes "digest equality" a meaningful
+// cross-subsystem statement: a WAL replayed into a fresh registry can be
+// compared bit-for-bit against the pre-crash registry only because both
+// sides fold state through these exact functions.
+
+#ifndef NELA_UTIL_HASH_H_
+#define NELA_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace nela::util {
+
+inline constexpr uint64_t kFnv64Offset = 1469598103934665603ull;
+inline constexpr uint64_t kFnv64Prime = 1099511628211ull;
+
+// Folds the 8 bytes of `value` (least-significant first) into `digest`.
+// Initialize the digest with kFnv64Offset.
+inline void FnvMix64(uint64_t* digest, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    *digest ^= (value >> (8 * i)) & 0xffu;
+    *digest *= kFnv64Prime;
+  }
+}
+
+// FNV-1a over a raw byte range; `seed` chains multi-buffer hashes.
+inline uint64_t FnvHashBytes(const void* data, size_t size,
+                             uint64_t seed = kFnv64Offset) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t digest = seed;
+  for (size_t i = 0; i < size; ++i) {
+    digest ^= bytes[i];
+    digest *= kFnv64Prime;
+  }
+  return digest;
+}
+
+// Bit pattern of a double, for hashing / exact serialization. NaN payloads
+// and signed zeros round-trip unchanged.
+inline uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+inline double DoubleFromBits(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace nela::util
+
+#endif  // NELA_UTIL_HASH_H_

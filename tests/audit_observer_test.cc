@@ -22,6 +22,7 @@
 #include "bounding/secret.h"
 #include "geo/point.h"
 #include "net/network.h"
+#include "util/rng.h"
 
 namespace nela::audit {
 namespace {
@@ -283,6 +284,104 @@ TEST(AdversaryObserverTest, HonestCloakedRegionRunIsClean) {
     const double width = observer.LearnedIntervalWidth(0, peer);
     if (std::isinf(width)) continue;  // peer agreed with first hypotheses
     EXPECT_GE(width, 0.01 - 1e-12) << "peer " << peer;
+  }
+}
+
+// Records every bound-hypothesis value crossing the wire, in send order.
+class HypothesisTap : public net::TrafficTap {
+ public:
+  void OnMessage(const net::Message& message, bool /*delivered*/) override {
+    for (const net::PayloadField& field : message.payload) {
+      if (field.tag == net::FieldTag::kBoundHypothesis) {
+        values_.push_back(field.value);
+      }
+    }
+  }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+TEST(AdversaryObserverTest, OriginJitterDecorrelatesHypothesesFromHost) {
+  const std::vector<geo::Point> points = TestCluster();
+  const geo::Point host = points[0];
+  constexpr double kStep = 0.01;
+  std::vector<net::NodeId> node_ids = {0, 1, 2, 3};
+
+  auto run_and_tap = [&](util::Rng* origin_rng,
+                         std::vector<double>* hypotheses) {
+    net::Network network(static_cast<uint32_t>(points.size()));
+    HypothesisTap tap;
+    network.SetTap(&tap);
+    bounding::NetworkBinding binding;
+    binding.network = &network;
+    binding.host = 0;
+    binding.node_ids = &node_ids;
+    bounding::LinearIncrementPolicy policy(kStep);
+    auto run = bounding::ComputeCloakedRegion(points, host, policy, binding,
+                                              origin_rng);
+    network.SetTap(nullptr);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    *hypotheses = tap.values();
+  };
+
+  // Without jitter the very first hypothesis is host.x + step: an adversary
+  // subtracting the (public) first increment recovers the host coordinate
+  // bit-for-bit. This is the side channel the jitter closes.
+  std::vector<double> plain;
+  run_and_tap(nullptr, &plain);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain.front(), host.x + kStep);
+
+  // With a seeded origin draw, no hypothesis on the wire sits exactly one
+  // increment above any host coordinate form -- the schedule origin no
+  // longer bit-equals the position it protects.
+  std::vector<double> jittered;
+  util::Rng origin_rng(0xA11CEu);
+  run_and_tap(&origin_rng, &jittered);
+  ASSERT_FALSE(jittered.empty());
+  const double host_forms[4] = {host.x, -host.x, host.y, -host.y};
+  for (double value : jittered) {
+    for (double form : host_forms) {
+      EXPECT_NE(value, form + kStep);
+    }
+  }
+
+  // The draw is seeded per request: an identical seed replays the identical
+  // hypothesis schedule, so determinism (and digest stability) survive.
+  std::vector<double> replay;
+  util::Rng replay_rng(0xA11CEu);
+  run_and_tap(&replay_rng, &replay);
+  EXPECT_EQ(replay, jittered);
+
+  // And the jittered run stays clean under the observer with every member
+  // tainted: the widened origin leaks nothing the protocol did not already.
+  {
+    net::Network network(static_cast<uint32_t>(points.size()));
+    TaintSet taint;
+    for (net::NodeId i = 0; i < points.size(); ++i) {
+      taint.TaintPoint(i, points[i]);
+    }
+    ObserverConfig config;
+    config.taint = &taint;
+    AdversaryObserver observer(config);
+    network.SetTap(&observer);
+    bounding::NetworkBinding binding;
+    binding.network = &network;
+    binding.host = 0;
+    binding.node_ids = &node_ids;
+    bounding::LinearIncrementPolicy policy(kStep);
+    util::Rng audit_rng(0xA11CEu);
+    auto run = bounding::ComputeCloakedRegion(points, host, policy, binding,
+                                              &audit_rng);
+    network.SetTap(nullptr);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(observer.clean()) << observer.Report();
+    // The cloaked region still covers the whole cluster.
+    for (const geo::Point& p : points) {
+      EXPECT_TRUE(run.value().region.Contains(p));
+    }
   }
 }
 

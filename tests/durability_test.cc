@@ -1,0 +1,344 @@
+// Tests for the durability subsystem: WAL record framing and torn-tail
+// handling, checkpoint round trips (including torn-checkpoint rejection),
+// and checkpoint+WAL recovery replaying to a bit-identical registry digest
+// -- idempotently across repeated recoveries.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/registry.h"
+#include "durability/checkpoint.h"
+#include "durability/durable_registry.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+#include "geo/rect.h"
+
+namespace nela::durability {
+namespace {
+
+constexpr uint32_t kUsers = 64;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// Applies a small deterministic mutation history through `durable`.
+void ApplyHistory(DurableRegistry& durable) {
+  auto c0 = durable.Register({1, 2, 3, 4, 5}, 0.25, true);
+  ASSERT_TRUE(c0.ok()) << c0.status().ToString();
+  auto c1 = durable.Register({10, 11, 12}, 0.5, false);
+  ASSERT_TRUE(c1.ok()) << c1.status().ToString();
+  ASSERT_TRUE(
+      durable.SetRegion(c0.value(), geo::Rect(0.5, 1.25, 2.5, 4.0)).ok());
+  auto c2 = durable.Register({20, 21, 22, 23, 24, 25}, 0.125, true);
+  ASSERT_TRUE(c2.ok()) << c2.status().ToString();
+  ASSERT_TRUE(
+      durable.SetRegion(c2.value(), geo::Rect(-3.0, -1.0, 0.0, 0.5)).ok());
+}
+
+TEST(WalRecordTest, RegisterRecordRoundTrips) {
+  WalRecord record;
+  record.lsn = 7;
+  record.type = WalRecordType::kRegister;
+  record.members = {3, 1, 4, 1u << 20};
+  record.connectivity = 0.8125;
+  record.valid = false;
+  auto decoded = DecodeWalRecord(EncodeWalRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().lsn, 7u);
+  EXPECT_EQ(decoded.value().type, WalRecordType::kRegister);
+  EXPECT_EQ(decoded.value().members, record.members);
+  EXPECT_EQ(decoded.value().connectivity, 0.8125);
+  EXPECT_FALSE(decoded.value().valid);
+}
+
+TEST(WalRecordTest, SetRegionRecordRoundTripsBitExactly) {
+  WalRecord record;
+  record.lsn = 9;
+  record.type = WalRecordType::kSetRegion;
+  record.cluster_id = 12;
+  record.region = geo::Rect(0.1, -2.75, 0.30000000000000004, 1e300);
+  auto decoded = DecodeWalRecord(EncodeWalRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().cluster_id, 12u);
+  EXPECT_EQ(decoded.value().region, record.region);
+}
+
+TEST(WalRecordTest, TruncatedPayloadIsRejected) {
+  WalRecord record;
+  record.lsn = 1;
+  record.members = {1, 2, 3};
+  const std::string payload = EncodeWalRecord(record);
+  EXPECT_FALSE(DecodeWalRecord(payload.substr(0, payload.size() - 1)).ok());
+}
+
+TEST(WalWriterTest, AppendedRecordsReadBackInOrder) {
+  const std::string path = TempPath("wal_roundtrip.log");
+  {
+    auto writer = WalWriter::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (uint64_t lsn = 1; lsn <= 5; ++lsn) {
+      WalRecord record;
+      record.lsn = lsn;
+      record.members = {static_cast<graph::VertexId>(lsn), 50};
+      ASSERT_TRUE(writer.value()->Append(record).ok());
+    }
+    EXPECT_EQ(writer.value()->records_appended(), 5u);
+  }
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().torn_bytes, 0u);
+  ASSERT_EQ(read.value().records.size(), 5u);
+  for (uint64_t lsn = 1; lsn <= 5; ++lsn) {
+    EXPECT_EQ(read.value().records[lsn - 1].lsn, lsn);
+  }
+}
+
+TEST(WalWriterTest, MissingFileReadsAsEmptyLog) {
+  auto read = ReadWal(TempPath("wal_never_written.log"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().records.empty());
+  EXPECT_EQ(read.value().torn_bytes, 0u);
+}
+
+TEST(WalWriterTest, TornTailIsDetectedTruncatedAndAppendableAgain) {
+  const std::string path = TempPath("wal_torn.log");
+  WalRecord torn;
+  torn.lsn = 4;
+  torn.members = {7, 8, 9};
+  {
+    auto writer = WalWriter::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t lsn = 1; lsn <= 3; ++lsn) {
+      WalRecord record;
+      record.lsn = lsn;
+      record.members = {static_cast<graph::VertexId>(lsn)};
+      ASSERT_TRUE(writer.value()->Append(record).ok());
+    }
+    const size_t frame_size = EncodeWalRecord(torn).size() + 12;
+    ASSERT_TRUE(writer.value()->AppendTorn(torn, frame_size / 2).ok());
+  }
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().records.size(), 3u);
+  EXPECT_GT(read.value().torn_bytes, 0u);
+
+  auto removed = TruncateTornTail(path);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(removed.value(), read.value().torn_bytes);
+
+  // A reopened writer appends after the intact prefix.
+  {
+    auto writer = WalWriter::Open(path, /*truncate=*/false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(torn).ok());
+  }
+  auto reread = ReadWal(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().torn_bytes, 0u);
+  ASSERT_EQ(reread.value().records.size(), 4u);
+  EXPECT_EQ(reread.value().records[3].lsn, 4u);
+}
+
+TEST(CheckpointTest, RegistryImageRoundTripsToIdenticalDigest) {
+  cluster::Registry registry(kUsers);
+  DurableRegistry durable(&registry, nullptr, nullptr, /*next_lsn=*/1);
+  ApplyHistory(durable);
+
+  const std::string path = TempPath("checkpoint_roundtrip.ckpt");
+  const std::string encoded = EncodeCheckpoint(registry, durable.last_lsn());
+  ASSERT_TRUE(WriteCheckpointFile(path, encoded).ok());
+
+  auto image = ReadCheckpoint(path);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image.value().user_count, kUsers);
+  EXPECT_EQ(image.value().covered_lsn, durable.last_lsn());
+  auto restored = RestoreRegistry(image.value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value()->Digest(), registry.Digest());
+}
+
+TEST(CheckpointTest, TornCheckpointIsRejected) {
+  cluster::Registry registry(kUsers);
+  DurableRegistry durable(&registry, nullptr, nullptr, /*next_lsn=*/1);
+  ApplyHistory(durable);
+  const std::string path = TempPath("checkpoint_torn.ckpt");
+  const std::string encoded = EncodeCheckpoint(registry, durable.last_lsn());
+  ASSERT_TRUE(
+      WriteTornCheckpointFile(path, encoded, encoded.size() / 2).ok());
+  EXPECT_FALSE(ReadCheckpoint(path).ok());
+}
+
+TEST(RecoveryTest, WalOnlyReplayRebuildsIdenticalDigest) {
+  const std::string wal_path = TempPath("recovery_wal_only.log");
+  cluster::Registry live(kUsers);
+  {
+    auto wal = WalWriter::Open(wal_path, /*truncate=*/true);
+    ASSERT_TRUE(wal.ok());
+    DurableRegistry durable(&live, wal.value().get(), nullptr, 1);
+    ApplyHistory(durable);
+  }
+
+  RecoveryConfig config;
+  config.wal_path = wal_path;
+  config.user_count = kUsers;
+  RecoveryManager manager(config);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().registry->Digest(), live.Digest());
+  EXPECT_EQ(recovered.value().records_replayed, 5u);
+  EXPECT_EQ(recovered.value().records_skipped, 0u);
+  EXPECT_EQ(recovered.value().next_lsn, 6u);
+
+  // Idempotency: recovering again from the same files yields the same
+  // state, bit for bit.
+  auto again = manager.Recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().registry->Digest(),
+            recovered.value().registry->Digest());
+  EXPECT_EQ(again.value().next_lsn, recovered.value().next_lsn);
+}
+
+TEST(RecoveryTest, CheckpointBoundsReplayAndTornCheckpointFallsBack) {
+  const std::string dir = TempPath("recovery_ckpt_dir");
+  std::filesystem::create_directories(dir);
+  const std::string wal_path = dir + "/service.wal";
+  cluster::Registry live(kUsers);
+  {
+    auto wal = WalWriter::Open(wal_path, /*truncate=*/true);
+    ASSERT_TRUE(wal.ok());
+    DurableRegistry durable(&live, wal.value().get(), nullptr, 1);
+    auto c0 = durable.Register({1, 2, 3}, 0.5, true);
+    ASSERT_TRUE(c0.ok());
+    ASSERT_TRUE(durable.Checkpoint(CheckpointPath(dir, 1)).ok());
+    ASSERT_TRUE(
+        durable.SetRegion(c0.value(), geo::Rect(0.0, 0.0, 1.0, 1.0)).ok());
+    auto c1 = durable.Register({8, 9, 10, 11}, 0.25, true);
+    ASSERT_TRUE(c1.ok());
+    // Newest checkpoint is torn (kMidCheckpoint crash): recovery must fall
+    // back to checkpoint 1 and replay the later records from the WAL.
+    const std::string torn = EncodeCheckpoint(live, durable.last_lsn());
+    ASSERT_TRUE(WriteTornCheckpointFile(CheckpointPath(dir, 2), torn,
+                                        torn.size() / 2)
+                    .ok());
+  }
+
+  RecoveryConfig config;
+  config.wal_path = wal_path;
+  config.checkpoint_dir = dir;
+  config.user_count = kUsers;
+  RecoveryManager manager(config);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().registry->Digest(), live.Digest());
+  EXPECT_EQ(recovered.value().checkpoint_seq, 1u);
+  EXPECT_EQ(recovered.value().max_checkpoint_seq, 2u);
+  EXPECT_EQ(recovered.value().checkpoints_rejected, 1u);
+  EXPECT_EQ(recovered.value().records_skipped, 1u);   // covered by ckpt 1
+  EXPECT_EQ(recovered.value().records_replayed, 2u);  // region + cluster
+}
+
+TEST(RecoveryTest, TornWalTailIsDiscardedOnRecovery) {
+  const std::string wal_path = TempPath("recovery_torn_tail.log");
+  cluster::Registry live(kUsers);
+  {
+    auto wal = WalWriter::Open(wal_path, /*truncate=*/true);
+    ASSERT_TRUE(wal.ok());
+    DurableRegistry durable(&live, wal.value().get(), nullptr, 1);
+    ApplyHistory(durable);
+    // A mid-append crash tears the final record; it was never applied, so
+    // the pre-crash in-memory digest (== `live`) excludes it too.
+    WalRecord torn;
+    torn.lsn = durable.last_lsn() + 1;
+    torn.members = {40, 41, 42};
+    const size_t frame_size = EncodeWalRecord(torn).size() + 12;
+    ASSERT_TRUE(wal.value()->AppendTorn(torn, frame_size / 2).ok());
+  }
+
+  RecoveryConfig config;
+  config.wal_path = wal_path;
+  config.user_count = kUsers;
+  RecoveryManager manager(config);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GT(recovered.value().torn_bytes_discarded, 0u);
+  EXPECT_EQ(recovered.value().registry->Digest(), live.Digest());
+
+  // Idempotent: the tail is already gone on the second pass.
+  auto again = manager.Recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().torn_bytes_discarded, 0u);
+  EXPECT_EQ(again.value().registry->Digest(), live.Digest());
+}
+
+TEST(WalRecordTest, RegisterBatchRecordRoundTrips) {
+  WalRecord record;
+  record.lsn = 11;
+  record.type = WalRecordType::kRegisterBatch;
+  record.clusters.push_back(WalClusterImage{{5, 6, 7}, 0.375, true});
+  record.clusters.push_back(WalClusterImage{{1u << 19, 2}, 0.0625, false});
+  auto decoded = DecodeWalRecord(EncodeWalRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().lsn, 11u);
+  EXPECT_EQ(decoded.value().type, WalRecordType::kRegisterBatch);
+  ASSERT_EQ(decoded.value().clusters.size(), 2u);
+  EXPECT_EQ(decoded.value().clusters[0].members, record.clusters[0].members);
+  EXPECT_EQ(decoded.value().clusters[0].connectivity, 0.375);
+  EXPECT_TRUE(decoded.value().clusters[0].valid);
+  EXPECT_EQ(decoded.value().clusters[1].members, record.clusters[1].members);
+  EXPECT_EQ(decoded.value().clusters[1].connectivity, 0.0625);
+  EXPECT_FALSE(decoded.value().clusters[1].valid);
+}
+
+TEST(RecoveryTest, TornBatchHidesTheWholeCommit) {
+  // One commit registering several clusters must be all-or-nothing: a torn
+  // kRegisterBatch tail leaves no partial group behind, and an intact one
+  // replays every cluster.
+  const std::string wal_path = TempPath("recovery_torn_batch.log");
+  cluster::Registry live(kUsers);
+  std::vector<cluster::ClusterInfo> batch(2);
+  batch[0].members = {30, 31, 32, 33};
+  batch[0].connectivity = 0.75;
+  batch[0].valid = true;
+  batch[1].members = {40, 41, 42};
+  batch[1].connectivity = 0.5;
+  batch[1].valid = true;
+  {
+    auto wal = WalWriter::Open(wal_path, /*truncate=*/true);
+    ASSERT_TRUE(wal.ok());
+    DurableRegistry durable(&live, wal.value().get(), nullptr, 1);
+    ApplyHistory(durable);
+    ASSERT_TRUE(durable.RegisterBatch(batch).ok());
+    // A second batch commit crashes mid-append: torn on disk, not applied.
+    WalRecord torn;
+    torn.lsn = durable.last_lsn() + 1;
+    torn.type = WalRecordType::kRegisterBatch;
+    torn.clusters.push_back(WalClusterImage{{50, 51, 52}, 0.25, true});
+    torn.clusters.push_back(WalClusterImage{{53, 54, 55}, 0.125, true});
+    const size_t frame_size = EncodeWalRecord(torn).size() + 12;
+    ASSERT_TRUE(wal.value()->AppendTorn(torn, frame_size / 2).ok());
+  }
+
+  RecoveryConfig config;
+  config.wal_path = wal_path;
+  config.user_count = kUsers;
+  RecoveryManager manager(config);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GT(recovered.value().torn_bytes_discarded, 0u);
+  // The intact batch replayed whole (both clusters), the torn one not at
+  // all -- no user from the torn group is clustered.
+  EXPECT_EQ(recovered.value().registry->Digest(), live.Digest());
+  EXPECT_TRUE(recovered.value().registry->IsClustered(33));
+  EXPECT_TRUE(recovered.value().registry->IsClustered(42));
+  for (graph::VertexId user : {50u, 51u, 52u, 53u, 54u, 55u}) {
+    EXPECT_FALSE(recovered.value().registry->IsClustered(user));
+  }
+}
+
+}  // namespace
+}  // namespace nela::durability

@@ -71,7 +71,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FixtureCase{"bad_raw_thread.cc", "raw-thread"},
                       FixtureCase{"bad_stdout_io.cc", "stdout-io"},
                       FixtureCase{"bad_untagged_send.cc", "untagged-send"},
-                      FixtureCase{"bad_bare_todo.cc", "bare-todo"}),
+                      FixtureCase{"bad_bare_todo.cc", "bare-todo"},
+                      FixtureCase{"bad_raw_file_io.cc", "raw-file-io"}),
     [](const ::testing::TestParamInfo<FixtureCase>& param_info) {
       std::string name = param_info.param.rule;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -84,7 +85,8 @@ TEST(LintFixtureTest, EveryRuleHasAFixture) {
   for (const FixtureCase& c :
        {FixtureCase{"", "raw-random"}, FixtureCase{"", "raw-time"},
         FixtureCase{"", "raw-thread"}, FixtureCase{"", "stdout-io"},
-        FixtureCase{"", "untagged-send"}, FixtureCase{"", "bare-todo"}}) {
+        FixtureCase{"", "untagged-send"}, FixtureCase{"", "bare-todo"},
+        FixtureCase{"", "raw-file-io"}}) {
     covered.insert(c.rule);
   }
   for (const std::string& rule : RuleNames()) {
@@ -127,6 +129,16 @@ TEST(LintScopingTest, ThreadPoolInternalsMaySpawnThreads) {
   const std::string body = "std::thread worker([]{});\n";
   EXPECT_TRUE(LintFile("src/util/thread_pool.cc", body).empty());
   EXPECT_FALSE(LintFile("tests/some_test.cc", body).empty());
+}
+
+TEST(LintScopingTest, FileIoHomesMayTouchFiles) {
+  const std::string body = "std::FILE* f = fopen(\"x\", \"rb\");\n";
+  EXPECT_TRUE(LintFile("src/durability/wal.cc", body).empty());
+  EXPECT_TRUE(LintFile("src/data/dataset_io.cc", body).empty());
+  EXPECT_TRUE(LintFile("src/util/csv.cc", body).empty());
+  EXPECT_FALSE(LintFile("src/cluster/registry.cc", body).empty());
+  // Tests/tools/bench are not library code; the rule stays out of them.
+  EXPECT_TRUE(LintFile("tests/durability_test.cc", body).empty());
 }
 
 TEST(LintScopingTest, StdoutRuleIsLibraryOnly) {

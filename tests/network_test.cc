@@ -310,6 +310,71 @@ TEST(SendWithRetryTest, SameSeedSameSchedule) {
   EXPECT_EQ(a.second, b.second);
 }
 
+TEST(SendWithRetryTest, JitterHistogramCountsEveryBackoffDraw) {
+  Network network(2);
+  util::Rng loss_rng(11);
+  ASSERT_TRUE(network.SetLossProbability(0.5, &loss_rng).ok());
+  BackoffPolicy policy;
+  policy.max_attempts = 32;
+  util::Rng jitter(3);
+  for (int i = 0; i < 200; ++i) {
+    (void)SendWithRetry(network, 0, 1, MessageKind::kBoundProposal, 16,
+                        policy, &jitter);
+  }
+  const RetryStats stats =
+      network.retry_stats_of(MessageKind::kBoundProposal);
+  // Exactly one histogrammed draw per observed timeout: every failed
+  // attempt backs off, and every backoff draws jitter.
+  EXPECT_EQ(stats.jitter_draws(), stats.timeouts_observed);
+  EXPECT_GT(stats.jitter_draws(), 0u);
+  // A seeded uniform draw over the window spreads across buckets; all mass
+  // in one bucket is the retransmission-synchronization signature jitter
+  // exists to prevent.
+  int occupied = 0;
+  for (uint64_t bucket : stats.jitter_histogram) {
+    if (bucket > 0) ++occupied;
+  }
+  EXPECT_GT(occupied, RetryStats::kJitterBuckets / 2);
+}
+
+TEST(SendWithRetryTest, NoJitterRngMeansNoHistogramDraws) {
+  Network network(2);
+  util::Rng loss_rng(11);
+  ASSERT_TRUE(network.SetLossProbability(1.0, &loss_rng).ok());
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  (void)SendWithRetry(network, 0, 1, MessageKind::kBoundVote, 8, policy,
+                      nullptr);
+  const RetryStats stats = network.retry_stats_of(MessageKind::kBoundVote);
+  EXPECT_EQ(stats.jitter_draws(), 0u);
+  EXPECT_GT(stats.timeouts_observed, 0u);
+}
+
+TEST(SendWithRetryTest, RetryStatsAreBitIdenticalAcrossSeededRuns) {
+  auto run = []() {
+    Network network(2);
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.loss_probability = 0.4;
+    EXPECT_TRUE(network.InstallFaultPlan(plan).ok());
+    BackoffPolicy policy;
+    util::Rng jitter(9);
+    for (int i = 0; i < 100; ++i) {
+      (void)SendWithRetry(network, 0, 1, MessageKind::kControl, 4, policy,
+                          &jitter);
+    }
+    return network.retry_stats_of(MessageKind::kControl);
+  };
+  const RetryStats a = run();
+  const RetryStats b = run();
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.timeouts_observed, b.timeouts_observed);
+  EXPECT_EQ(a.retransmitted_bytes, b.retransmitted_bytes);
+  // Bucket-for-bucket, not just in total: the whole draw sequence replays.
+  EXPECT_EQ(a.jitter_histogram, b.jitter_histogram);
+  EXPECT_EQ(a.jitter_draws(), b.jitter_draws());
+}
+
 class RecordingTap : public TrafficTap {
  public:
   void OnMessage(const Message& message, bool delivered) override {

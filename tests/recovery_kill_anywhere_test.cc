@@ -1,0 +1,207 @@
+// Kill-anywhere chaos coverage: a scheduled process crash at any of the
+// commit-path crash points (pre-commit, mid-WAL-append, post-commit,
+// mid-checkpoint), at any thread count, must leave on-disk state that
+// recovery rebuilds exactly -- and resuming the workload from the recovered
+// registry must converge to the bit-identical digest of a run that never
+// crashed. Recovery itself is idempotent: recovering twice from the same
+// files yields the same registry.
+
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "durability/recovery.h"
+#include "net/fault_plan.h"
+#include "sim/scenario.h"
+#include "sim/service_driver.h"
+#include "util/status.h"
+
+namespace nela::sim {
+namespace {
+
+constexpr uint32_t kRequests = 96;
+
+const Scenario& SharedScenario() {
+  static const Scenario scenario = [] {
+    ScenarioConfig config;
+    config.user_count = 600;
+    config.delta = 0.03;
+    config.seed = 11;
+    auto built = BuildScenario(config);
+    NELA_CHECK(built.ok());
+    return std::move(built).value();
+  }();
+  return scenario;
+}
+
+ServiceConfig DurableConfig(uint32_t threads, const std::string& dir) {
+  ServiceConfig config;
+  config.k = 5;
+  config.requests = kRequests;
+  config.threads = threads;
+  config.master_seed = 99;
+  config.workload_seed = 17;
+  config.wal_path = dir + "/wal.log";
+  config.checkpoint_dir = dir;
+  config.checkpoint_interval = 4;
+  return config;
+}
+
+ServiceResult MustRun(const ServiceConfig& config) {
+  const Scenario& scenario = SharedScenario();
+  const core::BoundingParams params;
+  ServiceDriver driver(scenario.dataset, scenario.graph,
+                       core::MakeSecurePolicyFactory(params), config);
+  auto result = driver.Run();
+  NELA_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+std::string FreshCaseDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "kill_anywhere_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Digest of an uninterrupted run of the same workload. Computed without
+// durability: write-ahead logging is write-through, so it must not change
+// how the registry evolves (RecoverAfterCleanRun pins the durable variant).
+uint64_t UninterruptedDigest() {
+  static const uint64_t digest = [] {
+    ServiceConfig config;
+    config.k = 5;
+    config.requests = kRequests;
+    config.threads = 4;
+    config.master_seed = 99;
+    config.workload_seed = 17;
+    return MustRun(config).registry_digest;
+  }();
+  return digest;
+}
+
+// Recovering right after a clean durable run reproduces the final registry:
+// the WAL and checkpoints together carry the complete state.
+TEST(RecoveryKillAnywhereTest, RecoverAfterCleanRunReproducesFinalState) {
+  const std::string dir = FreshCaseDir("clean");
+  const ServiceResult result = MustRun(DurableConfig(4, dir));
+  ASSERT_FALSE(result.crashed);
+  EXPECT_EQ(result.registry_digest, UninterruptedDigest());
+  EXPECT_GT(result.wal_records, 0u);
+  EXPECT_GT(result.checkpoints_written, 0u);
+
+  durability::RecoveryConfig recovery_config;
+  recovery_config.wal_path = dir + "/wal.log";
+  recovery_config.checkpoint_dir = dir;
+  recovery_config.user_count = SharedScenario().dataset.size();
+  auto recovered =
+      durability::RecoveryManager(recovery_config).Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().registry->Digest(), result.registry_digest);
+  EXPECT_EQ(recovered.value().torn_bytes_discarded, 0u);
+}
+
+struct KillCase {
+  net::ProcessCrashPoint point;
+  uint64_t after_hits;
+};
+
+class KillAnywhereTest
+    : public ::testing::TestWithParam<std::tuple<KillCase, uint32_t>> {};
+
+TEST_P(KillAnywhereTest, CrashRecoverResumeConvergesToUninterruptedDigest) {
+  const KillCase kill = std::get<0>(GetParam());
+  const uint32_t threads = std::get<1>(GetParam());
+  const std::string dir =
+      FreshCaseDir(std::string(net::ProcessCrashPointName(kill.point)) +
+                   "_t" + std::to_string(threads));
+
+  ServiceConfig config = DurableConfig(threads, dir);
+  config.fault_plan.process_crashes.push_back(
+      net::ProcessCrashEvent{kill.point, kill.after_hits});
+  const ServiceResult crashed = MustRun(config);
+  ASSERT_TRUE(crashed.crashed);
+  ASSERT_TRUE(crashed.crash_point.has_value());
+  EXPECT_EQ(*crashed.crash_point, kill.point);
+  // Every admitted request the crash cut short is reported as a structured
+  // abort, never silently dropped.
+  uint64_t aborted = 0;
+  for (const ServiceRequestRecord& record : crashed.records) {
+    if (!record.aborted_by_crash) continue;
+    ++aborted;
+    EXPECT_FALSE(record.outcome.anonymity_satisfied);
+    EXPECT_EQ(record.outcome.degradation.failure_code,
+              util::StatusCode::kUnavailable);
+    EXPECT_EQ(record.outcome.degradation.finalize_count, 1u);
+  }
+  EXPECT_EQ(aborted, crashed.aborted_by_crash);
+  EXPECT_GT(aborted, 0u) << "crash fired too late to abort anything";
+
+  // Recovery is a pure function of the on-disk files: two recoveries agree
+  // bit for bit.
+  durability::RecoveryConfig recovery_config;
+  recovery_config.wal_path = config.wal_path;
+  recovery_config.checkpoint_dir = config.checkpoint_dir;
+  recovery_config.user_count = SharedScenario().dataset.size();
+  const durability::RecoveryManager manager(recovery_config);
+  auto first = manager.Recover();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = manager.Recover();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first.value().registry->Digest(),
+            second.value().registry->Digest());
+  EXPECT_EQ(first.value().next_lsn, second.value().next_lsn);
+  if (kill.point == net::ProcessCrashPoint::kMidWalAppend) {
+    EXPECT_GT(first.value().torn_bytes_discarded, 0u);
+    // The first recovery truncated the torn tail; the second sees a clean
+    // log.
+    EXPECT_EQ(second.value().torn_bytes_discarded, 0u);
+  }
+  if (kill.point == net::ProcessCrashPoint::kMidCheckpoint) {
+    EXPECT_GE(first.value().checkpoints_rejected, 1u);
+  }
+
+  // Resume the same workload on the recovered registry (crash disarmed):
+  // committed work resolves as reuse, the rest re-executes with the same
+  // per-request sub-streams, and the digest converges to the uninterrupted
+  // run's.
+  ServiceConfig resume_config = config;
+  resume_config.fault_plan.process_crashes.clear();
+  const Scenario& scenario = SharedScenario();
+  const core::BoundingParams params;
+  ServiceDriver resumed_driver(scenario.dataset, scenario.graph,
+                               core::MakeSecurePolicyFactory(params),
+                               resume_config);
+  auto resumed = resumed_driver.Resume(std::move(second).value());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed.value().crashed);
+  EXPECT_EQ(resumed.value().registry_digest, UninterruptedDigest())
+      << "resumed digest diverged after a "
+      << net::ProcessCrashPointName(kill.point) << " crash at threads="
+      << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPointsAllThreadCounts, KillAnywhereTest,
+    ::testing::Combine(
+        ::testing::Values(
+            KillCase{net::ProcessCrashPoint::kPreCommit, 5},
+            KillCase{net::ProcessCrashPoint::kMidWalAppend, 5},
+            KillCase{net::ProcessCrashPoint::kPostCommit, 5},
+            KillCase{net::ProcessCrashPoint::kMidCheckpoint, 2}),
+        ::testing::Values(1u, 4u, 8u)),
+    [](const ::testing::TestParamInfo<std::tuple<KillCase, uint32_t>>&
+           param_info) {
+      std::string name =
+          net::ProcessCrashPointName(std::get<0>(param_info.param).point);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_t" + std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace nela::sim

@@ -1,0 +1,260 @@
+// Tests for the crash-durable service driver: bit-identical results with
+// the batch facade in closed-batch mode, deterministic load shedding under
+// sustained overload (structured, non-exposing, audited by the adversary
+// observer), and the watchdog's rescue of a stalled worker.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/observer.h"
+#include "audit/taint.h"
+#include "core/policy_factory.h"
+#include "geo/rect.h"
+#include "sim/batch_driver.h"
+#include "sim/scenario.h"
+#include "sim/service_driver.h"
+#include "util/status.h"
+
+namespace nela::sim {
+namespace {
+
+const Scenario& SharedScenario() {
+  static const Scenario scenario = [] {
+    ScenarioConfig config;
+    config.user_count = 1500;
+    config.delta = 0.02;
+    config.seed = 11;
+    auto built = BuildScenario(config);
+    NELA_CHECK(built.ok());
+    return std::move(built).value();
+  }();
+  return scenario;
+}
+
+ServiceConfig ClosedBatchConfig(uint32_t threads) {
+  ServiceConfig config;
+  config.k = 5;
+  config.requests = 256;
+  config.threads = threads;
+  config.master_seed = 99;
+  config.workload_seed = 17;
+  return config;
+}
+
+std::string ConcatTraces(const std::vector<ServiceRequestRecord>& records) {
+  std::string all;
+  for (const ServiceRequestRecord& record : records) {
+    all += "request " + std::to_string(record.ordinal) + " host=" +
+           std::to_string(record.host) + "\n";
+    all += record.trace;
+  }
+  return all;
+}
+
+ServiceResult MustRun(const ServiceConfig& config) {
+  const Scenario& scenario = SharedScenario();
+  const core::BoundingParams params;
+  ServiceDriver driver(scenario.dataset, scenario.graph,
+                       core::MakeSecurePolicyFactory(params), config);
+  auto result = driver.Run();
+  NELA_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+// With the queue model, durability, chaos, and the watchdog all off, the
+// service driver is the batch driver: same digest, same traces, at every
+// thread count -- and the BatchDriver facade maps its result faithfully.
+TEST(ServiceDriverTest, ClosedBatchMatchesBatchDriverBitForBit) {
+  const Scenario& scenario = SharedScenario();
+  const core::BoundingParams params;
+
+  BatchConfig batch_config;
+  batch_config.k = 5;
+  batch_config.requests = 256;
+  batch_config.threads = 4;
+  batch_config.master_seed = 99;
+  batch_config.workload_seed = 17;
+  BatchDriver batch(scenario.dataset, scenario.graph,
+                    core::MakeSecurePolicyFactory(params), batch_config);
+  auto batch_result = batch.Run();
+  ASSERT_TRUE(batch_result.ok()) << batch_result.status().ToString();
+
+  std::vector<ServiceResult> results;
+  for (uint32_t threads : {1u, 4u, 8u}) {
+    results.push_back(MustRun(ClosedBatchConfig(threads)));
+  }
+
+  const ServiceResult& baseline = results[0];
+  ASSERT_EQ(baseline.records.size(), 256u);
+  EXPECT_EQ(baseline.admitted, 256u);
+  EXPECT_EQ(baseline.shed_queue_overflow, 0u);
+  EXPECT_EQ(baseline.shed_deadline, 0u);
+  EXPECT_TRUE(baseline.reciprocity_ok);
+  EXPECT_EQ(baseline.registry_digest,
+            batch_result.value().registry_digest);
+
+  const std::string baseline_traces = ConcatTraces(baseline.records);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(baseline.registry_digest, results[i].registry_digest)
+        << "digest diverged at thread config " << i;
+    EXPECT_EQ(baseline_traces, ConcatTraces(results[i].records))
+        << "traces diverged at thread config " << i;
+  }
+
+  // The facade's records must be the service driver's, field for field.
+  ASSERT_EQ(batch_result.value().records.size(), results[1].records.size());
+  for (size_t r = 0; r < results[1].records.size(); ++r) {
+    const BatchRequestRecord& from_batch = batch_result.value().records[r];
+    const ServiceRequestRecord& from_service = results[1].records[r];
+    EXPECT_EQ(from_batch.host, from_service.host);
+    EXPECT_EQ(from_batch.trace, from_service.trace);
+    EXPECT_EQ(from_batch.outcome.region, from_service.outcome.region);
+  }
+}
+
+// A light load (a quarter of sustainable) admits everything with small
+// waits: the queue model must not shed or distort an underloaded service.
+TEST(ServiceDriverTest, UnderloadAdmitsEveryRequest) {
+  ServiceConfig config = ClosedBatchConfig(4);
+  config.requests = 128;
+  config.offered_rate_per_ms = 1.0;  // sustainable is 4/ms
+  config.service_time_ms = 1.0;
+  config.queue_capacity = 16;
+  config.deadline_ms = 50.0;
+  const ServiceResult result = MustRun(config);
+  EXPECT_EQ(result.admitted, 128u);
+  EXPECT_EQ(result.shed_queue_overflow, 0u);
+  EXPECT_EQ(result.shed_deadline, 0u);
+  EXPECT_LT(result.p99_queue_wait_ms, 5.0);
+}
+
+// Sustained 2x overload: the service sheds deterministically, every shed is
+// a structured degradation (finalized exactly once, empty region, no
+// coordinate anywhere), the adversary observer sees no exposure, and the
+// admitted requests' queue wait stays bounded by the deadline.
+TEST(ServiceDriverTest, OverloadShedsAreStructuredAndNonExposing) {
+  const Scenario& scenario = SharedScenario();
+
+  audit::TaintSet taint;
+  for (uint32_t u = 0; u < scenario.dataset.size(); ++u) {
+    taint.TaintPoint(u, scenario.dataset.point(u));
+  }
+  audit::ObserverConfig observer_config;
+  observer_config.taint = &taint;
+  audit::AdversaryObserver observer(observer_config);
+
+  ServiceConfig config = ClosedBatchConfig(4);
+  config.requests = 256;
+  config.offered_rate_per_ms = 8.0;  // 2x the sustainable 4/ms
+  config.service_time_ms = 1.0;
+  config.queue_capacity = 16;
+  config.deadline_ms = 3.9;
+  config.tap = &observer;
+  const ServiceResult result = MustRun(config);
+
+  EXPECT_GT(result.shed_queue_overflow, 0u);
+  EXPECT_GT(result.shed_deadline, 0u);
+  EXPECT_GT(result.admitted, 0u);
+  EXPECT_EQ(result.admitted + result.shed_queue_overflow +
+                result.shed_deadline,
+            256u);
+  EXPECT_LE(result.p99_queue_wait_ms, config.deadline_ms);
+
+  for (const ServiceRequestRecord& record : result.records) {
+    const core::DegradationReport& report = record.outcome.degradation;
+    EXPECT_EQ(report.finalize_count, 1u) << "ordinal " << record.ordinal;
+    if (record.admitted) continue;
+    EXPECT_FALSE(record.outcome.anonymity_satisfied);
+    EXPECT_EQ(record.outcome.region, geo::Rect());
+    EXPECT_FALSE(report.failure_reason.empty());
+    EXPECT_FALSE(report.stages.empty());
+    EXPECT_FALSE(record.trace.empty());
+    if (record.shed == ShedCause::kQueueOverflow) {
+      EXPECT_EQ(report.failure_code, util::StatusCode::kUnavailable);
+    } else {
+      ASSERT_EQ(record.shed, ShedCause::kDeadline);
+      EXPECT_EQ(report.failure_code, util::StatusCode::kDeadlineExceeded);
+      EXPECT_GT(record.queue_wait_ms, config.deadline_ms);
+    }
+    // A shed must never name a coordinate: its reason is built from queue
+    // lengths and times only.
+    const geo::Point p = scenario.dataset.point(record.host);
+    EXPECT_EQ(report.failure_reason.find(std::to_string(p.x)),
+              std::string::npos);
+    EXPECT_EQ(report.failure_reason.find(std::to_string(p.y)),
+              std::string::npos);
+  }
+
+  EXPECT_TRUE(observer.clean()) << observer.Report();
+  EXPECT_GT(observer.messages_seen(), 0u);
+
+  // The shed set is a pure function of the config: a second run reproduces
+  // every admission decision and the final digest bit for bit.
+  config.tap = nullptr;
+  const ServiceResult again = MustRun(config);
+  EXPECT_EQ(again.registry_digest, result.registry_digest);
+  ASSERT_EQ(again.records.size(), result.records.size());
+  for (size_t r = 0; r < result.records.size(); ++r) {
+    EXPECT_EQ(again.records[r].admitted, result.records[r].admitted);
+    EXPECT_EQ(again.records[r].shed, result.records[r].shed);
+    EXPECT_EQ(again.records[r].queue_wait_ms,
+              result.records[r].queue_wait_ms);
+  }
+}
+
+// A worker that stalls while holding claims is rolled back and re-executed
+// by the watchdog; the rescued run's digest and traces are bit-identical to
+// a run without the stall, at every thread count.
+TEST(ServiceDriverTest, WatchdogRescuesStalledRequestWithoutDigestDrift) {
+  for (uint32_t threads : {1u, 4u, 8u}) {
+    ServiceConfig config = ClosedBatchConfig(threads);
+    config.requests = 96;
+    const ServiceResult clean = MustRun(config);
+    EXPECT_EQ(clean.watchdog_requeues, 0u);
+
+    config.stall_ordinal = 3;
+    const ServiceResult rescued = MustRun(config);
+    EXPECT_EQ(rescued.watchdog_requeues, 1u) << "threads=" << threads;
+    EXPECT_EQ(rescued.registry_digest, clean.registry_digest)
+        << "threads=" << threads;
+    EXPECT_EQ(ConcatTraces(rescued.records), ConcatTraces(clean.records))
+        << "threads=" << threads;
+    for (const ServiceRequestRecord& record : rescued.records) {
+      EXPECT_EQ(record.outcome.degradation.finalize_count, 1u)
+          << "ordinal " << record.ordinal;
+    }
+  }
+}
+
+TEST(ServiceDriverTest, RejectsInvalidConfigs) {
+  const Scenario& scenario = SharedScenario();
+  const core::BoundingParams params;
+  auto run_with = [&](const ServiceConfig& config) {
+    ServiceDriver driver(scenario.dataset, scenario.graph,
+                         core::MakeSecurePolicyFactory(params), config);
+    return driver.Run();
+  };
+
+  ServiceConfig no_requests = ClosedBatchConfig(1);
+  no_requests.requests = 0;
+  EXPECT_FALSE(run_with(no_requests).ok());
+
+  ServiceConfig zero_service = ClosedBatchConfig(1);
+  zero_service.offered_rate_per_ms = 2.0;
+  zero_service.service_time_ms = 0.0;
+  EXPECT_FALSE(run_with(zero_service).ok());
+
+  ServiceConfig no_checkpoint_dir = ClosedBatchConfig(1);
+  no_checkpoint_dir.checkpoint_interval = 4;  // but no checkpoint_dir
+  EXPECT_FALSE(run_with(no_checkpoint_dir).ok());
+
+  ServiceConfig stall_out_of_range = ClosedBatchConfig(1);
+  stall_out_of_range.stall_ordinal = stall_out_of_range.requests;
+  EXPECT_FALSE(run_with(stall_out_of_range).ok());
+}
+
+}  // namespace
+}  // namespace nela::sim

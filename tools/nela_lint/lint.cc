@@ -184,6 +184,9 @@ struct FileScope {
   bool is_time_home = false;     // src/util/timer.h
   bool is_thread_home = false;   // src/util/thread_pool.*
   bool is_net_internal = false;  // src/net/*
+  // src/durability/* (WAL + checkpoints), src/data/dataset_io.*,
+  // src/util/csv.* -- the only library homes allowed to touch files.
+  bool is_file_io_home = false;
 };
 
 FileScope ClassifyPath(const std::string& path) {
@@ -194,6 +197,9 @@ FileScope ClassifyPath(const std::string& path) {
   scope.is_thread_home =
       path == "src/util/thread_pool.h" || path == "src/util/thread_pool.cc";
   scope.is_net_internal = StartsWith(path, "src/net/");
+  scope.is_file_io_home = StartsWith(path, "src/durability/") ||
+                          StartsWith(path, "src/data/dataset_io.") ||
+                          StartsWith(path, "src/util/csv.");
   return scope;
 }
 
@@ -211,6 +217,7 @@ class FileLinter {
     if (!scope_.is_thread_home) CheckRawThread();
     if (scope_.is_library) CheckStdoutIo();
     if (scope_.is_library && !scope_.is_net_internal) CheckUntaggedSend();
+    if (scope_.is_library && !scope_.is_file_io_home) CheckRawFileIo();
     CheckBareTodo();
     return std::move(findings_);
   }
@@ -443,6 +450,27 @@ class FileLinter {
     return false;
   }
 
+  // File-I/O conventions (DESIGN.md "Durability & recovery"): durable state
+  // is written through the checksummed WAL/checkpoint formats in
+  // src/durability, and the only other library files are the dataset and
+  // CSV writers. Ad-hoc file handling elsewhere in src/ bypasses the
+  // torn-write discipline crash recovery depends on.
+  void CheckRawFileIo() {
+    const char* kMessage =
+        "raw file I/O in library code; durable state goes through "
+        "src/durability (WAL/checkpoint), bulk data through the "
+        "dataset/CSV writers -- move the I/O there or annotate with "
+        "nela-lint: allow(raw-file-io)";
+    for (const char* ident : {"fopen", "freopen", "fwrite", "fread"}) {
+      FlagIdent("raw-file-io", ident, kMessage, /*must_call=*/true);
+    }
+    // Stream types flag as bare identifiers so `#include <fstream>` and
+    // member declarations are caught, not just construction sites.
+    for (const char* ident : {"ifstream", "ofstream", "fstream"}) {
+      FlagIdent("raw-file-io", ident, kMessage);
+    }
+  }
+
   void CheckBareTodo() {
     for (size_t l = 0; l < src_.comment.size(); ++l) {
       const std::string& comment = src_.comment[l];
@@ -491,8 +519,8 @@ std::string NormalizeRelative(const std::filesystem::path& root,
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "raw-random",    "raw-time", "raw-thread",
-      "stdout-io",     "untagged-send", "bare-todo",
+      "raw-random",    "raw-time",  "raw-thread", "stdout-io",
+      "untagged-send", "bare-todo", "raw-file-io",
   };
   return kRules;
 }

@@ -1,0 +1,16 @@
+// Fixture: raw-file-io must fire (library code touching files directly
+// instead of going through src/durability or the dataset/CSV writers).
+#include <cstdio>
+#include <fstream>
+
+namespace nela::fake {
+
+void PersistState(const char* path) {
+  std::FILE* file = fopen(path, "wb");
+  const unsigned char byte = 0;
+  fwrite(&byte, 1, 1, file);
+  std::ofstream mirror("mirror.bin");
+  mirror << byte;
+}
+
+}  // namespace nela::fake
