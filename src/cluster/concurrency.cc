@@ -17,6 +17,14 @@ Ticket ClaimCoordinator::OpenRequest() {
   return ticket;
 }
 
+Ticket ClaimCoordinator::OpenRequestAt(Ticket ticket) {
+  NELA_CHECK_NE(ticket, kNoTicket);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_ticket_ <= ticket) next_ticket_ = ticket + 1;
+  if (wounded_.size() <= ticket) wounded_.resize(ticket + 1, 0);
+  return ticket;
+}
+
 bool ClaimCoordinator::TryClaim(Ticket ticket,
                                 const std::vector<graph::VertexId>& members) {
   NELA_CHECK_NE(ticket, kNoTicket);

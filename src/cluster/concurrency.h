@@ -53,6 +53,15 @@ class ClaimCoordinator {
   // increasing; older tickets win conflicts).
   Ticket OpenRequest();
 
+  // Registers a request under an explicit, caller-assigned ticket. The
+  // sharded service runs one coordinator per shard but needs a GLOBAL
+  // wound-wait priority (the request's admission rank), so every involved
+  // shard's coordinator must see the same ticket for the same request.
+  // Tickets assigned this way must be unique per coordinator and nonzero;
+  // auto-assigned tickets from OpenRequest() continue above the highest
+  // explicit one.
+  Ticket OpenRequestAt(Ticket ticket);
+
   // Attempts to claim every user in `members` for `ticket`, atomically:
   // either all become held by `ticket`, or nothing changes.
   //

@@ -1,0 +1,56 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nela::cluster {
+
+ShardMap::ShardMap(const data::Dataset& dataset, uint32_t shard_count)
+    : shard_count_(shard_count) {
+  NELA_CHECK_GE(shard_count_, 1u);
+  cols_ = static_cast<uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(shard_count_))));
+  rows_ = (shard_count_ + cols_ - 1) / cols_;
+  home_of_.reserve(dataset.size());
+  users_in_.assign(shard_count_, 0);
+  for (const geo::Point& p : dataset.points()) {
+    const ShardId shard = ShardOfPoint(p);
+    home_of_.push_back(shard);
+    ++users_in_[shard];
+  }
+}
+
+ShardId ShardMap::ShardOfPoint(const geo::Point& p) const {
+  auto cell = [](double coordinate, uint32_t cells) {
+    const double scaled = coordinate * static_cast<double>(cells);
+    // Clamp instead of wrapping: a coordinate of exactly 1.0 (or slightly
+    // past the square after float noise) belongs to the border cell.
+    const auto index =
+        static_cast<int64_t>(std::floor(scaled));
+    if (index < 0) return uint32_t{0};
+    if (index >= static_cast<int64_t>(cells)) return cells - 1;
+    return static_cast<uint32_t>(index);
+  };
+  const uint32_t cx = cell(p.x, cols_);
+  const uint32_t cy = cell(p.y, rows_);
+  return std::min(cy * cols_ + cx, shard_count_ - 1);
+}
+
+ShardId ShardMap::OwnerOf(
+    const std::vector<graph::VertexId>& members) const {
+  NELA_CHECK(!members.empty());
+  const graph::VertexId smallest =
+      *std::min_element(members.begin(), members.end());
+  return HomeShardOf(smallest);
+}
+
+bool ShardMap::CrossesShards(
+    const std::vector<graph::VertexId>& members) const {
+  const ShardId owner = OwnerOf(members);
+  for (graph::VertexId member : members) {
+    if (HomeShardOf(member) != owner) return true;
+  }
+  return false;
+}
+
+}  // namespace nela::cluster

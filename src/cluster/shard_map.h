@@ -1,0 +1,87 @@
+// Spatial shard map: the ownership partition of the unit square.
+//
+// The sharded anonymizer splits the normalized dataset domain [0,1]^2 into
+// a grid of K shards. Every user has a *home shard* -- the grid cell its
+// coordinate falls into -- and every cluster has an *owner shard*, defined
+// as the home shard of its smallest member id. Both functions depend only
+// on the dataset and K, never on execution order, which is what keeps the
+// per-shard registry digests deterministic across thread counts and the
+// global digest independent of K: the partition relabels ownership, it
+// never changes what gets clustered.
+//
+// Grid geometry: cols = ceil(sqrt(K)), rows = ceil(K / cols); cell indexes
+// past K-1 (possible only for non-square K) are clamped onto the last
+// shard. K in {1, 4, 16} -- the counts the determinism matrix exercises --
+// tile exactly.
+//
+// The owner-of-a-cluster rule deliberately uses the minimum member rather
+// than, say, the host that formed the cluster: a cluster's membership is
+// immutable and sorted, so ownership is a pure function of the committed
+// registry state and can be recomputed identically by recovery, by the
+// digest walk, and by every thread.
+
+#ifndef NELA_CLUSTER_SHARD_MAP_H_
+#define NELA_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/point.h"
+#include "graph/wpg.h"
+#include "util/check.h"
+
+namespace nela::cluster {
+
+// Dense shard index, 0-based.
+using ShardId = uint32_t;
+inline constexpr ShardId kNoShard = 0xffffffffu;
+
+class ShardMap {
+ public:
+  // Precomputes every user's home shard from its dataset coordinate.
+  // Coordinates are expected in (or near) the unit square; out-of-range
+  // points clamp to the border cells. Requires shard_count >= 1.
+  ShardMap(const data::Dataset& dataset, uint32_t shard_count);
+
+  ShardMap(const ShardMap&) = delete;
+  ShardMap& operator=(const ShardMap&) = delete;
+
+  uint32_t shard_count() const { return shard_count_; }
+  uint32_t user_count() const {
+    return static_cast<uint32_t>(home_of_.size());
+  }
+  uint32_t grid_cols() const { return cols_; }
+  uint32_t grid_rows() const { return rows_; }
+
+  ShardId HomeShardOf(data::UserId user) const {
+    NELA_CHECK_LT(user, home_of_.size());
+    return home_of_[user];
+  }
+
+  // Grid cell of an arbitrary point (clamped onto the grid).
+  ShardId ShardOfPoint(const geo::Point& p) const;
+
+  // Owner shard of a cluster: the home shard of its minimum member.
+  ShardId OwnerOf(const std::vector<graph::VertexId>& members) const;
+
+  // True when some member's home shard differs from the owner shard --
+  // the cluster straddles a shard boundary.
+  bool CrossesShards(const std::vector<graph::VertexId>& members) const;
+
+  uint32_t users_in(ShardId shard) const {
+    NELA_CHECK_LT(shard, shard_count_);
+    return users_in_[shard];
+  }
+
+ private:
+  uint32_t shard_count_;
+  uint32_t cols_;
+  uint32_t rows_;
+  std::vector<ShardId> home_of_;
+  std::vector<uint32_t> users_in_;
+};
+
+}  // namespace nela::cluster
+
+#endif  // NELA_CLUSTER_SHARD_MAP_H_

@@ -1,0 +1,110 @@
+#include "cluster/sharded_registry.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace nela::cluster {
+
+namespace {
+
+// Folds one cluster's fields in exactly Registry::Digest()'s order. The
+// no-region sentinel must match the registry's.
+void MixCluster(uint64_t* digest, const ClusterInfo& info,
+                const std::optional<geo::Rect>& region) {
+  util::FnvMix64(digest, info.members.size());
+  for (graph::VertexId member : info.members) {
+    util::FnvMix64(digest, member);
+  }
+  util::FnvMix64(digest, info.valid ? 1 : 0);
+  if (region.has_value()) {
+    util::FnvMix64(digest, util::DoubleBits(region->min_x()));
+    util::FnvMix64(digest, util::DoubleBits(region->min_y()));
+    util::FnvMix64(digest, util::DoubleBits(region->max_x()));
+    util::FnvMix64(digest, util::DoubleBits(region->max_y()));
+  } else {
+    util::FnvMix64(digest, 0xe0e0e0e0ull);
+  }
+}
+
+}  // namespace
+
+ShardedRegistry::ShardedRegistry(uint32_t user_count, const ShardMap* map)
+    : registry_(std::make_unique<Registry>(user_count)), map_(map) {
+  NELA_CHECK(map_ != nullptr);
+  NELA_CHECK_EQ(map_->user_count(), user_count);
+}
+
+ShardedRegistry::ShardedRegistry(std::unique_ptr<Registry> registry,
+                                 const ShardMap* map)
+    : registry_(std::move(registry)), map_(map) {
+  NELA_CHECK(registry_ != nullptr);
+  NELA_CHECK(map_ != nullptr);
+  NELA_CHECK_EQ(map_->user_count(), registry_->user_count());
+}
+
+ShardId ShardedRegistry::OwnerOf(ClusterId id) const {
+  return map_->OwnerOf(registry_->info(id).members);
+}
+
+std::vector<ClusterId> ShardedRegistry::OwnedBy(ShardId shard) const {
+  NELA_CHECK_LT(shard, shard_count());
+  std::vector<ClusterId> owned;
+  const uint32_t clusters = registry_->cluster_count();
+  for (ClusterId id = 0; id < clusters; ++id) {
+    if (OwnerOf(id) == shard) owned.push_back(id);
+  }
+  return owned;
+}
+
+uint32_t ShardedRegistry::CrossShardClusterCount() const {
+  uint32_t crossing = 0;
+  const uint32_t clusters = registry_->cluster_count();
+  for (ClusterId id = 0; id < clusters; ++id) {
+    if (map_->CrossesShards(registry_->info(id).members)) ++crossing;
+  }
+  return crossing;
+}
+
+uint64_t ShardedRegistry::ShardDigest(ShardId shard) const {
+  NELA_CHECK_LT(shard, shard_count());
+  uint64_t digest = util::kFnv64Offset;
+  const uint32_t clusters = registry_->cluster_count();
+  for (ClusterId id = 0; id < clusters; ++id) {
+    if (OwnerOf(id) != shard) continue;
+    util::FnvMix64(&digest, id);
+    MixCluster(&digest, registry_->info(id), registry_->RegionOf(id));
+  }
+  return digest;
+}
+
+uint64_t ShardedRegistry::ConcatenatedDigest() const {
+  // Gather each shard's slice, then merge the slices back into global
+  // commit order (slices are ascending, so a K-way min-merge reproduces
+  // 0..N-1 exactly when -- and only when -- ownership partitions the
+  // registry).
+  const uint32_t shards = shard_count();
+  std::vector<std::vector<ClusterId>> slices;
+  slices.reserve(shards);
+  for (ShardId s = 0; s < shards; ++s) slices.push_back(OwnedBy(s));
+
+  uint64_t digest = util::kFnv64Offset;
+  std::vector<size_t> cursor(shards, 0);
+  const uint32_t clusters = registry_->cluster_count();
+  for (uint32_t taken = 0; taken < clusters; ++taken) {
+    ShardId best = kNoShard;
+    for (ShardId s = 0; s < shards; ++s) {
+      if (cursor[s] >= slices[s].size()) continue;
+      if (best == kNoShard ||
+          slices[s][cursor[s]] < slices[best][cursor[best]]) {
+        best = s;
+      }
+    }
+    NELA_CHECK_NE(best, kNoShard);
+    const ClusterId id = slices[best][cursor[best]++];
+    MixCluster(&digest, registry_->info(id), registry_->RegionOf(id));
+  }
+  return digest;
+}
+
+}  // namespace nela::cluster

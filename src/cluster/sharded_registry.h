@@ -1,0 +1,90 @@
+// Shard-sliced view of the cluster registry.
+//
+// The sharded service keeps ONE authoritative cluster::Registry -- the
+// execution substrate every clusterer, stage, and digest already speaks --
+// and layers the ownership partition on top of it: each cluster belongs to
+// the shard the ShardMap assigns (home shard of its minimum member), and a
+// shard's *slice* is the subsequence of clusters it owns, in global commit
+// order.
+//
+// Why a view instead of K physical registries: clustering is a global
+// computation (a candidate set near a boundary reaches into neighboring
+// shards' populations), and the determinism contract demands that the
+// global registry evolve bit-identically whatever K is. Splitting the
+// membership store physically would force cross-shard commits through a
+// distributed transaction just to keep cluster ids globally ordered. The
+// partition that matters for scaling -- claim coordination, WAL streams,
+// admission queues -- is by ownership, and ownership is a pure function of
+// (ShardMap, committed members), so the slices can always be recomputed
+// from the single store. The digest identities the tests assert:
+//
+//   GlobalDigest()                  == Registry::Digest() (trivially)
+//   ConcatenatedDigest()            == fold of the K slices merged back
+//                                      into commit order; equal to the
+//                                      global digest for every K, which is
+//                                      the shard-count-invariance proof
+//   ShardDigest(s)                  == FNV over shard s's slice (global
+//                                      ids included), bit-identical across
+//                                      thread counts for fixed seed and K
+//
+// Thread safety: all reads go through the underlying registry's locked
+// accessors; the view itself holds no mutable state.
+
+#ifndef NELA_CLUSTER_SHARDED_REGISTRY_H_
+#define NELA_CLUSTER_SHARDED_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/registry.h"
+#include "cluster/shard_map.h"
+
+namespace nela::cluster {
+
+class ShardedRegistry {
+ public:
+  // Builds the view over a fresh registry. `map` must outlive the view.
+  ShardedRegistry(uint32_t user_count, const ShardMap* map);
+  // Adopts an existing registry (recovery hands one over).
+  ShardedRegistry(std::unique_ptr<Registry> registry, const ShardMap* map);
+
+  ShardedRegistry(const ShardedRegistry&) = delete;
+  ShardedRegistry& operator=(const ShardedRegistry&) = delete;
+
+  Registry* global() { return registry_.get(); }
+  const Registry& global() const { return *registry_; }
+  const ShardMap& map() const { return *map_; }
+  uint32_t shard_count() const { return map_->shard_count(); }
+
+  // Owner shard of a committed cluster (home shard of its min member).
+  ShardId OwnerOf(ClusterId id) const;
+
+  // Cluster ids owned by `shard`, ascending (= global commit order).
+  std::vector<ClusterId> OwnedBy(ShardId shard) const;
+
+  // Number of committed clusters whose members span more than one shard.
+  uint32_t CrossShardClusterCount() const;
+
+  // FNV-1a over shard `shard`'s slice: for each owned cluster in global
+  // commit order, the global cluster id followed by the same per-cluster
+  // fields Registry::Digest() folds (member count, members, validity,
+  // region bit patterns or the no-region sentinel).
+  uint64_t ShardDigest(ShardId shard) const;
+
+  // Registry::Digest() of the underlying store.
+  uint64_t GlobalDigest() const { return registry_->Digest(); }
+
+  // Recomputes the global digest by walking the K shard slices merged back
+  // into global commit order -- the "concatenation" of the slices. Equals
+  // GlobalDigest() iff the slices partition the registry, for any K.
+  uint64_t ConcatenatedDigest() const;
+
+ private:
+  std::unique_ptr<Registry> registry_;
+  const ShardMap* map_;
+};
+
+}  // namespace nela::cluster
+
+#endif  // NELA_CLUSTER_SHARDED_REGISTRY_H_

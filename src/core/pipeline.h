@@ -31,6 +31,17 @@
 
 namespace nela::core {
 
+// Shard placement facts for one request, resolved by the sharded service
+// router before the pipeline runs. Single-shard drivers keep the defaults,
+// and stages only surface these facts when shard_count > 1, so a K=1 run's
+// traces stay byte-identical with an unsharded run's.
+struct ShardContext {
+  uint32_t shard_count = 1;
+  uint32_t home_shard = 0;   // shard owning the host's location
+  uint32_t owner_shard = 0;  // shard owning the resulting cluster
+  bool cross_shard = false;  // cluster members span more than one shard
+};
+
 // Mutable state shared by the stages of one request.
 struct PipelineState {
   data::UserId host = 0;
@@ -44,6 +55,8 @@ struct PipelineState {
   // RunPipeline releases any ticket still held when the walk ends.
   cluster::ClaimCoordinator* coordinator = nullptr;
   cluster::Ticket ticket = cluster::kNoTicket;
+  // Shard placement of this request; defaults mean "unsharded".
+  ShardContext shard;
   // Set by a stage that finished (or degraded) the request early; the
   // remaining stages are skipped and recorded as ran = false.
   bool done = false;

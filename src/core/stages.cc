@@ -99,6 +99,15 @@ util::Status ClaimCommitStage::Run(RequestContext& ctx, PipelineState& state,
   }
   record.detail =
       "members=" + std::to_string(state.cluster_info->members.size());
+  if (state.shard.shard_count > 1) {
+    // Shard placement is itself deterministic (a pure function of the
+    // dataset and the committed membership), so surfacing it keeps traces
+    // bit-identical across thread counts; guarded so unsharded runs keep
+    // their historical trace bytes.
+    record.detail += " home=" + std::to_string(state.shard.home_shard) +
+                     " owner=" + std::to_string(state.shard.owner_shard);
+    if (state.shard.cross_shard) record.detail += " cross-shard";
+  }
   return util::Status::Ok();
 }
 

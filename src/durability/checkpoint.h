@@ -35,6 +35,23 @@ struct CheckpointImage {
   std::vector<cluster::ClusterInfo> clusters;
 };
 
+// One cluster of a per-shard checkpoint: shard streams see only the
+// clusters their shard's commits logged, so stream position cannot imply
+// the global id -- it is stored explicitly (mirroring
+// WalRecordType::kShardRegisterBatch).
+struct ShardCheckpointCluster {
+  cluster::ClusterId id = 0;
+  cluster::ClusterInfo info;
+};
+
+// Checkpoint of one shard's slice at a known position of ITS OWN WAL
+// stream; the (id, cluster) pairs are ascending by global id.
+struct ShardCheckpointImage {
+  uint32_t user_count = 0;
+  uint64_t covered_lsn = 0;
+  std::vector<ShardCheckpointCluster> clusters;
+};
+
 // Path of checkpoint number `seq` inside `dir`.
 std::string CheckpointPath(const std::string& dir, uint64_t seq);
 
@@ -58,6 +75,15 @@ std::string EncodeCheckpoint(const cluster::Registry& registry,
 
 // Parses and checksum-verifies one checkpoint file.
 util::Result<CheckpointImage> ReadCheckpoint(const std::string& path);
+
+// Serializes one shard's slice (distinct magic from whole-registry
+// checkpoints, same framing/trailer-checksum discipline; write with
+// WriteCheckpointFile / WriteTornCheckpointFile).
+std::string EncodeShardCheckpoint(const ShardCheckpointImage& image);
+
+// Parses and checksum-verifies one per-shard checkpoint file.
+util::Result<ShardCheckpointImage> ReadShardCheckpoint(
+    const std::string& path);
 
 // Rebuilds a registry from a checkpoint image through the public Register/
 // SetRegion API (cluster ids are assigned sequentially, matching the

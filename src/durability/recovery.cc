@@ -119,6 +119,12 @@ util::Result<RecoveredState> RecoveryManager::Recover() const {
         }
         break;
       }
+      case WalRecordType::kShardRegisterBatch:
+        // Shard streams carry explicit global ids and are replayed by
+        // RecoverShard; one leaking into a single-stream log means the
+        // wrong recovery path was pointed at a sharded layout.
+        return util::InvalidArgumentError(
+            "shard batch record in a single-stream WAL; use RecoverShard");
     }
     ++state.records_replayed;
   }

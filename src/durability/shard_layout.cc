@@ -1,0 +1,37 @@
+#include "durability/shard_layout.h"
+
+#include <filesystem>
+
+namespace nela::durability {
+
+std::string ShardDirName(uint32_t shard) {
+  return "shard-" + std::to_string(shard);
+}
+
+std::string ShardDir(const std::string& base_dir, uint32_t shard) {
+  return base_dir + "/" + ShardDirName(shard);
+}
+
+std::string ShardWalPath(const std::string& base_dir, uint32_t shard) {
+  return ShardDir(base_dir, shard) + "/wal.log";
+}
+
+std::string ShardCheckpointDir(const std::string& base_dir, uint32_t shard) {
+  return ShardDir(base_dir, shard);
+}
+
+util::Status EnsureShardDirs(const std::string& base_dir,
+                             uint32_t shard_count) {
+  for (uint32_t shard = 0; shard < shard_count; ++shard) {
+    std::error_code error;
+    std::filesystem::create_directories(ShardDir(base_dir, shard), error);
+    if (error) {
+      return util::UnavailableError("cannot create shard directory " +
+                                    ShardDir(base_dir, shard) + ": " +
+                                    error.message());
+    }
+  }
+  return util::Status();
+}
+
+}  // namespace nela::durability

@@ -1,0 +1,47 @@
+// On-disk layout of the sharded durability state.
+//
+// A sharded service run owns one base directory; shard s keeps its entire
+// durable state -- WAL and checkpoints -- under the subdirectory
+// "shard-<s>":
+//
+//   <base>/shard-0/wal.log
+//   <base>/shard-0/checkpoint-<seq>.ckpt
+//   <base>/shard-1/wal.log
+//   ...
+//
+// These helpers are the ONLY sanctioned way to spell those paths: the
+// `shard-path` nela_lint rule flags any other code constructing a
+// "shard-" path component, so a layout change stays a one-file edit and no
+// caller can bypass the per-shard recovery contract by writing into a
+// sibling shard's directory.
+
+#ifndef NELA_DURABILITY_SHARD_LAYOUT_H_
+#define NELA_DURABILITY_SHARD_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace nela::durability {
+
+// Directory name of shard `shard` ("shard-<shard>").
+std::string ShardDirName(uint32_t shard);
+
+// "<base>/shard-<shard>" -- the shard's durable-state directory.
+std::string ShardDir(const std::string& base_dir, uint32_t shard);
+
+// "<base>/shard-<shard>/wal.log" -- the shard's WAL stream.
+std::string ShardWalPath(const std::string& base_dir, uint32_t shard);
+
+// Directory that receives shard `shard`'s checkpoint-<seq>.ckpt files
+// (the shard directory itself; combine with CheckpointPath()).
+std::string ShardCheckpointDir(const std::string& base_dir, uint32_t shard);
+
+// Creates <base>/shard-<s> for every s in [0, shard_count).
+[[nodiscard]] util::Status EnsureShardDirs(const std::string& base_dir,
+                                           uint32_t shard_count);
+
+}  // namespace nela::durability
+
+#endif  // NELA_DURABILITY_SHARD_LAYOUT_H_

@@ -108,6 +108,19 @@ std::string EncodeWalRecord(const WalRecord& record) {
       }
       break;
     }
+    case WalRecordType::kShardRegisterBatch: {
+      PutU32(&payload, record.first_cluster_id);
+      PutU32(&payload, static_cast<uint32_t>(record.clusters.size()));
+      for (const WalClusterImage& image : record.clusters) {
+        PutU32(&payload, static_cast<uint32_t>(image.members.size()));
+        for (graph::VertexId member : image.members) {
+          PutU32(&payload, member);
+        }
+        PutU64(&payload, util::DoubleBits(image.connectivity));
+        PutU8(&payload, image.valid ? 1 : 0);
+      }
+      break;
+    }
   }
   return payload;
 }
@@ -183,6 +196,43 @@ util::Result<WalRecord> DecodeWalRecord(const std::string& payload) {
         uint8_t valid = 0;
         if (!reader.TakeU64(&connectivity_bits) || !reader.TakeU8(&valid)) {
           return util::InvalidArgumentError("WAL batch payload truncated");
+        }
+        image.connectivity = util::DoubleFromBits(connectivity_bits);
+        image.valid = valid != 0;
+        record.clusters.push_back(std::move(image));
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kShardRegisterBatch): {
+      record.type = WalRecordType::kShardRegisterBatch;
+      uint32_t cluster_count = 0;
+      if (!reader.TakeU32(&record.first_cluster_id) ||
+          !reader.TakeU32(&cluster_count)) {
+        return util::InvalidArgumentError(
+            "WAL shard batch payload truncated");
+      }
+      record.clusters.reserve(cluster_count);
+      for (uint32_t c = 0; c < cluster_count; ++c) {
+        WalClusterImage image;
+        uint32_t member_count = 0;
+        if (!reader.TakeU32(&member_count)) {
+          return util::InvalidArgumentError(
+              "WAL shard batch payload truncated");
+        }
+        image.members.reserve(member_count);
+        for (uint32_t i = 0; i < member_count; ++i) {
+          uint32_t member = 0;
+          if (!reader.TakeU32(&member)) {
+            return util::InvalidArgumentError(
+                "WAL shard batch member list truncated");
+          }
+          image.members.push_back(member);
+        }
+        uint64_t connectivity_bits = 0;
+        uint8_t valid = 0;
+        if (!reader.TakeU64(&connectivity_bits) || !reader.TakeU8(&valid)) {
+          return util::InvalidArgumentError(
+              "WAL shard batch payload truncated");
         }
         image.connectivity = util::DoubleFromBits(connectivity_bits);
         image.valid = valid != 0;

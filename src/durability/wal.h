@@ -17,6 +17,10 @@
 //              bits]
 //              kRegisterBatch: [u32 cluster_count] then per cluster
 //              [u32 n][n x u32 member][u64 connectivity_bits][u8 valid]
+//              kShardRegisterBatch: [u32 first_cluster_id]
+//              [u32 cluster_count] then per cluster the kRegisterBatch
+//              cluster image; cluster c of the batch has global id
+//              first_cluster_id + c
 //
 // Appends are serialized on an internal mutex, so a crash can tear at most
 // the final record; ReadWal stops at the first length/checksum mismatch and
@@ -30,6 +34,15 @@
 // siblings missing, and a resumed workload would rebuild them differently.
 // Batching the group into a single checksummed record makes the torn-tail
 // rule ("at most the final record is lost") coincide with commit atomicity.
+//
+// kShardRegisterBatch is the sharded-service variant: with K WAL streams
+// (one per shard) a stream sees only the commits its shard coordinated, so
+// replay cannot infer global cluster ids from stream position -- the
+// record carries the batch's first global id explicitly. One commit still
+// lands in exactly ONE stream (the coordinating shard's), preserving the
+// torn-tail-equals-commit-atomicity property per stream; per-stream
+// kSetRegion records always follow their cluster's batch in the same
+// stream, so each shard's slice replays from its own files alone.
 
 #ifndef NELA_DURABILITY_WAL_H_
 #define NELA_DURABILITY_WAL_H_
@@ -52,6 +65,7 @@ enum class WalRecordType : uint8_t {
   kRegister = 1,
   kSetRegion = 2,
   kRegisterBatch = 3,
+  kShardRegisterBatch = 4,
 };
 
 // One cluster inside a kRegisterBatch record.
@@ -71,9 +85,12 @@ struct WalRecord {
   // kSetRegion fields.
   cluster::ClusterId cluster_id = 0;
   geo::Rect region;
-  // kRegisterBatch fields: the clusters of one atomic commit, in
-  // registration order.
+  // kRegisterBatch / kShardRegisterBatch fields: the clusters of one
+  // atomic commit, in registration order.
   std::vector<WalClusterImage> clusters;
+  // kShardRegisterBatch only: the global cluster id of clusters[0]; the
+  // rest of the batch follows consecutively.
+  cluster::ClusterId first_cluster_id = 0;
 };
 
 // Serializes the payload (without the [len][checksum] frame).

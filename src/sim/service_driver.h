@@ -34,6 +34,12 @@
 // BatchDriver::Run is a thin facade over this driver with admission,
 // durability, chaos, and the watchdog all disabled; the determinism
 // guarantees documented in batch_driver.h are inherited from here.
+//
+// Since the sharding refactor the machinery itself lives in
+// ShardedServiceDriver (sharded_service_driver.h); this class is the
+// single-shard facade, pinning K=1 and the classic single-file WAL so its
+// on-disk format, digests, and traces stay byte-compatible with what they
+// were before shards existed.
 
 #ifndef NELA_SIM_SERVICE_DRIVER_H_
 #define NELA_SIM_SERVICE_DRIVER_H_
@@ -206,33 +212,6 @@ class ServiceDriver {
       durability::RecoveredState recovered);
 
  private:
-  struct RunState;
-  struct Admission;
-
-  [[nodiscard]] util::Result<ServiceResult> RunInternal(
-      std::unique_ptr<cluster::Registry> registry, uint64_t next_lsn,
-      bool truncate_wal, uint64_t checkpoint_seq_start);
-
-  // Executes one admitted request end to end. `allow_stall` is false on
-  // watchdog re-execution so a rescued request cannot re-park.
-  [[nodiscard]] util::Status ProcessRequest(RunState& run, uint64_t ordinal,
-                                            bool allow_stall);
-
-  // Rescues one parked request whose commit rank is below `max_rank`
-  // (release its claims, count the requeue, re-execute inline). Returns
-  // true when a rescue ran.
-  bool TryRescue(RunState& run, uint64_t max_rank);
-
-  // Computes the admission schedule (arrivals, waits, sheds) and writes
-  // shed records; fills run.admitted_ordinals / commit ranks.
-  void AdmitWorkload(RunState& run);
-
-  void FillShedRecord(RunState& run, uint64_t ordinal, ShedCause cause,
-                      double arrival_ms, double queue_wait_ms,
-                      uint32_t occupancy);
-  void FillCrashAbortRecord(RunState& run, uint64_t ordinal,
-                            net::ProcessCrashPoint point);
-
   const data::Dataset& dataset_;
   const graph::Wpg& graph_;
   core::PolicyFactory policy_factory_;

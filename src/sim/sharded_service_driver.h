@@ -1,0 +1,173 @@
+// Spatially sharded anonymizer service: the crash-durable service driver's
+// machinery (admission, speculation + commit turnstile, region latches,
+// durability, chaos, watchdog) generalized to K spatial shards that each
+// own a registry slice, a wound-wait claim coordinator, and a WAL/
+// checkpoint stream.
+//
+//  * Routing -- a cluster::ShardMap grid partitions the unit square; every
+//    request is routed to the home shard of its host deterministically
+//    (a pure function of the dataset and K, never of execution order).
+//  * Admission -- arrivals come from ONE global Poisson clock but queue in
+//    per-shard bounded c-server queues (worker threads are distributed
+//    across shards as servers, floor one per shard). Sheds are computed
+//    sequentially up front, so the shed set is a function of (config,
+//    thread count, K). With K=1 the model reduces exactly to
+//    ServiceDriver's single queue.
+//  * Claims -- one wound-wait ClaimCoordinator per shard arbitrates the
+//    users homed there, all sharing the GLOBAL admission-rank priority
+//    (ClaimCoordinator::OpenRequestAt). A candidate touching several
+//    shards is claimed home-shard-first, then ascending foreign shards;
+//    any failure releases everything and retries -- the cross-shard claim
+//    handoff. The globally oldest request succeeds everywhere (wound-wait
+//    has no one older to block it), so the handoff is deadlock-free
+//    without any global lock.
+//  * Commit -- a single global turnstile serializes commits in admission
+//    order for every K, which is why the final registry digest is
+//    INDEPENDENT of the shard count: sharding relabels ownership and
+//    arbitration, never what gets clustered (see sharded_registry.h).
+//  * Durability -- with a durability directory configured, each turnstile
+//    commit is logged as one atomic record to the coordinating (home)
+//    shard's WAL stream and checkpoints are cut per shard
+//    (durability::ShardedDurableRegistry); recovery is per shard and
+//    parallel (durability::RecoverAllShards). With shards=1 a classic
+//    single-file WAL (ServiceConfig::wal_path) is also supported, byte-
+//    compatible with ServiceDriver's.
+//
+// ServiceDriver is a thin facade over this driver with shards=1.
+
+#ifndef NELA_SIM_SHARDED_SERVICE_DRIVER_H_
+#define NELA_SIM_SHARDED_SERVICE_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/concurrency.h"
+#include "cluster/registry.h"
+#include "cluster/shard_map.h"
+#include "core/policy_factory.h"
+#include "data/dataset.h"
+#include "durability/recovery.h"
+#include "durability/sharded_recovery.h"
+#include "graph/wpg.h"
+#include "sim/service_driver.h"
+#include "util/status.h"
+
+namespace nela::sim {
+
+struct ShardedServiceConfig {
+  // Workload, admission, chaos, and classic-durability knobs; see
+  // service_driver.h. With shards > 1, service.wal_path must be empty
+  // (multi-stream durability goes through durability_dir).
+  ServiceConfig service;
+  // Spatial shard count K (>= 1).
+  uint32_t shards = 1;
+  // Base directory of the per-shard WAL/checkpoint streams (layout in
+  // durability/shard_layout.h); empty disables sharded durability.
+  // Mutually exclusive with service.wal_path / service.checkpoint_dir.
+  std::string durability_dir;
+};
+
+// Per-shard accounting of one run.
+struct ShardRunStats {
+  uint32_t shard = 0;
+  // Population homed in this shard.
+  uint32_t users = 0;
+  // Arrivals routed here (admitted + shed).
+  uint64_t requests_routed = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue_overflow = 0;
+  uint64_t shed_deadline = 0;
+  // Clusters this shard owns in the final registry, and how many of those
+  // straddle a shard boundary.
+  uint64_t clusters_owned = 0;
+  uint64_t cross_shard_clusters_owned = 0;
+  // Records appended to this shard's WAL stream (sharded durability only).
+  uint64_t wal_records = 0;
+  // cluster::ShardedRegistry::ShardDigest of this shard's slice.
+  uint64_t shard_digest = 0;
+  // Simulated queue-wait percentiles over requests admitted here.
+  double p50_queue_wait_ms = 0.0;
+  double p99_queue_wait_ms = 0.0;
+};
+
+struct ShardedServiceResult {
+  // The global view, identical in shape (and, for K=1, in content) to
+  // ServiceDriver's result.
+  ServiceResult service;
+  std::vector<ShardRunStats> shards;
+  // Fold of the K shard slices merged back into commit order; equals
+  // service.registry_digest for every K (the shard-count-invariance
+  // identity the tests assert).
+  uint64_t concatenated_digest = 0;
+  // Committed clusters whose members span more than one shard.
+  uint64_t cross_shard_clusters = 0;
+  // Successful claim acquisitions that touched more than one shard's
+  // coordinator (scheduling-dependent, like the conflict counters).
+  uint64_t cross_shard_handoffs = 0;
+};
+
+class ShardedServiceDriver {
+ public:
+  // `dataset` and `graph` must outlive the driver.
+  ShardedServiceDriver(const data::Dataset& dataset, const graph::Wpg& graph,
+                       core::PolicyFactory policy_factory,
+                       const ShardedServiceConfig& config);
+
+  // Runs the full workload against a fresh registry (truncating any
+  // existing WAL streams).
+  [[nodiscard]] util::Result<ShardedServiceResult> Run();
+
+  // Continues a crashed sharded run: the recovered slices are assembled
+  // back into one registry, each stream's lsn sequence continues where its
+  // shard's disk state ends, and the same workload is re-submitted --
+  // requests whose commits survived resolve as reuse, the rest re-execute
+  // deterministically, so the final digests match an uninterrupted run.
+  [[nodiscard]] util::Result<ShardedServiceResult> Resume(
+      const durability::ShardedRecoveredState& recovered);
+
+  // Continues a crashed classic (shards=1, service.wal_path) run; the entry
+  // ServiceDriver::Resume delegates to.
+  [[nodiscard]] util::Result<ShardedServiceResult> ResumeClassic(
+      durability::RecoveredState recovered);
+
+ private:
+  struct RunState;
+
+  [[nodiscard]] util::Result<ShardedServiceResult> RunInternal(
+      std::unique_ptr<cluster::Registry> registry,
+      uint64_t classic_next_lsn, std::vector<uint64_t> shard_next_lsns,
+      std::unordered_map<cluster::ClusterId, uint32_t> stream_of,
+      bool truncate_wal, uint64_t checkpoint_seq_start);
+
+  [[nodiscard]] util::Status ProcessRequest(RunState& run, uint64_t ordinal,
+                                            bool allow_stall);
+  bool TryRescue(RunState& run, uint64_t max_rank);
+  void AdmitWorkload(RunState& run);
+  void FillShedRecord(RunState& run, uint64_t ordinal, ShedCause cause,
+                      double arrival_ms, double queue_wait_ms,
+                      uint32_t occupancy);
+  void FillCrashAbortRecord(RunState& run, uint64_t ordinal,
+                            net::ProcessCrashPoint point);
+
+  // Cross-shard claim handoff: claims `members` for `ticket` home-shard-
+  // first then ascending, releasing everything on any failure.
+  bool TryClaimAcross(RunState& run, cluster::Ticket ticket,
+                      cluster::ShardId home,
+                      const std::vector<graph::VertexId>& members);
+  // Releases `ticket`'s claims in every shard's coordinator.
+  void ReleaseAll(RunState& run, cluster::Ticket ticket);
+  // Checks (and clears) the wounded flag in every coordinator.
+  bool AnyWounded(RunState& run, cluster::Ticket ticket);
+
+  const data::Dataset& dataset_;
+  const graph::Wpg& graph_;
+  core::PolicyFactory policy_factory_;
+  ShardedServiceConfig config_;
+};
+
+}  // namespace nela::sim
+
+#endif  // NELA_SIM_SHARDED_SERVICE_DRIVER_H_

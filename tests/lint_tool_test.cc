@@ -72,7 +72,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FixtureCase{"bad_stdout_io.cc", "stdout-io"},
                       FixtureCase{"bad_untagged_send.cc", "untagged-send"},
                       FixtureCase{"bad_bare_todo.cc", "bare-todo"},
-                      FixtureCase{"bad_raw_file_io.cc", "raw-file-io"}),
+                      FixtureCase{"bad_raw_file_io.cc", "raw-file-io"},
+                      FixtureCase{"bad_shard_path.cc", "shard-path"}),
     [](const ::testing::TestParamInfo<FixtureCase>& param_info) {
       std::string name = param_info.param.rule;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -86,7 +87,7 @@ TEST(LintFixtureTest, EveryRuleHasAFixture) {
        {FixtureCase{"", "raw-random"}, FixtureCase{"", "raw-time"},
         FixtureCase{"", "raw-thread"}, FixtureCase{"", "stdout-io"},
         FixtureCase{"", "untagged-send"}, FixtureCase{"", "bare-todo"},
-        FixtureCase{"", "raw-file-io"}}) {
+        FixtureCase{"", "raw-file-io"}, FixtureCase{"", "shard-path"}}) {
     covered.insert(c.rule);
   }
   for (const std::string& rule : RuleNames()) {
@@ -111,6 +112,22 @@ TEST(LintScopingTest, UntaggedSendCountsPositionalArguments) {
   std::set<int> lines;
   for (const Finding& finding : findings) lines.insert(finding.line);
   EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST(LintScopingTest, ShardLayoutHomeMaySpellShardPaths) {
+  // The literal lives in the string stream, not the code stream, so only
+  // the literal-scanning rule may see it -- and only outside the layout's
+  // home directory.
+  const std::string body =
+      // nela-lint: allow(shard-path) the needle is this test's subject
+      "std::string d() { return std::string(\"shard-\") + \"0\"; }\n";
+  EXPECT_TRUE(LintFile("src/durability/shard_layout.cc", body).empty());
+  const std::vector<Finding> findings = LintFile("src/sim/driver.cc", body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "shard-path");
+  // Tests and tools are in scope too: the layout contract binds the whole
+  // tree, not just the library.
+  EXPECT_FALSE(LintFile("tests/some_test.cc", body).empty());
 }
 
 TEST(LintScopingTest, RngHomeMayUseRawSources) {

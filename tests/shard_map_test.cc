@@ -1,0 +1,148 @@
+// Unit tests for the spatial ownership partition (ShardMap) and the
+// shard-sliced registry view (ShardedRegistry): grid geometry, home/owner
+// rules, boundary clamping, and the digest identities the service-level
+// determinism matrix builds on.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/registry.h"
+#include "cluster/shard_map.h"
+#include "cluster/sharded_registry.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "geo/point.h"
+#include "util/rng.h"
+
+namespace nela::cluster {
+namespace {
+
+data::Dataset QuadrantDataset() {
+  // One user per quadrant of the unit square plus two sitting exactly on
+  // boundaries.
+  return data::Dataset({
+      geo::Point{0.25, 0.25},  // 0: bottom-left
+      geo::Point{0.75, 0.25},  // 1: bottom-right
+      geo::Point{0.25, 0.75},  // 2: top-left
+      geo::Point{0.75, 0.75},  // 3: top-right
+      geo::Point{0.5, 0.5},    // 4: the crossing
+      geo::Point{1.0, 1.0},    // 5: far corner (clamps onto the grid)
+  });
+}
+
+TEST(ShardMapTest, SingleShardOwnsEverything) {
+  const data::Dataset dataset = QuadrantDataset();
+  const ShardMap map(dataset, 1);
+  EXPECT_EQ(map.shard_count(), 1u);
+  for (data::UserId u = 0; u < dataset.size(); ++u) {
+    EXPECT_EQ(map.HomeShardOf(u), 0u);
+  }
+  EXPECT_EQ(map.users_in(0), dataset.size());
+  EXPECT_FALSE(map.CrossesShards({0, 1, 2, 3}));
+}
+
+TEST(ShardMapTest, QuadGridAssignsQuadrants) {
+  const data::Dataset dataset = QuadrantDataset();
+  const ShardMap map(dataset, 4);
+  EXPECT_EQ(map.grid_cols(), 2u);
+  EXPECT_EQ(map.grid_rows(), 2u);
+  // The four quadrant users land in four distinct shards.
+  EXPECT_NE(map.HomeShardOf(0), map.HomeShardOf(1));
+  EXPECT_NE(map.HomeShardOf(0), map.HomeShardOf(2));
+  EXPECT_NE(map.HomeShardOf(0), map.HomeShardOf(3));
+  EXPECT_NE(map.HomeShardOf(1), map.HomeShardOf(2));
+  // Boundary and out-of-range points clamp onto the grid, never off it.
+  EXPECT_LT(map.HomeShardOf(4), 4u);
+  EXPECT_LT(map.HomeShardOf(5), 4u);
+  uint32_t total = 0;
+  for (ShardId s = 0; s < 4; ++s) total += map.users_in(s);
+  EXPECT_EQ(total, dataset.size());
+}
+
+TEST(ShardMapTest, OwnerIsHomeOfMinimumMember) {
+  const data::Dataset dataset = QuadrantDataset();
+  const ShardMap map(dataset, 4);
+  EXPECT_EQ(map.OwnerOf({2, 3}), map.HomeShardOf(2));
+  EXPECT_EQ(map.OwnerOf({1}), map.HomeShardOf(1));
+  EXPECT_TRUE(map.CrossesShards({0, 3}));
+  EXPECT_FALSE(map.CrossesShards({0}));
+}
+
+TEST(ShardMapTest, HomeAssignmentIsAPureFunctionOfTheDataset) {
+  util::Rng rng(7);
+  const data::Dataset dataset = data::GenerateUniform(400, rng);
+  const ShardMap a(dataset, 16);
+  const ShardMap b(dataset, 16);
+  for (data::UserId u = 0; u < dataset.size(); ++u) {
+    EXPECT_EQ(a.HomeShardOf(u), b.HomeShardOf(u));
+    EXPECT_EQ(a.HomeShardOf(u), a.ShardOfPoint(dataset.point(u)));
+  }
+}
+
+TEST(ShardedRegistryTest, SlicesPartitionTheRegistry) {
+  util::Rng rng(11);
+  const data::Dataset dataset = data::GenerateUniform(200, rng);
+  const ShardMap map(dataset, 4);
+  ShardedRegistry view(dataset.size(), &map);
+
+  // Commit a handful of clusters straight through the global store.
+  std::vector<std::vector<graph::VertexId>> clusters = {
+      {0, 1, 2}, {3, 7, 9}, {4, 5}, {6, 8, 10, 12}, {11, 13}};
+  for (auto& members : clusters) {
+    auto id = view.global()->Register(members, 1.0, true);
+    ASSERT_TRUE(id.ok());
+  }
+
+  uint32_t owned_total = 0;
+  for (ShardId s = 0; s < view.shard_count(); ++s) {
+    const std::vector<ClusterId> owned = view.OwnedBy(s);
+    owned_total += static_cast<uint32_t>(owned.size());
+    for (ClusterId id : owned) {
+      EXPECT_EQ(view.OwnerOf(id), s);
+      EXPECT_EQ(map.OwnerOf(view.global()->info(id).members), s);
+    }
+  }
+  EXPECT_EQ(owned_total, view.global()->cluster_count());
+  EXPECT_EQ(view.ConcatenatedDigest(), view.GlobalDigest());
+}
+
+TEST(ShardedRegistryTest, ShardDigestsChangeOnlyWithTheOwnedSlice) {
+  const data::Dataset dataset = QuadrantDataset();
+  const ShardMap map(dataset, 4);
+  ShardedRegistry view(dataset.size(), &map);
+
+  auto first = view.global()->Register({0}, 0.0, true);
+  ASSERT_TRUE(first.ok());
+  const ShardId owner = view.OwnerOf(first.value());
+  std::vector<uint64_t> before;
+  for (ShardId s = 0; s < 4; ++s) before.push_back(view.ShardDigest(s));
+
+  // A cluster owned by a DIFFERENT shard leaves the first owner's slice
+  // digest untouched.
+  auto second = view.global()->Register({3}, 0.0, true);
+  ASSERT_TRUE(second.ok());
+  const ShardId other = view.OwnerOf(second.value());
+  ASSERT_NE(owner, other);
+  EXPECT_EQ(view.ShardDigest(owner), before[owner]);
+  EXPECT_NE(view.ShardDigest(other), before[other]);
+  EXPECT_EQ(view.ConcatenatedDigest(), view.GlobalDigest());
+}
+
+TEST(ShardedRegistryTest, AdoptedRegistryKeepsItsDigest) {
+  util::Rng rng(3);
+  const data::Dataset dataset = data::GenerateUniform(50, rng);
+  auto registry = std::make_unique<Registry>(dataset.size());
+  ASSERT_TRUE(registry->Register({1, 2, 3}, 1.5, true).ok());
+  ASSERT_TRUE(registry->Register({10, 20}, 0.5, false).ok());
+  const uint64_t digest = registry->Digest();
+
+  const ShardMap map(dataset, 4);
+  ShardedRegistry view(std::move(registry), &map);
+  EXPECT_EQ(view.GlobalDigest(), digest);
+  EXPECT_EQ(view.ConcatenatedDigest(), digest);
+}
+
+}  // namespace
+}  // namespace nela::cluster

@@ -18,20 +18,24 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
 }
 
 // ---------------------------------------------------------------------------
-// Pass 1: split a translation unit into per-line code and comment streams.
-// String and character literals are blanked in the code stream (their
-// contents can never be a violation); comment text goes to the comment
-// stream (for bare-todo and suppression matching).
+// Pass 1: split a translation unit into per-line code, comment, and
+// string-literal streams. String and character literals are blanked in the
+// code stream (identifier rules must not match inside them); their contents
+// go to the literal stream (for rules about what strings may spell, like
+// shard-path); comment text goes to the comment stream (for bare-todo and
+// suppression matching).
 
 struct SourceLines {
   std::vector<std::string> code;
   std::vector<std::string> comment;
+  std::vector<std::string> literal;
 };
 
 SourceLines SplitSource(const std::string& text) {
   SourceLines out;
   std::string code_line;
   std::string comment_line;
+  std::string literal_line;
   enum class State {
     kCode,
     kLineComment,
@@ -50,8 +54,10 @@ SourceLines SplitSource(const std::string& text) {
       if (state == State::kLineComment) state = State::kCode;
       out.code.push_back(code_line);
       out.comment.push_back(comment_line);
+      out.literal.push_back(literal_line);
       code_line.clear();
       comment_line.clear();
+      literal_line.clear();
       continue;
     }
     switch (state) {
@@ -99,8 +105,12 @@ SourceLines SplitSource(const std::string& text) {
       case State::kString:
         if (c == '\\') {
           ++i;
+          if (i < n) literal_line += text[i];
         } else if (c == '"') {
           state = State::kCode;
+          literal_line += ' ';  // adjacent literals stay separate tokens
+        } else {
+          literal_line += c;
         }
         break;
       case State::kChar:
@@ -115,12 +125,16 @@ SourceLines SplitSource(const std::string& text) {
             text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
           i += raw_terminator.size() - 1;
           state = State::kCode;
+          literal_line += ' ';
+        } else {
+          literal_line += c;
         }
         break;
     }
   }
   out.code.push_back(code_line);
   out.comment.push_back(comment_line);
+  out.literal.push_back(literal_line);
   return out;
 }
 
@@ -187,6 +201,9 @@ struct FileScope {
   // src/durability/* (WAL + checkpoints), src/data/dataset_io.*,
   // src/util/csv.* -- the only library homes allowed to touch files.
   bool is_file_io_home = false;
+  // src/durability/* -- the only home allowed to spell per-shard durable
+  // path components (shard_layout.h is the single source of the layout).
+  bool is_shard_layout_home = false;
 };
 
 FileScope ClassifyPath(const std::string& path) {
@@ -200,6 +217,7 @@ FileScope ClassifyPath(const std::string& path) {
   scope.is_file_io_home = StartsWith(path, "src/durability/") ||
                           StartsWith(path, "src/data/dataset_io.") ||
                           StartsWith(path, "src/util/csv.");
+  scope.is_shard_layout_home = StartsWith(path, "src/durability/");
   return scope;
 }
 
@@ -218,6 +236,7 @@ class FileLinter {
     if (scope_.is_library) CheckStdoutIo();
     if (scope_.is_library && !scope_.is_net_internal) CheckUntaggedSend();
     if (scope_.is_library && !scope_.is_file_io_home) CheckRawFileIo();
+    if (!scope_.is_shard_layout_home) CheckShardPath();
     CheckBareTodo();
     return std::move(findings_);
   }
@@ -471,6 +490,42 @@ class FileLinter {
     }
   }
 
+  // Per-shard durable state layout (DESIGN.md "Sharding & cross-shard
+  // clustering"): the directory scheme under a sharded durability base dir
+  // is owned by src/durability/shard_layout.h, and every other file must go
+  // through its helpers. A string literal spelling the directory-name
+  // prefix anywhere else is a caller about to hand-build a path into some
+  // shard's directory -- which would silently bypass the per-shard
+  // recovery contract (recovering shard s touches only shard s's files).
+  void CheckShardPath() {
+    // Assembled, not spelled inline, so this file passes its own rule.
+    const std::string needle = std::string("shard") + "-";
+    const char* kMessage =
+        "inlined per-shard directory component; durable paths under a "
+        "sharded base dir are spelled only by the shard_layout.h helpers "
+        "(durability::ShardDir / ShardWalPath / ShardCheckpointDir)";
+    for (size_t l = 0; l < src_.literal.size(); ++l) {
+      const std::string& line = src_.literal[l];
+      for (size_t pos = line.find(needle); pos != std::string::npos;
+           pos = line.find(needle, pos + 1)) {
+        // A path component is the prefix plus a shard number: flag when a
+        // digit follows, or when the literal ends right after the prefix
+        // (the `"shard-" + std::to_string(s)` builder shape; literals are
+        // space-separated in this stream). Spelling the rule's own id,
+        // "shard-path", is not a path and stays legal.
+        const size_t after = pos + needle.size();
+        const bool literal_ends = after >= line.size() || line[after] == ' ';
+        const bool digit_follows =
+            after < line.size() &&
+            std::isdigit(static_cast<unsigned char>(line[after])) != 0;
+        if (literal_ends || digit_follows) {
+          Report("shard-path", l, kMessage);
+          break;
+        }
+      }
+    }
+  }
+
   void CheckBareTodo() {
     for (size_t l = 0; l < src_.comment.size(); ++l) {
       const std::string& comment = src_.comment[l];
@@ -519,8 +574,8 @@ std::string NormalizeRelative(const std::filesystem::path& root,
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "raw-random",    "raw-time",  "raw-thread", "stdout-io",
-      "untagged-send", "bare-todo", "raw-file-io",
+      "raw-random",    "raw-time",  "raw-thread",  "stdout-io",
+      "untagged-send", "bare-todo", "raw-file-io", "shard-path",
   };
   return kRules;
 }

@@ -1,0 +1,11 @@
+// Fixture: shard-path must fire (hand-built per-shard directory path
+// instead of the src/durability/shard_layout.h helpers).
+#include <string>
+
+namespace nela::fake {
+
+std::string ShardStateDir(const std::string& base, unsigned shard) {
+  return base + "/shard-" + std::to_string(shard) + "/wal.log";
+}
+
+}  // namespace nela::fake
