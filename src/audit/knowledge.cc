@@ -62,4 +62,14 @@ double KnowledgeSet::TightestIntervalWidth(net::NodeId subject) const {
   return k->tightest.width();
 }
 
+double KnowledgeSet::TightestAnyIntervalWidth() const {
+  double tightest = std::numeric_limits<double>::infinity();
+  for (const auto& [subject, k] : about_) {
+    if (k.has_interval && k.tightest.width() < tightest) {
+      tightest = k.tightest.width();
+    }
+  }
+  return tightest;
+}
+
 }  // namespace nela::audit

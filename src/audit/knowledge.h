@@ -73,6 +73,9 @@ class KnowledgeSet {
   // when no interval completed.
   double TightestIntervalWidth(net::NodeId subject) const;
 
+  // Narrowest completed interval about ANY subject; +infinity when none.
+  double TightestAnyIntervalWidth() const;
+
   size_t subject_count() const { return about_.size(); }
 
  private:

@@ -1,0 +1,324 @@
+#include "audit/leak_contract.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace nela::audit {
+
+namespace {
+
+constexpr const char* kMechanismFamilyNames[] = {
+    "cluster_bound",    // kClusterBound
+    "grid_cloak",       // kGridCloak
+    "geo_ind",          // kGeoInd
+    "dummy_locations",  // kDummyLocations
+};
+static_assert(sizeof(kMechanismFamilyNames) /
+                      sizeof(kMechanismFamilyNames[0]) ==
+                  static_cast<size_t>(kMechanismFamilyCount),
+              "MechanismFamily name table out of sync");
+
+uint64_t Bits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// Exact power-of-two width in [2^-max_depth, 1]; returns the depth or -1.
+int DyadicDepth(double width, uint32_t max_depth) {
+  if (!(width > 0.0) || width > 1.0) return -1;
+  const int exponent = std::ilogb(width);
+  if (std::ldexp(1.0, exponent) != width) return -1;
+  const int depth = -exponent;
+  if (depth < 0 || depth > static_cast<int>(max_depth)) return -1;
+  return depth;
+}
+
+// Is `value` an exact multiple of the power-of-two `width`?
+bool DyadicAligned(double value, double width) {
+  const double steps = value / width;
+  return steps == std::nearbyint(steps) && steps >= 0.0;
+}
+
+}  // namespace
+
+const char* MechanismFamilyName(MechanismFamily family) {
+  const size_t index = static_cast<size_t>(family);
+  if (index >= static_cast<size_t>(kMechanismFamilyCount)) return "unknown";
+  return kMechanismFamilyNames[index];
+}
+
+LeakContractChecker::LeakContractChecker(LeakContractConfig config)
+    : config_(std::move(config)) {
+  NELA_CHECK_GE(config_.k, 1u);
+  NELA_CHECK_GE(config_.dls_resolution, 1u);
+}
+
+void LeakContractChecker::AddViolationLocked(net::NodeId subject,
+                                             std::string detail) {
+  violations_.push_back(ContractViolation{subject, std::move(detail)});
+}
+
+void LeakContractChecker::OnMessage(const net::Message& message,
+                                    bool delivered) {
+  (void)delivered;  // contracts bind every transmission attempt
+  std::lock_guard<std::mutex> lock(mu_);
+  ++messages_checked_;
+  switch (config_.family) {
+    case MechanismFamily::kClusterBound:
+      break;  // the observer's shared invariants are the whole contract
+    case MechanismFamily::kGridCloak:
+      CheckGridLocked(message);
+      break;
+    case MechanismFamily::kGeoInd:
+      CheckGeoIndLocked(message);
+      break;
+    case MechanismFamily::kDummyLocations:
+      CheckDummyLocked(message);
+      break;
+  }
+}
+
+void LeakContractChecker::CheckGridLocked(const net::Message& message) {
+  const net::NodeId sender = message.from;
+  // Declared channel 1: the client uploads its OWN location to the
+  // anonymizer. Any raw coordinate that is not the sender's own is a leak
+  // even inside the declared channel.
+  for (const net::PayloadField& field : message.payload) {
+    if (field.tag != net::FieldTag::kRawCoordinate) continue;
+    if (sender >= config_.true_points.size()) {
+      AddViolationLocked(sender, "raw upload from unknown sender " +
+                                     std::to_string(sender));
+      continue;
+    }
+    const geo::Point& own = config_.true_points[sender];
+    if (Bits(field.value) != Bits(own.x) && Bits(field.value) != Bits(own.y)) {
+      AddViolationLocked(
+          sender, "grid upload from user " + std::to_string(sender) +
+                      " carries a coordinate that is not the sender's own");
+    }
+    if (field.subject != sender) {
+      AddViolationLocked(sender,
+                         "grid upload field about user " +
+                             std::to_string(field.subject) +
+                             " sent by user " + std::to_string(sender));
+    }
+  }
+  if (message.kind != net::MessageKind::kServiceRequest) return;
+  // Declared channel 2: the published cell, as the LBS query region.
+  double edges[4] = {0.0, 0.0, 0.0, 0.0};
+  int region_fields = 0;
+  for (const net::PayloadField& field : message.payload) {
+    if (field.tag != net::FieldTag::kCloakedRegion) continue;
+    if (region_fields < 4) edges[region_fields] = field.value;
+    ++region_fields;
+  }
+  if (region_fields != 4) {
+    AddViolationLocked(sender, "grid service request carries " +
+                                   std::to_string(region_fields) +
+                                   " region edges, want 4");
+    return;
+  }
+  const double min_x = edges[0];
+  const double min_y = edges[1];
+  const double width = edges[2] - min_x;
+  const double height = edges[3] - min_y;
+  if (width != height || DyadicDepth(width, config_.grid_max_depth) < 0 ||
+      !DyadicAligned(min_x, width) || !DyadicAligned(min_y, width)) {
+    AddViolationLocked(
+        sender,
+        "grid region is not an aligned dyadic cell (the region's edges "
+        "would betray the user's exact position)");
+    return;
+  }
+  uint32_t occupants = 0;
+  for (const geo::Point& p : config_.true_points) {
+    if (p.x >= min_x && p.x <= edges[2] && p.y >= min_y && p.y <= edges[3]) {
+      ++occupants;
+    }
+  }
+  if (occupants < config_.k) {
+    AddViolationLocked(sender, "grid cell holds " +
+                                   std::to_string(occupants) +
+                                   " users, below k=" +
+                                   std::to_string(config_.k));
+  }
+  if (sender < config_.true_points.size()) {
+    const geo::Point& own = config_.true_points[sender];
+    if (own.x < min_x || own.x > edges[2] || own.y < min_y ||
+        own.y > edges[3]) {
+      AddViolationLocked(sender,
+                         "grid cell does not contain the sender's true "
+                         "location: the published cell is a decoy, not a "
+                         "cloak");
+    }
+  }
+}
+
+void LeakContractChecker::CheckGeoIndLocked(const net::Message& message) {
+  if (message.kind != net::MessageKind::kServiceRequest) return;
+  const net::NodeId sender = message.from;
+  int noised_fields = 0;
+  for (const net::PayloadField& field : message.payload) {
+    if (field.tag != net::FieldTag::kNoisedCoordinate) {
+      AddViolationLocked(sender,
+                         std::string("geo-ind service request carries a "
+                                     "field tagged ") +
+                             net::FieldTagName(field.tag) +
+                             "; the contract allows noised coordinates "
+                             "only");
+      continue;
+    }
+    ++noised_fields;
+    if (field.value == 0.0 || field.value == 1.0) continue;  // degenerate
+    for (net::NodeId u = 0; u < config_.true_points.size(); ++u) {
+      const geo::Point& p = config_.true_points[u];
+      if (Bits(field.value) == Bits(p.x) || Bits(field.value) == Bits(p.y)) {
+        AddViolationLocked(
+            u, "geo-ind probe from user " + std::to_string(sender) +
+                   " is bit-equal to a true coordinate of user " +
+                   std::to_string(u) + ": no noise was applied");
+      }
+    }
+  }
+  if (noised_fields != 2) {
+    AddViolationLocked(sender, "geo-ind service request carries " +
+                                   std::to_string(noised_fields) +
+                                   " noised coordinates, want exactly 2");
+  }
+}
+
+void LeakContractChecker::CheckDummyLocked(const net::Message& message) {
+  if (message.kind != net::MessageKind::kServiceRequest) return;
+  const net::NodeId sender = message.from;
+  const uint32_t resolution = config_.dls_resolution;
+  double coords[2] = {0.0, 0.0};
+  int candidate_fields = 0;
+  for (const net::PayloadField& field : message.payload) {
+    if (field.tag != net::FieldTag::kCandidateLocation) {
+      AddViolationLocked(sender,
+                         std::string("dummy-set service request carries a "
+                                     "field tagged ") +
+                             net::FieldTagName(field.tag) +
+                             "; the contract allows candidate locations "
+                             "only");
+      continue;
+    }
+    if (candidate_fields < 2) coords[candidate_fields] = field.value;
+    ++candidate_fields;
+    for (net::NodeId u = 0; u < config_.true_points.size(); ++u) {
+      const geo::Point& p = config_.true_points[u];
+      if (Bits(field.value) == Bits(p.x) || Bits(field.value) == Bits(p.y)) {
+        AddViolationLocked(
+            u, "candidate location from user " + std::to_string(sender) +
+                   " is bit-equal to a true coordinate of user " +
+                   std::to_string(u) +
+                   ": the real location was not snapped to its cell");
+      }
+    }
+  }
+  if (candidate_fields != 2) {
+    AddViolationLocked(sender, "dummy-set service request carries " +
+                                   std::to_string(candidate_fields) +
+                                   " candidate coordinates, want exactly 2");
+    return;
+  }
+  uint64_t cell_xy[2] = {0, 0};
+  for (int axis = 0; axis < 2; ++axis) {
+    const double steps =
+        coords[axis] * static_cast<double>(resolution) - 0.5;
+    const double index = std::nearbyint(steps);
+    const bool centered =
+        steps == index && index >= 0.0 &&
+        index < static_cast<double>(resolution) &&
+        (index + 0.5) / static_cast<double>(resolution) == coords[axis];
+    if (!centered) {
+      AddViolationLocked(sender,
+                         "candidate coordinate is not an exact cell center "
+                         "of the candidate grid");
+      return;
+    }
+    cell_xy[axis] = static_cast<uint64_t>(index);
+  }
+  candidate_cells_[sender].insert(cell_xy[1] * resolution + cell_xy[0]);
+}
+
+void LeakContractChecker::FinalizeHostLocked(net::NodeId host,
+                                             const std::set<uint64_t>& cells) {
+  if (cells.size() < config_.k) {
+    AddViolationLocked(host, "dummy set of user " + std::to_string(host) +
+                                 " spans " + std::to_string(cells.size()) +
+                                 " cells, below k=" +
+                                 std::to_string(config_.k));
+  }
+  if (host >= config_.true_points.size()) {
+    AddViolationLocked(host, "dummy set from unknown sender " +
+                                 std::to_string(host));
+    return;
+  }
+  const uint32_t resolution = config_.dls_resolution;
+  const geo::Point& own = config_.true_points[host];
+  const auto cell_of = [resolution](double value) {
+    const double scaled =
+        std::floor(value * static_cast<double>(resolution));
+    const double clamped = std::clamp(
+        scaled, 0.0, static_cast<double>(resolution - 1));
+    return static_cast<uint64_t>(clamped);
+  };
+  const uint64_t own_cell = cell_of(own.y) * resolution + cell_of(own.x);
+  if (cells.find(own_cell) == cells.end()) {
+    AddViolationLocked(host,
+                       "dummy set of user " + std::to_string(host) +
+                           " omits the user's own cell: the service answer "
+                           "cannot cover the real location");
+  }
+}
+
+void LeakContractChecker::Finalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.family != MechanismFamily::kDummyLocations) return;
+  for (const auto& [host, cells] : candidate_cells_) {
+    FinalizeHostLocked(host, cells);
+  }
+  candidate_cells_.clear();
+}
+
+bool LeakContractChecker::clean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.empty();
+}
+
+std::vector<ContractViolation> LeakContractChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+uint64_t LeakContractChecker::messages_checked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_checked_;
+}
+
+std::string LeakContractChecker::Report(size_t max_entries) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string report =
+      std::to_string(violations_.size()) + " " +
+      std::string(MechanismFamilyName(config_.family)) +
+      " contract violation(s) across " + std::to_string(messages_checked_) +
+      " messages";
+  const size_t shown = std::min(max_entries, violations_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    report += "\n  " + violations_[i].detail;
+  }
+  if (shown < violations_.size()) {
+    report +=
+        "\n  ... " + std::to_string(violations_.size() - shown) + " more";
+  }
+  return report;
+}
+
+}  // namespace nela::audit

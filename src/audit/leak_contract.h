@@ -1,0 +1,111 @@
+// Per-mechanism leak contracts: what each privacy mechanism is ALLOWED to
+// reveal, checked on the wire.
+//
+// The AdversaryObserver (observer.h) enforces the invariants every
+// mechanism shares -- no raw coordinate bit pattern under any tag, no
+// knowledge-interval collapse. But rival mechanisms differ in what they
+// deliberately disclose: a grid cloak publishes a quantized cell, geo-
+// indistinguishability publishes one noised point, a dummy-location set
+// publishes k plausible cells that must include the real one. This checker
+// is the other half of the audit: it verifies the *declared* channel has
+// exactly the promised shape -- and nothing more -- using ground truth the
+// adversary does not have (the true locations), so a mechanism that
+// quietly ships something sharper than its contract is caught even when
+// the generic taint scan cannot see it.
+//
+// Contracts by family (fields in wire order):
+//  * kClusterBound -- nothing beyond the observer's invariants; every
+//    message passes.
+//  * kGridCloak    -- kServiceRequest carries 4 kCloakedRegion edges
+//    (min_x, min_y, max_x, max_y) forming a dyadic square cell of depth
+//    <= grid_max_depth that contains the sender's true point and at least
+//    k users; location uploads (kRawCoordinate) may carry only the
+//    sender's OWN coordinates (the declared client->anonymizer channel).
+//  * kGeoInd       -- kServiceRequest carries exactly 2 kNoisedCoordinate
+//    fields, neither bit-equal to any user's true coordinate.
+//  * kDummyLocations -- kServiceRequest carries 2 kCandidateLocation
+//    fields that are exact cell centers of the G x G candidate grid; per
+//    host, the union of candidates (closed by Finalize) spans >= k
+//    distinct cells including the host's true cell.
+
+#ifndef NELA_AUDIT_LEAK_CONTRACT_H_
+#define NELA_AUDIT_LEAK_CONTRACT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+#include "net/network.h"
+
+namespace nela::audit {
+
+enum class MechanismFamily : uint8_t {
+  kClusterBound = 0,  // the paper's clustering + secure bounding
+  kGridCloak,         // quadtree spatial cloaking to k occupants
+  kGeoInd,            // planar-Laplace geo-indistinguishability
+  kDummyLocations,    // max-entropy dummy-location set (DLS)
+};
+inline constexpr int kMechanismFamilyCount = 4;
+
+const char* MechanismFamilyName(MechanismFamily family);
+
+struct LeakContractConfig {
+  MechanismFamily family = MechanismFamily::kClusterBound;
+  // Privacy requirement: grid occupancy / dummy-set cardinality.
+  uint32_t k = 2;
+  // Ground truth: true location of node id i at true_points[i]. Senders
+  // outside this range are contract violations by definition.
+  std::vector<geo::Point> true_points;
+  // kGridCloak: maximum quadtree depth (cell width >= 2^-grid_max_depth).
+  uint32_t grid_max_depth = 16;
+  // kDummyLocations: candidate grid resolution G (cells are 1/G wide,
+  // centers at (i + 0.5) / G).
+  uint32_t dls_resolution = 16;
+};
+
+struct ContractViolation {
+  net::NodeId subject = net::kPublicSubject;
+  std::string detail;
+};
+
+// Thread-safe, same tap discipline as AdversaryObserver. Chain both taps
+// through TapChain to audit shared invariants and the mechanism contract
+// in one run.
+class LeakContractChecker : public net::TrafficTap {
+ public:
+  explicit LeakContractChecker(LeakContractConfig config);
+
+  void OnMessage(const net::Message& message, bool delivered) override;
+
+  // Closes streaming accounting (the per-host dummy-set union). Call after
+  // traffic ends; idempotent, and further messages restart the pending
+  // state of the hosts they touch.
+  void Finalize();
+
+  bool clean() const;
+  std::vector<ContractViolation> violations() const;
+  uint64_t messages_checked() const;
+  std::string Report(size_t max_entries = 10) const;
+
+ private:
+  void AddViolationLocked(net::NodeId subject, std::string detail);
+  void CheckGridLocked(const net::Message& message);
+  void CheckGeoIndLocked(const net::Message& message);
+  void CheckDummyLocked(const net::Message& message);
+  void FinalizeHostLocked(net::NodeId host, const std::set<uint64_t>& cells);
+
+  LeakContractConfig config_;
+  mutable std::mutex mu_;
+  std::vector<ContractViolation> violations_;
+  uint64_t messages_checked_ = 0;
+  // kDummyLocations: cells seen per host since the last Finalize.
+  std::unordered_map<net::NodeId, std::set<uint64_t>> candidate_cells_;
+};
+
+}  // namespace nela::audit
+
+#endif  // NELA_AUDIT_LEAK_CONTRACT_H_

@@ -184,6 +184,16 @@ double AdversaryObserver::LearnedIntervalWidth(net::NodeId observer,
   return it->second.TightestIntervalWidth(subject);
 }
 
+double AdversaryObserver::TightestLearnedWidth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double tightest = std::numeric_limits<double>::infinity();
+  for (const auto& [principal, knowledge] : knowledge_) {
+    const double width = knowledge.TightestAnyIntervalWidth();
+    if (width < tightest) tightest = width;
+  }
+  return tightest;
+}
+
 std::string AdversaryObserver::Report(size_t max_entries) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string report = std::to_string(violations_.size()) +

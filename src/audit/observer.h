@@ -93,6 +93,12 @@ class AdversaryObserver : public net::TrafficTap {
   // +infinity when none completed.
   double LearnedIntervalWidth(net::NodeId observer, net::NodeId subject) const;
 
+  // Narrowest interval ANY principal learned about ANY subject; +infinity
+  // when no bounding run completed. This is the "provable adversary
+  // knowledge" scalar of the comparative benchmark: mechanisms that never
+  // run the bounding protocol (grid / geo-ind / dummies) leave it infinite.
+  double TightestLearnedWidth() const;
+
   // Human-readable summary of up to `max_entries` violations, for test
   // failure messages.
   std::string Report(size_t max_entries = 10) const;

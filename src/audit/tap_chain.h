@@ -1,0 +1,33 @@
+// Fan-out traffic tap: net::Network carries exactly one TrafficTap, but a
+// comparative audit wants several observers on the same wire (the generic
+// AdversaryObserver plus a mechanism-specific LeakContractChecker). The
+// chain forwards every message to each registered tap in order.
+
+#ifndef NELA_AUDIT_TAP_CHAIN_H_
+#define NELA_AUDIT_TAP_CHAIN_H_
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace nela::audit {
+
+class TapChain : public net::TrafficTap {
+ public:
+  // `tap` is not owned and must outlive the chain; null taps are ignored.
+  // Add every tap before traffic starts (same rule as Network::SetTap).
+  void Add(net::TrafficTap* tap) {
+    if (tap != nullptr) taps_.push_back(tap);
+  }
+
+  void OnMessage(const net::Message& message, bool delivered) override {
+    for (net::TrafficTap* tap : taps_) tap->OnMessage(message, delivered);
+  }
+
+ private:
+  std::vector<net::TrafficTap*> taps_;
+};
+
+}  // namespace nela::audit
+
+#endif  // NELA_AUDIT_TAP_CHAIN_H_

@@ -86,6 +86,9 @@ struct DegradationReport {
 struct CloakingOutcome {
   cluster::ClusterId cluster_id = cluster::kNoCluster;
   geo::Rect region;
+  // Probe mechanisms (geo-indistinguishability, dummy-location sets) query
+  // the LBS with points instead of a region; empty for the native scheme.
+  std::vector<geo::Point> probes;
   // Step (1): both phases skipped, region served from the registry.
   bool region_reused = false;
   // Phase 1 answered from the registry (cluster formed earlier, but its

@@ -1,0 +1,22 @@
+#include "core/mechanism.h"
+
+namespace nela::core {
+
+util::Status MechanismStage::Run(RequestContext& ctx, PipelineState& state,
+                                 StageRecord& record) {
+  outcome_ = MechanismOutcome{};
+  const util::Status status = mechanism_->Cloak(ctx, state.host, &outcome_);
+  if (!status.ok()) return status;
+  state.outcome.region = outcome_.region;
+  state.outcome.probes = outcome_.probes;
+  state.outcome.anonymity_satisfied = outcome_.satisfied;
+  record.detail = outcome_.detail;
+  // An unsatisfied mechanism is a degradation, not an error: the request
+  // still delivers a structured outcome (empty artifact, failure code),
+  // mirroring the native pipeline's below-k semantics.
+  if (!outcome_.satisfied) record.code = util::StatusCode::kFailedPrecondition;
+  state.done = true;
+  return util::Status::Ok();
+}
+
+}  // namespace nela::core

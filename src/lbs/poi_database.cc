@@ -13,6 +13,11 @@ uint64_t PoiDatabase::CountInRange(const geo::Rect& region) const {
   return index_.RangeQuery(region).size();
 }
 
+uint64_t PoiDatabase::CountInDisc(const geo::Point& center,
+                                  double radius) const {
+  return index_.RadiusQuery(center, radius, dataset_->size()).size();
+}
+
 std::vector<spatial::Neighbor> PoiDatabase::NearestNeighbors(
     const geo::Point& query, uint32_t count) const {
   // The spatial index excludes a "self" id; pass an out-of-range id so

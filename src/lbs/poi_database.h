@@ -32,6 +32,11 @@ class PoiDatabase {
   // only the payload size matters).
   uint64_t CountInRange(const geo::Rect& region) const;
 
+  // Number of POIs within `radius` of `center` -- the reply size of a
+  // probe-point query (geo-indistinguishability / dummy-location
+  // mechanisms query with points, not regions).
+  uint64_t CountInDisc(const geo::Point& center, double radius) const;
+
   // The `count` nearest POIs to `query` (ascending by distance).
   std::vector<spatial::Neighbor> NearestNeighbors(const geo::Point& query,
                                                   uint32_t count) const;

@@ -52,4 +52,26 @@ ServiceReply LbsServer::RangeQuery(const geo::Rect& cloaked_region,
   return reply;
 }
 
+ServiceReply LbsServer::ProbeQuery(const geo::Point& probe, double radius,
+                                   net::Network* network,
+                                   net::NodeId client) const {
+  ServiceReply reply;
+  reply.candidate_count = database_->CountInDisc(probe, radius);
+  reply.reply_cost =
+      static_cast<double>(reply.candidate_count) * poi_payload_ratio_;
+  ++queries_served_;
+  if (network != nullptr) {
+    // The mechanism already sent the tagged request (the probe itself); the
+    // server side only ships candidates back, so -- like a range reply --
+    // the descriptor carries no user data.
+    net::Message reply_message;  // nela-lint: empty-payload(POI records only)
+    reply_message.from = client;
+    reply_message.to = client;
+    reply_message.kind = net::MessageKind::kServiceReply;
+    reply_message.bytes = reply.candidate_count * 64;
+    network->Send(reply_message);
+  }
+  return reply;
+}
+
 }  // namespace nela::lbs

@@ -36,6 +36,16 @@ class LbsServer {
                           net::Network* network = nullptr,
                           net::NodeId client = 0) const;
 
+  // Serves one probe-point query (geo-indistinguishability noised point or
+  // one dummy-location candidate): candidates are the POIs within `radius`
+  // of the probe, costed at the same Cr per object as a range reply. The
+  // probe's wire artifact is sent by the mechanism itself (tagged
+  // kNoisedCoordinate / kCandidateLocation); with a network binding this
+  // call accounts only the reply leg.
+  ServiceReply ProbeQuery(const geo::Point& probe, double radius,
+                          net::Network* network = nullptr,
+                          net::NodeId client = 0) const;
+
   double poi_payload_ratio() const { return poi_payload_ratio_; }
   uint64_t queries_served() const { return queries_served_; }
 

@@ -1,0 +1,34 @@
+#include "mechanisms/cluster_bound.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace nela::mechanisms {
+
+ClusterBoundMechanism::ClusterBoundMechanism(core::CloakingEngine* engine)
+    : engine_(engine) {
+  NELA_CHECK(engine != nullptr);
+}
+
+util::Status ClusterBoundMechanism::Cloak(core::RequestContext& ctx,
+                                          data::UserId host,
+                                          core::MechanismOutcome* outcome) {
+  util::Result<core::CloakingOutcome> result =
+      engine_->RequestCloaking(host, ctx);
+  if (!result.ok()) return result.status();
+  core::CloakingOutcome inner = std::move(result).value();
+  outcome->region = inner.region;
+  outcome->satisfied = inner.anonymity_satisfied;
+  outcome->messages_sent =
+      inner.clustering_messages + inner.bounding_verifications;
+  outcome->detail =
+      "cluster=" + std::to_string(inner.cluster_id) +
+      (inner.region_reused ? " region_reused" : "") +
+      (inner.cluster_reused ? " cluster_reused" : "") +
+      (inner.degradation.degraded() ? " degraded" : "");
+  return util::Status::Ok();
+}
+
+}  // namespace nela::mechanisms

@@ -1,0 +1,167 @@
+#include "mechanisms/comparative_driver.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "audit/observer.h"
+#include "audit/taint.h"
+#include "audit/tap_chain.h"
+#include "cluster/distributed_tconn.h"
+#include "cluster/registry.h"
+#include "core/cloaking_engine.h"
+#include "core/mechanism.h"
+#include "core/pipeline.h"
+#include "core/policy_factory.h"
+#include "core/request_context.h"
+#include "lbs/poi_database.h"
+#include "lbs/server.h"
+#include "mechanisms/cluster_bound.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace nela::mechanisms {
+
+util::Result<CampaignResult> RunCampaign(const data::Dataset& dataset,
+                                         const graph::Wpg& graph,
+                                         const CampaignConfig& config) {
+  const uint32_t n = dataset.size();
+  if (n == 0) return util::InvalidArgumentError("campaign needs users");
+  if (config.requests == 0) {
+    return util::InvalidArgumentError("campaign needs requests");
+  }
+  if (config.k == 0) return util::InvalidArgumentError("k must be positive");
+
+  net::Network network(n);
+  if (config.fault_plan.has_value()) {
+    const util::Status installed =
+        network.InstallFaultPlan(*config.fault_plan);
+    if (!installed.ok()) return installed;
+  }
+
+  // The audit stack: shared non-exposure invariants plus the family's
+  // declared-channel contract, chained onto the one network tap.
+  audit::TaintSet taint;
+  for (net::NodeId user = 0; user < n; ++user) {
+    taint.TaintPoint(user, dataset.point(user));
+  }
+  audit::ObserverConfig observer_config;
+  observer_config.taint = &taint;
+  // The grid cloak's client->anonymizer upload is its declared exposure
+  // channel; every other family is audited strictly.
+  observer_config.allow_declared_exposure =
+      config.family == audit::MechanismFamily::kGridCloak;
+  audit::AdversaryObserver observer(observer_config);
+
+  audit::LeakContractConfig contract;
+  contract.family = config.family;
+  contract.k = config.k;
+  contract.true_points = dataset.points();
+  contract.grid_max_depth = config.params.grid_max_depth;
+  contract.dls_resolution = config.params.dls_resolution;
+  audit::LeakContractChecker checker(contract);
+
+  audit::TapChain taps;
+  taps.Add(&observer);
+  taps.Add(&checker);
+  network.SetTap(&taps);
+
+  const lbs::PoiDatabase database(dataset);
+  const lbs::LbsServer server(&database, config.poi_payload_ratio);
+
+  // Mechanism under test. The native scheme drags its whole engine along;
+  // the baselines come out of the factory.
+  std::optional<cluster::Registry> registry;
+  std::optional<core::CloakingEngine> engine;
+  std::optional<ClusterBoundMechanism> native;
+  std::unique_ptr<core::Mechanism> owned;
+  core::Mechanism* mechanism = nullptr;
+  if (config.family == audit::MechanismFamily::kClusterBound) {
+    registry.emplace(n);
+    auto clusterer = std::make_unique<cluster::DistributedTConnClusterer>(
+        graph, config.k, &*registry, &network);
+    core::BoundingParams bounding;
+    bounding.density = static_cast<double>(n);
+    engine.emplace(dataset, std::move(clusterer), &*registry,
+                   core::MakeSecurePolicyFactory(bounding),
+                   core::BoundingMode::kSecureProtocol, &network);
+    native.emplace(&*engine);
+    mechanism = &*native;
+  } else {
+    auto made =
+        MakeMechanism(config.family, dataset, &network, config.k, config.params);
+    if (!made.ok()) return made.status();
+    owned = std::move(made).value();
+    mechanism = owned.get();
+  }
+
+  CampaignResult result;
+  result.mechanism = mechanism->name();
+  util::Rng workload_rng(config.workload_seed);
+  double area_sum = 0.0;
+  double candidates_sum = 0.0;
+  double cost_sum = 0.0;
+
+  for (uint64_t ordinal = 0; ordinal < config.requests; ++ordinal) {
+    const data::UserId host =
+        static_cast<data::UserId>(workload_rng.NextUint64(n));
+    core::RequestContext ctx(config.master_seed, ordinal, host);
+    core::PipelineState state;
+    state.host = host;
+    state.k = config.k;
+    core::MechanismStage stage(mechanism);
+    const std::vector<core::Stage*> stages = {&stage};
+    const util::Status status = core::RunPipeline(stages, ctx, state);
+    core::FinalizeDegradation(ctx, &state.outcome);
+    ++result.requests;
+    if (!status.ok()) {
+      // Hard request error (host offline under the fault plan): counted,
+      // not fatal -- the campaign measures the mechanism under faults.
+      ++result.request_errors;
+      continue;
+    }
+    if (!state.outcome.anonymity_satisfied) continue;
+    ++result.satisfied;
+
+    // The LBS leg: regions ask for their range, probes for a disc each.
+    // Replies (and, for regions, the request itself) ride the audited wire.
+    uint64_t request_candidates = 0;
+    double request_cost = 0.0;
+    if (!state.outcome.region.empty()) {
+      const lbs::ServiceReply reply =
+          server.RangeQuery(state.outcome.region, &network, host);
+      request_candidates += reply.candidate_count;
+      request_cost += reply.reply_cost;
+      area_sum += state.outcome.region.Area();
+    }
+    for (const geo::Point& probe : state.outcome.probes) {
+      const lbs::ServiceReply reply =
+          server.ProbeQuery(probe, config.query_radius, &network, host);
+      request_candidates += reply.candidate_count;
+      request_cost += reply.reply_cost;
+    }
+    candidates_sum += static_cast<double>(request_candidates);
+    cost_sum += request_cost;
+  }
+
+  checker.Finalize();
+  network.SetTap(nullptr);
+
+  if (result.satisfied > 0) {
+    const double satisfied = static_cast<double>(result.satisfied);
+    result.mean_region_area = area_sum / satisfied;
+    result.mean_candidate_count = candidates_sum / satisfied;
+    result.mean_query_cost = cost_sum / satisfied;
+  }
+  result.mean_messages = static_cast<double>(network.total().messages) /
+                         static_cast<double>(result.requests);
+  result.observer_violations = observer.violation_count();
+  result.contract_violations = checker.violations().size();
+  result.declared_exposures = observer.declared_exposures();
+  result.tightest_learned_width = observer.TightestLearnedWidth();
+  result.messages_on_wire = observer.messages_seen();
+  return result;
+}
+
+}  // namespace nela::mechanisms

@@ -1,0 +1,78 @@
+// Comparative mechanism campaign: runs one mechanism family over a shared
+// workload with the full audit stack tapped onto the wire, and reports the
+// paper-style privacy/utility/cost columns side by side.
+//
+// Every request goes through the same envelope as the native scheme --
+// RequestContext sub-stream, MechanismStage under RunPipeline,
+// FinalizeDegradation -- and every wire artifact passes the
+// AdversaryObserver (shared non-exposure invariants) chained with the
+// family's LeakContractChecker (the declared-channel shape), so a
+// mechanism cannot look cheap by leaking: anything sharper than its
+// contract surfaces in the same result row as its cost.
+
+#ifndef NELA_MECHANISMS_COMPARATIVE_DRIVER_H_
+#define NELA_MECHANISMS_COMPARATIVE_DRIVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "audit/leak_contract.h"
+#include "data/dataset.h"
+#include "graph/wpg.h"
+#include "mechanisms/factory.h"
+#include "net/fault_plan.h"
+#include "util/status.h"
+
+namespace nela::mechanisms {
+
+struct CampaignConfig {
+  audit::MechanismFamily family = audit::MechanismFamily::kClusterBound;
+  // Anonymity / candidate-set requirement.
+  uint32_t k = 5;
+  uint32_t requests = 32;
+  // Request RNG sub-streams derive from (master_seed, ordinal); hosts are
+  // drawn from workload_seed.
+  uint64_t master_seed = 1;
+  uint64_t workload_seed = 7;
+  MechanismParams params;
+  // LBS utility target: probe mechanisms ask for POIs within this radius
+  // of each probe (region mechanisms ask for the region's POIs).
+  double query_radius = 0.05;
+  // Cr: clustering-message units one POI object costs to ship.
+  double poi_payload_ratio = 50.0;
+  // Optional fault injection for robustness sweeps.
+  std::optional<net::FaultPlan> fault_plan;
+};
+
+struct CampaignResult {
+  std::string mechanism;
+  uint64_t requests = 0;
+  // Requests whose mechanism met its privacy target.
+  uint64_t satisfied = 0;
+  // Hard per-request errors (host offline under a fault plan).
+  uint64_t request_errors = 0;
+  // --- Utility / cost, averaged over satisfied requests ------------------
+  double mean_region_area = 0.0;      // 0 for pure probe mechanisms
+  double mean_candidate_count = 0.0;  // POI candidates shipped back
+  double mean_query_cost = 0.0;       // candidate_count * Cr
+  double mean_messages = 0.0;         // wire messages per request
+  // --- Privacy: what the adversary provably got --------------------------
+  uint64_t observer_violations = 0;  // non-exposure invariant breaches
+  uint64_t contract_violations = 0;  // declared-channel shape breaches
+  uint64_t declared_exposures = 0;   // counted raw uploads (grid cloak)
+  // Narrowest knowledge interval any principal learned (+inf when the
+  // mechanism never runs the bounding protocol).
+  double tightest_learned_width = 0.0;
+  uint64_t messages_on_wire = 0;
+};
+
+// Runs the campaign. `graph` is only consulted by the native cluster-bound
+// family (phase-1 clustering); baselines ignore it.
+[[nodiscard]] util::Result<CampaignResult> RunCampaign(
+    const data::Dataset& dataset, const graph::Wpg& graph,
+    const CampaignConfig& config);
+
+}  // namespace nela::mechanisms
+
+#endif  // NELA_MECHANISMS_COMPARATIVE_DRIVER_H_

@@ -1,0 +1,170 @@
+#include "mechanisms/dummy_locations.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "geo/point.h"
+#include "util/check.h"
+
+namespace nela::mechanisms {
+
+namespace {
+
+uint32_t AxisCell(double value, uint32_t resolution) {
+  const double scaled = std::floor(value * static_cast<double>(resolution));
+  if (scaled < 0.0) return 0;
+  const uint32_t index = static_cast<uint32_t>(scaled);
+  return index >= resolution ? resolution - 1 : index;
+}
+
+geo::Point CellCenter(uint32_t cell, uint32_t resolution) {
+  const uint32_t cx = cell % resolution;
+  const uint32_t cy = cell / resolution;
+  return geo::Point{(static_cast<double>(cx) + 0.5) /
+                        static_cast<double>(resolution),
+                    (static_cast<double>(cy) + 0.5) /
+                        static_cast<double>(resolution)};
+}
+
+// Shannon entropy of the subset's frequency distribution: the DLS
+// objective (an adversary weighting candidates by popularity gains least
+// when the weights are uniform).
+double SubsetEntropy(const std::vector<uint32_t>& cells,
+                     const std::vector<uint32_t>& frequency) {
+  double total = 0.0;
+  for (uint32_t cell : cells) total += static_cast<double>(frequency[cell]);
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (uint32_t cell : cells) {
+    const double p = static_cast<double>(frequency[cell]) / total;
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+// Log of the product of pairwise center distances: the tie-breaker that
+// prefers spatially spread dummy sets over clumped ones.
+double SubsetSpread(const std::vector<uint32_t>& cells, uint32_t resolution) {
+  double log_product = 0.0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const geo::Point a = CellCenter(cells[i], resolution);
+    for (size_t j = i + 1; j < cells.size(); ++j) {
+      const geo::Point b = CellCenter(cells[j], resolution);
+      const double dx = a.x - b.x;
+      const double dy = a.y - b.y;
+      log_product += 0.5 * std::log(dx * dx + dy * dy);
+    }
+  }
+  return log_product;
+}
+
+}  // namespace
+
+DummyLocationMechanism::DummyLocationMechanism(const data::Dataset& dataset,
+                                               net::Network* network,
+                                               uint32_t k, uint32_t resolution,
+                                               uint32_t subset_draws)
+    : dataset_(dataset),
+      network_(network),
+      k_(k),
+      resolution_(resolution),
+      subset_draws_(subset_draws),
+      frequency_(static_cast<size_t>(resolution) * resolution, 0) {
+  NELA_CHECK_GE(k, 1u);
+  NELA_CHECK_GE(resolution, 1u);
+  NELA_CHECK_GE(subset_draws, 1u);
+  for (const geo::Point& p : dataset.points()) {
+    const uint32_t cx = AxisCell(p.x, resolution_);
+    const uint32_t cy = AxisCell(p.y, resolution_);
+    ++frequency_[static_cast<size_t>(cy) * resolution_ + cx];
+  }
+}
+
+util::Status DummyLocationMechanism::Cloak(core::RequestContext& ctx,
+                                           data::UserId host,
+                                           core::MechanismOutcome* outcome) {
+  if (host >= dataset_.size()) {
+    return util::NotFoundError("dummy locations: host out of range");
+  }
+  const geo::Point& own = dataset_.point(host);
+  const uint32_t own_cell =
+      AxisCell(own.y, resolution_) * resolution_ + AxisCell(own.x, resolution_);
+  const uint32_t own_frequency = frequency_[own_cell];
+
+  // Candidate pool: the 2k non-empty cells whose query frequency is
+  // closest to the host's own (DLS's plausibility pre-filter), ordered
+  // deterministically.
+  std::vector<uint32_t> pool;
+  for (uint32_t cell = 0; cell < frequency_.size(); ++cell) {
+    if (cell != own_cell && frequency_[cell] > 0) pool.push_back(cell);
+  }
+  std::sort(pool.begin(), pool.end(),
+            [this, own_frequency](uint32_t a, uint32_t b) {
+              const uint32_t da = frequency_[a] > own_frequency
+                                      ? frequency_[a] - own_frequency
+                                      : own_frequency - frequency_[a];
+              const uint32_t db = frequency_[b] > own_frequency
+                                      ? frequency_[b] - own_frequency
+                                      : own_frequency - frequency_[b];
+              if (da != db) return da < db;
+              return a < b;
+            });
+  if (pool.size() > static_cast<size_t>(2) * k_) {
+    pool.resize(static_cast<size_t>(2) * k_);
+  }
+
+  if (pool.size() + 1 < k_) {
+    outcome->satisfied = false;
+    outcome->detail = "pool=" + std::to_string(pool.size()) +
+                      " below k-1=" + std::to_string(k_ - 1);
+    return util::Status::Ok();
+  }
+
+  // Score `subset_draws` random candidate subsets; keep the max-entropy
+  // one, breaking ties toward the spatially widest spread. All draws come
+  // from the request's private sub-stream.
+  std::vector<uint32_t> best;
+  double best_entropy = -1.0;
+  double best_spread = 0.0;
+  for (uint32_t draw = 0; draw < subset_draws_; ++draw) {
+    std::vector<uint32_t> subset = {own_cell};
+    for (uint32_t index : ctx.rng().SampleWithoutReplacement(
+             static_cast<uint32_t>(pool.size()), k_ - 1)) {
+      subset.push_back(pool[index]);
+    }
+    const double entropy = SubsetEntropy(subset, frequency_);
+    const double spread = SubsetSpread(subset, resolution_);
+    if (entropy > best_entropy ||
+        (entropy == best_entropy && spread > best_spread)) {
+      best = std::move(subset);
+      best_entropy = entropy;
+      best_spread = spread;
+    }
+  }
+  std::sort(best.begin(), best.end());
+
+  // One service request per candidate, every coordinate snapped to its
+  // cell center: the wire never carries the host's raw position.
+  for (uint32_t cell : best) {
+    const geo::Point center = CellCenter(cell, resolution_);
+    if (network_ != nullptr) {
+      net::Message request;
+      request.from = host;
+      request.to = host;
+      request.kind = net::MessageKind::kServiceRequest;
+      request.bytes = 16;
+      request.payload.Add(net::FieldTag::kCandidateLocation, host, center.x);
+      request.payload.Add(net::FieldTag::kCandidateLocation, host, center.y);
+      network_->Send(request, &ctx.scope());
+      ++outcome->messages_sent;
+    }
+    outcome->probes.push_back(center);
+  }
+  outcome->satisfied = true;
+  outcome->detail = "candidates=" + std::to_string(best.size()) +
+                    " pool=" + std::to_string(pool.size());
+  return util::Status::Ok();
+}
+
+}  // namespace nela::mechanisms

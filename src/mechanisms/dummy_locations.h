@@ -1,0 +1,55 @@
+// Dummy-location selection (DLS, Niu et al., INFOCOM'14): instead of a
+// region, the client sends k plausible locations -- its own cell plus k-1
+// dummies -- chosen so the set's query-frequency entropy is maximal (an
+// adversary with a popularity side channel cannot down-weight the
+// dummies). Candidates are centers of a G x G grid; frequencies are the
+// cell occupancies of the user population (the stand-in for a historical
+// query log).
+//
+// Leak contract (audit::MechanismFamily::kDummyLocations): every service
+// request carries exactly two kCandidateLocation fields that are exact
+// cell centers -- never a raw position -- and the per-host union of
+// candidates spans >= k distinct cells including the host's own cell.
+// Audited in strict mode.
+
+#ifndef NELA_MECHANISMS_DUMMY_LOCATIONS_H_
+#define NELA_MECHANISMS_DUMMY_LOCATIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "data/dataset.h"
+#include "net/network.h"
+
+namespace nela::mechanisms {
+
+class DummyLocationMechanism : public core::Mechanism {
+ public:
+  // `resolution` is the candidate grid side G; `subset_draws` is how many
+  // random candidate subsets are scored per request (the DLS heuristic's
+  // search width).
+  DummyLocationMechanism(const data::Dataset& dataset, net::Network* network,
+                         uint32_t k, uint32_t resolution,
+                         uint32_t subset_draws);
+
+  const char* name() const override { return "dummy_locations"; }
+
+  [[nodiscard]] util::Status Cloak(core::RequestContext& ctx,
+                                   data::UserId host,
+                                   core::MechanismOutcome* outcome) override;
+
+ private:
+  const data::Dataset& dataset_;
+  net::Network* network_;
+  uint32_t k_;
+  uint32_t resolution_;
+  uint32_t subset_draws_;
+  // Cell occupancy of the population, indexed cy * G + cx: the query
+  // frequency the entropy heuristic scores against.
+  std::vector<uint32_t> frequency_;
+};
+
+}  // namespace nela::mechanisms
+
+#endif  // NELA_MECHANISMS_DUMMY_LOCATIONS_H_

@@ -1,0 +1,31 @@
+#include "mechanisms/factory.h"
+
+#include "mechanisms/dummy_locations.h"
+#include "mechanisms/geo_ind.h"
+#include "mechanisms/grid_cloak.h"
+
+namespace nela::mechanisms {
+
+util::Result<std::unique_ptr<core::Mechanism>> MakeMechanism(
+    audit::MechanismFamily family, const data::Dataset& dataset,
+    net::Network* network, uint32_t k, const MechanismParams& params) {
+  switch (family) {
+    case audit::MechanismFamily::kClusterBound:
+      return util::InvalidArgumentError(
+          "cluster_bound needs a CloakingEngine; construct "
+          "ClusterBoundMechanism directly");
+    case audit::MechanismFamily::kGridCloak:
+      return std::unique_ptr<core::Mechanism>(new GridCloakMechanism(
+          dataset, network, k, params.grid_max_depth));
+    case audit::MechanismFamily::kGeoInd:
+      return std::unique_ptr<core::Mechanism>(
+          new GeoIndMechanism(dataset, network, params.epsilon));
+    case audit::MechanismFamily::kDummyLocations:
+      return std::unique_ptr<core::Mechanism>(new DummyLocationMechanism(
+          dataset, network, k, params.dls_resolution,
+          params.dls_subset_draws));
+  }
+  return util::InvalidArgumentError("unknown mechanism family");
+}
+
+}  // namespace nela::mechanisms

@@ -1,0 +1,56 @@
+#include "mechanisms/geo_ind.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace nela::mechanisms {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+GeoIndMechanism::GeoIndMechanism(const data::Dataset& dataset,
+                                 net::Network* network, double epsilon)
+    : dataset_(dataset), network_(network), epsilon_(epsilon) {
+  NELA_CHECK_GT(epsilon, 0.0);
+}
+
+util::Status GeoIndMechanism::Cloak(core::RequestContext& ctx,
+                                    data::UserId host,
+                                    core::MechanismOutcome* outcome) {
+  if (host >= dataset_.size()) {
+    return util::NotFoundError("geo-ind: host out of range");
+  }
+  const geo::Point& own = dataset_.point(host);
+
+  // Planar Laplace: uniform angle, radius ~ Gamma(2, epsilon) -- the sum
+  // of two exponentials, matching the polar density eps^2 * r * e^{-eps r}.
+  // Both draws come from the request's private sub-stream, so the probe is
+  // bit-identical for a given (master_seed, ordinal) under any scheduling.
+  const double angle = ctx.rng().NextDouble(0.0, kTwoPi);
+  const double radius =
+      ctx.rng().NextExponential(epsilon_) + ctx.rng().NextExponential(epsilon_);
+  const geo::Point probe{own.x + radius * std::cos(angle),
+                         own.y + radius * std::sin(angle)};
+
+  if (network_ != nullptr) {
+    net::Message request;
+    request.from = host;
+    request.to = host;
+    request.kind = net::MessageKind::kServiceRequest;
+    request.bytes = 16;
+    request.payload.Add(net::FieldTag::kNoisedCoordinate, host, probe.x);
+    request.payload.Add(net::FieldTag::kNoisedCoordinate, host, probe.y);
+    network_->Send(request, &ctx.scope());
+    ++outcome->messages_sent;
+  }
+
+  outcome->probes.push_back(probe);
+  outcome->satisfied = true;
+  outcome->detail = "probes=1";
+  return util::Status::Ok();
+}
+
+}  // namespace nela::mechanisms

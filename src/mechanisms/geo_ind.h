@@ -1,0 +1,43 @@
+// Geo-indistinguishability (Andrés et al., CCS'13): perturb the client's
+// location with planar Laplace noise and query the LBS with the noised
+// point. No anonymizer, no other users involved; privacy is the
+// epsilon-bounded ratio between the noised point's likelihood under any
+// two nearby true locations.
+//
+// Leak contract (audit::MechanismFamily::kGeoInd): every service request
+// carries exactly two kNoisedCoordinate fields and nothing else, and
+// neither may be bit-equal to any user's true coordinate (the noise must
+// actually have been applied). Audited in strict mode -- nothing is
+// declared.
+
+#ifndef NELA_MECHANISMS_GEO_IND_H_
+#define NELA_MECHANISMS_GEO_IND_H_
+
+#include "core/mechanism.h"
+#include "data/dataset.h"
+#include "net/network.h"
+
+namespace nela::mechanisms {
+
+class GeoIndMechanism : public core::Mechanism {
+ public:
+  // `epsilon` is the privacy parameter per unit of distance: larger means
+  // less noise (the noised point's expected displacement is 2/epsilon).
+  GeoIndMechanism(const data::Dataset& dataset, net::Network* network,
+                  double epsilon);
+
+  const char* name() const override { return "geo_ind"; }
+
+  [[nodiscard]] util::Status Cloak(core::RequestContext& ctx,
+                                   data::UserId host,
+                                   core::MechanismOutcome* outcome) override;
+
+ private:
+  const data::Dataset& dataset_;
+  net::Network* network_;
+  double epsilon_;
+};
+
+}  // namespace nela::mechanisms
+
+#endif  // NELA_MECHANISMS_GEO_IND_H_

@@ -1,0 +1,88 @@
+#include "mechanisms/grid_cloak.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace nela::mechanisms {
+
+namespace {
+
+// Cell index of `value` on a row of `cells` dyadic cells, clamped so the
+// 1.0 boundary lands in the last cell.
+uint64_t CellIndex(double value, uint64_t cells) {
+  const double scaled = std::floor(value * static_cast<double>(cells));
+  if (scaled < 0.0) return 0;
+  const uint64_t index = static_cast<uint64_t>(scaled);
+  return index >= cells ? cells - 1 : index;
+}
+
+}  // namespace
+
+GridCloakMechanism::GridCloakMechanism(const data::Dataset& dataset,
+                                       net::Network* network, uint32_t k,
+                                       uint32_t max_depth)
+    : dataset_(dataset), network_(network), k_(k), max_depth_(max_depth) {
+  NELA_CHECK_GE(k, 1u);
+  NELA_CHECK_LE(max_depth, 32u);
+}
+
+util::Status GridCloakMechanism::Cloak(core::RequestContext& ctx,
+                                       data::UserId host,
+                                       core::MechanismOutcome* outcome) {
+  if (host >= dataset_.size()) {
+    return util::NotFoundError("grid cloak: host out of range");
+  }
+  const geo::Point& own = dataset_.point(host);
+
+  // Declared channel: the client's location upload to the anonymizer. The
+  // anonymizer is trusted, so the client node doubles as its endpoint (the
+  // network models only the user population).
+  if (network_ != nullptr) {
+    net::Message upload;
+    upload.from = host;
+    upload.to = host;
+    upload.kind = net::MessageKind::kControl;
+    upload.bytes = 16;
+    upload.payload.Add(net::FieldTag::kRawCoordinate, host, own.x);
+    upload.payload.Add(net::FieldTag::kRawCoordinate, host, own.y);
+    network_->Send(upload, &ctx.scope());
+    ++outcome->messages_sent;
+  }
+
+  // Walk from the finest cell up to the root until the host's cell holds
+  // at least k users. Occupancy uses the same floor-based cell map as the
+  // host's own placement, so the published cell always contains its own
+  // occupants under the checker's inclusive-edge count.
+  for (uint32_t depth = max_depth_ + 1; depth-- > 0;) {
+    const uint64_t cells = uint64_t{1} << depth;
+    const uint64_t cx = CellIndex(own.x, cells);
+    const uint64_t cy = CellIndex(own.y, cells);
+    uint32_t occupants = 0;
+    for (const geo::Point& p : dataset_.points()) {
+      if (CellIndex(p.x, cells) == cx && CellIndex(p.y, cells) == cy) {
+        ++occupants;
+      }
+    }
+    if (occupants < k_) continue;
+    const double width = std::ldexp(1.0, -static_cast<int>(depth));
+    outcome->region =
+        geo::Rect(static_cast<double>(cx) * width,
+                  static_cast<double>(cy) * width,
+                  static_cast<double>(cx + 1) * width,
+                  static_cast<double>(cy + 1) * width);
+    outcome->satisfied = true;
+    outcome->detail = "depth=" + std::to_string(depth) +
+                      " occupants=" + std::to_string(occupants);
+    return util::Status::Ok();
+  }
+
+  // Even the root cell (the whole plane) holds fewer than k users.
+  outcome->satisfied = false;
+  outcome->detail = "population=" + std::to_string(dataset_.size()) +
+                    " below k=" + std::to_string(k_);
+  return util::Status::Ok();
+}
+
+}  // namespace nela::mechanisms

@@ -1,0 +1,48 @@
+// Grid-based spatial cloaking (the quadtree anonymizer of Gruteser &
+// Grunwald's adaptive-cloaking lineage): the client uploads its exact
+// location to a trusted anonymizer, which publishes the smallest dyadic
+// quadtree cell containing the client that holds at least k users.
+//
+// Leak contract (audit::MechanismFamily::kGridCloak): the upload is a
+// DECLARED exposure channel -- the client may send its OWN coordinates,
+// tagged kRawCoordinate, and nothing else; the published region must be an
+// aligned power-of-two square of depth <= max_depth with >= k occupants
+// that contains the sender. Audit with
+// ObserverConfig::allow_declared_exposure so the upload is counted, not
+// flagged.
+
+#ifndef NELA_MECHANISMS_GRID_CLOAK_H_
+#define NELA_MECHANISMS_GRID_CLOAK_H_
+
+#include <cstdint>
+
+#include "core/mechanism.h"
+#include "data/dataset.h"
+#include "net/network.h"
+
+namespace nela::mechanisms {
+
+class GridCloakMechanism : public core::Mechanism {
+ public:
+  // `dataset` holds the user population on the unit square (not owned).
+  // `network` (nullable, not owned) receives the upload message; the
+  // region's own wire artifact is the LBS range request the caller issues.
+  GridCloakMechanism(const data::Dataset& dataset, net::Network* network,
+                     uint32_t k, uint32_t max_depth);
+
+  const char* name() const override { return "grid_cloak"; }
+
+  [[nodiscard]] util::Status Cloak(core::RequestContext& ctx,
+                                   data::UserId host,
+                                   core::MechanismOutcome* outcome) override;
+
+ private:
+  const data::Dataset& dataset_;
+  net::Network* network_;
+  uint32_t k_;
+  uint32_t max_depth_;
+};
+
+}  // namespace nela::mechanisms
+
+#endif  // NELA_MECHANISMS_GRID_CLOAK_H_

@@ -28,8 +28,10 @@ constexpr const char* kFieldTagNames[] = {
     "bound_hypothesis",  // kBoundHypothesis
     "bound_verdict",     // kBoundVerdict
     "cloaked_region",    // kCloakedRegion
-    "raw_coordinate",    // kRawCoordinate
-    "control",           // kControl
+    "raw_coordinate",      // kRawCoordinate
+    "control",             // kControl
+    "noised_coordinate",   // kNoisedCoordinate
+    "candidate_location",  // kCandidateLocation
 };
 static_assert(sizeof(kFieldTagNames) / sizeof(kFieldTagNames[0]) ==
                   static_cast<size_t>(kFieldTagCount),

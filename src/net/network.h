@@ -63,8 +63,12 @@ enum class FieldTag : uint8_t {
   kRawCoordinate,      // an exact user coordinate -- only the OPT baseline
                        // may ever send one, and the observer flags it
   kControl,            // untyped bookkeeping value
+  kNoisedCoordinate,   // a perturbed coordinate (geo-indistinguishability);
+                       // declared to differ from every private bit pattern
+  kCandidateLocation,  // one member of a dummy-location candidate set (a
+                       // grid cell center, never a raw user position)
 };
-inline constexpr int kFieldTagCount = 6;
+inline constexpr int kFieldTagCount = 8;
 
 // Stable short name of a tag ("adjacency_list", ...), static_asserted
 // against kFieldTagCount like MessageKindName.

@@ -51,11 +51,13 @@
 #include <string>
 #include <vector>
 
+#include "audit/leak_contract.h"
 #include "core/cloaking_engine.h"
 #include "core/policy_factory.h"
 #include "data/dataset.h"
 #include "durability/recovery.h"
 #include "graph/wpg.h"
+#include "mechanisms/factory.h"
 #include "net/accounting.h"
 #include "net/fault_plan.h"
 #include "net/network.h"
@@ -76,6 +78,16 @@ struct ServiceConfig {
   uint64_t master_seed = 1;
   uint64_t workload_seed = 7;
   bool with_network = true;
+
+  // --- Mechanism ---------------------------------------------------------
+  // Which privacy mechanism serves the requests. kClusterBound is the
+  // native clustering+bounding pipeline with all the machinery below; any
+  // other family runs the corresponding baseline through MechanismStage --
+  // requests are independent (no clustering, claims, commit turnstile, or
+  // registry writes), so the mode composes with admission, the fault plan,
+  // and the observer tap, but not with durability or stall injection.
+  audit::MechanismFamily mechanism = audit::MechanismFamily::kClusterBound;
+  mechanisms::MechanismParams mechanism_params;
 
   // --- Admission / overload ---------------------------------------------
   // Mean arrivals per simulated millisecond (Poisson process). 0 disables
@@ -152,6 +164,11 @@ struct ServiceResult {
   std::vector<ServiceRequestRecord> records;
   // cluster::Registry::Digest() of the final registry.
   uint64_t registry_digest = 0;
+  // FNV fold of every request's outcome facts in ordinal order (host,
+  // admission, satisfaction, region and probe coordinate bits): the
+  // determinism witness that works for every mechanism, including
+  // baselines that never touch the registry.
+  uint64_t outcome_digest = 0;
   bool reciprocity_ok = false;
   uint32_t clusters_formed = 0;
 

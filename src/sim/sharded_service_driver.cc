@@ -11,10 +11,13 @@
 #include <unordered_map>
 #include <utility>
 
+#include <cstring>
+
 #include "cluster/concurrency.h"
 #include "cluster/distributed_tconn.h"
 #include "cluster/registry.h"
 #include "cluster/sharded_registry.h"
+#include "core/mechanism.h"
 #include "core/pipeline.h"
 #include "core/request_context.h"
 #include "core/stages.h"
@@ -24,6 +27,7 @@
 #include "durability/sharded_durable_registry.h"
 #include "durability/wal.h"
 #include "geo/rect.h"
+#include "mechanisms/factory.h"
 #include "net/network.h"
 #include "sim/workload.h"
 #include "util/rng.h"
@@ -41,6 +45,13 @@ double PercentileMs(const std::vector<double>& sorted, double percentile) {
       static_cast<size_t>(percentile / 100.0 *
                           static_cast<double>(sorted.size())));
   return sorted[index];
+}
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
 }
 
 util::Status CrashError(net::ProcessCrashPoint point) {
@@ -91,6 +102,10 @@ struct ShardedServiceDriver::RunState {
   std::unique_ptr<durability::DurableRegistry> durable;
   std::unique_ptr<durability::ShardedDurableRegistry> sharded_durable;
   std::unique_ptr<core::RegionWriter> region_writer;
+  // Non-null when a baseline mechanism serves the requests (ServiceConfig::
+  // mechanism != kClusterBound); ProcessRequest then routes every request
+  // through the independent mechanism path.
+  std::unique_ptr<core::Mechanism> mechanism;
   // One wound-wait arbiter per shard, all sharing the global admission-rank
   // ticket space (OpenRequestAt).
   std::vector<std::unique_ptr<cluster::ClaimCoordinator>> coordinators;
@@ -403,9 +418,40 @@ bool ShardedServiceDriver::TryRescue(RunState& run, uint64_t max_rank) {
   return true;
 }
 
+util::Status ShardedServiceDriver::ProcessMechanismRequest(RunState& run,
+                                                           uint64_t ordinal) {
+  const ServiceConfig& service = config_.service;
+  const util::WallTimer timer;
+  const data::UserId host = run.hosts[ordinal];
+  ServiceRequestRecord& record = run.records[ordinal];
+  core::RequestContext ctx(service.master_seed, ordinal, host);
+  ctx.set_deadline_ms(service.deadline_ms);
+  if (record.queue_wait_ms > 0.0) {
+    ctx.scope().RecordBackoff(record.queue_wait_ms);
+  }
+
+  core::PipelineState state;
+  state.host = host;
+  state.k = service.k;
+  core::MechanismStage stage(run.mechanism.get());
+  const std::vector<core::Stage*> stages = {&stage};
+  const util::Status status = core::RunPipeline(stages, ctx, state);
+  core::FinalizeDegradation(ctx, &state.outcome);
+
+  record.host = host;
+  record.ordinal = ordinal;
+  record.outcome = std::move(state.outcome);
+  record.trace = ctx.trace().ToString();
+  record.net_stats = ctx.scope().stats();
+  record.wall_ms = timer.ElapsedMillis();
+  run.delivered[ordinal] = 1;
+  return status;
+}
+
 util::Status ShardedServiceDriver::ProcessRequest(RunState& run,
                                                   uint64_t ordinal,
                                                   bool allow_stall) {
+  if (run.mechanism != nullptr) return ProcessMechanismRequest(run, ordinal);
   const ServiceConfig& service = config_.service;
   const util::WallTimer timer;
   const data::UserId host = run.hosts[ordinal];
@@ -841,6 +887,25 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
     return util::InvalidArgumentError(
         "recovered registry population does not match the dataset");
   }
+  const bool baseline_mechanism =
+      service.mechanism != audit::MechanismFamily::kClusterBound;
+  if (baseline_mechanism &&
+      (!service.wal_path.empty() || !config_.durability_dir.empty() ||
+       service.checkpoint_interval > 0)) {
+    return util::InvalidArgumentError(
+        "baseline mechanisms write no registry state; durability does not "
+        "compose with them");
+  }
+  if (baseline_mechanism && service.stall_ordinal != kNoStallOrdinal) {
+    return util::InvalidArgumentError(
+        "stall injection targets the claim/turnstile machinery, which "
+        "baseline mechanisms bypass");
+  }
+  if (baseline_mechanism && !service.fault_plan.process_crashes.empty()) {
+    return util::InvalidArgumentError(
+        "process crash points are commit/WAL/checkpoint events, which "
+        "baseline mechanisms never reach");
+  }
 
   RunState run(dataset_, config_.shards);
   run.sharded = registry != nullptr
@@ -884,6 +949,17 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
         std::make_unique<ShardedRegionWriter>(run.sharded_durable.get());
   }
 
+  if (baseline_mechanism) {
+    // One shared, stateless mechanism instance: Cloak is thread-safe on
+    // distinct contexts, and all its randomness comes from each request's
+    // private sub-stream.
+    auto made = mechanisms::MakeMechanism(service.mechanism, dataset_,
+                                          run.network.get(), service.k,
+                                          service.mechanism_params);
+    if (!made.ok()) return made.status();
+    run.mechanism = std::move(made).value();
+  }
+
   util::Rng workload_rng(service.workload_seed);
   run.hosts = SampleWorkload(user_count, service.requests, workload_rng);
   run.records.resize(service.requests);
@@ -904,8 +980,11 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
   // Tickets carry the GLOBAL wound-wait priority (admission rank), and
   // every shard's coordinator registers the same ticket for the same
   // request -- claim conflicts resolve in arrival order wherever the
-  // contested user is homed.
-  for (uint64_t ordinal : run.admitted_ordinals) {
+  // contested user is homed. Baseline mechanisms never claim, so their
+  // runs skip the ticket space entirely.
+  for (uint64_t ordinal :
+       run.mechanism == nullptr ? run.admitted_ordinals
+                                : std::vector<uint64_t>{}) {
     const cluster::Ticket ticket =
         static_cast<cluster::Ticket>(run.commit_rank.at(ordinal) + 1);
     for (std::unique_ptr<cluster::ClaimCoordinator>& coordinator :
@@ -1019,6 +1098,34 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
   std::sort(queue_waits.begin(), queue_waits.end());
   result.p50_queue_wait_ms = PercentileMs(queue_waits, 50.0);
   result.p99_queue_wait_ms = PercentileMs(queue_waits, 99.0);
+
+  // Outcome digest: an FNV-1a fold of every request's outcome facts in
+  // ordinal order. Unlike the registry digest it also witnesses baseline
+  // mechanisms (whose registry stays empty), so the cross-thread-count
+  // determinism assertion is one identity for every mechanism.
+  uint64_t outcome_digest = 14695981039346656037ull;
+  const auto fold = [&outcome_digest](uint64_t value) {
+    outcome_digest ^= value;
+    outcome_digest *= 1099511628211ull;
+  };
+  for (const ServiceRequestRecord& record : result.records) {
+    fold(record.ordinal);
+    fold(record.host);
+    fold(record.admitted ? 1u : 0u);
+    fold(record.outcome.anonymity_satisfied ? 1u : 0u);
+    const geo::Rect& region = record.outcome.region;
+    if (!region.empty()) {
+      fold(DoubleBits(region.min_x()));
+      fold(DoubleBits(region.min_y()));
+      fold(DoubleBits(region.max_x()));
+      fold(DoubleBits(region.max_y()));
+    }
+    for (const geo::Point& probe : record.outcome.probes) {
+      fold(DoubleBits(probe.x));
+      fold(DoubleBits(probe.y));
+    }
+  }
+  result.outcome_digest = outcome_digest;
 
   // Registry digest + reciprocity audit over the final state.
   result.registry_digest = run.registry->Digest();

@@ -144,6 +144,10 @@ class ShardedServiceDriver {
 
   [[nodiscard]] util::Status ProcessRequest(RunState& run, uint64_t ordinal,
                                             bool allow_stall);
+  // Baseline-mechanism path: one independent MechanismStage pipeline per
+  // request -- no speculation, claims, turnstile, or registry writes.
+  [[nodiscard]] util::Status ProcessMechanismRequest(RunState& run,
+                                                     uint64_t ordinal);
   bool TryRescue(RunState& run, uint64_t max_rank);
   void AdmitWorkload(RunState& run);
   void FillShedRecord(RunState& run, uint64_t ordinal, ShedCause cause,

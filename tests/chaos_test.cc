@@ -26,6 +26,7 @@
 #include "audit/observer.h"
 #include "audit/taint.h"
 #include "core/anonymity_audit.h"
+#include "scenario_fixtures.h"
 #include "sim/chaos_experiment.h"
 #include "sim/scenario.h"
 #include "util/proptest.h"
@@ -34,55 +35,12 @@
 namespace nela {
 namespace {
 
-struct SmallWorld {
-  data::Dataset dataset;
-  graph::Wpg graph;
-};
-
-// ~200 users in a unit square dense enough for k=4 clusters.
-SmallWorld MakeWorld(uint64_t seed) {
-  util::Rng rng(seed);
-  data::Dataset dataset = data::GenerateUniform(200, rng);
-  graph::WpgBuildParams params;
-  params.delta = 0.12;
-  params.max_peers = 8;
-  auto graph = graph::BuildWpg(dataset, params);
-  NELA_CHECK(graph.ok());
-  return SmallWorld{std::move(dataset), std::move(graph).value()};
-}
-
-core::BoundingParams SmallWorldBounding() {
-  core::BoundingParams params;
-  params.density = 200.0;
-  return params;
-}
-
-// Failure messages may name node ids and attempt counts, never positions.
-// Every formatted coordinate contains a decimal point and the full
-// std::to_string rendering of some member coordinate; assert both away.
-void ExpectNoCoordinateLeak(const std::string& message,
-                            const data::Dataset& dataset) {
-  EXPECT_FALSE(message.empty());
-  EXPECT_EQ(message.find('.'), std::string::npos) << message;
-  for (uint32_t i = 0; i < dataset.size(); ++i) {
-    const geo::Point p = dataset.point(i);
-    EXPECT_EQ(message.find(std::to_string(p.x)), std::string::npos) << message;
-    EXPECT_EQ(message.find(std::to_string(p.y)), std::string::npos) << message;
-  }
-}
-
-std::vector<geo::Point> FirstPoints(const data::Dataset& dataset, uint32_t n) {
-  std::vector<geo::Point> points;
-  points.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) points.push_back(dataset.point(i));
-  return points;
-}
-
-std::vector<net::NodeId> Iota(uint32_t n) {
-  std::vector<net::NodeId> ids(n);
-  for (uint32_t i = 0; i < n; ++i) ids[i] = i;
-  return ids;
-}
+using fixtures::ExpectNoCoordinateLeak;
+using fixtures::FirstPoints;
+using fixtures::Iota;
+using fixtures::MakeWorld;
+using fixtures::SmallWorld;
+using fixtures::SmallWorldBounding;
 
 TEST(ChaosBoundingTest, LossyNetworkYieldsCleanNetworkRegion) {
   SmallWorld world = MakeWorld(1);

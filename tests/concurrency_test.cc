@@ -16,6 +16,7 @@
 #include "cluster/distributed_tconn.h"
 #include "data/generators.h"
 #include "graph/wpg_builder.h"
+#include "scenario_fixtures.h"
 #include "util/rng.h"
 
 namespace nela::cluster {
@@ -188,20 +189,12 @@ TEST(ClaimCoordinatorTest, BatchedContentionPreservesReciprocity) {
 
 // ----------------------------------------------- ConcurrentCloakingSession
 
-struct World {
-  data::Dataset dataset;
-  graph::Wpg graph;
-};
+using World = fixtures::SmallWorld;
 
+// This suite's worlds span 100-500 users; delta=0.1 keeps the larger ones
+// connected without blowing up peer lists.
 World MakeWorld(uint64_t seed, uint32_t users) {
-  util::Rng rng(seed);
-  data::Dataset dataset = data::GenerateUniform(users, rng);
-  graph::WpgBuildParams params;
-  params.delta = 0.1;
-  params.max_peers = 8;
-  auto graph = graph::BuildWpg(dataset, params);
-  NELA_CHECK(graph.ok());
-  return World{std::move(dataset), std::move(graph).value()};
+  return fixtures::MakeWorld(seed, users, /*delta=*/0.1);
 }
 
 TEST(ConcurrentCloakingTest, NeighborsRequestingSimultaneously) {

@@ -27,6 +27,7 @@
 #include "net/fault_plan.h"
 #include "net/network.h"
 #include "net/retry.h"
+#include "scenario_fixtures.h"
 #include "sim/scenario.h"
 #include "sim/service_driver.h"
 #include "util/rng.h"
@@ -37,22 +38,10 @@ namespace {
 
 constexpr uint32_t kK = 4;
 
-struct SmallWorld {
-  data::Dataset dataset;
-  graph::Wpg graph;
-};
+using fixtures::SmallWorld;
 
 const SmallWorld& World() {
-  static const SmallWorld world = [] {
-    util::Rng rng(41);
-    data::Dataset dataset = data::GenerateUniform(200, rng);
-    graph::WpgBuildParams params;
-    params.delta = 0.12;
-    params.max_peers = 8;
-    auto graph = graph::BuildWpg(dataset, params);
-    NELA_CHECK(graph.ok());
-    return SmallWorld{std::move(dataset), std::move(graph).value()};
-  }();
+  static const SmallWorld world = fixtures::MakeWorld(41);
   return world;
 }
 

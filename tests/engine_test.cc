@@ -13,33 +13,15 @@
 #include "core/policy_factory.h"
 #include "data/generators.h"
 #include "graph/wpg_builder.h"
+#include "scenario_fixtures.h"
 #include "util/rng.h"
 
 namespace nela::core {
 namespace {
 
-struct SmallWorld {
-  data::Dataset dataset;
-  graph::Wpg graph;
-};
-
-// ~200 users in a unit square dense enough for k=4 clusters.
-SmallWorld MakeWorld(uint64_t seed) {
-  util::Rng rng(seed);
-  data::Dataset dataset = data::GenerateUniform(200, rng);
-  graph::WpgBuildParams params;
-  params.delta = 0.12;
-  params.max_peers = 8;
-  auto graph = graph::BuildWpg(dataset, params);
-  NELA_CHECK(graph.ok());
-  return SmallWorld{std::move(dataset), std::move(graph).value()};
-}
-
-BoundingParams SmallWorldBounding() {
-  BoundingParams params;
-  params.density = 200.0;
-  return params;
-}
+using fixtures::MakeWorld;
+using fixtures::SmallWorld;
+using fixtures::SmallWorldBounding;
 
 TEST(CloakingEngineTest, FreshRequestProducesRegionCoveringCluster) {
   SmallWorld world = MakeWorld(1);

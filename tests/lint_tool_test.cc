@@ -134,6 +134,16 @@ TEST(LintScopingTest, RngHomeMayUseRawSources) {
   const std::string body = "int f() { return rand(); }\n";
   EXPECT_TRUE(LintFile("src/util/rng.cc", body).empty());
   EXPECT_FALSE(LintFile("src/bounding/nbound.cc", body).empty());
+  // The baseline mechanisms draw all randomness from the request's seeded
+  // sub-stream; the raw-random rule covers src/mechanisms like any other
+  // library directory (a platform RNG there would break the per-request
+  // determinism the leak-contract proptests rely on).
+  EXPECT_FALSE(LintFile("src/mechanisms/geo_ind.cc", body).empty());
+  const std::vector<Finding> findings =
+      LintFile("src/mechanisms/dummy_locations.cc",
+               "std::mt19937 gen(42);\n");
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "raw-random");
 }
 
 TEST(LintScopingTest, TimerHomeMayReadClocks) {

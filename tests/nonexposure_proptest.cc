@@ -8,6 +8,11 @@
 // CI the iteration count is elevated via NELA_PROPTEST_ITERS so the
 // unmodified protocol is exercised over 500+ seeded scenarios; a failing
 // case prints a one-line seeded repro.
+//
+// The suite also sweeps the baseline mechanisms (grid cloak, geo-ind,
+// dummy locations) through the comparative campaign driver under the same
+// observer plus each family's leak-contract checker, so `ctest -L
+// mechanisms` includes it.
 
 #include <cmath>
 #include <memory>
@@ -17,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit/leak_contract.h"
 #include "audit/observer.h"
 #include "audit/taint.h"
 #include "cluster/distributed_tconn.h"
@@ -26,6 +32,7 @@
 #include "core/policy_factory.h"
 #include "data/generators.h"
 #include "graph/wpg_builder.h"
+#include "mechanisms/comparative_driver.h"
 #include "net/network.h"
 #include "net/retry.h"
 #include "util/proptest.h"
@@ -200,6 +207,68 @@ TEST(NonExposureProptest, SecureProtocolNeverExposesAcrossRandomScenarios) {
       spec, [](util::Rng& rng, uint32_t size) {
         return RunScenario(rng, size, core::BoundingMode::kSecureProtocol);
       });
+  ASSERT_FALSE(failure.has_value()) << failure->message << "\n"
+                                    << failure->repro;
+}
+
+// One comparative-campaign scenario: a random mechanism family over a
+// random world, k, and fault plan, with the observer AND the family's
+// leak-contract checker chained on the wire (RunCampaign installs both).
+// The property is the leak contract itself: zero observer violations,
+// zero contract violations, and declared exposures exactly on the one
+// family (grid cloak) whose contract declares an upload channel.
+std::optional<std::string> RunMechanismScenario(util::Rng& rng,
+                                                uint32_t size) {
+  const World world = DrawWorld(rng);
+  const auto family = static_cast<audit::MechanismFamily>(
+      rng.NextUint64(audit::kMechanismFamilyCount));
+
+  mechanisms::CampaignConfig config;
+  config.family = family;
+  config.k = size;
+  config.requests = 8 + static_cast<uint32_t>(rng.NextUint64(9));
+  config.master_seed = rng.NextUint64();
+  config.workload_seed = rng.NextUint64();
+  config.fault_plan = DrawFaultPlan(rng, world.dataset.size());
+
+  auto result = mechanisms::RunCampaign(world.dataset, world.graph, config);
+  if (!result.ok()) {
+    return "campaign error: " + result.status().ToString();
+  }
+  const mechanisms::CampaignResult& r = result.value();
+  if (r.observer_violations != 0) {
+    return r.mechanism + ": observer flagged " +
+           std::to_string(r.observer_violations) + " exposure violations";
+  }
+  if (r.contract_violations != 0) {
+    return r.mechanism + ": " + std::to_string(r.contract_violations) +
+           " leak-contract violations";
+  }
+  if (r.messages_on_wire == 0) {
+    return r.mechanism + ": no wire traffic observed";
+  }
+  if (family != audit::MechanismFamily::kGridCloak &&
+      r.declared_exposures != 0) {
+    return r.mechanism + ": undeclared mechanism produced " +
+           std::to_string(r.declared_exposures) + " declared exposures";
+  }
+  if (family == audit::MechanismFamily::kGridCloak && r.satisfied > 0 &&
+      r.declared_exposures == 0) {
+    return r.mechanism +
+           ": satisfied requests without the declared upload channel";
+  }
+  return std::nullopt;
+}
+
+TEST(NonExposureProptest, EveryMechanismHonorsItsLeakContract) {
+  util::PropSpec spec;
+  spec.name = "nonexposure_proptest";
+  spec.base_seed = 0x3eca715u;
+  spec.iterations = 20;  // CI elevates via NELA_PROPTEST_ITERS
+  spec.min_size = 2;
+  spec.max_size = 8;  // size doubles as the anonymity requirement k
+
+  auto failure = util::RunProperty(spec, RunMechanismScenario);
   ASSERT_FALSE(failure.has_value()) << failure->message << "\n"
                                     << failure->repro;
 }
