@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "spatial/grid_index.h"
+#include "util/timer.h"
 
 namespace nela::graph {
 
 namespace {
+
+// Tile edge length in grid cells for the fused query phase. A tile of
+// 16x16 cells keeps a chunk's working set (the tile plus its one-cell
+// query halo) inside L2 while leaving hundreds of chunks to steal at the
+// sweep sizes that matter.
+constexpr uint32_t kTileCells = 16;
 
 util::Status ValidateParams(const WpgBuildParams& params) {
   if (params.delta <= 0.0) {
@@ -36,11 +43,28 @@ double TdoaWeight(const data::Dataset& dataset, VertexId u, VertexId v,
   return std::max<double>(1.0, std::ceil(fraction * params.tdoa_levels));
 }
 
+// Where one vertex's candidate run starts inside the arena of the worker
+// that executed its tile. Which arena a vertex lands in is
+// schedule-dependent; only the splice destination (cand_off[vertex]) is
+// part of the result, and that is a pure function of the counts.
+struct ArenaRun {
+  uint32_t vertex = 0;
+  uint32_t offset = 0;
+};
+
 }  // namespace
+
+double WpgBuildStats::CriticalPathSeconds() const {
+  double total = 0.0;
+  for (const WpgPhaseStats& p : phases) {
+    total += p.serial_seconds + p.max_worker_cpu_seconds;
+  }
+  return total;
+}
 
 util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
                            const WpgBuildParams& params,
-                           util::ThreadPool* pool) {
+                           util::ThreadPool* pool, WpgBuildStats* stats) {
   const util::Status valid = ValidateParams(params);
   if (!valid.ok()) return valid;
 
@@ -55,180 +79,215 @@ util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
     pool = &*owned;
   }
   const uint32_t workers = pool->thread_count();
-  const spatial::GridIndex index(dataset.points(), params.delta);
 
-  // --- Phase 1: per-vertex candidate lists — the (at most M) nearest
-  // delta-neighbors, ascending by (distance, id). Each worker packs its
-  // vertex block into a private arena with allocation-free radius queries;
-  // the arenas are then spliced, in block order, into one flat CSR table.
+  WpgBuildStats local_stats;
+  WpgBuildStats& st = stats != nullptr ? *stats : local_stats;
+  st = WpgBuildStats{};
+  st.threads = workers;
+  const util::WallTimer total_timer;
+
+  // All-or-nothing dispatch policy: small datasets run every phase inline
+  // (dispatch overhead beats the work itself below the threshold), larger
+  // ones dispatch every phase. Encoded through ChunkOptions'
+  // sequential_cutoff so each ParallelForChunks call below agrees.
+  const uint64_t cutoff =
+      (params.grain == 0 && n < kWpgSequentialFallbackUsers) ? UINT64_MAX : 0;
+  const auto chunk_options = [&](uint64_t grain,
+                                 util::ChunkDispatchStats* ds) {
+    util::ChunkOptions options;
+    options.grain = grain;
+    options.sequential_cutoff = cutoff;
+    options.stats = ds;
+    return options;
+  };
+  const auto record = [&](const char* name, double wall, double serial,
+                          const util::ChunkDispatchStats& ds) {
+    WpgPhaseStats phase;
+    phase.name = name;
+    phase.wall_seconds = wall;
+    phase.serial_seconds = serial;
+    phase.cpu_seconds = ds.TotalBusySeconds();
+    phase.max_worker_cpu_seconds = ds.MaxWorkerBusySeconds();
+    phase.chunks = ds.chunks;
+    phase.steals = ds.steals;
+    phase.dispatched = ds.dispatched;
+    if (ds.dispatched) ++st.parallel_dispatches;
+    st.phases.push_back(std::move(phase));
+  };
+
+  util::WallTimer phase_timer;
+  const spatial::GridIndex index(dataset.points(), params.delta);
+  record("index", phase_timer.ElapsedSeconds(), phase_timer.ElapsedSeconds(),
+         util::ChunkDispatchStats{});
+
+  // --- Query: one fused pass over cache-blocked tiles of grid cells.
+  // Every vertex of every cell in a tile gets its allocation-free radius
+  // query and nearest-M cap here, packed into the executing worker's
+  // arena; cand_count is the only slot-indexed output. Neighboring
+  // queries hit the same cell lines, so the tile's halo stays warm.
+  phase_timer.Reset();
+  const uint32_t tiles_x = (index.cols() + kTileCells - 1) / kTileCells;
+  const uint32_t tiles_y = (index.rows() + kTileCells - 1) / kTileCells;
+  const uint64_t tile_count = static_cast<uint64_t>(tiles_x) * tiles_y;
   std::vector<uint32_t> cand_count(n, 0);
-  std::vector<std::vector<uint32_t>> arena(workers);
-  pool->ParallelFor(n, [&](uint32_t w, uint64_t begin, uint64_t end) {
-    spatial::GridIndex::QueryScratch scratch;
-    std::vector<uint32_t>& ids = arena[w];
-    ids.reserve((end - begin) * (params.cap_peers ? params.max_peers : 8));
-    for (uint64_t u = begin; u < end; ++u) {
-      const size_t before = ids.size();
-      const auto uid = static_cast<uint32_t>(u);
-      const uint32_t found = index.RadiusQueryInto(
-          dataset.point(uid), params.delta, uid, &scratch, &ids);
-      uint32_t kept = found;
-      if (params.cap_peers && kept > params.max_peers) {
-        kept = params.max_peers;
-        ids.resize(before + kept);  // sorted ascending: keep the M nearest
-      }
-      cand_count[u] = kept;
+  std::vector<std::vector<uint32_t>> arena_ids(workers);
+  std::vector<std::vector<ArenaRun>> arena_runs(workers);
+  std::vector<spatial::GridIndex::QueryScratch> scratch(workers);
+  {
+    const size_t per_worker = static_cast<size_t>(n) / workers + 1;
+    const size_t per_vertex = params.cap_peers ? params.max_peers : 8;
+    for (uint32_t w = 0; w < workers; ++w) {
+      arena_ids[w].reserve(per_worker * per_vertex);
+      arena_runs[w].reserve(per_worker);
     }
-  });
+  }
+  util::ChunkDispatchStats query_ds;
+  pool->ParallelForChunks(
+      tile_count, chunk_options(params.grain, &query_ds),
+      [&](uint32_t w, uint64_t, uint64_t begin, uint64_t end) {
+        std::vector<uint32_t>& ids = arena_ids[w];
+        std::vector<ArenaRun>& runs = arena_runs[w];
+        spatial::GridIndex::QueryScratch& qs = scratch[w];
+        for (uint64_t t = begin; t < end; ++t) {
+          const uint32_t tx = static_cast<uint32_t>(t % tiles_x);
+          const uint32_t ty = static_cast<uint32_t>(t / tiles_x);
+          const uint32_t cx_end =
+              std::min(index.cols(), (tx + 1) * kTileCells);
+          const uint32_t cy_end =
+              std::min(index.rows(), (ty + 1) * kTileCells);
+          for (uint32_t cy = ty * kTileCells; cy < cy_end; ++cy) {
+            for (uint32_t cx = tx * kTileCells; cx < cx_end; ++cx) {
+              for (const uint32_t u : index.CellPointIds(cx, cy)) {
+                const auto before = static_cast<uint32_t>(ids.size());
+                const uint32_t found = index.RadiusQueryInto(
+                    dataset.point(u), params.delta, u, &qs, &ids);
+                uint32_t kept = found;
+                if (params.cap_peers && kept > params.max_peers) {
+                  kept = params.max_peers;
+                  // Sorted ascending: keep the M nearest.
+                  ids.resize(before + kept);
+                }
+                cand_count[u] = kept;
+                runs.push_back(ArenaRun{u, before});
+              }
+            }
+          }
+        }
+      });
+  record("query", phase_timer.ElapsedSeconds(), 0.0, query_ds);
+
+  // --- Splice: prefix-sum the counts into the CSR offsets, then copy
+  // each arena run into its vertex slot. Any worker may copy any arena —
+  // destinations depend only on cand_off.
+  phase_timer.Reset();
   std::vector<uint32_t> cand_off(n + 1, 0);
   for (uint32_t u = 0; u < n; ++u) {
     cand_off[u + 1] = cand_off[u] + cand_count[u];
   }
   const uint32_t total_cands = cand_off[n];
   std::vector<uint32_t> cand_ids(total_cands);
-  pool->RunOnAllThreads([&](uint32_t w) {
-    const uint64_t block = pool->BlockBegin(w, n);
-    if (arena[w].empty()) return;
-    std::copy(arena[w].begin(), arena[w].end(),
-              cand_ids.begin() + cand_off[block]);
-  });
-
-  // --- Phase 2a: per-vertex candidate ids re-ordered by id (keeping each
-  // one's position in the distance order), so mutuality reduces to sorted
-  // intersections.
-  std::vector<uint32_t> by_id(total_cands);
-  std::vector<uint32_t> by_id_pos(total_cands);
-  pool->ParallelFor(n, [&](uint32_t, uint64_t begin, uint64_t end) {
-    std::vector<uint32_t> order;
-    for (uint64_t u = begin; u < end; ++u) {
-      const uint32_t lo = cand_off[u];
-      const uint32_t deg = cand_off[u + 1] - lo;
-      order.resize(deg);
-      std::iota(order.begin(), order.end(), 0u);
-      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-        return cand_ids[lo + a] < cand_ids[lo + b];
+  const double splice_serial = phase_timer.ElapsedSeconds();
+  util::ChunkDispatchStats splice_ds;
+  pool->ParallelForChunks(
+      workers, chunk_options(1, &splice_ds),
+      [&](uint32_t, uint64_t, uint64_t begin, uint64_t end) {
+        for (uint64_t w = begin; w < end; ++w) {
+          const std::vector<uint32_t>& ids = arena_ids[w];
+          for (const ArenaRun& run : arena_runs[w]) {
+            std::copy(ids.begin() + run.offset,
+                      ids.begin() + run.offset + cand_count[run.vertex],
+                      cand_ids.begin() + cand_off[run.vertex]);
+          }
+        }
       });
-      for (uint32_t i = 0; i < deg; ++i) {
-        by_id[lo + i] = cand_ids[lo + order[i]];
-        by_id_pos[lo + i] = order[i];
-      }
-    }
-  });
+  record("splice", phase_timer.ElapsedSeconds(), splice_serial, splice_ds);
 
-  // --- Phase 2b: transpose the candidate table (who chose me?) with a
-  // parallel counting sort. Each in-bucket lists its sources in ascending
-  // vertex order because workers own ascending contiguous blocks and their
-  // cursors are laid out in worker order.
-  std::vector<std::vector<uint32_t>> worker_count(
-      workers, std::vector<uint32_t>(n, 0));
-  pool->ParallelFor(n, [&](uint32_t w, uint64_t begin, uint64_t end) {
-    std::vector<uint32_t>& count = worker_count[w];
-    for (uint64_t u = begin; u < end; ++u) {
-      for (uint32_t s = cand_off[u]; s < cand_off[u + 1]; ++s) {
-        ++count[cand_ids[s]];
-      }
-    }
-  });
-  std::vector<uint32_t> in_off(n + 1, 0);
-  {
-    uint32_t running = 0;
-    for (uint32_t v = 0; v < n; ++v) {
-      in_off[v] = running;
-      for (uint32_t w = 0; w < workers; ++w) {
-        // worker_count becomes each worker's scatter cursor for vertex v.
-        const uint32_t c = worker_count[w][v];
-        worker_count[w][v] = running;
-        running += c;
-      }
-    }
-    in_off[n] = running;
-  }
-  std::vector<uint32_t> in_src(total_cands);
-  std::vector<uint32_t> in_pos(total_cands);
-  pool->ParallelFor(n, [&](uint32_t w, uint64_t begin, uint64_t end) {
-    std::vector<uint32_t>& cursor = worker_count[w];
-    for (uint64_t u = begin; u < end; ++u) {
-      for (uint32_t s = cand_off[u]; s < cand_off[u + 1]; ++s) {
-        const uint32_t v = cand_ids[s];
-        const uint32_t slot = cursor[v]++;
-        in_src[slot] = static_cast<uint32_t>(u);
-        in_pos[slot] = s - cand_off[u];  // u's distance-order position of v
-      }
-    }
-  });
-
-  // --- Phase 2c: mutuality + ranks. A candidate v of u is a mutual peer
-  // iff v also chose u, i.e. iff v appears in both u's candidate set and
-  // u's in-bucket — a sorted-merge intersection that yields, in the same
-  // pass, where u sits in v's distance order. Ranks are then assigned over
-  // the mutual subset in distance order, matching the sequential
-  // reference's re-sorted peer lists.
+  // --- Mutual: a candidate v of u is a mutual peer iff u appears in v's
+  // (at most M entry) candidate list, found by direct probe — no
+  // transpose, no extra passes over the table. The same probe yields u's
+  // position in v's distance order; ranks are then assigned over the
+  // mutual subset in distance order, matching the sequential reference's
+  // re-sorted peer lists, and the vertex's emitted-edge count falls out
+  // of the rank pass.
+  phase_timer.Reset();
   std::vector<uint32_t> mutual_rank(total_cands, 0);  // 0 = not mutual
   std::vector<uint32_t> peer_pos(total_cands, 0);
-  pool->ParallelFor(n, [&](uint32_t, uint64_t begin, uint64_t end) {
-    for (uint64_t u = begin; u < end; ++u) {
-      const uint32_t lo = cand_off[u];
-      uint32_t i = lo;
-      uint32_t j = in_off[u];
-      while (i < cand_off[u + 1] && j < in_off[u + 1]) {
-        const uint32_t a = by_id[i];
-        const uint32_t b = in_src[j];
-        if (a < b) {
-          ++i;
-        } else if (b < a) {
-          ++j;
-        } else {
-          const uint32_t slot = lo + by_id_pos[i];
-          mutual_rank[slot] = 1;          // flag; becomes the rank below
-          peer_pos[slot] = in_pos[j];     // u's position in v's list
-          ++i;
-          ++j;
+  std::vector<uint32_t> edge_count(n, 0);
+  util::ChunkDispatchStats mutual_ds;
+  pool->ParallelForChunks(
+      n, chunk_options(params.grain, &mutual_ds),
+      [&](uint32_t, uint64_t, uint64_t begin, uint64_t end) {
+        for (uint64_t u = begin; u < end; ++u) {
+          const uint32_t lo = cand_off[u];
+          const uint32_t hi = cand_off[u + 1];
+          for (uint32_t s = lo; s < hi; ++s) {
+            const uint32_t v = cand_ids[s];
+            const uint32_t vlo = cand_off[v];
+            const uint32_t vhi = cand_off[v + 1];
+            for (uint32_t j = vlo; j < vhi; ++j) {
+              if (cand_ids[j] == u) {
+                mutual_rank[s] = 1;     // flag; becomes the rank below
+                peer_pos[s] = j - vlo;  // u's position in v's list
+                break;
+              }
+            }
+          }
+          uint32_t rank = 0;
+          uint32_t emitted = 0;
+          for (uint32_t s = lo; s < hi; ++s) {
+            if (mutual_rank[s] == 0) continue;
+            mutual_rank[s] = ++rank;
+            if (cand_ids[s] > u) ++emitted;
+          }
+          edge_count[u] = emitted;
         }
-      }
-      uint32_t rank = 0;
-      for (uint32_t s = lo; s < cand_off[u + 1]; ++s) {
-        if (mutual_rank[s] != 0) mutual_rank[s] = ++rank;
-      }
-    }
-  });
+      });
+  record("mutual", phase_timer.ElapsedSeconds(), 0.0, mutual_ds);
 
-  // --- Phase 3: emit edges into per-worker buffers, handling each
-  // unordered pair at its smaller endpoint, and splice them in block order
-  // — the exact sequence a sequential vertex scan would produce.
-  std::vector<std::vector<Edge>> edge_buf(workers);
-  pool->ParallelFor(n, [&](uint32_t w, uint64_t begin, uint64_t end) {
-    std::vector<Edge>& out = edge_buf[w];
-    for (uint64_t u = begin; u < end; ++u) {
-      for (uint32_t s = cand_off[u]; s < cand_off[u + 1]; ++s) {
-        if (mutual_rank[s] == 0) continue;
-        const uint32_t v = cand_ids[s];
-        if (v < u) continue;  // handled from v's side
-        double weight;
-        if (params.measure == ProximityMeasure::kTdoaBucket) {
-          weight = TdoaWeight(dataset, static_cast<VertexId>(u), v, params);
-        } else {
-          const uint32_t rank_u = mutual_rank[s];  // rank of v at u
-          const uint32_t rank_v =
-              mutual_rank[cand_off[v] + peer_pos[s]];  // rank of u at v
-          weight = static_cast<double>(std::min(rank_u, rank_v));
-        }
-        out.push_back(Edge{static_cast<VertexId>(u), v, weight});
-      }
-    }
-  });
-  std::vector<Edge> edges;
-  {
-    size_t total_edges = 0;
-    for (const std::vector<Edge>& buf : edge_buf) total_edges += buf.size();
-    edges.reserve(total_edges);
-    for (const std::vector<Edge>& buf : edge_buf) {
-      edges.insert(edges.end(), buf.begin(), buf.end());
-    }
+  // --- Emit: prefix-sum the per-vertex edge counts, then write every
+  // edge straight into its final slot — ascending vertex, distance order
+  // within a vertex, each unordered pair at its smaller endpoint: the
+  // exact sequence a sequential vertex scan would produce, with no
+  // per-worker buffers left to splice. Reading mutual_rank across
+  // vertices is safe here: the mutual phase's barrier has passed.
+  phase_timer.Reset();
+  std::vector<uint32_t> edge_off(n + 1, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    edge_off[u + 1] = edge_off[u] + edge_count[u];
   }
+  std::vector<Edge> edges(edge_off[n]);
+  const double emit_serial = phase_timer.ElapsedSeconds();
+  util::ChunkDispatchStats emit_ds;
+  pool->ParallelForChunks(
+      n, chunk_options(params.grain, &emit_ds),
+      [&](uint32_t, uint64_t, uint64_t begin, uint64_t end) {
+        for (uint64_t u = begin; u < end; ++u) {
+          uint32_t out = edge_off[u];
+          for (uint32_t s = cand_off[u]; s < cand_off[u + 1]; ++s) {
+            if (mutual_rank[s] == 0) continue;
+            const uint32_t v = cand_ids[s];
+            if (v < u) continue;  // handled from v's side
+            double weight;
+            if (params.measure == ProximityMeasure::kTdoaBucket) {
+              weight =
+                  TdoaWeight(dataset, static_cast<VertexId>(u), v, params);
+            } else {
+              const uint32_t rank_u = mutual_rank[s];  // rank of v at u
+              const uint32_t rank_v =
+                  mutual_rank[cand_off[v] + peer_pos[s]];  // rank of u at v
+              weight = static_cast<double>(std::min(rank_u, rank_v));
+            }
+            edges[out++] = Edge{static_cast<VertexId>(u), v, weight};
+          }
+        }
+      });
+  record("emit", phase_timer.ElapsedSeconds(), emit_serial, emit_ds);
 
-  // --- Phase 4: CSR adjacency. The scatter is a cheap linear pass; the
-  // per-slice sorts (the expensive part) run in parallel and are
-  // order-independent because (weight, id) keys are unique within a slice.
+  // --- Assemble: CSR adjacency. The scatter is a cheap linear pass; the
+  // per-slice sorts (the expensive part) run under the stealing scheduler
+  // and are order-independent because (weight, id) keys are unique within
+  // a slice.
+  phase_timer.Reset();
   std::vector<uint32_t> adj_off(n + 1, 0);
   for (const Edge& e : edges) {
     ++adj_off[e.u + 1];
@@ -243,16 +302,24 @@ util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
       halfedges[cursor[e.v]++] = HalfEdge{e.u, e.weight};
     }
   }
-  pool->ParallelFor(n, [&](uint32_t, uint64_t begin, uint64_t end) {
-    for (uint64_t v = begin; v < end; ++v) {
-      std::sort(halfedges.begin() + adj_off[v],
-                halfedges.begin() + adj_off[v + 1],
-                [](const HalfEdge& a, const HalfEdge& b) {
-                  return a.weight < b.weight ||
-                         (a.weight == b.weight && a.to < b.to);
-                });
-    }
-  });
+  const double assemble_serial = phase_timer.ElapsedSeconds();
+  util::ChunkDispatchStats assemble_ds;
+  pool->ParallelForChunks(
+      n, chunk_options(params.grain, &assemble_ds),
+      [&](uint32_t, uint64_t, uint64_t begin, uint64_t end) {
+        for (uint64_t v = begin; v < end; ++v) {
+          std::sort(halfedges.begin() + adj_off[v],
+                    halfedges.begin() + adj_off[v + 1],
+                    [](const HalfEdge& a, const HalfEdge& b) {
+                      return a.weight < b.weight ||
+                             (a.weight == b.weight && a.to < b.to);
+                    });
+        }
+      });
+  record("assemble", phase_timer.ElapsedSeconds(), assemble_serial,
+         assemble_ds);
+
+  st.total_wall_seconds = total_timer.ElapsedSeconds();
   return Wpg(std::move(edges), std::move(adj_off), std::move(halfedges));
 }
 

@@ -10,26 +10,33 @@
 //    of a's rank in b's sorted peer list and b's rank in a's list (this is
 //    what makes the weight symmetric and "agreed by both").
 //
-// BuildWpg runs as a deterministic parallel pipeline over a
-// util::ThreadPool (see DESIGN.md, "Performance architecture"):
+// BuildWpg runs as a deterministic work-stealing pipeline over
+// util::ThreadPool::ParallelForChunks (see DESIGN.md, "Performance
+// architecture"):
 //
-//   phase 1  fan out allocation-free radius queries per vertex into
-//            per-worker candidate arenas, spliced into a flat CSR
-//            candidate table;
-//   phase 2  transpose the candidate table (parallel counting sort), then
-//            compute mutuality and both endpoints' mutual RSS ranks with a
-//            sorted-merge intersection per vertex;
-//   phase 3  emit edges into per-worker buffers and splice them in vertex
-//            order;
-//   phase 4  assemble the CSR adjacency and sort each slice in parallel.
+//   query     one fused pass over cache-blocked grid tiles: every vertex's
+//             radius query, nearest-M cap, and candidate count, packed into
+//             per-worker arenas;
+//   splice    prefix-sum the counts and copy each arena's runs into the
+//             flat CSR candidate table, slotted by vertex;
+//   mutual    per vertex, probe each candidate's (<= M entry) list for the
+//             back-link, yielding mutuality, both endpoints' positions,
+//             mutual RSS ranks, and the vertex's emitted-edge count;
+//   emit      prefix-sum edge counts and write every edge directly into
+//             its final slot (ascending vertex, distance order);
+//   assemble  CSR adjacency scatter, then per-vertex slice sorts.
 //
-// Every phase partitions vertices into contiguous blocks and splices
-// per-worker output in block order, so the result is bit-identical to the
-// sequential reference at any thread count (enforced by the
+// Chunks may execute on any worker in any order (work stealing), but every
+// output slot is indexed by vertex, so the result is bit-identical to the
+// sequential reference at any thread count and grain (enforced by the
 // WpgParallelBuild property tests).
 
 #ifndef NELA_GRAPH_WPG_BUILDER_H_
 #define NELA_GRAPH_WPG_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "graph/wpg.h"
@@ -48,6 +55,13 @@ enum class ProximityMeasure {
   kTdoaBucket,
 };
 
+// Datasets below this many users run the whole pipeline inline on the
+// caller: BENCH_wpg.json showed dispatch overhead costing more than the
+// build itself at 5k–20k users, so small inputs never wake the pool.
+// A non-zero WpgBuildParams::grain overrides the fallback (tests use that
+// to exercise stealing at tiny n).
+inline constexpr uint32_t kWpgSequentialFallbackUsers = 8192;
+
 struct WpgBuildParams {
   // Proximity (radio range) threshold in unit-square coordinates.
   double delta = 2e-3;
@@ -63,14 +77,52 @@ struct WpgBuildParams {
   // Worker threads for the parallel build; 0 means one per hardware
   // thread. The built graph is bit-identical at every thread count.
   uint32_t threads = 0;
+  // Work items per chunk for the stealing phases; 0 picks the pool's auto
+  // grain. Any non-zero value also forces pool dispatch below
+  // kWpgSequentialFallbackUsers. Never affects the result.
+  uint64_t grain = 0;
+};
+
+// Wall/CPU attribution for one pipeline phase. `serial_seconds` is the
+// wall time of the phase's serial portion (prefix sums, scatters);
+// `cpu_seconds` / `max_worker_cpu_seconds` cover the dispatched portion.
+struct WpgPhaseStats {
+  std::string name;
+  double wall_seconds = 0.0;
+  double serial_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double max_worker_cpu_seconds = 0.0;
+  uint64_t chunks = 0;
+  uint64_t steals = 0;
+  bool dispatched = false;
+};
+
+// Per-build attribution, filled by BuildWpg when requested. Purely
+// observational: nothing in the build result depends on it.
+struct WpgBuildStats {
+  std::vector<WpgPhaseStats> phases;
+  uint32_t threads = 1;
+  // Phases that actually woke the pool (0 on the sequential-fallback
+  // path — the threshold test pins this).
+  uint64_t parallel_dispatches = 0;
+  double total_wall_seconds = 0.0;
+
+  // Lower bound on the build's wall time given unlimited cores: every
+  // phase costs its serial portion plus its busiest worker's CPU time.
+  // On core-starved runners (workers time-slicing one core) this is the
+  // honest stand-in for measured wall time — see DESIGN.md.
+  double CriticalPathSeconds() const;
 };
 
 // Deterministic given the dataset and params — the thread count never
 // changes the result. When `pool` is non-null it supplies the workers
 // (params.threads is ignored); otherwise a pool is created per call.
+// When `stats` is non-null it is overwritten with this build's phase
+// attribution.
 [[nodiscard]] util::Result<Wpg> BuildWpg(const data::Dataset& dataset,
                            const WpgBuildParams& params,
-                           util::ThreadPool* pool = nullptr);
+                           util::ThreadPool* pool = nullptr,
+                           WpgBuildStats* stats = nullptr);
 
 // The sequential reference implementation: the executable specification
 // the parallel pipeline is tested against, and the baseline the

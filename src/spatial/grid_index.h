@@ -9,6 +9,7 @@
 #define NELA_SPATIAL_GRID_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geo/point.h"
@@ -63,6 +64,21 @@ class GridIndex {
 
   // Ids of all points inside `box` (inclusive borders).
   std::vector<uint32_t> RangeQuery(const geo::Rect& box) const;
+
+  // Grid shape and per-cell membership, for callers that traverse the
+  // index cell by cell (the fused WPG builder walks cache-blocked tiles of
+  // cells so neighboring queries share warm cell lines).
+  uint32_t cols() const { return cols_; }
+  uint32_t rows() const { return rows_; }
+  // Ids stored in cell (cx, cy); (0, 0) is the origin corner. Bounds must
+  // be in range. The span stays valid for the life of the index.
+  std::span<const uint32_t> CellPointIds(uint32_t cx, uint32_t cy) const {
+    const uint32_t cell = CellOf(static_cast<int32_t>(cx),
+                                 static_cast<int32_t>(cy));
+    return std::span<const uint32_t>(cell_ids_)
+        .subspan(cell_start_[cell], cell_start_[cell + 1] -
+                                        cell_start_[cell]);
+  }
 
  private:
   int32_t CellCoord(double v) const;

@@ -1,0 +1,113 @@
+// Chase-Lev-style work-stealing deque over pre-filled chunk indices.
+//
+// One deque per pool worker: the owner pushes its initial chunk assignment
+// before the parallel region starts, then pops from the bottom (LIFO, so it
+// walks its own chunks in ascending order when pre-filled in reverse);
+// idle workers steal from the top (FIFO, so thieves take the chunks
+// furthest from the owner's current locality window). The implementation
+// follows the C11 formulation of Lê, Pop, Cohen & Zappa Nardelli,
+// "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13),
+// minus the grow path: capacity is fixed because every item is pushed
+// before the first concurrent pop/steal, which is all the chunked
+// scheduler needs.
+//
+// Determinism note: the deque decides *who executes* a chunk, never what
+// the chunk computes. Schedulers built on it stay deterministic by keeping
+// every output slot indexed by chunk or by item, not by executing worker
+// (see DESIGN.md, "Performance architecture").
+//
+// This header is part of the util::ThreadPool implementation and shares
+// its lint scope: the pool-only-threads rule (tools/nela_lint raw-thread)
+// recognizes it as a thread-machinery home.
+
+#ifndef NELA_UTIL_STEAL_DEQUE_H_
+#define NELA_UTIL_STEAL_DEQUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nela::util {
+
+class StealDeque {
+ public:
+  // A deque holding at most `capacity` items. Capacity is exact: pushing
+  // more than `capacity` items is a checked error.
+  explicit StealDeque(uint64_t capacity)
+      : buffer_(capacity), top_(0), bottom_(0) {}
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  // Owner-only push. All pushes happen before the first concurrent
+  // Pop/Steal (the scheduler pre-fills every deque, then dispatches), so a
+  // release store on bottom_ is enough to publish the item.
+  void Push(uint64_t item) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    NELA_CHECK_LT(static_cast<uint64_t>(b), buffer_.size());
+    buffer_[static_cast<size_t>(b)].store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner-only pop from the bottom (most recently pushed end). Returns
+  // false when the deque is empty or the last item was lost to a
+  // concurrent steal.
+  bool Pop(uint64_t* item) {
+    // The PPoPP'13 formulation separates the bottom_ store and top_ load
+    // with a seq_cst fence; seq_cst operations on the atomics themselves
+    // are strictly stronger (they forbid the same store->load reordering
+    // via the single total order) and, unlike fences, are instrumented by
+    // GCC's TSan. Pops are per-chunk, so the extra barrier is amortized
+    // over thousands of items.
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    *item = buffer_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    if (t != b) return true;  // more than one item left: no race possible
+    // Exactly one item: race against thieves for it via top_.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+
+  // Thief-side steal from the top (oldest end). Returns false when empty
+  // or when the CAS was lost to a concurrent pop/steal (callers should
+  // treat that as "try elsewhere", not "no work anywhere").
+  bool Steal(uint64_t* item) {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    const uint64_t candidate =
+        buffer_[static_cast<size_t>(t)].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    *item = candidate;
+    return true;
+  }
+
+  // Racy size estimate; exact only when no pops/steals are in flight.
+  uint64_t ApproxSize() const {
+    const int64_t b = bottom_.load(std::memory_order_acquire);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    return b > t ? static_cast<uint64_t>(b - t) : 0;
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> buffer_;
+  std::atomic<int64_t> top_;
+  std::atomic<int64_t> bottom_;
+};
+
+}  // namespace nela::util
+
+#endif  // NELA_UTIL_STEAL_DEQUE_H_

@@ -8,11 +8,16 @@
 // inline, and dispatch cost is one notify + countdown — cheap enough to
 // reuse the same pool across many short phases.
 //
-// Determinism contract: the pool never decides who does what. Tasks receive
-// only their worker index; ParallelFor partitions [0, n) into contiguous
-// blocks that depend solely on n and thread_count(), never on scheduling.
-// Pipelines built on these two calls produce bit-identical results at any
-// thread count as long as each block's output is spliced in block order.
+// Determinism contract: the pool never decides what a work item computes.
+// ParallelFor partitions [0, n) into contiguous blocks that depend solely
+// on n and thread_count(), never on scheduling — which worker computes an
+// item is itself deterministic, so per-worker outputs can be spliced in
+// block order. ParallelForChunks adds chunked *work stealing* on top of
+// per-worker Chase-Lev deques (util/steal_deque.h): chunk boundaries are a
+// pure function of (n, grain), but which worker executes a chunk — and in
+// what order — depends on scheduling. Pipelines built on it stay
+// bit-identical at every thread count by indexing every output slot by
+// item or by chunk, never by executing worker or execution order.
 
 #ifndef NELA_UTIL_THREAD_POOL_H_
 #define NELA_UTIL_THREAD_POOL_H_
@@ -25,6 +30,39 @@
 #include <vector>
 
 namespace nela::util {
+
+// Observed execution counters for one chunked dispatch. These describe how
+// the schedule happened to unfold (perf attribution only) — they never
+// influence, and must never be folded into, a computed result.
+struct ChunkDispatchStats {
+  // CPU seconds each worker spent inside task bodies (not idle/steal spin).
+  std::vector<double> worker_busy_seconds;
+  uint64_t chunks = 0;
+  // Chunks executed by a worker other than the one whose deque initially
+  // held them.
+  uint64_t steals = 0;
+  // False when the call ran inline on the caller (sequential bypass).
+  bool dispatched = false;
+
+  double TotalBusySeconds() const;
+  double MaxWorkerBusySeconds() const;
+};
+
+// Tuning knobs for ParallelForChunks.
+struct ChunkOptions {
+  // Items per chunk; 0 picks a grain that yields ~kAutoChunksPerWorker
+  // chunks per worker. Chunk boundaries are a pure function of (n, grain).
+  uint64_t grain = 0;
+  // Calls with n below this run inline on the caller — no workers are
+  // woken, no deques are built. Pass 0 to force dispatch (tests exercise
+  // stealing at tiny n this way); pass UINT64_MAX to force inline.
+  uint64_t sequential_cutoff = kDefaultSequentialCutoff;
+  // Optional out-param, overwritten (not accumulated) per call.
+  ChunkDispatchStats* stats = nullptr;
+
+  static constexpr uint64_t kDefaultSequentialCutoff = 8192;
+  static constexpr uint64_t kAutoChunksPerWorker = 16;
+};
 
 class ThreadPool {
  public:
@@ -57,9 +95,35 @@ class ThreadPool {
   // RunOnAllThreads over the static partition: task(worker, begin, end)
   // with [begin, end) the worker's block; workers with an empty block are
   // still invoked (begin == end) so per-worker state stays index-aligned.
+  // Compatibility mode: which worker computes an item is a pure function
+  // of (n, thread_count()), so outputs may be spliced in worker order —
+  // a property ParallelForChunks does NOT provide.
   void ParallelFor(uint64_t n,
                    const std::function<void(uint32_t worker, uint64_t begin,
                                             uint64_t end)>& task);
+
+  // Work-stealing variant: [0, n) is cut into chunks of `options.grain`
+  // items (chunk c covers [c*grain, min(n, (c+1)*grain))), chunks are
+  // dealt to per-worker Chase-Lev deques in contiguous ascending blocks,
+  // and idle workers steal (randomized victim, then a full sweep) until
+  // every chunk has run exactly once. task(worker, chunk, begin, end) may
+  // run for any chunk on any worker, in any order — outputs must be
+  // indexed by `chunk` or by item so the result is schedule-independent.
+  // Calls with n < options.sequential_cutoff (or a 1-thread pool) run
+  // inline on the caller as a single chunk: task(0, 0, 0, n).
+  void ParallelForChunks(
+      uint64_t n, const ChunkOptions& options,
+      const std::function<void(uint32_t worker, uint64_t chunk,
+                               uint64_t begin, uint64_t end)>& task);
+
+  // The grain ParallelForChunks will use for (n, options): options.grain,
+  // or the auto policy when it is 0.
+  uint64_t ChunkGrain(uint64_t n, const ChunkOptions& options) const;
+
+  // Number of task invocations ParallelForChunks will make for (n,
+  // options) — 1 for the sequential bypass, ceil(n / grain) otherwise.
+  // Callers pre-size per-chunk output buffers with this.
+  uint64_t ChunkCount(uint64_t n, const ChunkOptions& options) const;
 
  private:
   void WorkerLoop(uint32_t worker);

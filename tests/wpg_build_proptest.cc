@@ -48,24 +48,34 @@ std::optional<std::string> ParallelMatchesReference(util::Rng& rng,
   }
   const uint64_t want = reference.value().Digest();
 
+  // Grain 0 is the auto policy (sequential fallback at these sizes);
+  // non-zero grains force pool dispatch, so tiny datasets exercise the
+  // work-stealing path too. Grain 1 maximizes stealing pressure; the
+  // random grain walks odd chunk boundaries.
+  const uint64_t random_grain = 2 + rng.NextUint64(31);
   for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
-    WpgBuildParams per_thread = params;
-    per_thread.threads = threads;
-    auto parallel = BuildWpg(dataset, per_thread);
-    if (!parallel.ok()) {
-      return "parallel build failed at " + std::to_string(threads) +
-             " threads: " + std::string(parallel.status().message());
-    }
-    if (parallel.value().Digest() != want) {
-      return "digest mismatch at " + std::to_string(threads) +
-             " threads (users=" + std::to_string(users) +
-             " delta=" + std::to_string(params.delta) +
-             " max_peers=" + std::to_string(params.max_peers) +
-             " cap=" + std::to_string(params.cap_peers ? 1 : 0) + ")";
-    }
-    if (parallel.value().edge_count() != reference.value().edge_count()) {
-      return "edge count mismatch at " + std::to_string(threads) +
-             " threads";
+    for (const uint64_t grain : {uint64_t{0}, uint64_t{1}, random_grain}) {
+      WpgBuildParams variant = params;
+      variant.threads = threads;
+      variant.grain = grain;
+      auto parallel = BuildWpg(dataset, variant);
+      if (!parallel.ok()) {
+        return "parallel build failed at " + std::to_string(threads) +
+               " threads grain " + std::to_string(grain) + ": " +
+               std::string(parallel.status().message());
+      }
+      if (parallel.value().Digest() != want) {
+        return "digest mismatch at " + std::to_string(threads) +
+               " threads grain " + std::to_string(grain) +
+               " (users=" + std::to_string(users) +
+               " delta=" + std::to_string(params.delta) +
+               " max_peers=" + std::to_string(params.max_peers) +
+               " cap=" + std::to_string(params.cap_peers ? 1 : 0) + ")";
+      }
+      if (parallel.value().edge_count() != reference.value().edge_count()) {
+        return "edge count mismatch at " + std::to_string(threads) +
+               " threads grain " + std::to_string(grain);
+      }
     }
   }
   return std::nullopt;
@@ -109,6 +119,49 @@ TEST(WpgParallelBuildProptest, RealisticDensityDigestAcrossThreadCounts) {
     EXPECT_EQ(parallel.value().Digest(), want)
         << "thread count " << threads << " changed the built graph";
   }
+}
+
+// The sequential-fallback threshold: datasets below
+// kWpgSequentialFallbackUsers never wake the pool (the BENCH_wpg.json
+// small-n regression fix), a non-zero grain overrides that, and datasets
+// at/above the threshold dispatch — with identical digests either way.
+TEST(WpgParallelBuildProptest, SequentialFallbackThreshold) {
+  util::Rng rng(4242);
+  const data::Dataset small =
+      data::GenerateUniform(kWpgSequentialFallbackUsers - 1, rng);
+  const data::Dataset at_threshold =
+      data::GenerateUniform(kWpgSequentialFallbackUsers, rng);
+  WpgBuildParams params;
+  params.delta = 8e-3;
+  params.max_peers = 10;
+  params.threads = 4;
+
+  WpgBuildStats fallback_stats;
+  auto fallback = BuildWpg(small, params, nullptr, &fallback_stats);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(fallback_stats.parallel_dispatches, 0u)
+      << "below the threshold no phase may wake the pool";
+  for (const WpgPhaseStats& phase : fallback_stats.phases) {
+    EXPECT_FALSE(phase.dispatched) << "phase " << phase.name;
+  }
+  EXPECT_EQ(fallback_stats.threads, 4u);
+  EXPECT_GT(fallback_stats.total_wall_seconds, 0.0);
+  EXPECT_GT(fallback_stats.CriticalPathSeconds(), 0.0);
+
+  WpgBuildParams forced = params;
+  forced.grain = 1;  // non-zero grain overrides the fallback
+  WpgBuildStats forced_stats;
+  auto dispatched = BuildWpg(small, forced, nullptr, &forced_stats);
+  ASSERT_TRUE(dispatched.ok());
+  EXPECT_GT(forced_stats.parallel_dispatches, 0u);
+  EXPECT_EQ(dispatched.value().Digest(), fallback.value().Digest())
+      << "dispatch policy changed the built graph";
+
+  WpgBuildStats threshold_stats;
+  auto big = BuildWpg(at_threshold, params, nullptr, &threshold_stats);
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(threshold_stats.parallel_dispatches, 0u)
+      << "at the threshold the pool must dispatch";
 }
 
 // An externally supplied pool must behave exactly like an owned one.

@@ -1,0 +1,79 @@
+// Fast perf-regression gate for the parallel WPG builder (ctest label
+// `wpg-perf-smoke`): the 20k-user build at 8 threads must keep a critical-
+// path speedup of at least 1.5x over 1 thread, or the scheduler has
+// regressed into serialization.
+//
+// The gate compares WpgBuildStats::CriticalPathSeconds() (per phase:
+// serial wall + busiest worker's CPU) rather than raw wall clock: wall
+// speedup on a shared CI runner measures how many cores happened to be
+// free, while the critical path is the schedule's own span — load- and
+// core-count-robust, and exactly the wall time a machine with >= 8 free
+// cores would see (see DESIGN.md, "Performance architecture"). The 1.5x
+// bar is deliberately far below the ~5x a healthy build shows, so only a
+// real regression (lost parallelism, a phase gone serial, grain collapse)
+// trips it.
+
+#include <algorithm>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "graph/wpg_builder.h"
+#include "util/rng.h"
+
+namespace nela::graph {
+namespace {
+
+constexpr uint32_t kUsers = 20000;
+constexpr int kReps = 3;
+
+// Best-of-kReps critical path for a thread count; also checks the digest
+// so a perf run can never silently diverge from the reference result.
+double BestCriticalPath(const data::Dataset& dataset,
+                        const WpgBuildParams& base, uint32_t threads,
+                        uint64_t want_digest) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    WpgBuildParams params = base;
+    params.threads = threads;
+    WpgBuildStats stats;
+    auto built = BuildWpg(dataset, params, nullptr, &stats);
+    EXPECT_TRUE(built.ok());
+    if (built.ok()) {
+      EXPECT_EQ(built.value().Digest(), want_digest);
+    }
+    const double critical = stats.CriticalPathSeconds();
+    EXPECT_GT(critical, 0.0);
+    best = (rep == 0) ? critical : std::min(best, critical);
+  }
+  return best;
+}
+
+TEST(WpgPerfSmokeTest, EightThreadCriticalPathSpeedup) {
+  util::Rng rng(42);
+  data::ClusteredParams shape;
+  shape.count = kUsers;
+  const data::Dataset dataset = data::GenerateClustered(shape, rng);
+  WpgBuildParams params;
+  // The bench sweep's density-matched delta for 20k users.
+  params.delta = 2e-3 * 2.289;  // ~sqrt(104770 / 20000)
+  params.max_peers = 10;
+
+  WpgBuildStats stats;
+  auto baseline = BuildWpg(dataset, params, nullptr, &stats);
+  ASSERT_TRUE(baseline.ok());
+  const uint64_t digest = baseline.value().Digest();
+  ASSERT_GT(baseline.value().edge_count(), 0u);
+
+  const double one = BestCriticalPath(dataset, params, 1, digest);
+  const double eight = BestCriticalPath(dataset, params, 8, digest);
+  ASSERT_GT(eight, 0.0);
+  const double speedup = one / eight;
+  EXPECT_GE(speedup, 1.5)
+      << "8-thread critical path " << eight << "s vs 1-thread " << one
+      << "s — the work-stealing build has lost its parallelism";
+}
+
+}  // namespace
+}  // namespace nela::graph

@@ -196,7 +196,7 @@ struct FileScope {
   bool is_library = false;       // under src/
   bool is_rng_home = false;      // src/util/rng.*
   bool is_time_home = false;     // src/util/timer.h
-  bool is_thread_home = false;   // src/util/thread_pool.*
+  bool is_thread_home = false;   // src/util/thread_pool.*, steal_deque.h
   bool is_net_internal = false;  // src/net/*
   // src/durability/* (WAL + checkpoints), src/data/dataset_io.*,
   // src/util/csv.* -- the only library homes allowed to touch files.
@@ -211,8 +211,9 @@ FileScope ClassifyPath(const std::string& path) {
   scope.is_library = StartsWith(path, "src/");
   scope.is_rng_home = path == "src/util/rng.h" || path == "src/util/rng.cc";
   scope.is_time_home = path == "src/util/timer.h";
-  scope.is_thread_home =
-      path == "src/util/thread_pool.h" || path == "src/util/thread_pool.cc";
+  scope.is_thread_home = path == "src/util/thread_pool.h" ||
+                         path == "src/util/thread_pool.cc" ||
+                         path == "src/util/steal_deque.h";
   scope.is_net_internal = StartsWith(path, "src/net/");
   scope.is_file_io_home = StartsWith(path, "src/durability/") ||
                           StartsWith(path, "src/data/dataset_io.") ||
