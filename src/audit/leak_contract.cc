@@ -67,7 +67,7 @@ void LeakContractChecker::AddViolationLocked(net::NodeId subject,
 void LeakContractChecker::OnMessage(const net::Message& message,
                                     bool delivered) {
   (void)delivered;  // contracts bind every transmission attempt
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++messages_checked_;
   switch (config_.family) {
     case MechanismFamily::kClusterBound:
@@ -280,7 +280,7 @@ void LeakContractChecker::FinalizeHostLocked(net::NodeId host,
 }
 
 void LeakContractChecker::Finalize() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (config_.family != MechanismFamily::kDummyLocations) return;
   for (const auto& [host, cells] : candidate_cells_) {
     FinalizeHostLocked(host, cells);
@@ -289,22 +289,22 @@ void LeakContractChecker::Finalize() {
 }
 
 bool LeakContractChecker::clean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return violations_.empty();
 }
 
 std::vector<ContractViolation> LeakContractChecker::violations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return violations_;
 }
 
 uint64_t LeakContractChecker::messages_checked() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return messages_checked_;
 }
 
 std::string LeakContractChecker::Report(size_t max_entries) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::string report =
       std::to_string(violations_.size()) + " " +
       std::string(MechanismFamilyName(config_.family)) +

@@ -32,7 +32,6 @@
 #define NELA_AUDIT_LEAK_CONTRACT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -40,6 +39,8 @@
 
 #include "geo/point.h"
 #include "net/network.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nela::audit {
 
@@ -79,31 +80,35 @@ class LeakContractChecker : public net::TrafficTap {
  public:
   explicit LeakContractChecker(LeakContractConfig config);
 
-  void OnMessage(const net::Message& message, bool delivered) override;
+  void OnMessage(const net::Message& message, bool delivered) override
+      EXCLUDES(mu_);
 
   // Closes streaming accounting (the per-host dummy-set union). Call after
   // traffic ends; idempotent, and further messages restart the pending
   // state of the hosts they touch.
-  void Finalize();
+  void Finalize() EXCLUDES(mu_);
 
-  bool clean() const;
-  std::vector<ContractViolation> violations() const;
-  uint64_t messages_checked() const;
-  std::string Report(size_t max_entries = 10) const;
+  bool clean() const EXCLUDES(mu_);
+  std::vector<ContractViolation> violations() const EXCLUDES(mu_);
+  uint64_t messages_checked() const EXCLUDES(mu_);
+  std::string Report(size_t max_entries = 10) const EXCLUDES(mu_);
 
  private:
-  void AddViolationLocked(net::NodeId subject, std::string detail);
-  void CheckGridLocked(const net::Message& message);
-  void CheckGeoIndLocked(const net::Message& message);
-  void CheckDummyLocked(const net::Message& message);
-  void FinalizeHostLocked(net::NodeId host, const std::set<uint64_t>& cells);
+  void AddViolationLocked(net::NodeId subject, std::string detail)
+      REQUIRES(mu_);
+  void CheckGridLocked(const net::Message& message) REQUIRES(mu_);
+  void CheckGeoIndLocked(const net::Message& message) REQUIRES(mu_);
+  void CheckDummyLocked(const net::Message& message) REQUIRES(mu_);
+  void FinalizeHostLocked(net::NodeId host, const std::set<uint64_t>& cells)
+      REQUIRES(mu_);
 
   LeakContractConfig config_;
-  mutable std::mutex mu_;
-  std::vector<ContractViolation> violations_;
-  uint64_t messages_checked_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<ContractViolation> violations_ GUARDED_BY(mu_);
+  uint64_t messages_checked_ GUARDED_BY(mu_) = 0;
   // kDummyLocations: cells seen per host since the last Finalize.
-  std::unordered_map<net::NodeId, std::set<uint64_t>> candidate_cells_;
+  std::unordered_map<net::NodeId, std::set<uint64_t>> candidate_cells_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace nela::audit

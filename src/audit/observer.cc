@@ -55,7 +55,7 @@ void AdversaryObserver::AddViolationLocked(ViolationKind kind,
 
 void AdversaryObserver::OnMessage(const net::Message& message,
                                   bool delivered) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++messages_seen_;
   if (!message.payload.empty()) ++tagged_messages_;
 
@@ -145,38 +145,38 @@ void AdversaryObserver::OnMessage(const net::Message& message,
 }
 
 bool AdversaryObserver::clean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return violations_.empty();
 }
 
 std::vector<Violation> AdversaryObserver::violations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return violations_;
 }
 
 uint64_t AdversaryObserver::violation_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return violations_.size();
 }
 
 uint64_t AdversaryObserver::messages_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return messages_seen_;
 }
 
 uint64_t AdversaryObserver::tagged_messages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return tagged_messages_;
 }
 
 uint64_t AdversaryObserver::declared_exposures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return declared_exposures_;
 }
 
 double AdversaryObserver::LearnedIntervalWidth(net::NodeId observer,
                                                net::NodeId subject) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = knowledge_.find(observer);
   if (it == knowledge_.end()) {
     return std::numeric_limits<double>::infinity();
@@ -185,7 +185,7 @@ double AdversaryObserver::LearnedIntervalWidth(net::NodeId observer,
 }
 
 double AdversaryObserver::TightestLearnedWidth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   double tightest = std::numeric_limits<double>::infinity();
   for (const auto& [principal, knowledge] : knowledge_) {
     const double width = knowledge.TightestAnyIntervalWidth();
@@ -195,7 +195,7 @@ double AdversaryObserver::TightestLearnedWidth() const {
 }
 
 std::string AdversaryObserver::Report(size_t max_entries) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::string report = std::to_string(violations_.size()) +
                        " non-exposure violation(s) across " +
                        std::to_string(messages_seen_) + " messages";

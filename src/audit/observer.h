@@ -19,7 +19,6 @@
 #define NELA_AUDIT_OBSERVER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +26,8 @@
 #include "audit/knowledge.h"
 #include "audit/taint.h"
 #include "net/network.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nela::audit {
 
@@ -78,43 +79,45 @@ class AdversaryObserver : public net::TrafficTap {
  public:
   explicit AdversaryObserver(ObserverConfig config = {});
 
-  void OnMessage(const net::Message& message, bool delivered) override;
+  void OnMessage(const net::Message& message, bool delivered) override
+      EXCLUDES(mu_);
 
   // --- Results ----------------------------------------------------------
 
-  bool clean() const;
-  std::vector<Violation> violations() const;
-  uint64_t violation_count() const;
-  uint64_t messages_seen() const;
-  uint64_t tagged_messages() const;
-  uint64_t declared_exposures() const;
+  bool clean() const EXCLUDES(mu_);
+  std::vector<Violation> violations() const EXCLUDES(mu_);
+  uint64_t violation_count() const EXCLUDES(mu_);
+  uint64_t messages_seen() const EXCLUDES(mu_);
+  uint64_t tagged_messages() const EXCLUDES(mu_);
+  uint64_t declared_exposures() const EXCLUDES(mu_);
 
   // Width of the narrowest interval `observer` learned about `subject`;
   // +infinity when none completed.
-  double LearnedIntervalWidth(net::NodeId observer, net::NodeId subject) const;
+  double LearnedIntervalWidth(net::NodeId observer,
+                              net::NodeId subject) const EXCLUDES(mu_);
 
   // Narrowest interval ANY principal learned about ANY subject; +infinity
   // when no bounding run completed. This is the "provable adversary
   // knowledge" scalar of the comparative benchmark: mechanisms that never
   // run the bounding protocol (grid / geo-ind / dummies) leave it infinite.
-  double TightestLearnedWidth() const;
+  double TightestLearnedWidth() const EXCLUDES(mu_);
 
   // Human-readable summary of up to `max_entries` violations, for test
   // failure messages.
-  std::string Report(size_t max_entries = 10) const;
+  std::string Report(size_t max_entries = 10) const EXCLUDES(mu_);
 
  private:
   void AddViolationLocked(ViolationKind kind, net::NodeId observer,
                           net::NodeId subject, double value,
-                          std::string detail);
+                          std::string detail) REQUIRES(mu_);
 
   ObserverConfig config_;
-  mutable std::mutex mu_;
-  std::unordered_map<net::NodeId, KnowledgeSet> knowledge_;
-  std::vector<Violation> violations_;
-  uint64_t messages_seen_ = 0;
-  uint64_t tagged_messages_ = 0;
-  uint64_t declared_exposures_ = 0;
+  mutable util::Mutex mu_;
+  std::unordered_map<net::NodeId, KnowledgeSet> knowledge_ GUARDED_BY(mu_);
+  std::vector<Violation> violations_ GUARDED_BY(mu_);
+  uint64_t messages_seen_ GUARDED_BY(mu_) = 0;
+  uint64_t tagged_messages_ GUARDED_BY(mu_) = 0;
+  uint64_t declared_exposures_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nela::audit

@@ -172,6 +172,7 @@ BoundingRunResult RunOptBounding(const std::vector<PrivateScalar>& secrets,
       message.bytes = 8;
       // The OPT comparator ships the value itself: tagged honestly so the
       // observer can count the exposure (or flag it outside declared mode).
+      // nela-lint: declare-exposure(opt-raw-upload)
       message.payload.Add(net::FieldTag::kRawCoordinate,
                           (*binding.node_ids)[i], exposed);
       binding.network->Send(message, binding.scope);
@@ -290,8 +291,12 @@ RegionBoundingResult ComputeOptRegion(
       message.to = binding.host;
       message.kind = net::MessageKind::kBoundVote;
       message.bytes = 16;
+      // OPT comparison mode sends each member's exact point to the host;
+      // both axes ride the same declared channel as the 1-D comparator.
+      // nela-lint: declare-exposure(opt-raw-upload)
       message.payload.Add(net::FieldTag::kRawCoordinate,
                           (*binding.node_ids)[i], member_points[i].x);
+      // nela-lint: declare-exposure(opt-raw-upload)
       message.payload.Add(net::FieldTag::kRawCoordinate,
                           (*binding.node_ids)[i], member_points[i].y);
       binding.network->Send(message, binding.scope);

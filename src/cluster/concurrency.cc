@@ -11,7 +11,7 @@ ClaimCoordinator::ClaimCoordinator(uint32_t user_count)
     : holder_(user_count, kNoTicket) {}
 
 Ticket ClaimCoordinator::OpenRequest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const Ticket ticket = next_ticket_++;
   if (wounded_.size() <= ticket) wounded_.resize(ticket + 1, 0);
   return ticket;
@@ -19,7 +19,7 @@ Ticket ClaimCoordinator::OpenRequest() {
 
 Ticket ClaimCoordinator::OpenRequestAt(Ticket ticket) {
   NELA_CHECK_NE(ticket, kNoTicket);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (next_ticket_ <= ticket) next_ticket_ = ticket + 1;
   if (wounded_.size() <= ticket) wounded_.resize(ticket + 1, 0);
   return ticket;
@@ -28,7 +28,7 @@ Ticket ClaimCoordinator::OpenRequestAt(Ticket ticket) {
 bool ClaimCoordinator::TryClaim(Ticket ticket,
                                 const std::vector<graph::VertexId>& members) {
   NELA_CHECK_NE(ticket, kNoTicket);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // Pass 1: inspect every contended member. An older holder anywhere means
   // the whole claim fails; younger holders will be wounded.
   std::vector<Ticket> to_wound;
@@ -58,7 +58,7 @@ bool ClaimCoordinator::TryClaim(Ticket ticket,
 
 bool ClaimCoordinator::WasWounded(Ticket ticket) {
   NELA_CHECK_NE(ticket, kNoTicket);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (ticket >= wounded_.size() || !wounded_[ticket]) return false;
   wounded_[ticket] = 0;
   return true;
@@ -66,15 +66,18 @@ bool ClaimCoordinator::WasWounded(Ticket ticket) {
 
 void ClaimCoordinator::Release(Ticket ticket) {
   NELA_CHECK_NE(ticket, kNoTicket);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (Ticket& h : holder_) {
     if (h == ticket) h = kNoTicket;
   }
 }
 
 Ticket ClaimCoordinator::HolderOf(graph::VertexId v) const {
+  // Lock before the bounds check: holder_ never grows, but the read of
+  // its size is guarded state like any other (pre-annotation code checked
+  // it before taking the lock -- benign, yet formally racy).
+  util::MutexLock lock(mu_);
   NELA_CHECK_LT(v, holder_.size());
-  std::lock_guard<std::mutex> lock(mu_);
   return holder_[v];
 }
 

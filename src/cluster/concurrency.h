@@ -24,13 +24,14 @@
 #define NELA_CLUSTER_CONCURRENCY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "cluster/clusterer.h"
 #include "cluster/registry.h"
 #include "graph/wpg.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nela::cluster {
 
@@ -51,7 +52,7 @@ class ClaimCoordinator {
 
   // Registers a new request and returns its ticket (monotonically
   // increasing; older tickets win conflicts).
-  Ticket OpenRequest();
+  Ticket OpenRequest() EXCLUDES(mu_);
 
   // Registers a request under an explicit, caller-assigned ticket. The
   // sharded service runs one coordinator per shard but needs a GLOBAL
@@ -60,7 +61,7 @@ class ClaimCoordinator {
   // Tickets assigned this way must be unique per coordinator and nonzero;
   // auto-assigned tickets from OpenRequest() continue above the highest
   // explicit one.
-  Ticket OpenRequestAt(Ticket ticket);
+  Ticket OpenRequestAt(Ticket ticket) EXCLUDES(mu_);
 
   // Attempts to claim every user in `members` for `ticket`, atomically:
   // either all become held by `ticket`, or nothing changes.
@@ -70,35 +71,42 @@ class ClaimCoordinator {
   // succeeds -- the wounded request observes its loss via WasWounded() and
   // must retry. If some member is held by an OLDER ticket, the claim fails
   // and the caller should recompute/retry. Returns true on success.
-  bool TryClaim(Ticket ticket, const std::vector<graph::VertexId>& members);
+  bool TryClaim(Ticket ticket, const std::vector<graph::VertexId>& members)
+      EXCLUDES(mu_);
 
   // True when another (older) request revoked this ticket's claims; the
   // wounded request must drop its candidate and retry with a fresh
   // snapshot. Resets the flag.
-  bool WasWounded(Ticket ticket);
+  bool WasWounded(Ticket ticket) EXCLUDES(mu_);
 
   // Releases every claim of `ticket` (after commit or abort).
-  void Release(Ticket ticket);
+  void Release(Ticket ticket) EXCLUDES(mu_);
 
   // Holder of user `v`, or kNoTicket.
-  Ticket HolderOf(graph::VertexId v) const;
+  Ticket HolderOf(graph::VertexId v) const EXCLUDES(mu_);
 
-  uint64_t conflicts_observed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t conflicts_observed() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return conflicts_;
   }
-  uint64_t wounds_inflicted() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t wounds_inflicted() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return wounds_;
   }
 
+  // Names the coordinator lock for cross-class ordering annotations: the
+  // sharded service driver acquires its run lock strictly before any
+  // shard's coordinator lock (see sim/sharded_service_driver.cc).
+  util::Mutex& mu() const RETURN_CAPABILITY(mu_) { return mu_; }
+
  private:
-  mutable std::mutex mu_;
-  std::vector<Ticket> holder_;
-  std::vector<uint8_t> wounded_;  // indexed by ticket (grown on demand)
-  Ticket next_ticket_ = 1;
-  uint64_t conflicts_ = 0;
-  uint64_t wounds_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<Ticket> holder_ GUARDED_BY(mu_);
+  // Indexed by ticket (grown on demand).
+  std::vector<uint8_t> wounded_ GUARDED_BY(mu_);
+  Ticket next_ticket_ GUARDED_BY(mu_) = 1;
+  uint64_t conflicts_ GUARDED_BY(mu_) = 0;
+  uint64_t wounds_ GUARDED_BY(mu_) = 0;
 };
 
 // Serializes concurrent cloaking requests on top of any Clusterer.

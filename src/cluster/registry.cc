@@ -7,15 +7,15 @@
 namespace nela::cluster {
 
 Registry::Registry(uint32_t user_count, bool allow_overlap)
-    : allow_overlap_(allow_overlap), cluster_of_(user_count, kNoCluster),
-      active_(user_count, true) {}
+    : allow_overlap_(allow_overlap), user_count_(user_count),
+      cluster_of_(user_count, kNoCluster), active_(user_count, true) {}
 
 util::Result<ClusterId> Registry::Register(
     std::vector<graph::VertexId> members, double connectivity, bool valid) {
   if (members.empty()) {
     return util::InvalidArgumentError("cluster must have members");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (graph::VertexId v : members) {
     if (v >= cluster_of_.size()) {
       return util::InvalidArgumentError("member id out of range");
@@ -44,7 +44,7 @@ util::Result<ClusterId> Registry::Register(
 }
 
 void Registry::SetRegion(ClusterId id, const geo::Rect& region) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   NELA_CHECK_LT(id, clusters_.size());
   NELA_CHECK(!clusters_[id].region.has_value());
   NELA_CHECK(!region.empty());
@@ -52,7 +52,7 @@ void Registry::SetRegion(ClusterId id, const geo::Rect& region) {
 }
 
 uint64_t Registry::Digest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   uint64_t digest = util::kFnv64Offset;
   for (const ClusterInfo& info : clusters_) {
     util::FnvMix64(&digest, info.members.size());
@@ -75,11 +75,13 @@ uint64_t Registry::Digest() const {
 }
 
 std::unique_ptr<Registry> Registry::Snapshot(uint64_t* version_out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto copy = std::make_unique<Registry>(
-      static_cast<uint32_t>(cluster_of_.size()), allow_overlap_);
+  util::MutexLock lock(mu_);
+  auto copy = std::make_unique<Registry>(user_count_, allow_overlap_);
   // Bypass Register: replay the internal state directly so the copy is an
   // exact membership image (including invalid clusters) at this version.
+  // The copy is private to this thread, but its members are still guarded
+  // state to the analysis -- take its (uncontended) lock for the writes.
+  util::MutexLock copy_lock(copy->mu_);
   copy->cluster_of_ = cluster_of_;
   copy->active_ = active_;
   copy->clustered_users_ = clustered_users_;

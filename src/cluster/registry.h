@@ -13,13 +13,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "geo/rect.h"
 #include "graph/wpg.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nela::cluster {
 
@@ -61,15 +62,18 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  uint32_t user_count() const {
-    return static_cast<uint32_t>(cluster_of_.size());
-  }
-  uint32_t cluster_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  // Immutable after construction, so readable without the lock. (Before
+  // the capability annotations this read cluster_of_.size() unlocked --
+  // benign on every implementation we ship on, but formally a race the
+  // analysis rejects; the dedicated const member makes the no-lock read
+  // provably safe. See DESIGN.md, "Compile-time adversary".)
+  uint32_t user_count() const { return user_count_; }
+  uint32_t cluster_count() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return static_cast<uint32_t>(clusters_.size());
   }
-  uint32_t clustered_user_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint32_t clustered_user_count() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return clustered_users_;
   }
 
@@ -78,33 +82,36 @@ class Registry {
   }
 
   // kNoCluster when v is not yet clustered.
-  ClusterId ClusterOf(graph::VertexId v) const {
-    NELA_CHECK_LT(v, cluster_of_.size());
-    std::lock_guard<std::mutex> lock(mu_);
+  ClusterId ClusterOf(graph::VertexId v) const EXCLUDES(mu_) {
+    // Bounds check against the immutable count: the pre-annotation code
+    // read cluster_of_.size() here before taking the lock.
+    NELA_CHECK_LT(v, user_count_);
+    util::MutexLock lock(mu_);
     return cluster_of_[v];
   }
 
-  const ClusterInfo& info(ClusterId id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  const ClusterInfo& info(ClusterId id) const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     NELA_CHECK_LT(id, clusters_.size());
     return clusters_[id];
   }
 
   // Race-free by-value read of a cluster's region, for readers that cannot
   // rely on external coordination against a concurrent SetRegion.
-  std::optional<geo::Rect> RegionOf(ClusterId id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<geo::Rect> RegionOf(ClusterId id) const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     NELA_CHECK_LT(id, clusters_.size());
     return clusters_[id].region;
   }
 
   // Registers a new cluster. Fails when `members` is empty or any member is
   // already clustered (that would break reciprocity).
-  [[nodiscard]] util::Result<ClusterId> Register(std::vector<graph::VertexId> members,
-                                   double connectivity, bool valid);
+  [[nodiscard]] util::Result<ClusterId> Register(
+      std::vector<graph::VertexId> members, double connectivity, bool valid)
+      EXCLUDES(mu_);
 
   // Stores the cloaked region computed by phase 2. May be set exactly once.
-  void SetRegion(ClusterId id, const geo::Rect& region);
+  void SetRegion(ClusterId id, const geo::Rect& region) EXCLUDES(mu_);
 
   // active()[v] is true while v is unclustered -- the "remaining WPG" mask
   // the distributed algorithms operate on. Single-writer only; see the
@@ -115,8 +122,8 @@ class Registry {
   // Speculative executions validate their snapshot against it before
   // committing -- an unchanged version proves the membership state they
   // computed from is still the authoritative one.
-  uint64_t version() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t version() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return version_;
   }
 
@@ -124,7 +131,8 @@ class Registry {
   // regions are not copied; speculation only needs membership) into a fresh
   // registry, atomically with the returned version. The copy is private to
   // the caller and safe to mutate off-thread.
-  std::unique_ptr<Registry> Snapshot(uint64_t* version_out = nullptr) const;
+  std::unique_ptr<Registry> Snapshot(uint64_t* version_out = nullptr) const
+      EXCLUDES(mu_);
 
   // Order- and bit-exact FNV-1a fingerprint of the full registry state
   // (per cluster: member count, members, validity, then the region's four
@@ -132,16 +140,26 @@ class Registry {
   // with equal digests went through the same committed history -- this is
   // the equality the determinism tests and crash-recovery replay assert.
   // Taken atomically under the registry mutex.
-  uint64_t Digest() const;
+  uint64_t Digest() const EXCLUDES(mu_);
+
+  // Names the registry lock so other classes can order their own locks
+  // against it (durability::DurableRegistry declares ACQUIRED_BEFORE
+  // relations through this accessor).
+  util::Mutex& mu() const RETURN_CAPABILITY(mu_) { return mu_; }
 
  private:
   bool allow_overlap_;
-  mutable std::mutex mu_;
-  std::vector<ClusterId> cluster_of_;
+  const uint32_t user_count_;
+  mutable util::Mutex mu_;
+  std::vector<ClusterId> cluster_of_ GUARDED_BY(mu_);
+  // Deliberately unguarded: active() hands out a reference under the
+  // documented single-writer contract above, so the member cannot carry
+  // GUARDED_BY without outlawing that API. Concurrent readers use
+  // Snapshot(); the batch driver's turnstile serializes the writer.
   std::vector<bool> active_;
-  std::deque<ClusterInfo> clusters_;
-  uint32_t clustered_users_ = 0;
-  uint64_t version_ = 0;
+  std::deque<ClusterInfo> clusters_ GUARDED_BY(mu_);
+  uint32_t clustered_users_ GUARDED_BY(mu_) = 0;
+  uint64_t version_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nela::cluster

@@ -14,11 +14,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "net/fault_plan.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nela::durability {
 
@@ -30,8 +31,8 @@ class CrashPointScheduler {
   // Counts one execution of `point`; true when a scheduled event fires.
   // After the first firing every later call returns false -- the process is
   // already "dead" and the driver is unwinding.
-  bool ShouldCrash(net::ProcessCrashPoint point) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool ShouldCrash(net::ProcessCrashPoint point) EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     if (fired_.has_value()) return false;
     const uint64_t hits = ++hits_[static_cast<size_t>(point)];
     for (const net::ProcessCrashEvent& event : events_) {
@@ -43,21 +44,23 @@ class CrashPointScheduler {
     return false;
   }
 
-  bool crashed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool crashed() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return fired_.has_value();
   }
 
-  std::optional<net::ProcessCrashPoint> fired() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<net::ProcessCrashPoint> fired() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return fired_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::array<uint64_t, 4> hits_{};
-  std::vector<net::ProcessCrashEvent> events_;
-  std::optional<net::ProcessCrashPoint> fired_;
+  mutable util::Mutex mu_;
+  std::array<uint64_t, 4> hits_ GUARDED_BY(mu_){};
+  // Immutable after construction; read without the lock would also be
+  // safe, but ShouldCrash already holds it on every path that looks.
+  const std::vector<net::ProcessCrashEvent> events_;
+  std::optional<net::ProcessCrashPoint> fired_ GUARDED_BY(mu_);
 };
 
 }  // namespace nela::durability

@@ -27,7 +27,7 @@ DurableRegistry::DurableRegistry(cluster::Registry* registry, WalWriter* wal,
 util::Result<cluster::ClusterId> DurableRegistry::Register(
     const std::vector<graph::VertexId>& members, double connectivity,
     bool valid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (wal_ != nullptr) {
     WalRecord record;
     record.lsn = next_lsn_;
@@ -52,7 +52,7 @@ util::Result<cluster::ClusterId> DurableRegistry::Register(
 util::Status DurableRegistry::RegisterBatch(
     const std::vector<cluster::ClusterInfo>& clusters) {
   if (clusters.empty()) return util::Status();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (wal_ != nullptr) {
     WalRecord record;
     record.lsn = next_lsn_;
@@ -82,7 +82,7 @@ util::Status DurableRegistry::RegisterBatch(
 
 util::Status DurableRegistry::SetRegion(cluster::ClusterId id,
                                         const geo::Rect& region) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (wal_ != nullptr) {
     WalRecord record;
     record.lsn = next_lsn_;
@@ -104,7 +104,7 @@ util::Status DurableRegistry::SetRegion(cluster::ClusterId id,
 }
 
 util::Status DurableRegistry::Checkpoint(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::string encoded = EncodeCheckpoint(*registry_, next_lsn_ - 1);
   if (crash_ != nullptr &&
       crash_->ShouldCrash(net::ProcessCrashPoint::kMidCheckpoint)) {
@@ -115,7 +115,7 @@ util::Status DurableRegistry::Checkpoint(const std::string& path) {
 }
 
 uint64_t DurableRegistry::last_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return next_lsn_ - 1;
 }
 

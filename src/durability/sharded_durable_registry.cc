@@ -62,7 +62,7 @@ util::Status ShardedDurableRegistry::RegisterBatch(
     uint32_t stream, const std::vector<cluster::ClusterInfo>& clusters) {
   if (clusters.empty()) return util::Status();
   NELA_CHECK_LT(stream, wals_.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const cluster::ClusterId first_id = registry_->cluster_count();
   WalRecord record;
   record.lsn = next_lsns_[stream];
@@ -96,7 +96,7 @@ util::Status ShardedDurableRegistry::RegisterBatch(
 
 util::Status ShardedDurableRegistry::SetRegion(cluster::ClusterId id,
                                                const geo::Rect& region) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = stream_of_.find(id);
   if (it == stream_of_.end()) {
     return util::InvalidArgumentError(
@@ -122,7 +122,7 @@ util::Status ShardedDurableRegistry::SetRegion(cluster::ClusterId id,
 }
 
 util::Status ShardedDurableRegistry::CheckpointAll(uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (uint32_t stream = 0; stream < wals_.size(); ++stream) {
     ShardCheckpointImage image;
     image.user_count = registry_->user_count();
@@ -163,7 +163,7 @@ uint64_t ShardedDurableRegistry::wal_records_for(uint32_t stream) const {
 }
 
 uint64_t ShardedDurableRegistry::last_lsn(uint32_t stream) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   NELA_CHECK_LT(stream, next_lsns_.size());
   return next_lsns_[stream] - 1;
 }

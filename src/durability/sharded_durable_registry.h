@@ -19,14 +19,14 @@
 // byte-identical to an uninterrupted run's.
 //
 // Lock order: ShardedDurableRegistry::mu_ -> WalWriter::mu_ ->
-// Registry::mu_ (same shape as DurableRegistry's).
+// Registry::mu_ (same shape as DurableRegistry's), declared to the
+// analysis via ACQUIRED_BEFORE on mu_.
 
 #ifndef NELA_DURABILITY_SHARDED_DURABLE_REGISTRY_H_
 #define NELA_DURABILITY_SHARDED_DURABLE_REGISTRY_H_
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,7 +35,9 @@
 #include "durability/crash_scheduler.h"
 #include "durability/wal.h"
 #include "geo/rect.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nela::durability {
 
@@ -57,24 +59,25 @@ class ShardedDurableRegistry {
   // Logs one atomic commit (all `clusters`, with their soon-to-be global
   // ids) to `stream`, then applies the registrations to the registry.
   [[nodiscard]] util::Status RegisterBatch(
-      uint32_t stream, const std::vector<cluster::ClusterInfo>& clusters);
+      uint32_t stream, const std::vector<cluster::ClusterInfo>& clusters)
+      EXCLUDES(mu_);
 
   // Logs the region to the stream that logged `id`'s batch, then applies.
   [[nodiscard]] util::Status SetRegion(cluster::ClusterId id,
-                                       const geo::Rect& region);
+                                       const geo::Rect& region) EXCLUDES(mu_);
 
   // Cuts checkpoint `seq` for every stream: shard s's file snapshots the
   // clusters logged in stream s (current regions included) at stream s's
   // current covered lsn. A kMidCheckpoint crash tears the file being
   // written and leaves the remaining shards' files uncut.
-  [[nodiscard]] util::Status CheckpointAll(uint64_t seq);
+  [[nodiscard]] util::Status CheckpointAll(uint64_t seq) EXCLUDES(mu_);
 
   uint32_t stream_count() const {
     return static_cast<uint32_t>(wals_.size());
   }
   uint64_t wal_records() const;
   uint64_t wal_records_for(uint32_t stream) const;
-  uint64_t last_lsn(uint32_t stream) const;
+  uint64_t last_lsn(uint32_t stream) const EXCLUDES(mu_);
 
  private:
   ShardedDurableRegistry(cluster::Registry* registry, std::string base_dir,
@@ -86,15 +89,21 @@ class ShardedDurableRegistry {
   cluster::Registry* registry_;
   const std::string base_dir_;
   CrashPointScheduler* crash_;
+  // Stream handles are append-only after Open; each WalWriter serializes
+  // its own appends internally.
   std::vector<std::unique_ptr<WalWriter>> wals_;
 
-  mutable std::mutex mu_;
-  std::vector<uint64_t> next_lsns_;
+  // Same hierarchy as DurableRegistry: this lock precedes every stream's
+  // WAL lock and the registry's.
+  mutable util::Mutex mu_ ACQUIRED_BEFORE(registry_->mu());
+  std::vector<uint64_t> next_lsns_ GUARDED_BY(mu_);
   // Cluster id -> stream that logged it (guards SetRegion routing and the
   // per-stream checkpoint slices).
-  std::unordered_map<cluster::ClusterId, uint32_t> stream_of_;
+  std::unordered_map<cluster::ClusterId, uint32_t> stream_of_
+      GUARDED_BY(mu_);
   // Ids logged per stream, ascending (commits arrive in id order).
-  std::vector<std::vector<cluster::ClusterId>> clusters_of_stream_;
+  std::vector<std::vector<cluster::ClusterId>> clusters_of_stream_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace nela::durability

@@ -266,7 +266,7 @@ util::Result<std::unique_ptr<WalWriter>> WalWriter::Open(
 
 util::Status WalWriter::Append(const WalRecord& record) {
   const std::string frame = FrameRecord(EncodeWalRecord(record));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return util::UnavailableError("short write appending WAL record");
   }
@@ -281,7 +281,7 @@ util::Status WalWriter::AppendTorn(const WalRecord& record,
                                    size_t keep_bytes) {
   std::string frame = FrameRecord(EncodeWalRecord(record));
   if (keep_bytes < frame.size()) frame.resize(keep_bytes);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return util::UnavailableError("short write appending torn WAL record");
   }
@@ -292,7 +292,7 @@ util::Status WalWriter::AppendTorn(const WalRecord& record,
 }
 
 uint64_t WalWriter::records_appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return records_appended_;
 }
 

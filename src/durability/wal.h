@@ -50,14 +50,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/registry.h"
 #include "geo/rect.h"
 #include "graph/wpg.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nela::durability {
 
@@ -114,22 +115,29 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  [[nodiscard]] util::Status Append(const WalRecord& record);
+  [[nodiscard]] util::Status Append(const WalRecord& record) EXCLUDES(mu_);
 
   // Chaos hook for ProcessCrashPoint::kMidWalAppend: writes only the first
   // `keep_bytes` bytes of the framed record -- the torn tail a crash
   // mid-append leaves behind -- and flushes.
   [[nodiscard]] util::Status AppendTorn(const WalRecord& record,
-                                        size_t keep_bytes);
+                                        size_t keep_bytes) EXCLUDES(mu_);
 
-  uint64_t records_appended() const;
+  uint64_t records_appended() const EXCLUDES(mu_);
+
+  // Names the WAL lock so owners can declare ordering against it
+  // (durability::DurableRegistry::mu_ is ACQUIRED_BEFORE this lock).
+  util::Mutex& mu() const RETURN_CAPABILITY(mu_) { return mu_; }
 
  private:
   explicit WalWriter(std::FILE* file);
 
-  mutable std::mutex mu_;
-  std::FILE* file_;
-  uint64_t records_appended_ = 0;
+  mutable util::Mutex mu_;
+  // The FILE handle itself: fwrite/fflush are serialized under mu_ (the
+  // destructor's fclose runs race-free by the usual last-owner rule;
+  // constructors/destructors are outside the analysis by design).
+  std::FILE* file_ GUARDED_BY(mu_);
+  uint64_t records_appended_ GUARDED_BY(mu_) = 0;
 };
 
 struct WalReadResult {

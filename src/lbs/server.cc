@@ -68,6 +68,11 @@ ServiceReply LbsServer::ProbeQuery(const geo::Point& probe, double radius,
     reply_message.from = client;
     reply_message.to = client;
     reply_message.kind = net::MessageKind::kServiceReply;
+    // Reply size tracks the candidate count near the probe -- the classic
+    // LBS reply-size side channel. It is deliberately modeled (the observer
+    // sees message bytes), so the taint pass gets a declared channel, not a
+    // suppression.
+    // nela-lint: declare-exposure(lbs-reply-size)
     reply_message.bytes = reply.candidate_count * 64;
     network->Send(reply_message);
   }

@@ -45,7 +45,9 @@ util::Status GridCloakMechanism::Cloak(core::RequestContext& ctx,
     upload.to = host;
     upload.kind = net::MessageKind::kControl;
     upload.bytes = 16;
+    // nela-lint: declare-exposure(grid-cloak-upload)
     upload.payload.Add(net::FieldTag::kRawCoordinate, host, own.x);
+    // nela-lint: declare-exposure(grid-cloak-upload)
     upload.payload.Add(net::FieldTag::kRawCoordinate, host, own.y);
     network_->Send(upload, &ctx.scope());
     ++outcome->messages_sent;

@@ -88,7 +88,7 @@ bool Network::SendImpl(NodeId from, NodeId to, MessageKind kind,
                        uint64_t bytes, RequestScope* scope) {
   NELA_CHECK_LT(from, node_count_);
   NELA_CHECK_LT(to, node_count_);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++send_attempts_;
   AdvanceCrashScheduleLocked();
   if (!alive_[from] || !alive_[to]) {
@@ -143,7 +143,7 @@ util::Status Network::InstallFaultPlan(const FaultPlan& plan) {
           "fault plan crash event names an out-of-range node");
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   owned_rng_.emplace(plan.seed);
   loss_rng_ = &*owned_rng_;
   loss_probability_ = plan.loss_probability;
@@ -166,7 +166,7 @@ util::Status Network::SetLossProbability(double loss_probability,
     return util::InvalidArgumentError(
         "a positive loss probability requires an RNG");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   owned_rng_.reset();
   loss_probability_ = loss_probability;
   loss_rng_ = rng;
@@ -175,7 +175,7 @@ util::Status Network::SetLossProbability(double loss_probability,
 
 void Network::CrashNode(NodeId node) {
   NELA_CHECK_LT(node, node_count_);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   CrashNodeLocked(node);
 }
 
@@ -187,7 +187,7 @@ void Network::CrashNodeLocked(NodeId node) {
 }
 
 RetryStats Network::total_retry_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   RetryStats total;
   for (const RetryStats& stats : retry_by_kind_) {
     total.retries += stats.retries;
@@ -203,7 +203,7 @@ RetryStats Network::total_retry_stats() const {
 
 void Network::RecordRetry(MessageKind kind, uint64_t bytes,
                           RequestScope* scope) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   RetryStats& stats = retry_by_kind_[static_cast<size_t>(kind)];
   ++stats.retries;
   stats.retransmitted_bytes += bytes;
@@ -211,7 +211,7 @@ void Network::RecordRetry(MessageKind kind, uint64_t bytes,
 }
 
 void Network::RecordTimeoutObserved(MessageKind kind, RequestScope* scope) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++retry_by_kind_[static_cast<size_t>(kind)].timeouts_observed;
   if (scope != nullptr) scope->RecordTimeoutObserved();
 }
@@ -223,24 +223,24 @@ void Network::RecordBackoffJitter(MessageKind kind,
                std::nextafter(1.0, 0.0));
   const auto bucket = static_cast<size_t>(
       clamped * static_cast<double>(RetryStats::kJitterBuckets));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++retry_by_kind_[static_cast<size_t>(kind)].jitter_histogram[bucket];
 }
 
 uint64_t Network::SentBy(NodeId node) const {
   NELA_CHECK_LT(node, node_count_);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return sent_[node];
 }
 
 uint64_t Network::ReceivedBy(NodeId node) const {
   NELA_CHECK_LT(node, node_count_);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return received_[node];
 }
 
 void Network::ResetCounters() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   total_ = TrafficCounter{};
   by_kind_.fill(TrafficCounter{});
   retry_by_kind_.fill(RetryStats{});

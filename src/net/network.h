@@ -18,15 +18,16 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "net/accounting.h"
 #include "net/fault_plan.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nela::net {
 
@@ -176,12 +177,13 @@ class Network {
   // needing delivery use net::SendWithRetry on top. When `scope` is given,
   // the attempt is additionally accounted to that request's scope.
   bool Send(NodeId from, NodeId to, MessageKind kind, uint64_t bytes,
-            RequestScope* scope = nullptr);
+            RequestScope* scope = nullptr) EXCLUDES(mu_);
 
   // Audited path: same semantics, but the message's payload descriptor is
   // handed to the installed TrafficTap (if any) along with the delivery
   // outcome.
-  bool Send(const Message& message, RequestScope* scope = nullptr);
+  bool Send(const Message& message, RequestScope* scope = nullptr)
+      EXCLUDES(mu_);
 
   // Installs (or clears, with nullptr) the traffic tap. Not owned; must
   // outlive the network or be cleared first. Install before traffic starts:
@@ -194,28 +196,30 @@ class Network {
   // plan.seed, so runs are reproducible. Fails with kInvalidArgument when
   // loss_probability is outside [0, 1], a latency parameter is negative,
   // or a crash event names an out-of-range node.
-  [[nodiscard]] util::Status InstallFaultPlan(const FaultPlan& plan);
+  [[nodiscard]] util::Status InstallFaultPlan(const FaultPlan& plan)
+      EXCLUDES(mu_);
 
   // Legacy lightweight path: every subsequent Send is dropped with
   // probability `loss_probability` using `rng` (not owned; must outlive the
   // network). Pass 0 to disable. Fails with kInvalidArgument when the
   // probability is outside [0, 1] or a positive probability comes without
   // an RNG (which would otherwise fault on the next Send).
-  [[nodiscard]] util::Status SetLossProbability(double loss_probability, util::Rng* rng);
+  [[nodiscard]] util::Status SetLossProbability(double loss_probability,
+                                                util::Rng* rng) EXCLUDES(mu_);
 
   // --- Liveness ---------------------------------------------------------
 
   // Immediately removes `node` from the system: every later send touching
   // it fails. Idempotent.
-  void CrashNode(NodeId node);
+  void CrashNode(NodeId node) EXCLUDES(mu_);
 
-  bool IsAlive(NodeId node) const {
+  bool IsAlive(NodeId node) const EXCLUDES(mu_) {
     NELA_CHECK_LT(node, node_count_);
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return alive_[node];
   }
-  uint32_t alive_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint32_t alive_count() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return alive_count_;
   }
 
@@ -226,108 +230,115 @@ class Network {
   // lock.
 
   // Global counters (delivered messages only).
-  TrafficCounter total() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  TrafficCounter total() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return total_;
   }
-  TrafficCounter of_kind(MessageKind kind) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  TrafficCounter of_kind(MessageKind kind) const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return by_kind_[static_cast<size_t>(kind)];
   }
 
   // Every Send call, delivered or not; drives the crash schedule.
-  uint64_t send_attempts() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t send_attempts() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return send_attempts_;
   }
 
   // Loss-process drops and the bandwidth they wasted.
-  uint64_t dropped_messages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped_messages() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return dropped_;
   }
-  uint64_t dropped_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped_bytes() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return dropped_bytes_;
   }
 
   // Latency-model samples above the timeout threshold.
-  uint64_t timed_out_messages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t timed_out_messages() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return timed_out_;
   }
 
   // Send attempts addressed from or to a crashed node.
-  uint64_t dead_endpoint_attempts() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dead_endpoint_attempts() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return dead_endpoint_attempts_;
   }
 
   // Simulated delivery latency summed over delivered messages (0 without a
   // latency model).
-  double total_latency_ms() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  double total_latency_ms() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return total_latency_ms_;
   }
 
   // Retry accounting, fed by SendWithRetry via RecordRetry/RecordTimeout.
-  RetryStats retry_stats_of(MessageKind kind) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  RetryStats retry_stats_of(MessageKind kind) const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return retry_by_kind_[static_cast<size_t>(kind)];
   }
-  RetryStats total_retry_stats() const;
+  RetryStats total_retry_stats() const EXCLUDES(mu_);
 
   void RecordRetry(MessageKind kind, uint64_t bytes,
-                   RequestScope* scope = nullptr);
-  void RecordTimeoutObserved(MessageKind kind, RequestScope* scope = nullptr);
+                   RequestScope* scope = nullptr) EXCLUDES(mu_);
+  void RecordTimeoutObserved(MessageKind kind, RequestScope* scope = nullptr)
+      EXCLUDES(mu_);
   // `fraction_of_window` is the backoff jitter draw normalized to [0, 1)
   // over the policy's jitter window (SendWithRetry computes it from the
   // draw it already made, so recording never perturbs the RNG sequence).
-  void RecordBackoffJitter(MessageKind kind, double fraction_of_window);
+  void RecordBackoffJitter(MessageKind kind, double fraction_of_window)
+      EXCLUDES(mu_);
 
   // Per-node counters.
-  uint64_t SentBy(NodeId node) const;
-  uint64_t ReceivedBy(NodeId node) const;
+  uint64_t SentBy(NodeId node) const EXCLUDES(mu_);
+  uint64_t ReceivedBy(NodeId node) const EXCLUDES(mu_);
 
   // Zeroes every traffic/fault counter. Keeps the fault configuration, the
   // crash schedule position, and node liveness: counters describe a
   // measurement window, liveness describes the world.
-  void ResetCounters();
+  void ResetCounters() EXCLUDES(mu_);
 
  private:
   // Fires every crash event whose threshold the attempt counter reached.
-  // Requires mu_ held.
-  void AdvanceCrashScheduleLocked();
-  void CrashNodeLocked(NodeId node);
+  void AdvanceCrashScheduleLocked() REQUIRES(mu_);
+  void CrashNodeLocked(NodeId node) REQUIRES(mu_);
   // Counter/fault bookkeeping for one attempt; returns whether it was
   // delivered. Takes mu_ itself; the caller invokes the tap afterwards so
   // the tap never runs under the network lock.
   bool SendImpl(NodeId from, NodeId to, MessageKind kind, uint64_t bytes,
-                RequestScope* scope);
+                RequestScope* scope) EXCLUDES(mu_);
 
+  // Deliberately unguarded: install-before-traffic contract (see SetTap).
+  // Guarding it would put the tap swap under mu_ without fixing the real
+  // hazard (a tap swapped mid-send still races with the tap *invocation*,
+  // which runs outside the lock by design).
   TrafficTap* tap_ = nullptr;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   uint32_t node_count_;
-  TrafficCounter total_;
-  std::array<TrafficCounter, kMessageKindCount> by_kind_{};
-  std::array<RetryStats, kMessageKindCount> retry_by_kind_{};
-  std::vector<uint64_t> sent_;
-  std::vector<uint64_t> received_;
-  std::vector<bool> alive_;
-  uint32_t alive_count_;
-  uint64_t send_attempts_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t dropped_bytes_ = 0;
-  uint64_t timed_out_ = 0;
-  uint64_t dead_endpoint_attempts_ = 0;
-  double total_latency_ms_ = 0.0;
+  TrafficCounter total_ GUARDED_BY(mu_);
+  std::array<TrafficCounter, kMessageKindCount> by_kind_ GUARDED_BY(mu_){};
+  std::array<RetryStats, kMessageKindCount> retry_by_kind_ GUARDED_BY(mu_){};
+  std::vector<uint64_t> sent_ GUARDED_BY(mu_);
+  std::vector<uint64_t> received_ GUARDED_BY(mu_);
+  std::vector<bool> alive_ GUARDED_BY(mu_);
+  uint32_t alive_count_ GUARDED_BY(mu_);
+  uint64_t send_attempts_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t timed_out_ GUARDED_BY(mu_) = 0;
+  uint64_t dead_endpoint_attempts_ GUARDED_BY(mu_) = 0;
+  double total_latency_ms_ GUARDED_BY(mu_) = 0.0;
 
-  double loss_probability_ = 0.0;
-  util::Rng* loss_rng_ = nullptr;  // external (legacy path) or &owned_rng_
-  std::optional<util::Rng> owned_rng_;
-  LatencyModel latency_;
-  std::vector<CrashEvent> crash_schedule_;  // sorted by after_attempts
-  size_t next_crash_ = 0;
+  double loss_probability_ GUARDED_BY(mu_) = 0.0;
+  // External (legacy path) or &owned_rng_.
+  util::Rng* loss_rng_ GUARDED_BY(mu_) = nullptr;
+  std::optional<util::Rng> owned_rng_ GUARDED_BY(mu_);
+  LatencyModel latency_ GUARDED_BY(mu_);
+  // Sorted by after_attempts.
+  std::vector<CrashEvent> crash_schedule_ GUARDED_BY(mu_);
+  size_t next_crash_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nela::net

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <queue>
 #include <set>
 #include <thread>
@@ -30,7 +28,9 @@
 #include "mechanisms/factory.h"
 #include "net/network.h"
 #include "sim/workload.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -131,30 +131,35 @@ struct ShardedServiceDriver::RunState {
   // One mutex coordinates the commit turnstile, the per-cluster region
   // latches, the watchdog parking lot, and the halt flag (decisions
   // interleave; contention is negligible next to the clustering/bounding
-  // work done outside it).
-  std::mutex mu;
-  std::condition_variable turn_cv;
-  std::condition_variable region_cv;
-  uint64_t next_commit = 0;
+  // work done outside it). Lock hierarchy: mu precedes every lock taken
+  // inside the turnstile -- each shard coordinator's lock, the (sharded)
+  // durable registry's, the WAL's, and the registry's. mu is a local
+  // capability (RunState never escapes RunInternal), so the cross-class
+  // legs of that order are declared where the foreign locks can name each
+  // other (durable_registry.h) and documented here for the rest.
+  util::Mutex mu;
+  util::CondVar turn_cv;
+  util::CondVar region_cv;
+  uint64_t next_commit GUARDED_BY(mu) = 0;
   struct Latch {
     bool computing = false;
     // Ordinals whose region decision is unresolved; the smallest becomes
     // the (next) publisher -- the deterministic sequential order.
     std::set<uint64_t> waiters;
   };
-  std::unordered_map<cluster::ClusterId, Latch> latches;
+  std::unordered_map<cluster::ClusterId, Latch> latches GUARDED_BY(mu);
   // Stalled requests awaiting rescue (ordinal -> ticket still holding its
   // claims). Ordered so the oldest is rescued first.
-  std::map<uint64_t, cluster::Ticket> parked;
+  std::map<uint64_t, cluster::Ticket> parked GUARDED_BY(mu);
   // Set when a scheduled process crash fires: workers unwind without
   // delivering further outcomes, exactly as a dying process would.
-  bool halted = false;
-  std::optional<net::ProcessCrashPoint> crash_point;
-  uint64_t commits_since_checkpoint = 0;
-  uint64_t checkpoint_seq = 0;
-  uint64_t checkpoints_written = 0;
+  bool halted GUARDED_BY(mu) = false;
+  std::optional<net::ProcessCrashPoint> crash_point GUARDED_BY(mu);
+  uint64_t commits_since_checkpoint GUARDED_BY(mu) = 0;
+  uint64_t checkpoint_seq GUARDED_BY(mu) = 0;
+  uint64_t checkpoints_written GUARDED_BY(mu) = 0;
 
-  util::Status first_error;
+  util::Status first_error GUARDED_BY(mu);
 
   RunState(const data::Dataset& dataset, uint32_t shard_count)
       : map(dataset, shard_count) {
@@ -165,12 +170,12 @@ struct ShardedServiceDriver::RunState {
     }
   }
 
-  // Requires mu held. Wakes every waiter so the halt propagates.
-  void HaltLocked(net::ProcessCrashPoint point) {
+  // Wakes every waiter so the halt propagates.
+  void HaltLocked(net::ProcessCrashPoint point) REQUIRES(mu) {
     halted = true;
     if (!crash_point.has_value()) crash_point = point;
-    turn_cv.notify_all();
-    region_cv.notify_all();
+    turn_cv.NotifyAll();
+    region_cv.NotifyAll();
   }
 };
 
@@ -387,7 +392,7 @@ bool ShardedServiceDriver::TryRescue(RunState& run, uint64_t max_rank) {
   uint64_t parked_ordinal = 0;
   cluster::Ticket parked_ticket = cluster::kNoTicket;
   {
-    std::lock_guard<std::mutex> lock(run.mu);
+    util::MutexLock lock(run.mu);
     if (run.halted) return false;
     bool found = false;
     for (const auto& [ordinal, ticket] : run.parked) {
@@ -412,7 +417,7 @@ bool ShardedServiceDriver::TryRescue(RunState& run, uint64_t max_rank) {
   const util::Status status =
       ProcessRequest(run, parked_ordinal, /*allow_stall=*/false);
   if (!status.ok()) {
-    std::lock_guard<std::mutex> lock(run.mu);
+    util::MutexLock lock(run.mu);
     if (run.first_error.ok()) run.first_error = status;
   }
   return true;
@@ -475,7 +480,7 @@ util::Status ShardedServiceDriver::ProcessRequest(RunState& run,
   bool holds_claim = false;
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(run.mu);
+      util::MutexLock lock(run.mu);
       if (run.halted) {
         ReleaseAll(run, ticket);
         return util::Status::Ok();  // aborted; reported as a crash abort
@@ -517,10 +522,10 @@ util::Status ShardedServiceDriver::ProcessRequest(RunState& run,
   // --- Stall injection (test-only): park while holding claims; whichever
   // request this blocks rescues us via TryRescue --------------------------
   if (allow_stall && ordinal == service.stall_ordinal) {
-    std::lock_guard<std::mutex> lock(run.mu);
+    util::MutexLock lock(run.mu);
     run.parked.emplace(ordinal, ticket);
-    run.turn_cv.notify_all();
-    run.region_cv.notify_all();
+    run.turn_cv.NotifyAll();
+    run.region_cv.NotifyAll();
     return util::Status::Ok();  // this attempt is abandoned, not delivered
   }
 
@@ -534,16 +539,16 @@ util::Status ShardedServiceDriver::ProcessRequest(RunState& run,
   uint64_t involved = 0;
   util::Status commit_status;
   {
-    std::unique_lock<std::mutex> lock(run.mu);
+    util::MutexLock lock(run.mu);
     while (run.next_commit != rank && !run.halted) {
-      lock.unlock();
+      lock.Unlock();
       const bool rescued = TryRescue(run, rank);
-      lock.lock();
+      lock.Lock();
       if (rescued) continue;
-      if (run.next_commit != rank && !run.halted) run.turn_cv.wait(lock);
+      if (run.next_commit != rank && !run.halted) run.turn_cv.Wait(lock);
     }
     if (run.halted) {
-      lock.unlock();
+      lock.Unlock();
       ReleaseAll(run, ticket);
       return util::Status::Ok();
     }
@@ -654,9 +659,9 @@ util::Status ShardedServiceDriver::ProcessRequest(RunState& run,
       run.latches[cid].waiters.insert(ordinal);
     }
     ++run.next_commit;
-    run.turn_cv.notify_all();
+    run.turn_cv.NotifyAll();
     if (run.halted) {
-      lock.unlock();
+      lock.Unlock();
       ReleaseAll(run, ticket);
       return util::Status::Ok();
     }
@@ -680,7 +685,7 @@ util::Status ShardedServiceDriver::ProcessRequest(RunState& run,
   // sequential recovery order) ---------------------------------------------
   bool reuse = false;
   {
-    std::unique_lock<std::mutex> lock(run.mu);
+    util::MutexLock lock(run.mu);
     while (!run.halted) {
       if (run.registry->RegionOf(cid).has_value()) {
         reuse = true;
@@ -693,13 +698,13 @@ util::Status ShardedServiceDriver::ProcessRequest(RunState& run,
         latch.waiters.erase(ordinal);
         break;
       }
-      lock.unlock();
+      lock.Unlock();
       const bool rescued = TryRescue(run, rank);
-      lock.lock();
-      if (!rescued && !run.halted) run.region_cv.wait(lock);
+      lock.Lock();
+      if (!rescued && !run.halted) run.region_cv.Wait(lock);
     }
     if (run.halted) {
-      lock.unlock();
+      lock.Unlock();
       ReleaseAll(run, ticket);
       return util::Status::Ok();
     }
@@ -781,9 +786,9 @@ util::Status ShardedServiceDriver::ProcessRequest(RunState& run,
     status = core::RunPipeline(stages, ctx, state);
     ReleaseAll(run, ticket);
     {
-      std::lock_guard<std::mutex> lock(run.mu);
+      util::MutexLock lock(run.mu);
       run.latches[cid].computing = false;
-      run.region_cv.notify_all();
+      run.region_cv.NotifyAll();
       if (!status.ok() && run.crash != nullptr && run.crash->crashed()) {
         // The publish path crashed mid-WAL-append: halt instead of
         // reporting a per-request failure.
@@ -914,7 +919,12 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
                     : std::make_unique<cluster::ShardedRegistry>(user_count,
                                                                  &run.map);
   run.registry = run.sharded->global();
-  run.checkpoint_seq = checkpoint_seq_start;
+  {
+    // Setup is single-threaded, but checkpoint_seq is guarded state; the
+    // uncontended lock keeps the annotation exact.
+    util::MutexLock lock(run.mu);
+    run.checkpoint_seq = checkpoint_seq_start;
+  }
   if (service.with_network) {
     run.network = std::make_unique<net::Network>(user_count);
     const net::FaultPlan& plan = service.fault_plan;
@@ -1000,7 +1010,7 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
   auto worker = [&run, this] {
     while (true) {
       {
-        std::lock_guard<std::mutex> lock(run.mu);
+        util::MutexLock lock(run.mu);
         if (run.halted) break;
       }
       const uint64_t index =
@@ -1010,7 +1020,7 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
       const util::Status status =
           ProcessRequest(run, ordinal, /*allow_stall=*/true);
       if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(run.mu);
+        util::MutexLock lock(run.mu);
         if (run.first_error.ok()) run.first_error = status;
       }
     }
@@ -1031,24 +1041,35 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
   const double wall_seconds = wall_timer.ElapsedSeconds();
 
   const bool crashed = run.crash != nullptr && run.crash->crashed();
+  // Workers have joined; snapshot the guarded outcome state under the
+  // (now uncontended) lock rather than reading it bare.
+  std::optional<net::ProcessCrashPoint> crash_point;
+  util::Status first_error;
+  uint64_t checkpoints_written = 0;
+  {
+    util::MutexLock lock(run.mu);
+    crash_point = run.crash_point;
+    first_error = run.first_error;
+    checkpoints_written = run.checkpoints_written;
+  }
   if (crashed) {
     // Unfinished admitted requests died with the process: report each as a
     // structured crash abort (never silently, never with a coordinate).
     const net::ProcessCrashPoint point =
-        run.crash_point.value_or(net::ProcessCrashPoint::kPreCommit);
+        crash_point.value_or(net::ProcessCrashPoint::kPreCommit);
     for (uint64_t ordinal : run.admitted_ordinals) {
       if (run.delivered[ordinal] == 0) {
         FillCrashAbortRecord(run, ordinal, point);
       }
     }
-  } else if (!run.first_error.ok()) {
-    return run.first_error;
+  } else if (!first_error.ok()) {
+    return first_error;
   }
 
   ShardedServiceResult sharded_result;
   ServiceResult& result = sharded_result.service;
   result.crashed = crashed;
-  result.crash_point = run.crash_point;
+  result.crash_point = crash_point;
   result.records = std::move(run.records);
   result.wall_seconds = wall_seconds;
   result.requests_per_sec =
@@ -1069,7 +1090,7 @@ util::Result<ShardedServiceResult> ShardedServiceDriver::RunInternal(
   } else if (run.sharded_durable != nullptr) {
     result.wal_records = run.sharded_durable->wal_records();
   }
-  result.checkpoints_written = run.checkpoints_written;
+  result.checkpoints_written = checkpoints_written;
 
   const uint32_t shard_count = run.map.shard_count();
   sharded_result.shards.resize(shard_count);

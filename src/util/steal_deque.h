@@ -19,6 +19,12 @@
 // This header is part of the util::ThreadPool implementation and shares
 // its lint scope: the pool-only-threads rule (tools/nela_lint raw-thread)
 // recognizes it as a thread-machinery home.
+//
+// Thread-safety annotations: none apply. The deque is lock-free — it owns
+// no mutex and guards nothing with one, so there is no capability for
+// Clang's analysis to track; its correctness argument is the PPoPP'13
+// memory-ordering proof above, checked dynamically by the TSan CI lane
+// rather than statically.
 
 #ifndef NELA_UTIL_STEAL_DEQUE_H_
 #define NELA_UTIL_STEAL_DEQUE_H_

@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to Clang's `capability` attribute family when the compiler
+// supports it and to nothing everywhere else (GCC builds the tree with the
+// macros erased; the CI `thread-safety` job builds with Clang and
+// -Werror=thread-safety, which is where the annotations become a hard
+// gate — see DESIGN.md, "Compile-time adversary").
+//
+// The vocabulary is the standard one from the Clang documentation:
+//
+//   CAPABILITY("mutex")   on a type T makes T a capability; GUARDED_BY(mu)
+//   on a member means every read/write must hold mu; REQUIRES(mu) on a
+//   function means callers must hold mu at entry (the `FooLocked()` helper
+//   convention); ACQUIRE/RELEASE annotate the functions that take and drop
+//   the capability (RAII guard types use SCOPED_CAPABILITY); EXCLUDES(mu)
+//   documents "must NOT hold mu" (self-deadlock fences on public entry
+//   points); ACQUIRED_BEFORE/AFTER declare the global lock hierarchy so
+//   the analysis can reject inversions.
+//
+// Use util::Mutex / util::MutexLock (util/mutex.h) rather than annotating
+// std::mutex directly: libstdc++'s mutex types carry no capability
+// attributes, so the analysis cannot see through std::lock_guard.
+
+#ifndef NELA_UTIL_THREAD_ANNOTATIONS_H_
+#define NELA_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define NELA_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define NELA_THREAD_ANNOTATION_IMPL(x)  // no-op outside Clang
+#endif
+
+// A type that models a lockable resource (mutexes, readers-writer locks).
+#define CAPABILITY(x) NELA_THREAD_ANNOTATION_IMPL(capability(x))
+
+// An RAII type whose lifetime holds a capability (lock guards).
+#define SCOPED_CAPABILITY NELA_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+// Data member: accessible only while holding the given capability.
+#define GUARDED_BY(x) NELA_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+// Pointer member: the *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) NELA_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+// Function precondition: the caller holds the capability (and, for the
+// SHARED form, at least a reader hold).
+#define REQUIRES(...) \
+  NELA_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NELA_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+// Function effect: acquires / releases the capability.
+#define ACQUIRE(...) \
+  NELA_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NELA_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  NELA_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NELA_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  NELA_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+
+// Function precondition: the caller must NOT hold the capability (guards
+// public entry points against self-deadlock via re-entry).
+#define EXCLUDES(...) NELA_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+// Global lock-ordering declarations; an acquisition that contradicts the
+// declared partial order is a -Wthread-safety-beta error.
+#define ACQUIRED_BEFORE(...) \
+  NELA_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  NELA_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+// Accessor returning a reference to the capability protecting *this, so
+// other classes can name it in their own annotations (cross-class
+// ACQUIRED_BEFORE relations need an expression for the foreign lock).
+#define RETURN_CAPABILITY(x) NELA_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+// Last resort: disables the analysis for one function. Every use must
+// carry a comment justifying why the analysis cannot see the invariant
+// (the ISSUE 10 acceptance bar forbids blanket escapes).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NELA_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+#endif  // NELA_UTIL_THREAD_ANNOTATIONS_H_

@@ -50,10 +50,10 @@ ThreadPool::ThreadPool(uint32_t thread_count) : thread_count_(thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -66,17 +66,20 @@ void ThreadPool::WorkerLoop(uint32_t worker) {
   for (;;) {
     const std::function<void(uint32_t)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stopping_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not the lambda-predicate wait overload):
+      // thread-safety analysis treats a predicate lambda as a separate
+      // function with no lock context, so the guarded reads below would
+      // be invisible to it.
+      while (!stopping_ && generation_ == seen) work_cv_.Wait(lock);
       if (stopping_) return;
       seen = generation_;
       task = task_;
     }
     (*task)(worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--outstanding_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--outstanding_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -88,15 +91,15 @@ void ThreadPool::RunOnAllThreads(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     task_ = &task;
     outstanding_ = thread_count_ - 1;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   task(0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) done_cv_.Wait(lock);
   task_ = nullptr;
 }
 

@@ -22,12 +22,13 @@
 #ifndef NELA_UTIL_THREAD_POOL_H_
 #define NELA_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nela::util {
 
@@ -126,18 +127,19 @@ class ThreadPool {
   uint64_t ChunkCount(uint64_t n, const ChunkOptions& options) const;
 
  private:
-  void WorkerLoop(uint32_t worker);
+  void WorkerLoop(uint32_t worker) EXCLUDES(mu_);
 
   const uint32_t thread_count_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait here for a dispatch
-  std::condition_variable done_cv_;   // the dispatcher waits here for workers
-  const std::function<void(uint32_t)>* task_ = nullptr;  // guarded by mu_
-  uint64_t generation_ = 0;   // bumped once per dispatch
-  uint32_t outstanding_ = 0;  // spawned workers still inside the task
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait here for a dispatch
+  CondVar done_cv_;  // the dispatcher waits here for workers
+  const std::function<void(uint32_t)>* task_ GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;   // bumped once per dispatch
+  // Spawned workers still inside the task.
+  uint32_t outstanding_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace nela::util

@@ -1,0 +1,185 @@
+// Tokenization tests for the nela_lint lexer (tools/nela_lint/lexer.h).
+// The taint pass is only as sound as its token stream, so the corners a
+// line-oriented scanner gets wrong are pinned here: raw strings hiding
+// fake tokens, block comments that look nested, digraphs, digit
+// separators, line continuations, and the `<::` maximal-munch exception.
+
+#include "nela_lint/lexer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nela::lint {
+namespace {
+
+std::vector<Token> CodeTokens(const std::string& text) {
+  std::vector<Token> out;
+  for (Token& token : Lex(text)) {
+    if (token.kind != TokenKind::kComment) out.push_back(std::move(token));
+  }
+  return out;
+}
+
+std::vector<std::string> Spellings(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const Token& token : tokens) out.push_back(token.text);
+  return out;
+}
+
+TEST(LintLexerTest, IdentifiersNumbersAndPunctuation) {
+  const auto tokens = CodeTokens("int x = a->b + 0x1F;");
+  ASSERT_EQ(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[3].text, "a");
+  EXPECT_EQ(tokens[4].text, "->");
+  EXPECT_EQ(tokens[7].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[7].text, "0x1F");
+}
+
+TEST(LintLexerTest, QualifiedNameIsThreeTokens) {
+  const auto tokens = CodeTokens("geo::Point p;");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(Spellings(tokens),
+            (std::vector<std::string>{"geo", "::", "Point", "p", ";"}));
+}
+
+TEST(LintLexerTest, LineNumbersAreOneBasedAndPerToken) {
+  const auto tokens = CodeTokens("a\nb\n\nc");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(LintLexerTest, RawStringContentsAreNotCode) {
+  // The payload of an R"(...)" must lex as ONE string token: the Send(
+  // and quote inside it must not open calls or literals.
+  const auto tokens =
+      CodeTokens("auto s = R\"(network.Send(\"x\", 1); // not code)\";");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "network.Send(\"x\", 1); // not code");
+}
+
+TEST(LintLexerTest, RawStringCustomDelimiterAndPrefixes) {
+  const auto tokens = CodeTokens("auto s = R\"ab()\" )ab\";");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, ")\" ");
+
+  // u8R etc. open raw strings; a plain identifier ending in R does not.
+  const auto prefixed = CodeTokens("auto t = u8R\"(x)\";");
+  ASSERT_EQ(prefixed.size(), 5u);
+  EXPECT_EQ(prefixed[3].kind, TokenKind::kString);
+  const auto not_prefix = CodeTokens("CHECKR\"(y)\"");
+  // CHECKR is not a raw-string prefix: identifier, then a plain string.
+  ASSERT_GE(not_prefix.size(), 2u);
+  EXPECT_EQ(not_prefix[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(not_prefix[0].text, "CHECKR");
+}
+
+TEST(LintLexerTest, BlockCommentsDoNotNest) {
+  // Per the language, the first */ ends the comment; the second */ is code
+  // (a * and / token), and `b` is real code after it.
+  const auto tokens = CodeTokens("a /* x /* y */ b */ c");
+  const auto spellings = Spellings(tokens);
+  ASSERT_GE(spellings.size(), 2u);
+  EXPECT_EQ(spellings[0], "a");
+  EXPECT_EQ(spellings[1], "b");
+}
+
+TEST(LintLexerTest, CommentsAreSeparateTokens) {
+  const auto all = Lex("x // trailing note\n/* block\nnote */ y");
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[1].kind, TokenKind::kComment);
+  EXPECT_EQ(all[1].text, " trailing note");
+  EXPECT_EQ(all[2].kind, TokenKind::kComment);
+  EXPECT_EQ(all[2].line, 2);
+  EXPECT_EQ(all[3].text, "y");
+  EXPECT_EQ(all[3].line, 3);
+}
+
+TEST(LintLexerTest, DigraphsNormalizeToPrimarySpellings) {
+  const auto tokens = CodeTokens("<% %> <: :> %: %:%:");
+  EXPECT_EQ(Spellings(tokens),
+            (std::vector<std::string>{"{", "}", "[", "]", "#", "##"}));
+}
+
+TEST(LintLexerTest, TemplateScopeIsNotADigraph) {
+  // Foo<::Bar> must lex as < :: , not as the <: digraph eating the colon.
+  const auto tokens = CodeTokens("Foo<::Bar>");
+  EXPECT_EQ(Spellings(tokens),
+            (std::vector<std::string>{"Foo", "<", "::", "Bar", ">"}));
+}
+
+TEST(LintLexerTest, DigitSeparatorsStayOneNumber) {
+  const auto tokens = CodeTokens("x = 1'000'000;");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[2].text, "1'000'000");
+  // And the quote after a number must not open a char literal that
+  // swallows the rest of the line.
+  EXPECT_EQ(tokens[3].text, ";");
+}
+
+TEST(LintLexerTest, NumbersWithExponentsAndDots) {
+  const auto tokens = CodeTokens("a = 1.5e-3 + .25 + 0x1p+4;");
+  std::vector<std::string> numbers;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kNumber) numbers.push_back(token.text);
+  }
+  EXPECT_EQ(numbers,
+            (std::vector<std::string>{"1.5e-3", ".25", "0x1p+4"}));
+}
+
+TEST(LintLexerTest, LineContinuationSplicesButKeepsLineNumbers) {
+  // `ta\<newline>int` is one identifier starting on line 1; the next token
+  // reports line 2.
+  const auto tokens = CodeTokens("ta\\\nint x;");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "taint");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[1].line, 2);
+}
+
+TEST(LintLexerTest, StringEscapesDoNotEndTheLiteral) {
+  const auto tokens = CodeTokens("s = \"a\\\"b\"; c");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "a\\\"b");
+  EXPECT_EQ(tokens[4].text, "c");
+}
+
+TEST(LintLexerTest, CharLiteralsAndEscapes) {
+  const auto tokens = CodeTokens("c = '\\''; d = 'x';");
+  std::vector<std::string> chars;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kCharLiteral) chars.push_back(token.text);
+  }
+  EXPECT_EQ(chars, (std::vector<std::string>{"\\'", "x"}));
+}
+
+TEST(LintLexerTest, MultiCharOperatorsUseMaximalMunch) {
+  const auto tokens = CodeTokens("a <<= b >>= c ... d ->* e .* f");
+  std::vector<std::string> ops;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kPunct) ops.push_back(token.text);
+  }
+  EXPECT_EQ(ops,
+            (std::vector<std::string>{"<<=", ">>=", "...", "->*", ".*"}));
+}
+
+TEST(LintLexerTest, UnterminatedConstructsLexToEndOfFile) {
+  // Malformed input must produce a best-effort token, never hang or throw.
+  EXPECT_EQ(Lex("/* open").size(), 1u);
+  EXPECT_EQ(Lex("\"open").size(), 1u);
+  EXPECT_EQ(Lex("R\"(open").size(), 1u);
+}
+
+}  // namespace
+}  // namespace nela::lint

@@ -1,0 +1,351 @@
+// Flow-tracking tests for the coordinate-taint pass
+// (tools/nela_lint/taint.h): per-function source seeding, propagation
+// through locals and members, producer-helper returns, each sink, the
+// sanctioned flows, and — mirroring the runtime verifier's mutation tests
+// — seeded mutants of *real in-tree sources*: textually re-introducing
+// the leaks the pass exists to forbid must produce findings, while the
+// committed sources stay clean.
+
+#include "nela_lint/taint.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nela_lint/lint.h"
+
+namespace nela::lint {
+namespace {
+
+#ifndef NELA_LINT_SOURCE_DIR
+#error "build must define NELA_LINT_SOURCE_DIR"
+#endif
+
+std::string ReadSource(const std::string& rel) {
+  const std::string path = std::string(NELA_LINT_SOURCE_DIR) + "/" + rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing source " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+size_t Count(const std::vector<TaintFinding>& findings) {
+  return findings.size();
+}
+
+// --- source seeding and propagation --------------------------------------
+
+TEST(TaintFlowTest, PointParameterTaintsKControlValue) {
+  const auto findings = RunCoordinateTaint(
+      "void f(net::Network& n, const geo::Point& own) {\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, own.x);\n"
+      "}\n");
+  ASSERT_EQ(Count(findings), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(TaintFlowTest, TaintFlowsThroughALocalDouble) {
+  const auto findings = RunCoordinateTaint(
+      "void f(const geo::Point& own) {\n"
+      "  const double innocuous = own.y;\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, innocuous);\n"
+      "}\n");
+  ASSERT_EQ(Count(findings), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(TaintFlowTest, TaintFlowsThroughReassignmentChains) {
+  const auto findings = RunCoordinateTaint(
+      "void f(const geo::Point& own) {\n"
+      "  double a = own.x;\n"
+      "  double b = 0.0;\n"
+      "  b = a * 2.0 + 1.0;\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, b);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 1u);
+}
+
+TEST(TaintFlowTest, PointLocalDeclarationsAreSources) {
+  const auto findings = RunCoordinateTaint(
+      "void f(const data::Dataset& d) {\n"
+      "  const geo::Point& own = d.point(0);\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, own.x);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 1u);
+}
+
+TEST(TaintFlowTest, PrivateScalarIsASource) {
+  const auto findings = RunCoordinateTaint(
+      "void f(const std::vector<PrivateScalar>& secrets) {\n"
+      "  const double exposed = secrets[0].ExposeForOptBaseline();\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, exposed);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 1u);
+}
+
+TEST(TaintFlowTest, RangeForOverPointsTaintsTheLoopVariable) {
+  const auto findings = RunCoordinateTaint(
+      "void f(const std::vector<geo::Point>& pts) {\n"
+      "  for (const geo::Point& p : pts) {\n"
+      "    net::Message m;\n"
+      "    m.payload.Add(net::FieldTag::kControl, 0, p.x);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 1u);
+}
+
+TEST(TaintFlowTest, SameFilePointProducerTaintsItsCallers) {
+  const auto findings = RunCoordinateTaint(
+      "geo::Point Centroid(const std::vector<geo::Point>& pts) {\n"
+      "  return pts[0];\n"
+      "}\n"
+      "void g(const std::vector<geo::Point>& pts) {\n"
+      "  const double cx = Centroid(pts).x;\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, cx);\n"
+      "}\n");
+  ASSERT_EQ(Count(findings), 1u);
+  EXPECT_EQ(findings[0].line, 7);
+}
+
+TEST(TaintFlowTest, TaintDoesNotLeakAcrossFunctions) {
+  // `value` is tainted in f but a fresh, clean name in g.
+  const auto findings = RunCoordinateTaint(
+      "void f(const geo::Point& own) {\n"
+      "  double value = own.x;\n"
+      "  (void)value;\n"
+      "}\n"
+      "void g(double value) {\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, value);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 0u);
+}
+
+TEST(TaintFlowTest, LambdasShareTheEnclosingTaintMap) {
+  const auto findings = RunCoordinateTaint(
+      "void f(net::Network& n, const geo::Point& own) {\n"
+      "  auto send = [&](double v) {\n"
+      "    net::Message m;\n"
+      "    m.payload.Add(net::FieldTag::kControl, 0, own.y);\n"
+      "  };\n"
+      "  send(0.0);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 1u);
+}
+
+// --- sinks ----------------------------------------------------------------
+
+TEST(TaintSinkTest, MessageFieldWriteIsASink) {
+  const auto findings = RunCoordinateTaint(
+      "void f(const geo::Point& own) {\n"
+      "  net::Message m;\n"
+      "  m.bytes = static_cast<uint64_t>(own.x);\n"
+      "}\n");
+  ASSERT_EQ(Count(findings), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(TaintSinkTest, PositionalSendArgumentIsASink) {
+  const auto findings = RunCoordinateTaint(
+      "void f(net::Network& n, const geo::Point& own) {\n"
+      "  n.Send(0, 1, net::MessageKind::kControl,\n"
+      "         static_cast<uint64_t>(own.x));\n"
+      "}\n");
+  ASSERT_EQ(Count(findings), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(TaintSinkTest, SendWithRetryArgumentsAreSinks) {
+  const auto findings = RunCoordinateTaint(
+      "void f(net::Network& n, util::Rng* rng, const geo::Point& own) {\n"
+      "  net::BackoffPolicy policy;\n"
+      "  net::SendWithRetry(n, 0, 1, net::MessageKind::kControl,\n"
+      "                     static_cast<uint64_t>(own.y), policy, rng);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 1u);
+}
+
+TEST(TaintSinkTest, NonLiteralTagWithTaintedValueIsASink) {
+  const auto findings = RunCoordinateTaint(
+      "void f(net::FieldTag tag, const geo::Point& own) {\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(tag, 0, own.x);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 1u);
+}
+
+TEST(TaintSinkTest, UndeclaredRawCoordinateFiresEvenUntainted) {
+  // kRawCoordinate is exposure by definition: the tag alone demands a
+  // declared channel, whatever the pass thinks of the value.
+  const auto findings = RunCoordinateTaint(
+      "void f(double v) {\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kRawCoordinate, 0, v);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 1u);
+}
+
+// --- sanctioned flows -----------------------------------------------------
+
+TEST(TaintPolicyTest, TypedTagsSanctionTaintedValues) {
+  const auto findings = RunCoordinateTaint(
+      "void f(const geo::Point& probe) {\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kNoisedCoordinate, 0, probe.x);\n"
+      "  m.payload.Add(net::FieldTag::kCandidateLocation, 0, probe.y);\n"
+      "  m.payload.Add(net::FieldTag::kCloakedRegion, 0, probe.x);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 0u);
+}
+
+TEST(TaintPolicyTest, DeclareExposureSanctionsRawCoordinate) {
+  const auto same_line = RunCoordinateTaint(
+      "void f(const geo::Point& own) {\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kRawCoordinate, 0, own.x);"
+      "  // nela-lint: declare-exposure(test-upload)\n"
+      "}\n");
+  EXPECT_EQ(Count(same_line), 0u);
+
+  const auto prev_line = RunCoordinateTaint(
+      "void f(const geo::Point& own) {\n"
+      "  net::Message m;\n"
+      "  // nela-lint: declare-exposure(test-upload)\n"
+      "  m.payload.Add(net::FieldTag::kRawCoordinate, 0, own.x);\n"
+      "}\n");
+  EXPECT_EQ(Count(prev_line), 0u);
+}
+
+TEST(TaintPolicyTest, DeclareExposureSanctionsFieldWritesNotSmuggling) {
+  // A declared side channel (the LBS reply-size shape) passes...
+  const auto declared = RunCoordinateTaint(
+      "void f(const geo::Point& probe, const lbs::Db& db) {\n"
+      "  uint64_t count = db.CountInDisc(probe, 0.1);\n"
+      "  net::Message m;\n"
+      "  // nela-lint: declare-exposure(reply-size)\n"
+      "  m.bytes = count * 64;\n"
+      "}\n");
+  EXPECT_EQ(Count(declared), 0u);
+  // ...but declare-exposure does NOT whitewash a kControl smuggle: the fix
+  // there is a proper tag, not a channel note.
+  const auto smuggle = RunCoordinateTaint(
+      "void f(const geo::Point& own) {\n"
+      "  net::Message m;\n"
+      "  // nela-lint: declare-exposure(nice-try)\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, own.x);\n"
+      "}\n");
+  EXPECT_EQ(Count(smuggle), 1u);
+}
+
+TEST(TaintPolicyTest, UntaintedValuesFlowFreely) {
+  const auto findings = RunCoordinateTaint(
+      "void f(net::Network& n, const geo::Rect& region) {\n"
+      "  net::Message m;\n"
+      "  m.bytes = 32;\n"
+      "  m.payload.Add(net::FieldTag::kCloakedRegion, 0, region.min_x());\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, 1.0);\n"
+      "  n.Send(m);\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 0u);
+}
+
+TEST(TaintPolicyTest, CoordinatesInCommentsAndStringsAreNotFlows) {
+  const auto findings = RunCoordinateTaint(
+      "void f(const geo::Point& own) {\n"
+      "  // m.payload.Add(net::FieldTag::kControl, 0, own.x) in a comment\n"
+      "  const char* doc = \"payload.Add(net::FieldTag::kControl, 0, "
+      "own.x)\";\n"
+      "  (void)doc;\n"
+      "}\n");
+  EXPECT_EQ(Count(findings), 0u);
+}
+
+// --- seeded mutants of real in-tree sources -------------------------------
+//
+// The PR 3 / PR 8 methodology, applied to the static pass: mutate the
+// committed source the way a leak would, and require the pass to catch
+// exactly the mutation. The unmutated file must stay clean, so the test
+// fails loudly if the honest tree ever drifts into (or out of) the
+// sanctioned shapes.
+
+TEST(TaintSeededMutantTest, GeoIndRetaggedToControlIsCaught) {
+  const std::string original = ReadSource("src/mechanisms/geo_ind.cc");
+  ASSERT_TRUE(RunCoordinateTaint(original).empty())
+      << "committed geo_ind.cc must be taint-clean";
+  // The mutation: stop declaring the noised probe as noised — ship it as
+  // untyped control data the observer cannot attribute.
+  const std::string needle = "net::FieldTag::kNoisedCoordinate";
+  ASSERT_NE(original.find(needle), std::string::npos);
+  std::string mutated = original;
+  size_t pos = 0;
+  while ((pos = mutated.find(needle, pos)) != std::string::npos) {
+    mutated.replace(pos, needle.size(), "net::FieldTag::kControl");
+  }
+  const auto findings = RunCoordinateTaint(mutated);
+  EXPECT_GE(findings.size(), 2u)
+      << "both probe axes must be caught leaving through kControl";
+}
+
+TEST(TaintSeededMutantTest, GridCloakUndeclaredUploadIsCaught) {
+  const std::string original = ReadSource("src/mechanisms/grid_cloak.cc");
+  ASSERT_TRUE(RunCoordinateTaint(original).empty())
+      << "committed grid_cloak.cc must be taint-clean";
+  // The mutation: delete the declare-exposure channel notes; the raw
+  // upload is then an undeclared exposure.
+  const std::string marker = "nela-lint: declare-exposure(";
+  ASSERT_NE(original.find(marker), std::string::npos);
+  std::string mutated = original;
+  size_t pos = 0;
+  while ((pos = mutated.find(marker, pos)) != std::string::npos) {
+    mutated.replace(pos, marker.size(), "channel-note-removed(");
+  }
+  const auto findings = RunCoordinateTaint(mutated);
+  EXPECT_GE(findings.size(), 2u)
+      << "both upload axes must demand a declared channel";
+}
+
+TEST(TaintSeededMutantTest, ProtocolOptExposureSmuggledThroughBytes) {
+  const std::string original = ReadSource("src/bounding/protocol.cc");
+  ASSERT_TRUE(RunCoordinateTaint(original).empty())
+      << "committed protocol.cc must be taint-clean";
+  // The mutation: leak the exposed comparator value through the message
+  // byte count instead of (alongside) the declared tagged field.
+  const std::string needle = "message.bytes = 8;";
+  ASSERT_NE(original.find(needle), std::string::npos);
+  std::string mutated = original;
+  mutated.replace(mutated.find(needle), needle.size(),
+                  "message.bytes = static_cast<uint64_t>(exposed);");
+  const auto findings = RunCoordinateTaint(mutated);
+  EXPECT_EQ(findings.size(), 1u)
+      << "the byte-count smuggle must be the one new finding";
+}
+
+// The full-rule integration (scope + allow-suppression via lint.cc) over
+// the same seeded mutant, closing the loop with the LintFile entry point
+// the tree gate uses.
+TEST(TaintSeededMutantTest, LintFileReportsCoordinateTaintRule) {
+  const std::string original = ReadSource("src/mechanisms/geo_ind.cc");
+  std::string mutated = original;
+  const std::string needle = "net::FieldTag::kNoisedCoordinate";
+  mutated.replace(mutated.find(needle), needle.size(),
+                  "net::FieldTag::kControl");
+  const std::vector<Finding> findings =
+      LintFile("src/mechanisms/geo_ind.cc", mutated);
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "coordinate-taint");
+  }
+}
+
+}  // namespace
+}  // namespace nela::lint

@@ -8,6 +8,7 @@
 #include "nela_lint/lint.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -15,6 +16,8 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "nela_lint/lexer.h"
 
 namespace nela::lint {
 namespace {
@@ -73,7 +76,10 @@ INSTANTIATE_TEST_SUITE_P(
                       FixtureCase{"bad_untagged_send.cc", "untagged-send"},
                       FixtureCase{"bad_bare_todo.cc", "bare-todo"},
                       FixtureCase{"bad_raw_file_io.cc", "raw-file-io"},
-                      FixtureCase{"bad_shard_path.cc", "shard-path"}),
+                      FixtureCase{"bad_shard_path.cc", "shard-path"},
+                      FixtureCase{"bad_raw_lock.cc", "raw-lock"},
+                      FixtureCase{"bad_coordinate_taint.cc",
+                                  "coordinate-taint"}),
     [](const ::testing::TestParamInfo<FixtureCase>& param_info) {
       std::string name = param_info.param.rule;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -87,7 +93,8 @@ TEST(LintFixtureTest, EveryRuleHasAFixture) {
        {FixtureCase{"", "raw-random"}, FixtureCase{"", "raw-time"},
         FixtureCase{"", "raw-thread"}, FixtureCase{"", "stdout-io"},
         FixtureCase{"", "untagged-send"}, FixtureCase{"", "bare-todo"},
-        FixtureCase{"", "raw-file-io"}, FixtureCase{"", "shard-path"}}) {
+        FixtureCase{"", "raw-file-io"}, FixtureCase{"", "shard-path"},
+        FixtureCase{"", "raw-lock"}, FixtureCase{"", "coordinate-taint"}}) {
     covered.insert(c.rule);
   }
   for (const std::string& rule : RuleNames()) {
@@ -187,6 +194,52 @@ TEST(LintScopingTest, NetInternalsAreExemptFromSendRule) {
   EXPECT_FALSE(LintFile("src/cluster/registry.cc", body).empty());
 }
 
+TEST(LintScopingTest, RawLockIsTreeWideWithNoHomeDirectory) {
+  const std::string body = "void f(std::mutex& mu) { mu.lock(); }\n";
+  EXPECT_FALSE(LintFile("src/cluster/registry.cc", body).empty());
+  EXPECT_FALSE(LintFile("tests/some_test.cc", body).empty());
+  EXPECT_FALSE(LintFile("bench/bench_micro.cc", body).empty());
+  // Even the RAII home's path grants nothing: util/mutex.h passes only via
+  // its per-line, justified allow comments.
+  EXPECT_FALSE(LintFile("src/util/mutex.h", body).empty());
+  const std::string allowed =
+      "void f(std::mutex& mu) { mu.lock(); }"
+      "  // nela-lint: allow(raw-lock) RAII home\n";
+  EXPECT_TRUE(LintFile("src/util/mutex.h", allowed).empty());
+}
+
+TEST(LintScopingTest, RawLockFlagsEachManipulation) {
+  // lock(), unlock(), try_lock(), ->unlock(): one finding per line.
+  const std::vector<Finding> findings = LintAsLibrary("bad_raw_lock.cc");
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(LintScopingTest, CoordinateTaintFlagsEachMutant) {
+  // Local-laundered kControl, helper-to-field-write, undeclared
+  // kRawCoordinate, non-literal tag: one finding per mutant, each on its
+  // own line.
+  const std::vector<Finding> findings =
+      LintAsLibrary("bad_coordinate_taint.cc");
+  EXPECT_EQ(findings.size(), 4u);
+  std::set<int> lines;
+  for (const Finding& finding : findings) lines.insert(finding.line);
+  EXPECT_EQ(lines.size(), 4u);
+}
+
+TEST(LintScopingTest, CoordinateTaintIsLibraryScopedLikeUntaggedSend) {
+  const std::string body =
+      "void f(net::Network& n, const geo::Point& own) {\n"
+      "  net::Message m;\n"
+      "  m.payload.Add(net::FieldTag::kControl, 0, own.x);\n"
+      "  n.Send(m);\n"
+      "}\n";
+  EXPECT_FALSE(LintFile("src/mechanisms/geo_ind.cc", body).empty());
+  // Net internals move bytes, not coordinates; tests/tools are out of the
+  // library scope entirely.
+  EXPECT_TRUE(LintFile("src/net/network.cc", body).empty());
+  EXPECT_TRUE(LintFile("tests/some_test.cc", body).empty());
+}
+
 TEST(LintSuppressionTest, SameLineAndPreviousLineAllowMarkers) {
   const std::string same_line =
       "int f() { return rand(); }  // nela-lint: allow(raw-random) seeded "
@@ -223,6 +276,56 @@ TEST(LintMatchingTest, MultiLineArgumentListsAreBalanced) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "untagged-send");
   EXPECT_EQ(findings[0].line, 2);
+}
+
+// IWYU-style header hygiene for util/thread_annotations.h: any file whose
+// *code* (not comments or strings -- the lexer decides) uses a capability
+// macro must include util/thread_annotations.h directly, or util/mutex.h
+// which is documented to re-export it. Tree-wide misc-include-cleaner is
+// disabled in .clang-tidy (see its comment block); this pins the one
+// include relation the thread-safety layer depends on.
+TEST(ThreadAnnotationHygieneTest, MacroUsersIncludeTheHeaderDirectly) {
+  const std::set<std::string> kMacros = {
+      "CAPABILITY",      "SCOPED_CAPABILITY", "GUARDED_BY",
+      "PT_GUARDED_BY",   "ACQUIRED_BEFORE",   "ACQUIRED_AFTER",
+      "REQUIRES",        "REQUIRES_SHARED",   "ACQUIRE",
+      "ACQUIRE_SHARED",  "RELEASE",           "RELEASE_SHARED",
+      "TRY_ACQUIRE",     "EXCLUDES",          "ASSERT_CAPABILITY",
+      "RETURN_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS"};
+  const std::string root = NELA_LINT_SOURCE_DIR;
+  std::vector<std::string> missing;
+  for (const std::string& dir : {std::string("src"), std::string("tools")}) {
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(
+             root + "/" + dir)) {
+      const std::string path = entry.path().string();
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      if (path.find("thread_annotations.h") != std::string::npos) continue;
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string contents = buffer.str();
+      bool uses_macro = false;
+      for (const Token& token : Lex(contents)) {
+        if (token.kind == TokenKind::kIdentifier &&
+            kMacros.count(token.text) != 0) {
+          uses_macro = true;
+          break;
+        }
+      }
+      if (!uses_macro) continue;
+      if (contents.find("#include \"util/thread_annotations.h\"") ==
+              std::string::npos &&
+          contents.find("#include \"util/mutex.h\"") == std::string::npos) {
+        missing.push_back(path);
+      }
+    }
+  }
+  EXPECT_TRUE(missing.empty())
+      << missing.size() << " file(s) use capability macros without a direct "
+      << "include of util/thread_annotations.h or util/mutex.h, first: "
+      << missing.front();
 }
 
 TEST(LintMatchingTest, CompileCommandsFileListIsExtracted) {

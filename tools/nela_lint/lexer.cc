@@ -1,0 +1,318 @@
+#include "nela_lint/lexer.h"
+
+#include <cctype>
+
+namespace nela::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Phase 1: delete backslash-newline splices and record the physical line of
+// every surviving character, so tokens report where they *started* even
+// when spelled across a continuation.
+//
+// Known simplification: splices inside raw-string literals are removed too
+// (a conforming lexer keeps them). No source in this tree puts a
+// backslash-newline inside a raw string, and a lint pass that occasionally
+// joins one is strictly better than one that mis-lexes every continuation.
+struct SplicedSource {
+  std::string text;
+  std::vector<int> line_of;  // line_of[i] = physical line of text[i]
+};
+
+SplicedSource Splice(const std::string& raw) {
+  SplicedSource out;
+  out.text.reserve(raw.size());
+  out.line_of.reserve(raw.size());
+  int line = 1;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '\\' && i + 1 < raw.size() && raw[i + 1] == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '\\' && i + 2 < raw.size() && raw[i + 1] == '\r' &&
+        raw[i + 2] == '\n') {
+      ++line;
+      i += 2;
+      continue;
+    }
+    out.text.push_back(c);
+    out.line_of.push_back(line);
+    if (c == '\n') ++line;
+  }
+  return out;
+}
+
+// String/char-literal prefixes. u8R etc. open raw strings; L/u/U/u8 open
+// ordinary literals.
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+bool IsLiteralPrefix(const std::string& ident) {
+  return ident == "L" || ident == "u" || ident == "U" || ident == "u8";
+}
+
+// Multi-character operators, longest first so maximal munch falls out of
+// ordered matching. Digraphs carry their normalized spelling.
+struct Operator {
+  const char* spelling;
+  const char* normalized;
+};
+
+constexpr Operator kOperators[] = {
+    {"%:%:", "##"},
+    {"<<=", "<<="}, {">>=", ">>="}, {"...", "..."}, {"->*", "->*"},
+    {"::", "::"}, {"->", "->"}, {"<<", "<<"}, {">>", ">>"}, {"<=", "<="},
+    {">=", ">="}, {"==", "=="}, {"!=", "!="}, {"&&", "&&"}, {"||", "||"},
+    {"++", "++"}, {"--", "--"}, {"+=", "+="}, {"-=", "-="}, {"*=", "*="},
+    {"/=", "/="}, {"%=", "%="}, {"&=", "&="}, {"|=", "|="}, {"^=", "^="},
+    {".*", ".*"}, {"##", "##"},
+    {"<%", "{"}, {"%>", "}"}, {"<:", "["}, {":>", "]"}, {"%:", "#"},
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& raw) : src_(Splice(raw)) {}
+
+  std::vector<Token> Run() {
+    const std::string& s = src_.text;
+    const size_t n = s.size();
+    while (pos_ < n) {
+      const char c = s[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < n && s[pos_ + 1] == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < n && s[pos_ + 1] == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifierOrPrefixedLiteral();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && pos_ + 1 < n && IsDigit(s[pos_ + 1]))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral(pos_);
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  int LineAt(size_t pos) const {
+    if (src_.line_of.empty()) return 1;
+    if (pos >= src_.line_of.size()) return src_.line_of.back();
+    return src_.line_of[pos];
+  }
+
+  void Emit(TokenKind kind, std::string text, size_t start_pos) {
+    tokens_.push_back(Token{kind, std::move(text), LineAt(start_pos)});
+  }
+
+  void LexLineComment() {
+    const size_t start = pos_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.text.size() && src_.text[pos_] != '\n') {
+      text += src_.text[pos_++];
+    }
+    Emit(TokenKind::kComment, std::move(text), start);
+  }
+
+  void LexBlockComment() {
+    const size_t start = pos_;
+    pos_ += 2;
+    std::string text;
+    // Block comments do not nest: the first */ ends the comment even when
+    // another /* appeared inside it.
+    while (pos_ < src_.text.size()) {
+      if (src_.text[pos_] == '*' && pos_ + 1 < src_.text.size() &&
+          src_.text[pos_ + 1] == '/') {
+        pos_ += 2;
+        Emit(TokenKind::kComment, std::move(text), start);
+        return;
+      }
+      text += src_.text[pos_++];
+    }
+    Emit(TokenKind::kComment, std::move(text), start);  // unterminated
+  }
+
+  void LexIdentifierOrPrefixedLiteral() {
+    const size_t start = pos_;
+    std::string ident;
+    while (pos_ < src_.text.size() && IsIdentChar(src_.text[pos_])) {
+      ident += src_.text[pos_++];
+    }
+    if (pos_ < src_.text.size() && src_.text[pos_] == '"') {
+      if (IsRawStringPrefix(ident)) {
+        LexRawString(start);
+        return;
+      }
+      if (IsLiteralPrefix(ident)) {
+        LexString(start);
+        return;
+      }
+    }
+    if (pos_ < src_.text.size() && src_.text[pos_] == '\'' &&
+        IsLiteralPrefix(ident)) {
+      LexCharLiteral(start);
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(ident), start);
+  }
+
+  // pp-number: digits, identifier chars, '.', digit separators, and signed
+  // exponents (1e+9, 0x1p-3). Broader than any single literal grammar,
+  // exactly like the preprocessor's own token.
+  void LexNumber() {
+    const size_t start = pos_;
+    const std::string& s = src_.text;
+    std::string text;
+    while (pos_ < s.size()) {
+      const char c = s[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        text += c;
+        ++pos_;
+        continue;
+      }
+      if (c == '\'' && pos_ + 1 < s.size() && IsIdentChar(s[pos_ + 1]) &&
+          !text.empty()) {
+        text += c;  // digit separator
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text += c;
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(text), start);
+  }
+
+  // `start_pos` is where the token began (the prefix, for L"..."); pos_ is
+  // at the opening quote.
+  void LexString(size_t start_pos) {
+    const std::string& s = src_.text;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < s.size() && s[pos_] != '"') {
+      if (s[pos_] == '\\' && pos_ + 1 < s.size()) {
+        text += s[pos_];
+        text += s[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      text += s[pos_++];
+    }
+    if (pos_ < s.size()) ++pos_;  // closing quote
+    Emit(TokenKind::kString, std::move(text), start_pos);
+  }
+
+  void LexCharLiteral(size_t start_pos) {
+    const std::string& s = src_.text;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < s.size() && s[pos_] != '\'') {
+      if (s[pos_] == '\\' && pos_ + 1 < s.size()) {
+        text += s[pos_];
+        text += s[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      text += s[pos_++];
+    }
+    if (pos_ < s.size()) ++pos_;  // closing quote
+    Emit(TokenKind::kCharLiteral, std::move(text), start_pos);
+  }
+
+  // R"delim( ... )delim" -- no escapes, terminated only by the exact
+  // )delim" sequence.
+  void LexRawString(size_t start_pos) {
+    const std::string& s = src_.text;
+    ++pos_;  // opening quote
+    std::string terminator = ")";
+    while (pos_ < s.size() && s[pos_] != '(') terminator += s[pos_++];
+    terminator += '"';
+    if (pos_ < s.size()) ++pos_;  // opening '('
+    std::string text;
+    while (pos_ < s.size()) {
+      if (s[pos_] == ')' &&
+          s.compare(pos_, terminator.size(), terminator) == 0) {
+        pos_ += terminator.size();
+        Emit(TokenKind::kString, std::move(text), start_pos);
+        return;
+      }
+      text += s[pos_++];
+    }
+    Emit(TokenKind::kString, std::move(text), start_pos);  // unterminated
+  }
+
+  void LexPunct() {
+    const std::string& s = src_.text;
+    const size_t start = pos_;
+    // Maximal-munch exception: "<::" where the next character is neither
+    // ':' nor '>' lexes as "<" "::", not the "<:" digraph -- otherwise
+    // Foo<::Bar> would open a square bracket.
+    if (s.compare(pos_, 2, "<:") == 0 && pos_ + 2 < s.size() &&
+        s[pos_ + 2] == ':' &&
+        (pos_ + 3 >= s.size() ||
+         (s[pos_ + 3] != ':' && s[pos_ + 3] != '>'))) {
+      ++pos_;
+      Emit(TokenKind::kPunct, "<", start);
+      return;
+    }
+    for (const Operator& op : kOperators) {
+      const size_t len = std::char_traits<char>::length(op.spelling);
+      if (s.compare(pos_, len, op.spelling) == 0) {
+        pos_ += len;
+        Emit(TokenKind::kPunct, op.normalized, start);
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, std::string(1, s[pos_]), start);
+    ++pos_;
+  }
+
+  SplicedSource src_;
+  size_t pos_ = 0;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& text) { return Lexer(text).Run(); }
+
+}  // namespace nela::lint

@@ -1,0 +1,51 @@
+// Minimal C++ lexer for the nela_lint taint pass.
+//
+// The line-oriented SplitSource pass in lint.cc is enough for the
+// identifier-grep rules, but the coordinate-taint pass needs real tokens:
+// it must see `geo::Point` as three tokens, follow an identifier through an
+// initializer, and split argument lists -- none of which survive a string
+// scan of raw lines. This lexer produces just enough structure for that:
+// identifiers, preprocessing numbers, string/char literals, comments, and
+// punctuation, each stamped with the physical line it started on.
+//
+// Deliberately NOT a conforming phase-3 lexer. The corners that matter for
+// linting real sources are handled -- raw strings (so a `payload.Add(` in
+// an R"(...)" never looks like code), non-nested block comments, line
+// continuations, digit separators, digraphs, and the `<::` maximal-munch
+// special case -- while preprocessing semantics (macro expansion, #if
+// arms) are out of scope: the pass lints the file the human reads, not the
+// translation unit the compiler sees.
+
+#ifndef NELA_TOOLS_NELA_LINT_LEXER_H_
+#define NELA_TOOLS_NELA_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace nela::lint {
+
+enum class TokenKind {
+  kIdentifier,   // keywords included; the taint pass tells them apart
+  kNumber,       // pp-number: 1, 0xFF, 1'000'000, 1.5e-3, .25
+  kString,       // text = contents without quotes (escapes kept verbatim)
+  kCharLiteral,  // text = contents without quotes
+  kComment,      // text = contents without the // or /* */ markers
+  kPunct,        // text = the operator; digraphs normalized ({ } [ ] # ##)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  // 1-based physical source line of the token's first character (after
+  // line-continuation splicing, a token spelled across a backslash-newline
+  // reports the line it started on).
+  int line = 1;
+};
+
+// Tokenizes `text`. Never fails: malformed input (unterminated literals or
+// comments) lexes to a best-effort token ending at end-of-file.
+std::vector<Token> Lex(const std::string& text);
+
+}  // namespace nela::lint
+
+#endif  // NELA_TOOLS_NELA_LINT_LEXER_H_

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "nela_lint/taint.h"
+
 namespace nela::lint {
 namespace {
 
@@ -228,7 +230,8 @@ FileScope ClassifyPath(const std::string& path) {
 class FileLinter {
  public:
   FileLinter(const std::string& path, const std::string& contents)
-      : path_(path), scope_(ClassifyPath(path)), src_(SplitSource(contents)) {}
+      : path_(path), contents_(contents), scope_(ClassifyPath(path)),
+        src_(SplitSource(contents)) {}
 
   std::vector<Finding> Run() {
     if (!scope_.is_rng_home) CheckRawRandom();
@@ -238,6 +241,8 @@ class FileLinter {
     if (scope_.is_library && !scope_.is_net_internal) CheckUntaggedSend();
     if (scope_.is_library && !scope_.is_file_io_home) CheckRawFileIo();
     if (!scope_.is_shard_layout_home) CheckShardPath();
+    CheckRawLock();
+    if (scope_.is_library && !scope_.is_net_internal) CheckCoordinateTaint();
     CheckBareTodo();
     return std::move(findings_);
   }
@@ -527,6 +532,50 @@ class FileLinter {
     }
   }
 
+  // Bare mutex manipulation (DESIGN.md "Compile-time adversary"): every
+  // lock in this tree is a util::Mutex taken through the annotated
+  // util::MutexLock guard, which is what lets Clang's thread-safety
+  // analysis prove GUARDED_BY coverage. A bare .lock()/.unlock() pair is
+  // invisible to that analysis and leaks on early return; the only
+  // justified sites are inside util/mutex.h itself (the RAII home), which
+  // carries per-line allows. Tree-wide: tests and tools hold the same
+  // locks the library does.
+  void CheckRawLock() {
+    const char* kMessage =
+        "bare mutex lock/unlock call; take locks through the annotated "
+        "util::MutexLock RAII guard (src/util/mutex.h) so thread-safety "
+        "analysis sees the critical section";
+    for (size_t l = 0; l < src_.code.size(); ++l) {
+      const std::string& line = src_.code[l];
+      bool flagged = false;
+      for (const char* ident : {"lock", "unlock", "try_lock"}) {
+        for (size_t pos = FindIdent(line, ident); pos != std::string::npos;
+             pos = FindIdent(line, ident, pos + 1)) {
+          const bool member_call =
+              (pos >= 1 && line[pos - 1] == '.') ||
+              (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>');
+          if (member_call &&
+              NextNonSpaceIs(line, pos + std::string(ident).size(), '(')) {
+            Report("raw-lock", l, kMessage);
+            flagged = true;
+            break;
+          }
+        }
+        if (flagged) break;
+      }
+    }
+  }
+
+  // The non-exposure taint pass (taint.h holds the model). Scope matches
+  // untagged-send: library code, net internals exempt.
+  void CheckCoordinateTaint() {
+    for (const TaintFinding& finding : RunCoordinateTaint(contents_)) {
+      if (finding.line <= 0) continue;
+      Report("coordinate-taint", static_cast<size_t>(finding.line) - 1,
+             finding.message);
+    }
+  }
+
   void CheckBareTodo() {
     for (size_t l = 0; l < src_.comment.size(); ++l) {
       const std::string& comment = src_.comment[l];
@@ -545,6 +594,7 @@ class FileLinter {
   }
 
   const std::string path_;
+  const std::string contents_;  // raw text for the token-based taint pass
   const FileScope scope_;
   const SourceLines src_;
   std::vector<Finding> findings_;
@@ -575,8 +625,9 @@ std::string NormalizeRelative(const std::filesystem::path& root,
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "raw-random",    "raw-time",  "raw-thread",  "stdout-io",
-      "untagged-send", "bare-todo", "raw-file-io", "shard-path",
+      "raw-random", "raw-time",    "raw-thread",       "stdout-io",
+      "untagged-send", "bare-todo", "raw-file-io",     "shard-path",
+      "raw-lock",   "coordinate-taint",
   };
   return kRules;
 }

@@ -39,6 +39,23 @@
 //                 shard_layout.h helpers, so no caller can hand-build a
 //                 path into a sibling shard's directory and break the
 //                 per-shard recovery isolation contract.
+//   raw-lock      bare .lock()/.unlock()/.try_lock() calls anywhere in the
+//                 tree (home: none — only util/mutex.h itself carries
+//                 justified allows) — manual lock manipulation escapes the
+//                 annotated util::MutexLock RAII guard, so Clang's
+//                 thread-safety analysis (the compile-time half of the
+//                 concurrency verifier) cannot see the acquire/release and
+//                 an early return leaks the lock silently.
+//   coordinate-taint
+//                 the lexer-backed non-exposure taint pass (taint.h): per
+//                 function, values carrying a user coordinate (geo::Point,
+//                 PrivateScalar, their members, noised intermediates,
+//                 results of same-file Point-returning helpers) must reach
+//                 network sinks only as tagged PayloadDescriptor fields —
+//                 kRawCoordinate additionally requires a
+//                 `nela-lint: declare-exposure(channel)` comment naming
+//                 the audited raw-upload channel. Library scope, net
+//                 internals exempt (they move bytes, not coordinates).
 //
 // Suppression: a finding on line L is suppressed when line L or L-1 carries
 // the comment `nela-lint: allow(<rule>)`. Use sparingly, with a reason, e.g.
@@ -48,6 +65,8 @@
 // blanked in the code stream before matching and kept in separate streams
 // (comments for bare-todo and suppressions, literal contents for
 // shard-path); multi-line call argument lists are balanced across lines.
+// The coordinate-taint rule runs on a real token stream (lexer.h) because
+// flow tracking does not survive a line-oriented scan.
 
 #ifndef NELA_TOOLS_NELA_LINT_LINT_H_
 #define NELA_TOOLS_NELA_LINT_LINT_H_

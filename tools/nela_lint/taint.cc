@@ -1,0 +1,462 @@
+#include "nela_lint/taint.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nela_lint/lexer.h"
+
+namespace nela::lint {
+namespace {
+
+// Type names whose values carry a coordinate.
+bool IsSourceTypeName(const std::string& ident) {
+  return ident == "Point" || ident == "PrivateScalar";
+}
+
+// Keywords that own a parenthesized head before a brace -- their `) {` is
+// not a function definition.
+bool IsControlKeyword(const std::string& ident) {
+  return ident == "if" || ident == "for" || ident == "while" ||
+         ident == "switch" || ident == "catch" || ident == "return";
+}
+
+bool IsPunct(const Token& t, const char* spelling) {
+  return t.kind == TokenKind::kPunct && t.text == spelling;
+}
+
+bool IsIdent(const Token& t, const char* spelling) {
+  return t.kind == TokenKind::kIdentifier && t.text == spelling;
+}
+
+bool IsAssignOp(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return false;
+  return t.text == "=" || t.text == "+=" || t.text == "-=" ||
+         t.text == "*=" || t.text == "/=";
+}
+
+// One statement's tokens, sliced out of a function body.
+using Slice = std::vector<Token>;
+
+class TaintPass {
+ public:
+  explicit TaintPass(const std::string& contents) {
+    for (Token& token : Lex(contents)) {
+      if (token.kind == TokenKind::kComment) {
+        comment_on_[token.line] += token.text;
+      } else {
+        code_.push_back(std::move(token));
+      }
+    }
+  }
+
+  std::vector<TaintFinding> Run() {
+    BuildProducerTable();
+    WalkFunctions();
+    return std::move(findings_);
+  }
+
+ private:
+  // -- pass A: file-level table of Point-returning helpers ----------------
+  //
+  // Pattern: `Point <name> (` with Point optionally qualified (geo::Point).
+  // Catches free functions, methods, and Point-typed parenthesized locals;
+  // the latter are harmless extra entries (nothing "calls" a local).
+  void BuildProducerTable() {
+    for (size_t i = 0; i + 2 < code_.size(); ++i) {
+      if (!IsIdent(code_[i], "Point")) continue;
+      if (code_[i + 1].kind != TokenKind::kIdentifier) continue;
+      if (!IsPunct(code_[i + 2], "(")) continue;
+      producers_.insert(code_[i + 1].text);
+    }
+  }
+
+  // -- pass B: function segmentation --------------------------------------
+
+  void WalkFunctions() {
+    int depth = 0;
+    int body_depth = -1;  // brace depth of the active function body, or -1
+    for (size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = code_[i];
+      if (IsPunct(t, "{")) {
+        if (body_depth < 0) {
+          size_t open_paren = 0;
+          if (LooksLikeFunctionHead(i, &open_paren)) {
+            body_depth = depth;
+            ResetFunctionState();
+            SeedParams(open_paren);
+            body_start_ = i + 1;
+          }
+        }
+        ++depth;
+      } else if (IsPunct(t, "}")) {
+        --depth;
+        if (body_depth >= 0 && depth == body_depth) {
+          AnalyzeBody(body_start_, i);
+          body_depth = -1;
+        }
+      }
+    }
+  }
+
+  // Decides whether the `{` at token index `brace` opens a function body:
+  // walking back over trailing qualifiers (const, noexcept, override, a
+  // trailing return type) must reach a `)` whose matching `(` follows an
+  // identifier that is not a control keyword. Constructor initializer
+  // lists resolve to the last initializer's parens, which is fine -- the
+  // body still gets analyzed, and the "parameters" scanned there carry no
+  // type markers.
+  bool LooksLikeFunctionHead(size_t brace, size_t* open_paren) const {
+    size_t j = brace;
+    while (j > 0) {
+      --j;
+      const Token& t = code_[j];
+      if (IsPunct(t, ")")) break;
+      const bool qualifier =
+          t.kind == TokenKind::kIdentifier || IsPunct(t, "::") ||
+          IsPunct(t, "->") || IsPunct(t, "*") || IsPunct(t, "&") ||
+          IsPunct(t, "<") || IsPunct(t, ">") || IsPunct(t, ",") ||
+          IsPunct(t, ":");
+      if (!qualifier) return false;
+      if (j == 0) return false;
+    }
+    if (!IsPunct(code_[j], ")")) return false;
+    // Match backward to the opening paren.
+    int paren = 0;
+    size_t k = j + 1;
+    while (k > 0) {
+      --k;
+      if (IsPunct(code_[k], ")")) ++paren;
+      if (IsPunct(code_[k], "(")) {
+        --paren;
+        if (paren == 0) break;
+      }
+    }
+    if (paren != 0 || k == 0) return false;
+    const Token& before = code_[k - 1];
+    if (before.kind != TokenKind::kIdentifier) return false;
+    if (IsControlKeyword(before.text)) return false;
+    *open_paren = k;
+    return true;
+  }
+
+  void ResetFunctionState() {
+    tainted_.clear();
+    message_locals_.clear();
+  }
+
+  // Marks Point/PrivateScalar-typed parameters tainted: within each
+  // top-level comma group of the signature, a source-type marker taints the
+  // group's last identifier (the parameter name).
+  void SeedParams(size_t open_paren) {
+    int paren = 0;
+    bool has_marker = false;
+    std::string last_ident;
+    for (size_t i = open_paren; i < code_.size(); ++i) {
+      const Token& t = code_[i];
+      if (IsPunct(t, "(") || IsPunct(t, "[") || IsPunct(t, "{")) ++paren;
+      if (IsPunct(t, ")") || IsPunct(t, "]") || IsPunct(t, "}")) {
+        --paren;
+        if (paren == 0) {
+          if (has_marker && !last_ident.empty()) tainted_.insert(last_ident);
+          return;
+        }
+      }
+      if (paren == 1 && IsPunct(t, ",")) {
+        if (has_marker && !last_ident.empty()) tainted_.insert(last_ident);
+        has_marker = false;
+        last_ident.clear();
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier) {
+        if (IsSourceTypeName(t.text)) {
+          has_marker = true;
+        } else {
+          last_ident = t.text;
+        }
+      }
+    }
+  }
+
+  // -- per-function statement analysis ------------------------------------
+
+  void AnalyzeBody(size_t begin, size_t end) {
+    Slice statement;
+    int nest = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const Token& t = code_[i];
+      if (IsPunct(t, ";") || IsPunct(t, "{") || IsPunct(t, "}")) {
+        if (IsPunct(t, "{")) ++nest;
+        if (IsPunct(t, "}")) --nest;
+        if (!statement.empty()) {
+          AnalyzeStatement(statement);
+          statement.clear();
+        }
+        continue;
+      }
+      statement.push_back(t);
+    }
+    if (!statement.empty()) AnalyzeStatement(statement);
+    (void)nest;
+  }
+
+  void AnalyzeStatement(const Slice& s) {
+    TrackMessageLocals(s);
+    TrackSourceDeclarations(s);
+    TrackAssignment(s);
+    CheckPayloadAdd(s);
+    CheckSendArguments(s);
+  }
+
+  // `net::Message m;` (or any `Message m`) declares a message local whose
+  // field writes are send-adjacent sinks.
+  void TrackMessageLocals(const Slice& s) {
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      if (IsIdent(s[i], "Message") &&
+          s[i + 1].kind == TokenKind::kIdentifier) {
+        message_locals_.insert(s[i + 1].text);
+      }
+    }
+  }
+
+  // A statement containing a source-type marker declares a tainted name:
+  // the first identifier after the marker that a declarator can end on
+  // (followed by `=`, `,`, `(`, `[`, `{`, or the statement end) and is not
+  // itself part of the type spelling.
+  void TrackSourceDeclarations(const Slice& s) {
+    size_t marker = s.size();
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i].kind == TokenKind::kIdentifier &&
+          IsSourceTypeName(s[i].text)) {
+        marker = i;
+        break;
+      }
+    }
+    if (marker == s.size()) return;
+    for (size_t i = marker + 1; i < s.size(); ++i) {
+      if (s[i].kind != TokenKind::kIdentifier) continue;
+      if (i > 0 && (IsPunct(s[i - 1], "::") || IsPunct(s[i - 1], ".") ||
+                    IsPunct(s[i - 1], "->"))) {
+        continue;  // qualified name or member access, not a declarator
+      }
+      const bool at_end = i + 1 == s.size();
+      if (at_end || IsPunct(s[i + 1], "=") || IsPunct(s[i + 1], ",") ||
+          IsPunct(s[i + 1], "(") || IsPunct(s[i + 1], "[") ||
+          IsPunct(s[i + 1], "{") || IsPunct(s[i + 1], ":")) {
+        // `:` covers range-for (`for (const geo::Point& p : points)`).
+        tainted_.insert(s[i].text);
+        return;
+      }
+    }
+  }
+
+  // True when the token run [begin, end) references taint: a tainted name,
+  // or a producer helper being called.
+  bool RangeTainted(const Slice& s, size_t begin, size_t end) const {
+    for (size_t i = begin; i < end && i < s.size(); ++i) {
+      if (s[i].kind != TokenKind::kIdentifier) continue;
+      if (tainted_.count(s[i].text) != 0) return true;
+      if (producers_.count(s[i].text) != 0 && i + 1 < end &&
+          IsPunct(s[i + 1], "(")) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Propagation and the message-field-write sink. A top-level assignment
+  // with a tainted right side either taints its left side or, when the
+  // left side is a field of a message local, is itself an exposure (the
+  // bytes/kind fields cross the network unaudited).
+  void TrackAssignment(const Slice& s) {
+    int paren = 0;
+    size_t eq = s.size();
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (IsPunct(s[i], "(") || IsPunct(s[i], "[")) ++paren;
+      if (IsPunct(s[i], ")") || IsPunct(s[i], "]")) --paren;
+      if (paren == 0 && IsAssignOp(s[i]) && !IsPunct(s[i], "==")) {
+        eq = i;
+        break;
+      }
+    }
+    if (eq == s.size() || eq == 0) return;
+    if (!RangeTainted(s, eq + 1, s.size())) return;
+    // Left side: `name =` taints name; `base.field =` checks the sink and
+    // otherwise taints base (a struct holding a coordinate is a carrier).
+    size_t member_dot = eq;
+    for (size_t i = 0; i < eq; ++i) {
+      if (IsPunct(s[i], ".") || IsPunct(s[i], "->")) {
+        member_dot = i;
+        break;
+      }
+    }
+    if (member_dot < eq) {
+      // First identifier before the access is the base object.
+      for (size_t i = member_dot; i > 0;) {
+        --i;
+        if (s[i].kind == TokenKind::kIdentifier) {
+          if (message_locals_.count(s[i].text) != 0) {
+            if (!ExposureDeclaredNear(s[eq].line)) {
+              findings_.push_back(TaintFinding{
+                  s[eq].line,
+                  "coordinate-tainted value written into a net::Message "
+                  "field; plain fields cross the network unaudited -- "
+                  "route it through payload.Add with a typed FieldTag, or "
+                  "declare the side channel with `nela-lint: "
+                  "declare-exposure(channel)`"});
+            }
+          } else {
+            tainted_.insert(s[i].text);
+          }
+          return;
+        }
+      }
+      return;
+    }
+    // Plain `name = ...` (declaration initializers included: the declared
+    // name is the identifier directly before `=`).
+    for (size_t i = eq; i > 0;) {
+      --i;
+      if (s[i].kind == TokenKind::kIdentifier) {
+        tainted_.insert(s[i].text);
+        return;
+      }
+    }
+  }
+
+  // Splits the argument list opening at s[open] (must be `(`) into
+  // top-level comma groups, returned as [begin, end) index pairs.
+  static std::vector<std::pair<size_t, size_t>> ArgGroups(const Slice& s,
+                                                          size_t open) {
+    std::vector<std::pair<size_t, size_t>> groups;
+    int paren = 0;
+    size_t start = open + 1;
+    for (size_t i = open; i < s.size(); ++i) {
+      if (IsPunct(s[i], "(") || IsPunct(s[i], "[") || IsPunct(s[i], "{")) {
+        ++paren;
+      } else if (IsPunct(s[i], ")") || IsPunct(s[i], "]") ||
+                 IsPunct(s[i], "}")) {
+        --paren;
+        if (paren == 0) {
+          if (i > start) groups.emplace_back(start, i);
+          return groups;
+        }
+      } else if (paren == 1 && IsPunct(s[i], ",")) {
+        groups.emplace_back(start, i);
+        start = i + 1;
+      }
+    }
+    if (start < s.size()) groups.emplace_back(start, s.size());
+    return groups;
+  }
+
+  bool ExposureDeclaredNear(int line) const {
+    for (int l = line - 1; l <= line; ++l) {
+      const auto it = comment_on_.find(l);
+      if (it != comment_on_.end() &&
+          it->second.find("nela-lint: declare-exposure(") !=
+              std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // The payload.Add(tag, subject, value) sink.
+  void CheckPayloadAdd(const Slice& s) {
+    for (size_t i = 2; i + 1 < s.size(); ++i) {
+      if (!IsIdent(s[i], "Add")) continue;
+      if (!IsPunct(s[i - 1], ".") && !IsPunct(s[i - 1], "->")) continue;
+      if (!IsIdent(s[i - 2], "payload")) continue;
+      if (!IsPunct(s[i + 1], "(")) continue;
+      const auto groups = ArgGroups(s, i + 1);
+      if (groups.empty()) continue;
+      const int line = s[i].line;
+
+      // The tag argument: literal iff it spells FieldTag::<member>.
+      std::string tag;
+      for (size_t j = groups[0].first; j + 2 < groups[0].second; ++j) {
+        if (IsIdent(s[j], "FieldTag") && IsPunct(s[j + 1], "::") &&
+            s[j + 2].kind == TokenKind::kIdentifier) {
+          tag = s[j + 2].text;
+          break;
+        }
+      }
+      bool value_tainted = false;
+      for (size_t g = 2; g < groups.size(); ++g) {
+        value_tainted |= RangeTainted(s, groups[g].first, groups[g].second);
+      }
+
+      if (tag.empty()) {
+        if (value_tainted) {
+          findings_.push_back(TaintFinding{
+              line,
+              "coordinate-tainted value routed through a non-literal "
+              "field tag; the observer cannot attribute the exposure -- "
+              "spell the net::FieldTag at the Add site"});
+        }
+      } else if (tag == "kRawCoordinate") {
+        if (!ExposureDeclaredNear(line)) {
+          findings_.push_back(TaintFinding{
+              line,
+              "kRawCoordinate field without a declared channel; raw "
+              "uploads are exposure by definition -- annotate the Add "
+              "with `nela-lint: declare-exposure(channel)` on this line "
+              "or the line above"});
+        }
+      } else if (tag == "kControl" && value_tainted) {
+        findings_.push_back(TaintFinding{
+            line,
+            "coordinate-tainted value smuggled through the untyped "
+            "kControl field; tag it (kNoisedCoordinate, "
+            "kCandidateLocation, ...) or declare the exposure via "
+            "kRawCoordinate + declare-exposure"});
+      }
+      // Any other literal tag types the exposure; the runtime observer
+      // and leak contracts audit those flows.
+    }
+  }
+
+  // Send / SendWithRetry argument sink: a tainted value passed positionally
+  // bypasses the descriptor entirely.
+  void CheckSendArguments(const Slice& s) {
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      const bool is_send =
+          IsIdent(s[i], "Send") && i > 0 &&
+          (IsPunct(s[i - 1], ".") || IsPunct(s[i - 1], "->"));
+      const bool is_retry = IsIdent(s[i], "SendWithRetry");
+      if (!is_send && !is_retry) continue;
+      if (!IsPunct(s[i + 1], "(")) continue;
+      for (const auto& [begin, end] : ArgGroups(s, i + 1)) {
+        if (RangeTainted(s, begin, end)) {
+          if (!ExposureDeclaredNear(s[i].line)) {
+            findings_.push_back(TaintFinding{
+                s[i].line,
+                "coordinate-tainted value passed positionally to " +
+                    s[i].text +
+                    "; positional arguments carry no PayloadDescriptor, "
+                    "so the adversary observer never sees the exposure"});
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Token> code_;
+  std::map<int, std::string> comment_on_;
+  std::set<std::string> producers_;
+  std::set<std::string> tainted_;
+  std::set<std::string> message_locals_;
+  size_t body_start_ = 0;
+  std::vector<TaintFinding> findings_;
+};
+
+}  // namespace
+
+std::vector<TaintFinding> RunCoordinateTaint(const std::string& contents) {
+  return TaintPass(contents).Run();
+}
+
+}  // namespace nela::lint

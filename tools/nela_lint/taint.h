@@ -1,0 +1,72 @@
+// Lexer-backed non-exposure taint pass (the `coordinate-taint` lint rule).
+//
+// Compile-time counterpart of the runtime audit::AdversaryObserver: the
+// observer proves at run time that no raw coordinate crossed the simulated
+// network unaccounted; this pass proves the same property over the source,
+// per function, before anything runs.
+//
+// Model (intraprocedural, per translation-unit):
+//
+//   Sources -- values that carry a user coordinate:
+//     * locals/parameters of type geo::Point (any declaration whose type
+//       spells `Point`, including vector<geo::Point> etc.),
+//     * bounding::PrivateScalar values (the protocol's secret wrapper),
+//     * `.x` / `.y` (or any member) of a tainted value,
+//     * results of same-file helpers that return geo::Point (a file-level
+//       producer table built in a first pass),
+//     * anything assigned or initialized from a tainted expression --
+//       including noised intermediates: a perturbed coordinate is still a
+//       coordinate until a *tag* declares what it is.
+//
+//   Sinks -- where a value leaves the node:
+//     * arguments of net::Network::Send / net::SendWithRetry calls,
+//     * values passed to payload.Add(tag, subject, value),
+//     * field writes on a local net::Message (message.bytes = ...).
+//
+//   Sanctioned flows -- the only taint that may reach a sink:
+//     * payload.Add with a literal net::FieldTag that types the exposure
+//       (kNoisedCoordinate, kCandidateLocation, kCloakedRegion, ...): the
+//       tag IS the declaration, and the runtime observer audits it;
+//     * payload.Add(net::FieldTag::kRawCoordinate, ...) on a line carrying
+//       (or directly below) a `nela-lint: declare-exposure(channel)`
+//       comment -- the audited escape hatch for the declared raw-upload
+//       channels (the OPT comparator, the grid cloak's trusted upload);
+//     * a declared message-field write or positional argument -- the same
+//       declare-exposure comment covers sinks no FieldTag can express,
+//       like the LBS reply-size side channel (reply bytes track the
+//       candidate count near the probe).
+//
+//   Everything else is a finding: a coordinate smuggled through the
+//   untyped kControl field, or routed through a non-literal tag the
+//   observer cannot attribute. declare-exposure deliberately does NOT
+//   sanction those two -- their fix is spelling a proper tag, not
+//   declaring a channel.
+//
+// The pass is deliberately flow-insensitive within a function (no branch
+// analysis) and conservative: once tainted, a name stays tainted for the
+// rest of the function. Lambdas share the enclosing function's taint map,
+// which matches how captures behave.
+
+#ifndef NELA_TOOLS_NELA_LINT_TAINT_H_
+#define NELA_TOOLS_NELA_LINT_TAINT_H_
+
+#include <string>
+#include <vector>
+
+namespace nela::lint {
+
+struct TaintFinding {
+  int line = 0;  // 1-based
+  std::string message;
+};
+
+// Runs the coordinate-taint pass over one file's contents. Scope filtering
+// (library-only, net-internal exempt) and `nela-lint: allow(...)`
+// suppression are the caller's job (lint.cc routes findings through the
+// shared Report path); `declare-exposure` is honored here because it is
+// taint policy, not suppression.
+std::vector<TaintFinding> RunCoordinateTaint(const std::string& contents);
+
+}  // namespace nela::lint
+
+#endif  // NELA_TOOLS_NELA_LINT_TAINT_H_

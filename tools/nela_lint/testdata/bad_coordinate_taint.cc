@@ -1,0 +1,77 @@
+// Fixture: coordinate-taint must fire four ways — a coordinate laundered
+// through a local double into the untyped kControl field, a same-file
+// Point-returning helper reaching a net::Message field write, a
+// kRawCoordinate field with no declared exposure channel, and a value
+// routed through a non-literal tag. Every message populates its payload,
+// so untagged-send stays silent and the taint pass is the only rule that
+// may fire.
+#include "geo/point.h"
+#include "net/network.h"
+
+namespace nela::fake {
+
+// A producer: its return value carries a coordinate, so calls to it taint
+// whatever receives the result.
+geo::Point Centroid(const std::vector<geo::Point>& points) {
+  geo::Point sum;
+  for (const geo::Point& p : points) {
+    sum.x += p.x;
+    sum.y += p.y;
+  }
+  return sum;
+}
+
+// Mutant 1: the raw x-coordinate hides in an innocently named local, then
+// ships as an untyped kControl value the observer cannot attribute.
+void SmuggleThroughControl(net::Network& network, const geo::Point& own) {
+  const double session_nonce = own.x;
+  net::Message message;
+  message.from = 0;
+  message.to = 1;
+  message.kind = net::MessageKind::kControl;
+  message.bytes = 16;
+  message.payload.Add(net::FieldTag::kControl, 0, session_nonce);
+  network.Send(message);
+}
+
+// Mutant 2: a helper's Point return value reaches the wire through a plain
+// message field — no tag, no descriptor entry, nothing for the observer.
+void HelperReachesField(net::Network& network,
+                        const std::vector<geo::Point>& points) {
+  const double center_x = Centroid(points).x;
+  net::Message message;
+  message.from = 0;
+  message.to = 1;
+  message.kind = net::MessageKind::kControl;
+  message.bytes = 16;
+  message.payload.Add(net::FieldTag::kBoundHypothesis, 0, 0.5);
+  message.bytes = static_cast<uint64_t>(center_x * 1024.0);
+  network.Send(message);
+}
+
+// Mutant 3: kRawCoordinate without a declare-exposure(channel) comment —
+// a raw upload is exposure by definition and must name its channel.
+void UndeclaredRawUpload(net::Network& network, const geo::Point& own) {
+  net::Message upload;
+  upload.from = 0;
+  upload.to = 1;
+  upload.kind = net::MessageKind::kControl;
+  upload.bytes = 16;
+  upload.payload.Add(net::FieldTag::kRawCoordinate, 0, own.y);
+  network.Send(upload);
+}
+
+// Mutant 4: the tag arrives through a variable, so the observer cannot
+// attribute the exposure even though a tag was technically supplied.
+void LaunderedTag(net::Network& network, const geo::Point& own,
+                  net::FieldTag tag) {
+  net::Message message;
+  message.from = 0;
+  message.to = 1;
+  message.kind = net::MessageKind::kControl;
+  message.bytes = 16;
+  message.payload.Add(tag, 0, own.x);
+  network.Send(message);
+}
+
+}  // namespace nela::fake

@@ -1,0 +1,25 @@
+// Fixture: raw-lock must fire on every bare mutex manipulation — lock(),
+// unlock(), and try_lock(), through both member-access spellings. Manual
+// lock calls escape the annotated util::MutexLock guard, so thread-safety
+// analysis never sees the critical section (and an early return between
+// the pair leaks the lock).
+#include <mutex>
+
+namespace nela::fake {
+
+int g_counter = 0;
+
+void Bump(std::mutex& mu) {
+  mu.lock();
+  ++g_counter;
+  mu.unlock();
+}
+
+bool TryBump(std::mutex* mu) {
+  if (!mu->try_lock()) return false;
+  ++g_counter;
+  mu->unlock();
+  return true;
+}
+
+}  // namespace nela::fake

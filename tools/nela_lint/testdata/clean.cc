@@ -1,13 +1,17 @@
 // Fixture: no rule may fire. Exercises the look-alikes each rule must NOT
 // match: seeded util::Rng, util::WallTimer, std::this_thread /
 // std::thread::id, stderr diagnostics, a tagged net::Message, a declared
-// empty payload, an anchored to-do note, and rule patterns inside strings
-// and comments.
+// empty payload, an anchored to-do note, the util::MutexLock RAII guard
+// (vs. bare lock calls), sanctioned coordinate flows (typed tags and a
+// declared kRawCoordinate channel), and rule patterns inside strings and
+// comments.
 #include <cstdio>
 #include <string>
 #include <thread>
 
+#include "geo/point.h"
 #include "net/network.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -16,7 +20,9 @@ namespace nela::fake {
 // TODO(roadmap#hypothesis-origin): anchored items are allowed.
 double CleanSample(util::Rng& rng) {
   // Mentioning rand() or std::random_device in a comment is fine.
-  const std::string docs = "call srand(seed) and time(nullptr) elsewhere";
+  // Writing mu.lock() in a comment or string is not a lock call.
+  const std::string docs =
+      "call srand(seed), time(nullptr), and mu.lock() elsewhere";
   std::fprintf(stderr, "diagnostics go to stderr: %s\n", docs.c_str());
   const util::WallTimer timer;
   const std::thread::id self = std::this_thread::get_id();
@@ -40,6 +46,38 @@ void TaggedSend(net::Network& network) {
   heartbeat.kind = net::MessageKind::kControl;
   heartbeat.bytes = 1;
   network.Send(heartbeat, nullptr);
+}
+
+// Sanctioned coordinate flows: a noised probe under its typed tag (the tag
+// IS the declaration -- the runtime observer audits the flow), and a raw
+// upload on a declared channel. The taint pass must stay silent on both.
+void SanctionedFlows(net::Network& network, const geo::Point& own,
+                     util::Rng& rng) {
+  const geo::Point probe{own.x + rng.NextDouble() * 0.01, own.y};
+  net::Message request;
+  request.from = 0;
+  request.to = 1;
+  request.kind = net::MessageKind::kServiceRequest;
+  request.bytes = 16;
+  request.payload.Add(net::FieldTag::kNoisedCoordinate, 0, probe.x);
+  request.payload.Add(net::FieldTag::kNoisedCoordinate, 0, probe.y);
+  network.Send(request);
+
+  net::Message upload;
+  upload.from = 0;
+  upload.to = 1;
+  upload.kind = net::MessageKind::kControl;
+  upload.bytes = 16;
+  // nela-lint: declare-exposure(fixture-upload)
+  upload.payload.Add(net::FieldTag::kRawCoordinate, 0, own.x);
+  network.Send(upload);
+}
+
+// Locks are taken through the annotated RAII guard; raw-lock must not see
+// a bare .lock()/.unlock() here.
+uint64_t GuardedBump(util::Mutex& mu, uint64_t* counter) {
+  util::MutexLock lock(mu);
+  return ++*counter;
 }
 
 }  // namespace nela::fake
